@@ -1,0 +1,49 @@
+// Ablation — the negligibility threshold t of Alg. 1.
+//
+// The paper fixes t = 16 "in our design" without a sweep; this ablation
+// shows the accuracy/pruning-depth trade-off that motivates the choice.
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "model/activation_gen.hpp"
+#include "pruning/metrics.hpp"
+
+int main() {
+  using namespace edgemm;
+  edgemm::bench::print_header(
+      "Ablation (threshold t of Alg. 1)",
+      "t = 16 balances pruning depth against cosine accuracy");
+
+  model::ActivationProfile profile;
+  profile.channels = 512;
+  profile.layers = 22;
+
+  Table t("Pruning depth and accuracy vs threshold t (SPHINX-Tiny shape, scaled)");
+  t.set_header({"t", "mean pruning ratio", "mean cos(dynamic)", "cos floor (layer)",
+                "vs fixed-0.1 cos"});
+  for (const double threshold : {2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+    model::ActivationGenerator gen(profile, 2025);
+    pruning::PruningEvalConfig cfg;
+    cfg.d_ffn = 1408;
+    cfg.tokens = 3;
+    cfg.dynamic.threshold_t = threshold;
+    cfg.fixed_ratios = {0.1};
+    const auto result = pruning::evaluate_pruning(gen, cfg);
+
+    double floor = 1.0;
+    std::size_t floor_layer = 0;
+    for (const auto& layer : result.layers) {
+      if (layer.cosine_dynamic < floor) {
+        floor = layer.cosine_dynamic;
+        floor_layer = layer.layer;
+      }
+    }
+    t.add_row({fmt_double(threshold, 0), fmt_percent(result.mean_pruning_ratio, 1),
+               fmt_double(result.mean_cosine_dynamic, 4),
+               fmt_double(floor, 4) + " (L" + std::to_string(floor_layer) + ")",
+               fmt_double(result.mean_cosine_fixed[0], 4)});
+  }
+  t.print();
+  edgemm::bench::print_paper_vs_measured("paper's choice", "t = 16 (fixed)",
+                                         "see trade-off row t = 16");
+  return 0;
+}

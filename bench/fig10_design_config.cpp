@@ -1,0 +1,57 @@
+// Fig. 10 — Design configurations and implementation constants of the
+// 22 nm EdgeMM chip.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/config.hpp"
+
+int main() {
+  using namespace edgemm;
+  edgemm::bench::print_header(
+      "Fig. 10 (design configuration)",
+      "4 groups x (2 CC + 2 MC clusters); 4 CC-cores / 2 MC-cores per cluster; "
+      "22 nm @ 1 GHz; 112 mW; SA = 62 % of CC-core area, CIM = 81 % of MC-core");
+
+  const auto cfg = core::default_chip_config();
+
+  Table t("EdgeMM configuration (as implemented)");
+  t.set_header({"parameter", "value"});
+  t.add_row({"groups", std::to_string(cfg.groups)});
+  t.add_row({"CC-clusters / MC-clusters", std::to_string(cfg.total_cc_clusters()) +
+                                              " / " + std::to_string(cfg.total_mc_clusters())});
+  t.add_row({"CC-cores / MC-cores", std::to_string(cfg.total_cc_cores()) + " / " +
+                                        std::to_string(cfg.total_mc_cores())});
+  t.add_row({"systolic array (R x C)", std::to_string(cfg.systolic.rows) + " x " +
+                                           std::to_string(cfg.systolic.cols)});
+  t.add_row({"CIM macro (C cols x R subarrays x M entries)",
+             std::to_string(cfg.cim.columns) + " x " + std::to_string(cfg.cim.tree_inputs) +
+                 " x " + std::to_string(cfg.cim.entries)});
+  t.add_row({"CIM precision (weight N / activation W)",
+             std::to_string(cfg.cim.weight_bits) + "b / " +
+                 std::to_string(cfg.cim.act_bits) + "b"});
+  t.add_row({"CIM capacity per macro",
+             fmt_si(static_cast<double>(coproc::cim_capacity_bytes(cfg.cim)), 0) + "B"});
+  t.add_row({"CC-cluster TCDM",
+             fmt_si(static_cast<double>(cfg.cc_cluster_tcdm_bytes), 0) + "B"});
+  t.add_row({"MC-cluster CIM storage + shared buffer",
+             fmt_si(static_cast<double>(cfg.mc_cluster_cim_bytes()), 0) + "B + " +
+                 fmt_si(static_cast<double>(cfg.mc_shared_buffer_bytes), 0) + "B"});
+  t.add_row({"DRAM bandwidth",
+             fmt_double(bytes_per_cycle_to_gbps(cfg.dram.bytes_per_cycle), 1) + " GB/s"});
+  t.add_row({"DRAM latency", std::to_string(cfg.dram.latency) + " cycles"});
+  t.add_row({"clock", fmt_si(cfg.clock_hz, 0) + "Hz"});
+  t.add_row({"peak throughput", fmt_si(cfg.peak_flops(), 1) + "FLOP/s (BF16/INT8)"});
+  t.add_row({"chip power (post-P&R, published)",
+             fmt_double(cfg.chip_power_w * 1e3, 0) + " mW"});
+  t.add_row({"SA share of CC-core area (published)", fmt_percent(cfg.sa_area_share, 0)});
+  t.add_row({"CIM share of MC-core area (published)", fmt_percent(cfg.cim_area_share, 0)});
+  t.print();
+
+  edgemm::bench::print_paper_vs_measured("peak compute", "18 TFLOP/s (BF16)",
+                                         fmt_si(cfg.peak_flops(), 1) + "FLOP/s");
+  edgemm::bench::print_paper_vs_measured("chip power", "112 mW",
+                                         fmt_double(cfg.chip_power_w * 1e3, 0) + " mW");
+  return 0;
+}

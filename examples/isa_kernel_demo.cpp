@@ -1,0 +1,81 @@
+// ISA kernel demo: assemble the extension instructions of Fig. 7, show
+// their encodings, and execute a sharded GEMV kernel on two simulated
+// MC-cores using the programming model of §III-C (identity CSRs ->
+// tensor shards; hardware pruner -> CIM GEMV).
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+#include "core/config.hpp"
+#include "core/host_core.hpp"
+#include "isa/assembler.hpp"
+#include "isa/disassembler.hpp"
+
+int main() {
+  using namespace edgemm;
+
+  // --- 1. Assemble and dump the extension encodings -----------------------
+  const char* source = R"(
+    # CC-core matrix kernel (M-M format)
+    mm.ld   m1, a0          # activations tile via the coprocessor LSU
+    mm.ld   m2, a1          # stationary weights
+    mm.zero m0
+    mm.mul  m0, m1, m2      # weight-stationary tile pass (Eq. 2)
+    mm.st   m0, a2
+
+    # MC-core pruned GEMV kernel (M-V format, Fig. 8)
+    cfg.csrr corepos, x1    # who am I -> which shard
+    cfg.csrw prunek, x2     # top-k budget from Alg. 1
+    mv.prune v1, v0         # hardware act-aware pruner
+    mv.ldw  (x3)            # weight rows -> CIM macro
+    mv.mul  v2, v0, (x3)    # bit-serial GEMV (Eq. 3)
+
+    # vector subset + barrier
+    vv.act  v3, v2, silu
+    vv.mul  v4, v3, v2
+    cfg.sync
+  )";
+  const auto words = isa::assemble(source);
+  std::printf("assembled %zu extension instructions:\n", words.size());
+  for (const std::uint32_t w : words) {
+    std::printf("  0x%08x  %s\n", w, isa::disassemble_word(w).c_str());
+  }
+
+  // --- 2. Execute a 2-core sharded GEMV through the ISA -------------------
+  core::ChipConfig cfg = core::tiny_chip_config();
+  cfg.cim = {16, 4, 16, 8, 8};
+
+  const std::size_t k = 32;
+  const std::size_t n = 16;
+  Rng rng(11);
+  Tensor weights(k, n);
+  for (float& v : weights.flat()) v = static_cast<float>(rng.gaussian(0.0, 0.3));
+  std::vector<float> act(k);
+  for (float& v : act) v = static_cast<float>(rng.gaussian());
+
+  std::vector<float> combined(n, 0.0F);
+  Cycle total_cycles = 0;
+  for (std::uint32_t pos = 0; pos < 2; ++pos) {
+    core::HostCore mc(cfg, CoreKind::kMemoryCentric, pos, 0, 0, pos);
+    // §III-C: the kernel reads its position CSR and picks its shard.
+    total_cycles += mc.execute(isa::assemble_line("cfg.csrr corepos, x1"));
+    const std::size_t my_pos = mc.xreg(1);
+    const std::size_t shard = k / 2;
+    const Tensor w_shard = weights.block(my_pos * shard, 0, shard, n);
+    const std::vector<float> a_shard(act.begin() + static_cast<std::ptrdiff_t>(my_pos * shard),
+                                     act.begin() + static_cast<std::ptrdiff_t>((my_pos + 1) * shard));
+    mc.bind_matrix(0x8000, &w_shard);
+    mc.set_xreg(3, 0x8000);
+    mc.set_vreg(0, a_shard);
+    total_cycles += mc.execute(isa::assemble_line("mv.ldw (x3)"));
+    total_cycles += mc.execute(isa::assemble_line("mv.mul v2, v0, (x3)"));
+    for (std::size_t i = 0; i < n; ++i) combined[i] += mc.vreg(2)[i];
+  }
+
+  const auto reference = gemv_reference(act, weights);
+  std::printf("\nsharded CIM GEMV across 2 MC-cores: %llu total coprocessor cycles\n",
+              static_cast<unsigned long long>(total_cycles));
+  std::printf("cosine vs FP32 reference: %.6f (INT8 quantized datapath)\n",
+              cosine_similarity(combined, reference));
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Latency explorer: pick any Table-I model and sweep output lengths
+// through the streaming pipeline, with and without the paper's
+// bandwidth optimizations.
+//
+// Usage: mllm_latency_explorer [model-name] [crops]
+//   model-name: one of the Table I entries (default "SPHINX-Tiny")
+//   crops:      encoder passes per request (default 5, SPHINX-style)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+#include "model/mllm_config.hpp"
+#include "model/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace edgemm;
+  const std::string name = argc > 1 ? argv[1] : "SPHINX-Tiny";
+  const std::size_t crops = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 5;
+
+  model::MllmConfig mllm;
+  try {
+    mllm = model::model_by_name(name);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\nKnown models:\n", e.what());
+    for (const auto& m : model::model_zoo()) std::fprintf(stderr, "  %s\n", m.name.c_str());
+    return 1;
+  }
+
+  std::printf("%s: LLM %s (%.2f B params), %zu encoder tower(s), %zu crops/request\n\n",
+              mllm.name.c_str(), mllm.llm.name.c_str(),
+              static_cast<double>(mllm.llm.total_params()) / 1e9,
+              mllm.encoders.size(), crops);
+
+  core::ChipConfig cfg = core::default_chip_config();
+  cfg.timing_block_scale = 8.0;
+
+  // Platform-calibrated policy (the paper's l_e/l_b analogues).
+  const auto probe = model::aggregate_workload(model::build_phase_workload(
+      mllm, model::default_params_for_output(300, 36, crops)));
+  const auto policy = core::derive_policy(cfg, probe);
+  std::printf("derived policy: l_e = %zu, l_b = %zu (paper testbed: 36 / 131)\n\n",
+              policy.balance_length, policy.batch_length);
+
+  Table t(mllm.name + " on EdgeMM — streaming pipeline vs output length");
+  t.set_header({"l", "mode", "Bc:Bm", "batch", "latency", "tokens/s", "DRAM util"});
+  for (const std::size_t l : {16u, 64u, 128u, 512u}) {
+    const auto params = model::default_params_for_output(300, l, crops);
+    const auto workload =
+        model::aggregate_workload(model::build_phase_workload(mllm, params));
+    core::MllmPipeline pipeline(cfg);
+
+    core::PipelineOptions opts;
+    opts.output_tokens = l;
+    opts.batches = 3;
+    opts.policy = policy;
+
+    opts.manage_bandwidth = false;
+    opts.enable_batching = false;
+    const auto plain = pipeline.run(workload, opts);
+    t.add_row({std::to_string(l), "equal sharing", "1:1", "1",
+               fmt_double(plain.request_latency_ms, 1) + " ms",
+               fmt_double(plain.tokens_per_second, 1),
+               fmt_percent(plain.dram_utilization, 0)});
+
+    opts.manage_bandwidth = true;
+    opts.enable_batching = true;
+    const auto managed = pipeline.run(workload, opts);
+    t.add_row({std::to_string(l), "managed+batch", "1:" + std::to_string(managed.mc_ratio),
+               std::to_string(managed.batch),
+               fmt_double(managed.request_latency_ms, 1) + " ms",
+               fmt_double(managed.tokens_per_second, 1),
+               fmt_percent(managed.dram_utilization, 0)});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "baselines/energy_model.hpp"
+
+namespace edgemm::baselines {
+
+EnergyReport edgemm_energy(const core::ChipConfig& config, double seconds,
+                           Bytes dram_bytes) {
+  EnergyReport report;
+  report.chip_joules = config.chip_power_w * seconds;
+  report.dram_joules =
+      static_cast<double>(dram_bytes) * config.dram_pj_per_byte * 1e-12;
+  return report;
+}
+
+double tokens_per_joule(double tokens, const EnergyReport& energy) {
+  const double joules = energy.total_joules();
+  return joules > 0.0 ? tokens / joules : 0.0;
+}
+
+double gpu_energy_joules(double board_power_w, double seconds) {
+  return board_power_w * seconds;
+}
+
+EnergyBreakdown energy_breakdown(const core::ChipConfig& config, double sa_macs,
+                                 double cim_macs, Bytes dram_bytes, double seconds) {
+  EnergyBreakdown b;
+  b.sa_joules = sa_macs * kSaPjPerMac * 1e-12;
+  b.cim_joules = cim_macs * kCimPjPerMac * 1e-12;
+  b.dram_joules = static_cast<double>(dram_bytes) * config.dram_pj_per_byte * 1e-12;
+  b.static_joules = config.chip_power_w * kStaticShare * seconds;
+  return b;
+}
+
+}  // namespace edgemm::baselines

@@ -1,0 +1,35 @@
+#include "baselines/gpu_model.hpp"
+
+#include <algorithm>
+
+namespace edgemm::baselines {
+
+double gpu_op_seconds(const GpuSpec& spec, const core::GemmWork& work) {
+  const double flops = static_cast<double>(work.flops());
+  // Weights + activations traffic in FP16.
+  const double bytes = static_cast<double>(
+      (static_cast<Bytes>(work.k) * work.n + work.m * (work.k + work.n)) *
+      spec.elem_bytes);
+  const double compute_s = flops / (spec.peak_flops * spec.gemm_efficiency);
+  const double bandwidth = work.m <= 2
+                               ? spec.memory_bandwidth * spec.gemv_bandwidth_efficiency
+                               : spec.memory_bandwidth;
+  const double memory_s = bytes / bandwidth;
+  return std::max(compute_s, memory_s) + spec.kernel_launch_seconds;
+}
+
+GpuMllmTiming evaluate_gpu(const GpuSpec& spec, const core::PhaseWorkload& workload) {
+  GpuMllmTiming t;
+  for (const core::GemmWork& op : workload.encoder) {
+    t.encoder_seconds += gpu_op_seconds(spec, op);
+  }
+  for (const core::GemmWork& op : workload.prefill) {
+    t.prefill_seconds += gpu_op_seconds(spec, op);
+  }
+  for (const core::GemmWork& op : workload.decode_token) {
+    t.decode_token_seconds += gpu_op_seconds(spec, op);
+  }
+  return t;
+}
+
+}  // namespace edgemm::baselines

@@ -1,0 +1,33 @@
+// Internal invariant checking for the EdgeMM libraries.
+//
+// EDGEMM_ASSERT guards *internal* invariants and is active in all build
+// types (a cycle-level simulator that silently corrupts state is worse
+// than one that aborts). Precondition violations on public API boundaries
+// throw std::invalid_argument / std::out_of_range instead; see the
+// individual modules.
+#ifndef EDGEMM_COMMON_ASSERT_HPP
+#define EDGEMM_COMMON_ASSERT_HPP
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace edgemm::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "EdgeMM invariant violated: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace edgemm::detail
+
+#define EDGEMM_ASSERT(expr)                                                    \
+  ((expr) ? static_cast<void>(0)                                               \
+          : ::edgemm::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define EDGEMM_ASSERT_MSG(expr, msg)                                           \
+  ((expr) ? static_cast<void>(0)                                               \
+          : ::edgemm::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)))
+
+#endif  // EDGEMM_COMMON_ASSERT_HPP

@@ -1,0 +1,32 @@
+#include "common/bf16.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace edgemm {
+
+namespace {
+
+std::uint16_t float_to_bf16_bits(float value) {
+  const std::uint32_t u = std::bit_cast<std::uint32_t>(value);
+  if (std::isnan(value)) {
+    // Quiet NaN, preserving the sign; avoids producing an infinity by
+    // rounding a NaN payload.
+    return static_cast<std::uint16_t>((u >> 16) | 0x0040u);
+  }
+  // Round-to-nearest-even on the truncated 16 mantissa bits.
+  const std::uint32_t rounding_bias = 0x7FFFu + ((u >> 16) & 1u);
+  return static_cast<std::uint16_t>((u + rounding_bias) >> 16);
+}
+
+}  // namespace
+
+Bf16::Bf16(float value) : bits_(float_to_bf16_bits(value)) {}
+
+float Bf16::to_float() const {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(bits_) << 16);
+}
+
+float bf16_round(float value) { return Bf16(value).to_float(); }
+
+}  // namespace edgemm

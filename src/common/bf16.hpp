@@ -1,0 +1,46 @@
+// Software emulation of the bfloat16 format used by the CC-core datapath.
+//
+// EdgeMM's systolic arrays compute in BF16 with FP32 accumulation
+// (Table II lists the 18 TFLOP/s peak as BF16). The emulation here is
+// bit-exact round-to-nearest-even truncation of IEEE-754 binary32.
+#ifndef EDGEMM_COMMON_BF16_HPP
+#define EDGEMM_COMMON_BF16_HPP
+
+#include <cstdint>
+
+namespace edgemm {
+
+/// A 16-bit brain floating point value (1 sign, 8 exponent, 7 mantissa).
+class Bf16 {
+ public:
+  constexpr Bf16() = default;
+
+  /// Converts from binary32 with round-to-nearest-even.
+  explicit Bf16(float value);
+
+  /// Widens back to binary32 (exact; BF16 is a prefix of binary32).
+  float to_float() const;
+
+  /// Raw storage, for tests and for modelling bit-serial transport.
+  constexpr std::uint16_t bits() const { return bits_; }
+
+  /// Builds a value from raw storage bits.
+  static constexpr Bf16 from_bits(std::uint16_t bits) {
+    Bf16 v;
+    v.bits_ = bits;
+    return v;
+  }
+
+  friend constexpr bool operator==(Bf16 a, Bf16 b) { return a.bits_ == b.bits_; }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+/// Rounds a binary32 to the nearest representable BF16 and widens it back.
+/// This is the quantization every operand suffers when entering the SA.
+float bf16_round(float value);
+
+}  // namespace edgemm
+
+#endif  // EDGEMM_COMMON_BF16_HPP

@@ -1,0 +1,36 @@
+#include "common/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edgemm {
+
+QuantizedTensor quantize_symmetric(std::span<const float> values, int bits) {
+  if (bits < 2 || bits > 16) {
+    throw std::invalid_argument("quantize_symmetric: bits must be in [2, 16]");
+  }
+  float max_abs = 0.0F;
+  for (const float v : values) max_abs = std::max(max_abs, std::fabs(v));
+
+  QuantizedTensor q;
+  q.bits = bits;
+  const auto qmax = static_cast<float>(quant_max(bits));
+  q.scale = max_abs > 0.0F ? max_abs / qmax : 1.0F;
+  q.codes.reserve(values.size());
+  for (const float v : values) {
+    const float scaled = v / q.scale;
+    const float clamped = std::clamp(scaled, -qmax, qmax);
+    q.codes.push_back(static_cast<std::int32_t>(std::lround(clamped)));
+  }
+  return q;
+}
+
+std::vector<float> dequantize(const QuantizedTensor& q) {
+  std::vector<float> out;
+  out.reserve(q.codes.size());
+  for (const std::int32_t c : q.codes) out.push_back(static_cast<float>(c) * q.scale);
+  return out;
+}
+
+}  // namespace edgemm

@@ -1,0 +1,37 @@
+// Symmetric integer quantization used by the MC-core datapath.
+//
+// The digital CIM macro stores N-bit weights (N = 8 in the Fig. 10
+// configuration) and broadcasts W-bit activations bit-serially. This
+// header provides the per-tensor symmetric int8 quantizer the MC kernels
+// use to map BF16/FP32 tensors onto the macro.
+#ifndef EDGEMM_COMMON_QUANT_HPP
+#define EDGEMM_COMMON_QUANT_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace edgemm {
+
+/// Result of quantizing a tensor: integer codes plus the scale that maps
+/// codes back to real values (value ≈ code * scale).
+struct QuantizedTensor {
+  std::vector<std::int32_t> codes;  ///< In [-qmax, qmax].
+  float scale = 1.0F;               ///< Real value per LSB.
+  int bits = 8;                     ///< Code width, sign included.
+};
+
+/// Symmetric per-tensor quantization to `bits`-wide signed integers.
+/// An all-zero input yields scale 1 so dequantization stays exact.
+/// Throws std::invalid_argument if bits is not in [2, 16].
+QuantizedTensor quantize_symmetric(std::span<const float> values, int bits);
+
+/// Maps integer codes back to real values.
+std::vector<float> dequantize(const QuantizedTensor& q);
+
+/// Largest magnitude representable with `bits`-wide signed codes.
+constexpr std::int32_t quant_max(int bits) { return (1 << (bits - 1)) - 1; }
+
+}  // namespace edgemm
+
+#endif  // EDGEMM_COMMON_QUANT_HPP

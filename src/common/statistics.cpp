@@ -1,0 +1,101 @@
+#include "common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace edgemm {
+
+double mean(std::span<const float> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const float v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const float> values) {
+  if (values.size() < 2) return 0.0;
+  const double mu = mean(values);
+  double sum_sq = 0.0;
+  for (const float v : values) {
+    const double d = v - mu;
+    sum_sq += d * d;
+  }
+  return sum_sq / static_cast<double>(values.size());
+}
+
+double kurtosis(std::span<const float> values) {
+  if (values.size() < 2) return 0.0;
+  const double mu = mean(values);
+  double m2 = 0.0;
+  double m4 = 0.0;
+  for (const float v : values) {
+    const double d = v - mu;
+    const double d2 = d * d;
+    m2 += d2;
+    m4 += d2 * d2;
+  }
+  const auto n = static_cast<double>(values.size());
+  m2 /= n;
+  m4 /= n;
+  if (m2 <= 0.0) return 0.0;
+  return m4 / (m2 * m2);
+}
+
+double cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("cosine_similarity: length mismatch");
+  }
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 && nb == 0.0) return 1.0;
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+std::vector<std::size_t> top_k_indices_by_magnitude(std::span<const float> values,
+                                                    std::size_t k) {
+  k = std::min(k, values.size());
+  std::vector<std::size_t> idx(values.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k), idx.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      const float ma = std::fabs(values[a]);
+                      const float mb = std::fabs(values[b]);
+                      if (ma != mb) return ma > mb;
+                      return a < b;  // deterministic tie-break
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+std::size_t count_above_max_over_t(std::span<const float> values, double t) {
+  if (t <= 0.0) throw std::invalid_argument("count_above_max_over_t: t must be > 0");
+  double max_abs = 0.0;
+  for (const float v : values) max_abs = std::max(max_abs, static_cast<double>(std::fabs(v)));
+  if (max_abs == 0.0) return 0;
+  const double threshold = max_abs / t;
+  std::size_t n = 0;
+  for (const float v : values) {
+    if (std::fabs(v) > threshold) ++n;
+  }
+  return n;
+}
+
+double sparsity(std::span<const float> values, double eps) {
+  if (values.empty()) return 0.0;
+  std::size_t zeros = 0;
+  for (const float v : values) {
+    if (std::fabs(v) <= eps) ++zeros;
+  }
+  return static_cast<double>(zeros) / static_cast<double>(values.size());
+}
+
+}  // namespace edgemm

@@ -1,0 +1,42 @@
+// Statistics used by the pruning evaluation (Fig. 12) and workload
+// analytics: moments, excess-free kurtosis, cosine similarity, top-k.
+#ifndef EDGEMM_COMMON_STATISTICS_HPP
+#define EDGEMM_COMMON_STATISTICS_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace edgemm {
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const float> values);
+
+/// Population variance; returns 0 for fewer than 2 elements.
+double variance(std::span<const float> values);
+
+/// Pearson kurtosis E[(x-mu)^4] / sigma^4 (not excess; normal = 3).
+/// The paper uses kurtosis as the channel-outlier prominence metric in
+/// Fig. 12(a): higher kurtosis means more distinct outliers.
+double kurtosis(std::span<const float> values);
+
+/// Cosine similarity between two equal-length vectors; the accuracy proxy
+/// of Fig. 12(b). Returns 1 if both vectors are all-zero, 0 if exactly one
+/// is. Throws std::invalid_argument on length mismatch.
+double cosine_similarity(std::span<const float> a, std::span<const float> b);
+
+/// Indices of the k largest |values|, in descending magnitude order.
+/// k is clamped to values.size().
+std::vector<std::size_t> top_k_indices_by_magnitude(std::span<const float> values,
+                                                    std::size_t k);
+
+/// Number of elements with |v| > |max element| / t  — the "n" of Alg. 1.
+/// Throws std::invalid_argument if t <= 0.
+std::size_t count_above_max_over_t(std::span<const float> values, double t);
+
+/// Fraction of elements with |v| <= eps (sparsity measure for Fig. 3).
+double sparsity(std::span<const float> values, double eps);
+
+}  // namespace edgemm
+
+#endif  // EDGEMM_COMMON_STATISTICS_HPP

@@ -1,0 +1,53 @@
+// ASCII table rendering used by the benchmark harness to print the
+// paper's tables and figure series in a uniform format.
+#ifndef EDGEMM_COMMON_TABLE_HPP
+#define EDGEMM_COMMON_TABLE_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace edgemm {
+
+/// Column-aligned ASCII table with a title, header row, and body rows.
+///
+/// Cells are free-form strings; numeric formatting helpers are provided.
+/// Rendering pads each column to its widest cell.
+class Table {
+ public:
+  explicit Table(std::string title);
+
+  /// Sets the header row. Column count is fixed by the header.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a body row; must match the header's column count
+  /// (throws std::invalid_argument otherwise).
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the full table, trailing newline included.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting ("3.142" for (pi, 3)).
+std::string fmt_double(double value, int precision = 2);
+
+/// Engineering formatting with a unit suffix: 2340000 -> "2.34 M".
+std::string fmt_si(double value, int precision = 2);
+
+/// Percent formatting: 0.423 -> "42.3 %".
+std::string fmt_percent(double fraction, int precision = 1);
+
+/// Multiplier formatting: 2.84 -> "2.84x".
+std::string fmt_speedup(double ratio, int precision = 2);
+
+}  // namespace edgemm
+
+#endif  // EDGEMM_COMMON_TABLE_HPP

@@ -1,0 +1,74 @@
+#include "common/tensor.hpp"
+
+#include <stdexcept>
+
+namespace edgemm {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0F) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("Tensor: dimensions must be non-zero");
+  }
+}
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("Tensor: dimensions must be non-zero");
+  }
+  if (data_.size() != rows * cols) {
+    throw std::invalid_argument("Tensor: data size does not match rows*cols");
+  }
+}
+
+Tensor Tensor::block(std::size_t r0, std::size_t c0, std::size_t nr,
+                     std::size_t nc) const {
+  if (r0 + nr > rows_ || c0 + nc > cols_) {
+    throw std::out_of_range("Tensor::block: range exceeds tensor bounds");
+  }
+  Tensor out(nr, nc);
+  for (std::size_t r = 0; r < nr; ++r) {
+    for (std::size_t c = 0; c < nc; ++c) out.at(r, c) = at(r0 + r, c0 + c);
+  }
+  return out;
+}
+
+Tensor Tensor::transposed() const {
+  Tensor out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  }
+  return out;
+}
+
+Tensor matmul_reference(const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul_reference: inner dimensions mismatch");
+  }
+  Tensor out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a.at(i, k);
+      if (aik == 0.0F) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<float> gemv_reference(std::span<const float> v, const Tensor& m) {
+  if (v.size() != m.rows()) {
+    throw std::invalid_argument("gemv_reference: vector length must equal matrix rows");
+  }
+  std::vector<float> out(m.cols(), 0.0F);
+  for (std::size_t k = 0; k < m.rows(); ++k) {
+    const float vk = v[k];
+    if (vk == 0.0F) continue;
+    for (std::size_t j = 0; j < m.cols(); ++j) out[j] += vk * m.at(k, j);
+  }
+  return out;
+}
+
+}  // namespace edgemm

@@ -1,0 +1,75 @@
+// Minimal dense row-major 2-D tensor used throughout the functional models.
+#ifndef EDGEMM_COMMON_TENSOR_HPP
+#define EDGEMM_COMMON_TENSOR_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace edgemm {
+
+/// Dense row-major matrix of floats.
+///
+/// Functional coprocessor models operate on small tiles, so a simple
+/// owning container is sufficient; views into rows are handed out as
+/// std::span. Element access is bounds-checked through EDGEMM_ASSERT.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Creates a rows×cols tensor initialized to zero.
+  /// Throws std::invalid_argument on a zero dimension.
+  Tensor(std::size_t rows, std::size_t cols);
+
+  /// Creates a tensor taking ownership of `data` (size must be rows*cols).
+  Tensor(std::size_t rows, std::size_t cols, std::vector<float> data);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) {
+    EDGEMM_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    EDGEMM_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<float> row(std::size_t r) {
+    EDGEMM_ASSERT(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> row(std::size_t r) const {
+    EDGEMM_ASSERT(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  /// Extracts the sub-matrix [r0, r0+nr) × [c0, c0+nc); must be in range.
+  Tensor block(std::size_t r0, std::size_t c0, std::size_t nr, std::size_t nc) const;
+
+  /// Returns the transpose (cols×rows).
+  Tensor transposed() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// Reference GEMM: out = a(m×k) * b(k×n). Dimensions are validated.
+Tensor matmul_reference(const Tensor& a, const Tensor& b);
+
+/// Reference GEMV: out(n) = v(k) * m(k×n) (row vector times matrix).
+std::vector<float> gemv_reference(std::span<const float> v, const Tensor& m);
+
+}  // namespace edgemm
+
+#endif  // EDGEMM_COMMON_TENSOR_HPP

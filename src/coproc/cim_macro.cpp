@@ -1,0 +1,108 @@
+#include "coproc/cim_macro.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "common/quant.hpp"
+
+namespace edgemm::coproc {
+
+CimMacro::CimMacro(const CimConfig& config) : config_(config) {
+  if (config.columns == 0 || config.tree_inputs == 0 || config.entries == 0) {
+    throw std::invalid_argument("CimMacro: dimensions must be non-zero");
+  }
+  if (config.weight_bits < 2 || config.weight_bits > 16 || config.act_bits < 2 ||
+      config.act_bits > 16) {
+    throw std::invalid_argument("CimMacro: precision must be in [2, 16]");
+  }
+  weights_.assign(config.entries * config.tree_inputs * config.columns, 0);
+  entry_valid_.assign(config.entries, false);
+}
+
+void CimMacro::write_entry(std::size_t m, std::span<const std::int32_t> tile) {
+  if (m >= config_.entries) {
+    throw std::out_of_range("CimMacro::write_entry: entry index out of range");
+  }
+  if (tile.size() != config_.tree_inputs * config_.columns) {
+    throw std::invalid_argument("CimMacro::write_entry: tile must be R x C");
+  }
+  const std::int32_t wmax = quant_max(config_.weight_bits);
+  for (const std::int32_t w : tile) {
+    if (w < -wmax - 1 || w > wmax) {
+      throw std::invalid_argument("CimMacro::write_entry: weight exceeds N-bit range");
+    }
+  }
+  const std::size_t base = m * config_.tree_inputs * config_.columns;
+  for (std::size_t i = 0; i < tile.size(); ++i) weights_[base + i] = tile[i];
+  entry_valid_[m] = true;
+  cycles_ += cim_entry_write_cycles(config_);
+}
+
+void CimMacro::accumulate_entry(std::size_t m, std::span<const std::int32_t> act_codes,
+                                std::vector<std::int64_t>& acc) {
+  EDGEMM_ASSERT(act_codes.size() == config_.tree_inputs);
+  EDGEMM_ASSERT(acc.size() == config_.columns);
+  EDGEMM_ASSERT_MSG(entry_valid_[m], "CIM GEMV against an unwritten entry");
+
+  const int w_bits = config_.act_bits;
+  const std::size_t base = m * config_.tree_inputs * config_.columns;
+
+  // Genuine bit-serial evaluation of two's-complement activations: bit b
+  // contributes partial·2^b, except the sign bit, which subtracts.
+  for (int b = 0; b < w_bits; ++b) {
+    const bool sign_bit = b == w_bits - 1;
+    for (std::size_t c = 0; c < config_.columns; ++c) {
+      std::int64_t partial = 0;  // adder tree: sums R 1-bit × N-bit products
+      for (std::size_t r = 0; r < config_.tree_inputs; ++r) {
+        const auto code = static_cast<std::uint32_t>(act_codes[r]);
+        const std::uint32_t bit = (code >> b) & 1u;
+        if (bit != 0) partial += weights_[base + r * config_.columns + c];
+      }
+      // Shift-and-accumulate.
+      const std::int64_t shifted = partial << b;
+      acc[c] += sign_bit ? -shifted : shifted;
+    }
+  }
+  macs_ += static_cast<std::uint64_t>(config_.tree_inputs) * config_.columns;
+}
+
+std::vector<std::int32_t> CimMacro::gemv(std::size_t m,
+                                         std::span<const std::int32_t> act_codes) {
+  return gemv_long(m, 1, act_codes);
+}
+
+std::vector<std::int32_t> CimMacro::gemv_long(std::size_t m_first, std::size_t m_count,
+                                              std::span<const std::int32_t> act_codes) {
+  if (m_count == 0 || m_first + m_count > config_.entries) {
+    throw std::out_of_range("CimMacro::gemv_long: entry range out of bounds");
+  }
+  if (act_codes.size() != config_.tree_inputs * m_count) {
+    throw std::invalid_argument("CimMacro::gemv_long: need R codes per entry");
+  }
+  const std::int32_t amax = quant_max(config_.act_bits);
+  for (const std::int32_t a : act_codes) {
+    if (a < -amax - 1 || a > amax) {
+      throw std::invalid_argument("CimMacro::gemv_long: activation exceeds W-bit range");
+    }
+  }
+
+  std::vector<std::int64_t> acc(config_.columns, 0);
+  for (std::size_t i = 0; i < m_count; ++i) {
+    accumulate_entry(m_first + i,
+                     act_codes.subspan(i * config_.tree_inputs, config_.tree_inputs),
+                     acc);
+  }
+  cycles_ += cim_gemm_cycles(config_, m_count);
+
+  std::vector<std::int32_t> out;
+  out.reserve(config_.columns);
+  for (const std::int64_t v : acc) out.push_back(static_cast<std::int32_t>(v));
+  return out;
+}
+
+void CimMacro::reset_counters() {
+  cycles_ = 0;
+  macs_ = 0;
+}
+
+}  // namespace edgemm::coproc

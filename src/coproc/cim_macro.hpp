@@ -1,0 +1,98 @@
+// Digital compute-in-memory macro — the MC-core coprocessor (Fig. 6).
+//
+// Structure (paper §III-B): C columns; each column holds R subarrays, an
+// adder tree, and a shift-and-accumulator; each subarray stores M entries
+// of N-bit weights. A W-bit activation vector is broadcast bit-serially:
+// every cycle, one selected weight per subarray is multiplied by one
+// activation bit, the adder tree sums the R products, and the
+// shift-and-accumulator folds the partial in.
+//
+// Functional semantics are genuinely bit-serial over two's-complement
+// codes, so the unit tests can pin the model to exact integer GEMV.
+//
+// Timing semantics: Eq. 3, L_CIM = M·W + 1 for an M-row GEMM against one
+// stored entry (M activation vectors pipelined W cycles each, +1 drain);
+// GEMV is the M = 1 case, W + 1 cycles.
+#ifndef EDGEMM_COPROC_CIM_MACRO_HPP
+#define EDGEMM_COPROC_CIM_MACRO_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace edgemm::coproc {
+
+/// Static shape of the macro.
+struct CimConfig {
+  std::size_t columns = 64;      ///< C: output channels per pass
+  std::size_t tree_inputs = 16;  ///< R: subarrays per column (reduction width)
+  std::size_t entries = 64;      ///< M: weights stored per subarray
+  int weight_bits = 8;           ///< N: weight precision
+  int act_bits = 8;              ///< W: activation precision (bit-serial)
+};
+
+/// Bit capacity of the macro's SRAM (C·R·M·N).
+constexpr Bytes cim_capacity_bytes(const CimConfig& cfg) {
+  return static_cast<Bytes>(cfg.columns) * cfg.tree_inputs * cfg.entries *
+         static_cast<Bytes>(cfg.weight_bits) / 8;
+}
+
+/// Eq. 3 cycle cost for an M-row GEMM against stored entries.
+constexpr Cycle cim_gemm_cycles(const CimConfig& cfg, std::size_t m) {
+  return m * static_cast<Cycle>(cfg.act_bits) + 1;
+}
+
+/// Cycles to write one R×C entry through the write circuits (one
+/// subarray wordline per cycle, all columns in parallel).
+constexpr Cycle cim_entry_write_cycles(const CimConfig& cfg) {
+  return cfg.tree_inputs;
+}
+
+/// Functional + cycle model of the macro.
+class CimMacro {
+ public:
+  /// Throws std::invalid_argument on zero dimensions or precision
+  /// outside [2, 16].
+  explicit CimMacro(const CimConfig& config);
+
+  const CimConfig& config() const { return config_; }
+
+  /// Writes entry `m` (< entries, throws std::out_of_range): an R×C tile
+  /// of signed weight codes, row-major, each within the N-bit signed
+  /// range (throws std::invalid_argument). Costs R write cycles.
+  void write_entry(std::size_t m, std::span<const std::int32_t> tile);
+
+  /// Bit-serial GEMV against entry `m`: `act_codes` has R signed codes in
+  /// the W-bit range. Returns C column accumulators. Costs W+1 cycles.
+  std::vector<std::int32_t> gemv(std::size_t m, std::span<const std::int32_t> act_codes);
+
+  /// Multi-entry GEMV with accumulation across `m_count` consecutive
+  /// entries starting at `m_first` — how a long reduction dimension
+  /// K = R·m_count maps onto the macro. `act_codes` has R·m_count codes.
+  /// Costs m_count·W + 1 cycles (Eq. 3 with M = m_count passes).
+  std::vector<std::int32_t> gemv_long(std::size_t m_first, std::size_t m_count,
+                                      std::span<const std::int32_t> act_codes);
+
+  Cycle cycles_elapsed() const { return cycles_; }
+  std::uint64_t macs_performed() const { return macs_; }
+  void reset_counters();
+
+ private:
+  /// One bit-serial pass of a single activation chunk against one entry,
+  /// accumulating into `acc`. No cycle accounting (callers batch it).
+  void accumulate_entry(std::size_t m, std::span<const std::int32_t> act_codes,
+                        std::vector<std::int64_t>& acc);
+
+  CimConfig config_;
+  // weights_[m][r][c] flattened; codes kept as int32 for simplicity.
+  std::vector<std::int32_t> weights_;
+  std::vector<bool> entry_valid_;
+  Cycle cycles_ = 0;
+  std::uint64_t macs_ = 0;
+};
+
+}  // namespace edgemm::coproc
+
+#endif  // EDGEMM_COPROC_CIM_MACRO_HPP

@@ -1,0 +1,38 @@
+#include "coproc/matrix_regfile.hpp"
+
+#include <stdexcept>
+
+namespace edgemm::coproc {
+
+MatrixRegFile::MatrixRegFile(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("MatrixRegFile: dimensions must be non-zero");
+  }
+  for (auto& r : regs_) r = Tensor(rows, cols);
+}
+
+Tensor& MatrixRegFile::reg(std::size_t index) {
+  if (index >= kNumMatrixRegs) {
+    throw std::out_of_range("MatrixRegFile::reg: index out of range");
+  }
+  return regs_[index];
+}
+
+const Tensor& MatrixRegFile::reg(std::size_t index) const {
+  if (index >= kNumMatrixRegs) {
+    throw std::out_of_range("MatrixRegFile::reg: index out of range");
+  }
+  return regs_[index];
+}
+
+void MatrixRegFile::write(std::size_t index, const Tensor& tile) {
+  if (tile.rows() != rows_ || tile.cols() != cols_) {
+    throw std::invalid_argument("MatrixRegFile::write: tile shape mismatch");
+  }
+  reg(index) = tile;
+}
+
+void MatrixRegFile::clear(std::size_t index) { reg(index) = Tensor(rows_, cols_); }
+
+}  // namespace edgemm::coproc

@@ -1,0 +1,47 @@
+// Matrix register file of the CC-core coprocessor (Fig. 5).
+//
+// "Four R×C matrix registers are equipped to store operands"; vector
+// instructions address one row of a matrix register at a time.
+#ifndef EDGEMM_COPROC_MATRIX_REGFILE_HPP
+#define EDGEMM_COPROC_MATRIX_REGFILE_HPP
+
+#include <array>
+#include <cstddef>
+
+#include "common/tensor.hpp"
+
+namespace edgemm::coproc {
+
+inline constexpr std::size_t kNumMatrixRegs = 4;
+
+/// Four architecturally visible R×C tiles.
+class MatrixRegFile {
+ public:
+  /// Throws std::invalid_argument on zero dimensions.
+  MatrixRegFile(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Whole-register access; index must be < kNumMatrixRegs
+  /// (throws std::out_of_range).
+  Tensor& reg(std::size_t index);
+  const Tensor& reg(std::size_t index) const;
+
+  /// Writes a tile into a register. The tile must be exactly R×C
+  /// (throws std::invalid_argument) — hardware has no partial-tile loads;
+  /// kernels pad edge tiles instead.
+  void write(std::size_t index, const Tensor& tile);
+
+  /// Zeroes one register (mm.zero).
+  void clear(std::size_t index);
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::array<Tensor, kNumMatrixRegs> regs_;
+};
+
+}  // namespace edgemm::coproc
+
+#endif  // EDGEMM_COPROC_MATRIX_REGFILE_HPP

@@ -1,0 +1,41 @@
+#include "coproc/pruner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/statistics.hpp"
+
+namespace edgemm::coproc {
+
+PruneOutcome ActAwarePruner::prune(std::span<const float> values, std::size_t k,
+                                   double t, const PrunerConfig& config) {
+  if (t <= 0.0) {
+    throw std::invalid_argument("ActAwarePruner::prune: t must be > 0");
+  }
+  PruneOutcome out;
+
+  // Top-k engine: k iterations of find-max over the comparator tree.
+  out.kept = top_k_indices_by_magnitude(values, k);
+  std::sort(out.kept.begin(), out.kept.end());  // address generator order
+
+  // th-mask: max output and the count n for the Alg. 1 k-update.
+  for (const float v : values) {
+    out.max_abs = std::max(out.max_abs, std::fabs(v));
+  }
+  out.n_above_threshold = count_above_max_over_t(values, t);
+
+  // Mask-and-aggregate + address generation.
+  out.compacted.reserve(out.kept.size());
+  out.row_addresses.reserve(out.kept.size());
+  for (const std::size_t i : out.kept) {
+    out.compacted.push_back(values[i]);
+    out.row_addresses.push_back(config.base_address +
+                                static_cast<std::uint64_t>(i) * config.row_pitch_bytes);
+  }
+
+  cycles_ += prune_cycles(out.kept.size());
+  return out;
+}
+
+}  // namespace edgemm::coproc

@@ -1,0 +1,74 @@
+// Hardware activation-aware pruner of the MC-core (Fig. 8(b)).
+//
+// The pruner executes the inner step of Alg. 1 on the core's local slice
+// of the activation vector ("each core focuses on its assigned local
+// channels, avoiding complex global Top-k selections"):
+//
+//   1. the Top-k engine finds the k largest-magnitude elements of the
+//      vector register and marks them in the index register;
+//   2. the th-mask compares every element against max/t and reports the
+//      count n used for the layer-wise k update;
+//   3. the address generator converts the index bitmap into the DRAM row
+//      addresses of the surviving weight rows;
+//   4. the vector is masked and aggregated (compacted) into vd, ready
+//      for the CIM macro.
+#ifndef EDGEMM_COPROC_PRUNER_HPP
+#define EDGEMM_COPROC_PRUNER_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace edgemm::coproc {
+
+/// Result of one mv.prune invocation.
+struct PruneOutcome {
+  /// Local indices of the surviving channels, ascending (the order the
+  /// address generator emits row addresses in).
+  std::vector<std::size_t> kept;
+  /// Compacted activation values, aligned with `kept`.
+  std::vector<float> compacted;
+  /// n = |{i : |v[i]| > max|v| / t}| — drives the k update of Alg. 1.
+  std::size_t n_above_threshold = 0;
+  /// Largest magnitude seen (the Top-k engine's max output).
+  float max_abs = 0.0F;
+  /// DRAM row addresses the address generator would issue.
+  std::vector<std::uint64_t> row_addresses;
+};
+
+/// Configuration of the pruner datapath.
+struct PrunerConfig {
+  /// Row pitch used by the address generator: byte distance between
+  /// consecutive weight rows in DRAM.
+  Bytes row_pitch_bytes = 0;
+  /// Base address of the weight matrix shard.
+  std::uint64_t base_address = 0;
+};
+
+/// Functional + cycle model of the pruner block.
+class ActAwarePruner {
+ public:
+  ActAwarePruner() = default;
+
+  /// Prunes `values` down to at most `k` channels using threshold `t`.
+  /// Throws std::invalid_argument if t <= 0.
+  PruneOutcome prune(std::span<const float> values, std::size_t k, double t,
+                     const PrunerConfig& config = {});
+
+  /// Cycle model: the Top-k engine iterates one max-select per kept
+  /// element over the comparator tree (k cycles), one cycle for the
+  /// th-mask compare, one for mask-and-aggregate.
+  static Cycle prune_cycles(std::size_t k) { return static_cast<Cycle>(k) + 2; }
+
+  Cycle cycles_elapsed() const { return cycles_; }
+  void reset_counters() { cycles_ = 0; }
+
+ private:
+  Cycle cycles_ = 0;
+};
+
+}  // namespace edgemm::coproc
+
+#endif  // EDGEMM_COPROC_PRUNER_HPP

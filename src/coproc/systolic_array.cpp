@@ -1,0 +1,64 @@
+#include "coproc/systolic_array.hpp"
+
+#include <stdexcept>
+
+#include "common/bf16.hpp"
+
+namespace edgemm::coproc {
+
+SystolicArray::SystolicArray(const SystolicConfig& config) : config_(config) {
+  if (config.rows == 0 || config.cols == 0) {
+    throw std::invalid_argument("SystolicArray: dimensions must be non-zero");
+  }
+}
+
+void SystolicArray::load_weights(const Tensor& weights) {
+  if (weights.rows() != config_.rows || weights.cols() != config_.cols) {
+    throw std::invalid_argument("SystolicArray::load_weights: tile must be R x C");
+  }
+  weights_ = Tensor(config_.rows, config_.cols);
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    for (std::size_t c = 0; c < config_.cols; ++c) {
+      weights_.at(r, c) = bf16_round(weights.at(r, c));
+    }
+  }
+  has_weights_ = true;
+  cycles_ += config_.rows;  // one weight row marches in per cycle
+}
+
+Tensor SystolicArray::multiply(const Tensor& acts) {
+  if (!has_weights_) {
+    throw std::logic_error("SystolicArray::multiply: no stationary weights loaded");
+  }
+  if (acts.cols() != config_.rows) {
+    throw std::invalid_argument("SystolicArray::multiply: acts must be M x R");
+  }
+  const std::size_t m = acts.rows();
+  Tensor out(m, config_.cols);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t r = 0; r < config_.rows; ++r) {
+      // Operands are quantized at the PE input; accumulate in FP32.
+      const float a = bf16_round(acts.at(i, r));
+      if (a == 0.0F) continue;
+      for (std::size_t c = 0; c < config_.cols; ++c) {
+        out.at(i, c) += a * weights_.at(r, c);
+      }
+    }
+  }
+  cycles_ += systolic_stream_cycles(config_, m);
+  macs_ += static_cast<std::uint64_t>(m) * config_.rows * config_.cols;
+  return out;
+}
+
+double SystolicArray::utilization() const {
+  const std::uint64_t capacity = macs_capacity();
+  if (capacity == 0) return 0.0;
+  return static_cast<double>(macs_) / static_cast<double>(capacity);
+}
+
+void SystolicArray::reset_counters() {
+  cycles_ = 0;
+  macs_ = 0;
+}
+
+}  // namespace edgemm::coproc

@@ -1,0 +1,87 @@
+// Weight-stationary systolic array — the CC-core coprocessor (Fig. 5).
+//
+// Functional semantics: out(M×C) = acts(M×R) × weights(R×C), with both
+// operands rounded to BF16 on entry and accumulation in FP32, matching
+// the BF16 datapath of Table II.
+//
+// Timing semantics: Eq. 2 of the paper,
+//     L_SA = R + (R−1) + (C + M − 1) − 1 = 2R + C + M − 3 ,
+// i.e. R cycles to load the stationary weights column-by-column, R−1
+// cycles of input skew, and C+M−1 cycles to stream M activation rows
+// through and drain the last column, minus the overlapped cycle. When the
+// weights of the previous pass are reused (weight-stationary GEMM over a
+// tall activation matrix), the R-cycle reload is skipped.
+#ifndef EDGEMM_COPROC_SYSTOLIC_ARRAY_HPP
+#define EDGEMM_COPROC_SYSTOLIC_ARRAY_HPP
+
+#include <cstddef>
+
+#include "common/tensor.hpp"
+#include "common/types.hpp"
+
+namespace edgemm::coproc {
+
+/// Static shape of the PE array.
+struct SystolicConfig {
+  std::size_t rows = 16;  ///< R: stationary-weight rows (reduction dim)
+  std::size_t cols = 16;  ///< C: stationary-weight columns (output dim)
+};
+
+/// Cycle cost of one full tile pass per Eq. 2 (weight load included).
+constexpr Cycle systolic_tile_cycles(const SystolicConfig& cfg, std::size_t m) {
+  return 2 * cfg.rows + cfg.cols + m - 3;
+}
+
+/// Cycle cost when the stationary weights are already resident.
+constexpr Cycle systolic_stream_cycles(const SystolicConfig& cfg, std::size_t m) {
+  return (cfg.rows - 1) + (cfg.cols + m - 1) - 1;
+}
+
+/// Functional + cycle model of the array.
+class SystolicArray {
+ public:
+  /// Throws std::invalid_argument on zero dimensions.
+  explicit SystolicArray(const SystolicConfig& config);
+
+  const SystolicConfig& config() const { return config_; }
+
+  /// Loads a stationary weight tile; must be exactly R×C
+  /// (throws std::invalid_argument). Costs R cycles.
+  void load_weights(const Tensor& weights);
+
+  bool has_weights() const { return has_weights_; }
+
+  /// Streams `acts` (M×R, throws on mismatch) through the array and
+  /// returns the M×C product. Requires loaded weights (throws
+  /// std::logic_error otherwise). Cycle cost: stream-only (weights are
+  /// already resident; load_weights accounted for its own R cycles).
+  Tensor multiply(const Tensor& acts);
+
+  /// Cumulative cycle count of all operations issued so far.
+  Cycle cycles_elapsed() const { return cycles_; }
+
+  /// Cumulative multiply-accumulate count (utilization analysis).
+  std::uint64_t macs_performed() const { return macs_; }
+
+  /// Peak MACs the array could have performed in cycles_elapsed().
+  std::uint64_t macs_capacity() const {
+    return static_cast<std::uint64_t>(config_.rows) * config_.cols * cycles_;
+  }
+
+  /// Achieved utilization in [0,1]; GEMV (M=1) lands near
+  /// 1/(R+C) — the PE-idleness inefficiency called out in Fig. 5.
+  double utilization() const;
+
+  void reset_counters();
+
+ private:
+  SystolicConfig config_;
+  Tensor weights_;       // BF16-rounded stationary tile
+  bool has_weights_ = false;
+  Cycle cycles_ = 0;
+  std::uint64_t macs_ = 0;
+};
+
+}  // namespace edgemm::coproc
+
+#endif  // EDGEMM_COPROC_SYSTOLIC_ARRAY_HPP

@@ -1,0 +1,81 @@
+#include "coproc/vector_unit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bf16.hpp"
+
+namespace edgemm::coproc {
+
+namespace {
+void check_lengths(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("VectorUnit: operand length mismatch");
+  }
+}
+}  // namespace
+
+VectorUnit::VectorUnit(std::size_t lanes) : lanes_(lanes) {
+  if (lanes == 0) throw std::invalid_argument("VectorUnit: lanes must be > 0");
+}
+
+Cycle VectorUnit::issues_for(std::size_t n) const {
+  return (n + lanes_ - 1) / lanes_;
+}
+
+std::vector<float> VectorUnit::add(std::span<const float> a, std::span<const float> b) {
+  check_lengths(a, b);
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  cycles_ += issues_for(a.size());
+  return out;
+}
+
+std::vector<float> VectorUnit::mul(std::span<const float> a, std::span<const float> b) {
+  check_lengths(a, b);
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  cycles_ += issues_for(a.size());
+  return out;
+}
+
+std::vector<float> VectorUnit::max(std::span<const float> a, std::span<const float> b) {
+  check_lengths(a, b);
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] > b[i] ? a[i] : b[i];
+  cycles_ += issues_for(a.size());
+  return out;
+}
+
+std::vector<float> VectorUnit::activate(std::span<const float> a, isa::ActUop op) {
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    switch (op) {
+      case isa::ActUop::kRelu: out[i] = relu(a[i]); break;
+      case isa::ActUop::kSilu: out[i] = silu(a[i]); break;
+      case isa::ActUop::kGelu: out[i] = gelu(a[i]); break;
+    }
+  }
+  cycles_ += issues_for(a.size());
+  return out;
+}
+
+std::vector<float> VectorUnit::to_bf16(std::span<const float> a) {
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = bf16_round(a[i]);
+  cycles_ += issues_for(a.size());
+  return out;
+}
+
+float VectorUnit::relu(float x) { return x > 0.0F ? x : 0.0F; }
+
+float VectorUnit::silu(float x) { return x / (1.0F + std::exp(-x)); }
+
+float VectorUnit::gelu(float x) {
+  // tanh approximation (as deployed in most LLM inference stacks).
+  const float c = 0.7978845608F;  // sqrt(2/pi)
+  const float inner = c * (x + 0.044715F * x * x * x);
+  return 0.5F * x * (1.0F + std::tanh(inner));
+}
+
+}  // namespace edgemm::coproc

@@ -1,0 +1,61 @@
+// Vector unit shared by CC and MC cores (Fig. 5/6).
+//
+// "The vector units are employed to execute vector instructions for
+// element-wise computations ... with an element width of C, enabling
+// parallel operation on a row of a matrix register by one instruction."
+// Activation functions (ReLU / SiLU / GELU) and precision conversion are
+// the ops needed by the gated-MLP FFN (Eq. 1) and the projector.
+#ifndef EDGEMM_COPROC_VECTOR_UNIT_HPP
+#define EDGEMM_COPROC_VECTOR_UNIT_HPP
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instructions.hpp"
+
+namespace edgemm::coproc {
+
+/// Element-wise datapath of width `lanes`. Operations longer than one
+/// row are issued as multiple instructions; the cycle counter reflects
+/// ceil(n / lanes) issues per op.
+class VectorUnit {
+ public:
+  /// Throws std::invalid_argument if lanes is zero.
+  explicit VectorUnit(std::size_t lanes);
+
+  std::size_t lanes() const { return lanes_; }
+
+  /// out[i] = a[i] + b[i]; lengths must match (throws).
+  std::vector<float> add(std::span<const float> a, std::span<const float> b);
+
+  /// out[i] = a[i] * b[i] — the gating product of Eq. 1.
+  std::vector<float> mul(std::span<const float> a, std::span<const float> b);
+
+  /// out[i] = max(a[i], b[i]).
+  std::vector<float> max(std::span<const float> a, std::span<const float> b);
+
+  /// Applies the selected activation function.
+  std::vector<float> activate(std::span<const float> a, isa::ActUop op);
+
+  /// Precision round-trip through BF16 (vv.cvt bf16).
+  std::vector<float> to_bf16(std::span<const float> a);
+
+  Cycle cycles_elapsed() const { return cycles_; }
+  void reset_counters() { cycles_ = 0; }
+
+  /// Scalar activation functions (exposed for the FFN reference model).
+  static float relu(float x);
+  static float silu(float x);
+  static float gelu(float x);
+
+ private:
+  Cycle issues_for(std::size_t n) const;
+
+  std::size_t lanes_;
+  Cycle cycles_ = 0;
+};
+
+}  // namespace edgemm::coproc
+
+#endif  // EDGEMM_COPROC_VECTOR_UNIT_HPP

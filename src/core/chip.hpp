@@ -1,0 +1,92 @@
+// Chip-level timing model: clusters + shared DRAM + phase scheduler.
+//
+// Compositions mirror the §V-B comparison: the heterogeneous EdgeMM
+// (2 CC + 2 MC clusters per group), homo-CC, homo-MC, and the original
+// Snitch SIMD cluster baseline.
+#ifndef EDGEMM_CORE_CHIP_HPP
+#define EDGEMM_CORE_CHIP_HPP
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/timing.hpp"
+#include "mem/dram.hpp"
+#include "sim/simulator.hpp"
+
+namespace edgemm::core {
+
+/// Cluster mix instantiated on the chip (Fig. 11 design points).
+enum class ChipComposition : std::uint8_t {
+  kHeterogeneous,   ///< EdgeMM: CC + MC per group (Fig. 4)
+  kHomoCc,          ///< all clusters compute-centric
+  kHomoMc,          ///< all clusters memory-centric
+  kBaselineSnitch,  ///< unextended SIMD clusters
+};
+
+const char* to_string(ChipComposition composition);
+
+/// The chip: owns the simulator, the DRAM controller, and the clusters.
+///
+/// Tensor partitioning (§III-C) splits each operation's output dimension
+/// across the clusters of the set chosen for its phase; every cluster
+/// runs its shard through the double-buffered timing model and the
+/// shared DRAM arbitrates the resulting traffic.
+class ChipTimingModel {
+ public:
+  ChipTimingModel(const ChipConfig& config, ChipComposition composition);
+
+  const ChipConfig& config() const { return config_; }
+  ChipComposition composition() const { return composition_; }
+
+  sim::Simulator& simulator() { return sim_; }
+  mem::DramController& dram() { return dram_; }
+
+  /// All clusters of one kind (empty if the composition has none).
+  std::vector<ClusterTimingModel*> clusters(ClusterKind kind);
+
+  /// Every cluster on the chip.
+  std::vector<ClusterTimingModel*> all_clusters();
+
+  /// The cluster set the scheduler prefers for `phase` under this
+  /// composition (§IV-B: encoder/prefill on CC, decode on MC; homo and
+  /// baseline compositions fall back to what they have).
+  std::vector<ClusterTimingModel*> preferred_clusters(Phase phase);
+
+  /// Splits `work` into `ways` shards along the output dimension n.
+  /// Shards cover n exactly; surplus ways get no shard.
+  static std::vector<GemmWork> partition(const GemmWork& work, std::size_t ways);
+
+  /// Asynchronously runs `ops` over `targets` with tensor partitioning;
+  /// `done` fires when every shard on every cluster has retired.
+  void run_on(const std::vector<ClusterTimingModel*>& targets,
+              const std::vector<GemmWork>& ops, std::function<void()> done);
+
+  /// Synchronously executes `ops` on the preferred clusters of each op's
+  /// phase, running the simulator to completion. Returns elapsed cycles.
+  Cycle run_phase(std::span<const GemmWork> ops);
+
+  /// Sets every cluster DMA budget to unlimited (per interval).
+  void clear_bandwidth_budgets();
+
+  /// The per-group crossbar links (for interconnect inspection/tests).
+  const std::vector<std::unique_ptr<mem::ResourceServer>>& group_crossbars() const {
+    return group_xbars_;
+  }
+  mem::ResourceServer& system_crossbar() { return *system_xbar_; }
+
+ private:
+  ChipConfig config_;
+  ChipComposition composition_;
+  sim::Simulator sim_;
+  mem::DramController dram_;
+  std::unique_ptr<mem::ResourceServer> system_xbar_;
+  std::vector<std::unique_ptr<mem::ResourceServer>> group_xbars_;
+  std::vector<std::unique_ptr<ClusterTimingModel>> clusters_;
+};
+
+}  // namespace edgemm::core
+
+#endif  // EDGEMM_CORE_CHIP_HPP

@@ -1,0 +1,65 @@
+#include "core/cluster_context.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace edgemm::core {
+
+ClusterContext::ClusterContext(const ChipConfig& config, CoreKind kind,
+                               std::size_t num_cores, ClusterId cluster_id,
+                               std::uint32_t group_id) {
+  if (num_cores == 0) {
+    throw std::invalid_argument("ClusterContext: num_cores must be > 0");
+  }
+  for (std::size_t i = 0; i < num_cores; ++i) {
+    cores_.push_back(std::make_unique<HostCore>(
+        config, kind, static_cast<CoreId>(cluster_id * 16 + i), cluster_id, group_id,
+        static_cast<std::uint32_t>(i)));
+  }
+  const Bytes capacity = kind == CoreKind::kComputeCentric
+                             ? config.cc_cluster_tcdm_bytes
+                             : config.mc_shared_buffer_bytes;
+  shared_buffer_ = std::make_unique<mem::Scratchpad>("cluster-shared", capacity);
+  arrived_.assign(num_cores, false);
+}
+
+HostCore& ClusterContext::core(std::size_t index) {
+  if (index >= cores_.size()) {
+    throw std::out_of_range("ClusterContext::core: index out of range");
+  }
+  return *cores_[index];
+}
+
+bool ClusterContext::barrier_arrive(std::size_t core_index) {
+  if (core_index >= cores_.size()) {
+    throw std::out_of_range("ClusterContext::barrier_arrive: index out of range");
+  }
+  if (arrived_[core_index]) {
+    throw std::logic_error("ClusterContext: core arrived twice in one epoch");
+  }
+  arrived_[core_index] = true;
+  ++arrivals_;
+  if (arrivals_ < cores_.size()) return false;
+
+  // Last arrival releases the barrier: bump every core's epoch CSR.
+  for (const auto& core_ptr : cores_) core_ptr->csrs().bump_sync_epoch();
+  arrived_.assign(cores_.size(), false);
+  arrivals_ = 0;
+  ++epochs_;
+  return true;
+}
+
+std::vector<Cycle> ClusterContext::run_spmd(
+    const std::function<Cycle(HostCore&, std::size_t)>& body) {
+  std::vector<Cycle> cycles;
+  cycles.reserve(cores_.size());
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    cycles.push_back(body(*cores_[i], i));
+    barrier_arrive(i);
+  }
+  EDGEMM_ASSERT(arrivals_ == 0);  // the loop completes exactly one epoch
+  return cycles;
+}
+
+}  // namespace edgemm::core

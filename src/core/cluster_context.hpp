@@ -1,0 +1,61 @@
+// Functional cluster container: N host cores + shared buffer + barrier.
+//
+// Realizes the §III-C programming model at the functional level: every
+// core reads its identity CSRs to find its tensor shard, cores exchange
+// partial results through the cluster's shared buffer, and cfg.sync
+// participates in a counted barrier whose epoch is visible in the
+// kSyncEpoch CSR.
+#ifndef EDGEMM_CORE_CLUSTER_CONTEXT_HPP
+#define EDGEMM_CORE_CLUSTER_CONTEXT_HPP
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "core/host_core.hpp"
+#include "mem/scratchpad.hpp"
+
+namespace edgemm::core {
+
+/// A functional cluster of identical cores.
+class ClusterContext {
+ public:
+  /// Builds `num_cores` cores of `kind` with consecutive ids; the shared
+  /// buffer capacity follows the config (TCDM for CC, shared buffer for
+  /// MC). Throws std::invalid_argument if num_cores == 0.
+  ClusterContext(const ChipConfig& config, CoreKind kind, std::size_t num_cores,
+                 ClusterId cluster_id = 0, std::uint32_t group_id = 0);
+
+  std::size_t size() const { return cores_.size(); }
+  HostCore& core(std::size_t index);
+
+  /// The cluster's staging memory for inter-core exchange.
+  mem::Scratchpad& shared_buffer() { return *shared_buffer_; }
+
+  /// Counted barrier: returns true when `core_index` is the last
+  /// arrival, at which point every core's kSyncEpoch CSR is bumped and
+  /// the barrier resets. (Single-threaded model: "arrival" is a call.)
+  bool barrier_arrive(std::size_t core_index);
+
+  /// Barrier epochs completed so far.
+  std::uint32_t barrier_epochs() const { return epochs_; }
+
+  /// SPMD helper: runs `body(core, index)` on every core in turn, then
+  /// completes one barrier. Returns the summed coprocessor cycles as if
+  /// the cores ran concurrently is the caller's job (max-reduce); this
+  /// returns per-core cycle counts for that purpose.
+  std::vector<Cycle> run_spmd(const std::function<Cycle(HostCore&, std::size_t)>& body);
+
+ private:
+  std::vector<std::unique_ptr<HostCore>> cores_;
+  std::unique_ptr<mem::Scratchpad> shared_buffer_;
+  std::vector<bool> arrived_;
+  std::size_t arrivals_ = 0;
+  std::uint32_t epochs_ = 0;
+};
+
+}  // namespace edgemm::core
+
+#endif  // EDGEMM_CORE_CLUSTER_CONTEXT_HPP

@@ -1,0 +1,67 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace edgemm::core {
+
+double ChipConfig::cc_peak_flops_per_cycle() const {
+  return static_cast<double>(total_cc_cores()) * static_cast<double>(systolic.rows) *
+         static_cast<double>(systolic.cols) * 2.0;
+}
+
+double ChipConfig::mc_peak_ops_per_cycle() const {
+  const double macs_per_pass =
+      static_cast<double>(cim.columns) * static_cast<double>(cim.tree_inputs);
+  return static_cast<double>(total_mc_cores()) * macs_per_pass * 2.0 /
+         static_cast<double>(cim.act_bits);
+}
+
+double ChipConfig::peak_flops() const {
+  return (cc_peak_flops_per_cycle() + mc_peak_ops_per_cycle()) * clock_hz;
+}
+
+void ChipConfig::validate() const {
+  auto require = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(std::string("ChipConfig: ") + what);
+  };
+  require(groups > 0, "groups must be > 0");
+  require(cc_clusters_per_group + mc_clusters_per_group > 0,
+          "a group must contain at least one cluster");
+  require(cc_clusters_per_group == 0 || cc_cores_per_cluster > 0,
+          "CC-clusters must contain cores");
+  require(mc_clusters_per_group == 0 || mc_cores_per_cluster > 0,
+          "MC-clusters must contain cores");
+  require(systolic.rows > 0 && systolic.cols > 0, "systolic array must be non-empty");
+  require(cim.columns > 0 && cim.tree_inputs > 0 && cim.entries > 0,
+          "CIM macro must be non-empty");
+  require(cc_cluster_tcdm_bytes > 0, "CC TCDM must be non-empty");
+  require(cc_elem_bytes > 0 && mc_elem_bytes > 0, "element sizes must be non-zero");
+  require(dram.bytes_per_cycle > 0.0, "DRAM bandwidth must be positive");
+  require(dma.burst_bytes > 0, "DMA burst size must be non-zero");
+  require(clock_hz > 0.0, "clock must be positive");
+}
+
+ChipConfig default_chip_config() {
+  ChipConfig cfg;  // field initializers carry the Fig. 10 values
+  cfg.validate();
+  return cfg;
+}
+
+ChipConfig tiny_chip_config() {
+  ChipConfig cfg;
+  cfg.groups = 1;
+  cfg.cc_clusters_per_group = 1;
+  cfg.mc_clusters_per_group = 1;
+  cfg.cc_cores_per_cluster = 2;
+  cfg.mc_cores_per_cluster = 1;
+  cfg.systolic = {4, 4};
+  cfg.cim = {8, 4, 8, 8, 8};
+  cfg.cc_cluster_tcdm_bytes = 4 * kKiB;
+  cfg.mc_shared_buffer_bytes = 2 * kKiB;
+  cfg.dma.burst_bytes = kKiB;
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace edgemm::core

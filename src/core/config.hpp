@@ -1,0 +1,114 @@
+// Architecture configuration of the EdgeMM chip (paper Fig. 10).
+//
+// Hierarchy (§III-A): chip = 4 groups; group = 2 CC-clusters +
+// 2 MC-clusters; CC-cluster = 4 CC-cores (+1 DMA host core);
+// MC-cluster = 2 MC-cores (+1 DMA host core). All parameters are
+// runtime-configurable ("the hardware architecture can also be scaled by
+// changing architecture parameters").
+#ifndef EDGEMM_CORE_CONFIG_HPP
+#define EDGEMM_CORE_CONFIG_HPP
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "coproc/cim_macro.hpp"
+#include "coproc/systolic_array.hpp"
+#include "mem/dma.hpp"
+#include "mem/dram.hpp"
+
+namespace edgemm::core {
+
+/// Full parameter set of one EdgeMM chip instance.
+struct ChipConfig {
+  // --- Hierarchy ---------------------------------------------------------
+  std::size_t groups = 4;
+  std::size_t cc_clusters_per_group = 2;
+  std::size_t mc_clusters_per_group = 2;
+  std::size_t cc_cores_per_cluster = 4;
+  std::size_t mc_cores_per_cluster = 2;
+
+  // --- Coprocessors ------------------------------------------------------
+  coproc::SystolicConfig systolic{};  ///< 16×16 weight-stationary PEs
+  coproc::CimConfig cim{};            ///< 64 col × 16 subarrays × 64 × 8b
+
+  // --- On-chip memory ----------------------------------------------------
+  Bytes cc_cluster_tcdm_bytes = 64 * kKiB;   ///< shared data memory, CC
+  Bytes mc_shared_buffer_bytes = 32 * kKiB;  ///< inter-core buffer, MC
+
+  // --- Data formats ------------------------------------------------------
+  /// CC-clusters fetch BF16 weights for the systolic datapath (Table II
+  /// quotes the 18 TFLOP/s peak as BF16); MC-clusters store INT8 weights
+  /// inside the CIM macros (N = 8). This byte asymmetry is one of the two
+  /// pillars of the MC GEMV advantage (§V-B), the other being effective
+  /// bandwidth of the larger MC blocks (Fig. 6(b)).
+  std::size_t cc_elem_bytes = 2;  ///< BF16 weights on the SA path
+  std::size_t mc_elem_bytes = 1;  ///< INT8 weights in the CIM macro
+
+  // --- External memory ---------------------------------------------------
+  mem::DramConfig dram{/*bytes_per_cycle=*/51.2, /*latency=*/100};
+  mem::DmaConfig dma{/*burst_bytes=*/32 * kKiB, /*throttle_interval=*/100000};
+
+  // --- Hierarchical AXI crossbars (Fig. 4) --------------------------------
+  /// Per-group crossbar link joining the group's cluster DMAs.
+  double group_xbar_bytes_per_cycle = 128.0;
+  Cycle group_xbar_latency = 4;
+  /// System crossbar joining the groups to the DRAM controller.
+  double system_xbar_bytes_per_cycle = 256.0;
+  Cycle system_xbar_latency = 4;
+
+  /// Timing-plane fidelity knob: multiplies the double-buffer block size
+  /// used to discretize DMA/compute overlap. 1 = architectural blocks
+  /// (highest fidelity); larger values coarsen event granularity for
+  /// long pipeline sweeps (e.g. l = 1024 in Fig. 13) without changing
+  /// total traffic or compute. Not a hardware parameter.
+  double timing_block_scale = 1.0;
+
+  // --- Clock & published implementation constants (22 nm, §V-A) ----------
+  double clock_hz = kChipClockHz;   ///< 1 GHz
+  double chip_power_w = 0.112;      ///< post-P&R report: 112 mW
+  double sa_area_share = 0.62;      ///< SA occupies 62 % of a CC-core
+  double cim_area_share = 0.81;     ///< CIM occupies 81 % of an MC-core
+  double dram_pj_per_byte = 160.0;  ///< LPDDR access energy (20 pJ/bit)
+
+  // --- Derived counts ----------------------------------------------------
+  std::size_t total_cc_clusters() const { return groups * cc_clusters_per_group; }
+  std::size_t total_mc_clusters() const { return groups * mc_clusters_per_group; }
+  std::size_t total_cc_cores() const {
+    return total_cc_clusters() * cc_cores_per_cluster;
+  }
+  std::size_t total_mc_cores() const {
+    return total_mc_clusters() * mc_cores_per_cluster;
+  }
+
+  /// Peak CC throughput: FLOP per cycle across all systolic arrays
+  /// (2 FLOP per MAC).
+  double cc_peak_flops_per_cycle() const;
+
+  /// Peak MC throughput: OP per cycle across all CIM macros, amortizing
+  /// the bit-serial factor W.
+  double mc_peak_ops_per_cycle() const;
+
+  /// Chip peak in FLOP/s (Table II quotes ~18 TFLOP/s BF16).
+  double peak_flops() const;
+
+  /// CIM storage available per MC-cluster (the macros double as data
+  /// memory, §III-A).
+  Bytes mc_cluster_cim_bytes() const {
+    return mc_cores_per_cluster * coproc::cim_capacity_bytes(cim);
+  }
+
+  /// Validates structural invariants; throws std::invalid_argument with
+  /// the violated condition in the message.
+  void validate() const;
+};
+
+/// The configuration evaluated in the paper (Fig. 10 defaults).
+ChipConfig default_chip_config();
+
+/// A reduced configuration for fast unit tests (1 group, small arrays).
+ChipConfig tiny_chip_config();
+
+}  // namespace edgemm::core
+
+#endif  // EDGEMM_CORE_CONFIG_HPP

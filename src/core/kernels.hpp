@@ -1,0 +1,70 @@
+// Functional kernels: tiled GEMM / GEMV on the coprocessor models.
+//
+// These are the "customized kernel functions" of the programming model
+// (§III-C) expressed in C++: they tile arbitrary tensors onto the R×C
+// systolic array and the CIM macro, compute real values, and account
+// cycles with the published formulas. Unit tests pin them against the
+// reference implementations in common/tensor.hpp.
+#ifndef EDGEMM_CORE_KERNELS_HPP
+#define EDGEMM_CORE_KERNELS_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/tensor.hpp"
+#include "common/types.hpp"
+#include "core/config.hpp"
+
+namespace edgemm::core {
+
+/// Result of a functional GEMM on the systolic array.
+struct SaGemmResult {
+  Tensor out;            ///< acts(M×K) × weights(K×N), BF16 datapath
+  Cycle cycles = 0;      ///< total SA cycles across all tile passes
+  std::size_t tile_passes = 0;
+};
+
+/// Tiled weight-stationary GEMM on one CC-core. Edge tiles are
+/// zero-padded to R×C as hardware requires. Throws std::invalid_argument
+/// on inner-dimension mismatch.
+SaGemmResult sa_gemm(const ChipConfig& config, const Tensor& acts,
+                     const Tensor& weights);
+
+/// Result of a functional GEMV on the CIM macro.
+struct CimGemvResult {
+  std::vector<float> out;  ///< length N, dequantized
+  Cycle cycles = 0;        ///< write + bit-serial compute cycles
+  std::size_t column_groups = 0;
+  std::size_t entries_used = 0;
+};
+
+/// Quantized GEMV: act(K) × weights(K×N) through the bit-serial macro,
+/// tiled by column groups of C and row chunks of R.
+CimGemvResult cim_gemv(const ChipConfig& config, std::span<const float> act,
+                       const Tensor& weights);
+
+/// Result of an activation-aware pruned GEMV (Fig. 8).
+struct PrunedGemvResult {
+  std::vector<float> out;            ///< length N
+  Cycle cycles = 0;                  ///< pruner + macro cycles
+  std::size_t channels_kept = 0;     ///< surviving channels across cores
+  std::size_t n_above_threshold = 0; ///< Σ n over cores — feeds Alg. 1
+  Bytes weight_bytes_fetched = 0;    ///< DRAM traffic with pruning
+  Bytes weight_bytes_unpruned = 0;   ///< traffic a dense GEMV would need
+  double pruning_ratio = 0.0;        ///< 1 − kept/K
+};
+
+/// GEMV with channel pruning distributed over `num_cores` MC-cores:
+/// every core runs the hardware pruner on its local channel slice with a
+/// proportional share of `k_budget`, gathers only the surviving weight
+/// rows (the address-generator path of Fig. 8(b)), and the partial
+/// GEMVs accumulate. Throws std::invalid_argument if t <= 0,
+/// num_cores == 0, or the activation length mismatches the weights.
+PrunedGemvResult cim_gemv_pruned(const ChipConfig& config, std::span<const float> act,
+                                 const Tensor& weights, std::size_t k_budget,
+                                 double t, std::size_t num_cores);
+
+}  // namespace edgemm::core
+
+#endif  // EDGEMM_CORE_KERNELS_HPP

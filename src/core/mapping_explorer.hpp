@@ -1,0 +1,77 @@
+// Mapping explorer — the search companion of the timing simulator
+// ("the in-house simulator with a dedicated mapping explorer", §V-A).
+//
+// For one dense operation and one cluster kind it enumerates candidate
+// tensor partitionings (§III-C) — output-dimension splits versus
+// reduction-dimension splits, over 1..N clusters — predicts latency from
+// the analytic compute/traffic models, and ranks them. Reduction splits
+// pay for partial-sum exchange through the shared buffer / DRAM, which
+// is why the scheduler's default is the output split; the explorer
+// quantifies where that default stops being optimal.
+#ifndef EDGEMM_CORE_MAPPING_EXPLORER_HPP
+#define EDGEMM_CORE_MAPPING_EXPLORER_HPP
+
+#include <memory>
+#include <vector>
+
+#include "core/chip.hpp"
+#include "core/config.hpp"
+#include "core/timing.hpp"
+#include "mem/dram.hpp"
+#include "sim/simulator.hpp"
+
+namespace edgemm::core {
+
+/// One evaluated candidate.
+struct Mapping {
+  enum class Split : std::uint8_t {
+    kOutput,     ///< shard the n dimension (no inter-cluster reduction)
+    kReduction,  ///< shard the k dimension (partial sums must be combined)
+  };
+
+  Split split = Split::kOutput;
+  std::size_t ways = 1;            ///< clusters cooperating
+  Cycle compute_cycles = 0;        ///< per-cluster datapath time
+  Cycle memory_cycles = 0;         ///< shared-channel serialization time
+  Bytes total_bytes = 0;           ///< DRAM traffic incl. reduction exchange
+  Cycle predicted_cycles = 0;      ///< max(compute, memory) + access latency
+
+  bool operator<(const Mapping& other) const {
+    return predicted_cycles < other.predicted_cycles;
+  }
+};
+
+const char* to_string(Mapping::Split split);
+
+/// Analytic mapping search over a cluster set.
+class MappingExplorer {
+ public:
+  explicit MappingExplorer(const ChipConfig& config);
+
+  /// Predicts one candidate. `ways` is clamped to the dimension being
+  /// split; throws std::invalid_argument for ways == 0.
+  Mapping evaluate(const GemmWork& work, ClusterKind kind, Mapping::Split split,
+                   std::size_t ways) const;
+
+  /// Evaluates every (split, ways) candidate up to `max_ways`.
+  std::vector<Mapping> explore(const GemmWork& work, ClusterKind kind,
+                               std::size_t max_ways) const;
+
+  /// The lowest-latency candidate from explore().
+  Mapping best(const GemmWork& work, ClusterKind kind, std::size_t max_ways) const;
+
+ private:
+  ClusterTimingModel& probe(ClusterKind kind) const;
+
+  ChipConfig config_;
+  // Throwaway environment backing the analytic probes.
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<mem::DramController> dram_;
+  std::unique_ptr<ClusterTimingModel> cc_probe_;
+  std::unique_ptr<ClusterTimingModel> mc_probe_;
+  std::unique_ptr<ClusterTimingModel> simd_probe_;
+};
+
+}  // namespace edgemm::core
+
+#endif  // EDGEMM_CORE_MAPPING_EXPLORER_HPP

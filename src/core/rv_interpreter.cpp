@@ -1,0 +1,268 @@
+#include "core/rv_interpreter.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "isa/encoding.hpp"
+
+namespace edgemm::core {
+
+namespace rv {
+
+namespace {
+
+constexpr std::uint32_t kOpLui = 0x37;
+constexpr std::uint32_t kOpImm = 0x13;
+constexpr std::uint32_t kOpReg = 0x33;
+constexpr std::uint32_t kOpLoad = 0x03;
+constexpr std::uint32_t kOpStore = 0x23;
+constexpr std::uint32_t kOpBranch = 0x63;
+constexpr std::uint32_t kOpJal = 0x6F;
+constexpr std::uint32_t kOpJalr = 0x67;
+constexpr std::uint32_t kOpSystem = 0x73;
+
+std::uint32_t r_type(std::uint32_t funct7, unsigned rs2, unsigned rs1,
+                     std::uint32_t funct3, unsigned rd, std::uint32_t opcode) {
+  return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) |
+         opcode;
+}
+
+std::uint32_t i_type(std::int32_t imm12, unsigned rs1, std::uint32_t funct3,
+                     unsigned rd, std::uint32_t opcode) {
+  return (static_cast<std::uint32_t>(imm12 & 0xFFF) << 20) | (rs1 << 15) |
+         (funct3 << 12) | (rd << 7) | opcode;
+}
+
+std::uint32_t s_type(std::int32_t imm12, unsigned rs2, unsigned rs1,
+                     std::uint32_t funct3) {
+  const auto imm = static_cast<std::uint32_t>(imm12 & 0xFFF);
+  return ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+         ((imm & 0x1F) << 7) | kOpStore;
+}
+
+std::uint32_t b_type(std::int32_t offset, unsigned rs1, unsigned rs2,
+                     std::uint32_t funct3) {
+  const auto imm = static_cast<std::uint32_t>(offset);
+  return (((imm >> 12) & 1u) << 31) | (((imm >> 5) & 0x3Fu) << 25) | (rs2 << 20) |
+         (rs1 << 15) | (funct3 << 12) | (((imm >> 1) & 0xFu) << 8) |
+         (((imm >> 11) & 1u) << 7) | kOpBranch;
+}
+
+}  // namespace
+
+std::uint32_t lui(unsigned rd, std::int32_t imm20) {
+  return (static_cast<std::uint32_t>(imm20 & 0xFFFFF) << 12) | (rd << 7) | kOpLui;
+}
+std::uint32_t addi(unsigned rd, unsigned rs1, std::int32_t imm12) {
+  return i_type(imm12, rs1, 0x0, rd, kOpImm);
+}
+std::uint32_t add(unsigned rd, unsigned rs1, unsigned rs2) {
+  return r_type(0x00, rs2, rs1, 0x0, rd, kOpReg);
+}
+std::uint32_t sub(unsigned rd, unsigned rs1, unsigned rs2) {
+  return r_type(0x20, rs2, rs1, 0x0, rd, kOpReg);
+}
+std::uint32_t and_(unsigned rd, unsigned rs1, unsigned rs2) {
+  return r_type(0x00, rs2, rs1, 0x7, rd, kOpReg);
+}
+std::uint32_t or_(unsigned rd, unsigned rs1, unsigned rs2) {
+  return r_type(0x00, rs2, rs1, 0x6, rd, kOpReg);
+}
+std::uint32_t xor_(unsigned rd, unsigned rs1, unsigned rs2) {
+  return r_type(0x00, rs2, rs1, 0x4, rd, kOpReg);
+}
+std::uint32_t slli(unsigned rd, unsigned rs1, unsigned shamt) {
+  return i_type(static_cast<std::int32_t>(shamt & 0x1F), rs1, 0x1, rd, kOpImm);
+}
+std::uint32_t srli(unsigned rd, unsigned rs1, unsigned shamt) {
+  return i_type(static_cast<std::int32_t>(shamt & 0x1F), rs1, 0x5, rd, kOpImm);
+}
+std::uint32_t slt(unsigned rd, unsigned rs1, unsigned rs2) {
+  return r_type(0x00, rs2, rs1, 0x2, rd, kOpReg);
+}
+std::uint32_t lw(unsigned rd, unsigned rs1, std::int32_t imm12) {
+  return i_type(imm12, rs1, 0x2, rd, kOpLoad);
+}
+std::uint32_t sw(unsigned rs2, unsigned rs1, std::int32_t imm12) {
+  return s_type(imm12, rs2, rs1, 0x2);
+}
+std::uint32_t beq(unsigned rs1, unsigned rs2, std::int32_t offset) {
+  return b_type(offset, rs1, rs2, 0x0);
+}
+std::uint32_t bne(unsigned rs1, unsigned rs2, std::int32_t offset) {
+  return b_type(offset, rs1, rs2, 0x1);
+}
+std::uint32_t blt(unsigned rs1, unsigned rs2, std::int32_t offset) {
+  return b_type(offset, rs1, rs2, 0x4);
+}
+std::uint32_t bge(unsigned rs1, unsigned rs2, std::int32_t offset) {
+  return b_type(offset, rs1, rs2, 0x5);
+}
+std::uint32_t jal(unsigned rd, std::int32_t offset) {
+  const auto imm = static_cast<std::uint32_t>(offset);
+  return (((imm >> 20) & 1u) << 31) | (((imm >> 1) & 0x3FFu) << 21) |
+         (((imm >> 11) & 1u) << 20) | (((imm >> 12) & 0xFFu) << 12) | (rd << 7) |
+         kOpJal;
+}
+std::uint32_t jalr(unsigned rd, unsigned rs1, std::int32_t imm12) {
+  return i_type(imm12, rs1, 0x0, rd, kOpJalr);
+}
+std::uint32_t ecall() { return kOpSystem; }
+
+}  // namespace rv
+
+RvInterpreter::RvInterpreter(HostCore& core, std::size_t data_words)
+    : core_(core), data_(data_words, 0) {
+  if (data_words == 0) {
+    throw std::invalid_argument("RvInterpreter: data memory must be non-empty");
+  }
+}
+
+std::uint32_t RvInterpreter::load_word(std::uint32_t byte_address) const {
+  if (byte_address % 4 != 0) {
+    throw std::invalid_argument("RvInterpreter: misaligned load");
+  }
+  const std::size_t index = byte_address / 4;
+  if (index >= data_.size()) {
+    throw std::out_of_range("RvInterpreter: load outside data memory");
+  }
+  return data_[index];
+}
+
+void RvInterpreter::store_word(std::uint32_t byte_address, std::uint32_t value) {
+  if (byte_address % 4 != 0) {
+    throw std::invalid_argument("RvInterpreter: misaligned store");
+  }
+  const std::size_t index = byte_address / 4;
+  if (index >= data_.size()) {
+    throw std::out_of_range("RvInterpreter: store outside data memory");
+  }
+  data_[index] = value;
+}
+
+RvRunResult RvInterpreter::run(std::span<const std::uint32_t> program,
+                               std::uint64_t fuel) {
+  RvRunResult result;
+  std::uint32_t pc = 0;
+
+  auto sext = [](std::uint32_t value, unsigned bits) {
+    const std::uint32_t sign = 1u << (bits - 1);
+    return static_cast<std::int32_t>((value ^ sign) - sign);
+  };
+
+  while (result.instructions < fuel) {
+    const std::size_t slot = pc / 4;
+    if (pc % 4 != 0 || slot >= program.size()) {
+      throw std::out_of_range("RvInterpreter: PC outside program");
+    }
+    const std::uint32_t word = program[slot];
+    ++result.instructions;
+
+    // Custom opcode space -> coprocessor (the direct-linked dispatch).
+    if (isa::is_extension_word(word)) {
+      result.cycles += core_.execute(word);
+      pc += 4;
+      continue;
+    }
+
+    result.cycles += 1;  // single-issue base pipeline
+    const std::uint32_t opcode = word & 0x7F;
+    const unsigned rd = (word >> 7) & 0x1F;
+    const unsigned rs1 = (word >> 15) & 0x1F;
+    const unsigned rs2 = (word >> 20) & 0x1F;
+    const std::uint32_t funct3 = (word >> 12) & 0x7;
+    const std::uint32_t funct7 = word >> 25;
+    const auto x = [&](unsigned r) { return core_.xreg(r); };
+    const auto sx = [&](unsigned r) { return static_cast<std::int32_t>(core_.xreg(r)); };
+
+    std::uint32_t next_pc = pc + 4;
+    switch (opcode) {
+      case rv::kOpLui:
+        core_.set_xreg(rd, word & 0xFFFFF000u);
+        break;
+      case rv::kOpImm: {
+        const std::int32_t imm = sext(word >> 20, 12);
+        switch (funct3) {
+          case 0x0: core_.set_xreg(rd, x(rs1) + static_cast<std::uint32_t>(imm)); break;
+          case 0x1: core_.set_xreg(rd, x(rs1) << (imm & 0x1F)); break;
+          case 0x5: core_.set_xreg(rd, x(rs1) >> (imm & 0x1F)); break;
+          case 0x4: core_.set_xreg(rd, x(rs1) ^ static_cast<std::uint32_t>(imm)); break;
+          case 0x6: core_.set_xreg(rd, x(rs1) | static_cast<std::uint32_t>(imm)); break;
+          case 0x7: core_.set_xreg(rd, x(rs1) & static_cast<std::uint32_t>(imm)); break;
+          default: throw std::invalid_argument("RvInterpreter: unsupported OP-IMM");
+        }
+        break;
+      }
+      case rv::kOpReg:
+        switch ((funct7 << 3) | funct3) {
+          case (0x00u << 3) | 0x0: core_.set_xreg(rd, x(rs1) + x(rs2)); break;
+          case (0x20u << 3) | 0x0: core_.set_xreg(rd, x(rs1) - x(rs2)); break;
+          case (0x00u << 3) | 0x7: core_.set_xreg(rd, x(rs1) & x(rs2)); break;
+          case (0x00u << 3) | 0x6: core_.set_xreg(rd, x(rs1) | x(rs2)); break;
+          case (0x00u << 3) | 0x4: core_.set_xreg(rd, x(rs1) ^ x(rs2)); break;
+          case (0x00u << 3) | 0x2:
+            core_.set_xreg(rd, sx(rs1) < sx(rs2) ? 1 : 0);
+            break;
+          default: throw std::invalid_argument("RvInterpreter: unsupported OP");
+        }
+        break;
+      case rv::kOpLoad: {
+        if (funct3 != 0x2) throw std::invalid_argument("RvInterpreter: only lw");
+        const std::int32_t imm = sext(word >> 20, 12);
+        core_.set_xreg(rd, load_word(x(rs1) + static_cast<std::uint32_t>(imm)));
+        result.cycles += 1;  // data-memory access beat
+        break;
+      }
+      case rv::kOpStore: {
+        if (funct3 != 0x2) throw std::invalid_argument("RvInterpreter: only sw");
+        const std::uint32_t imm_u = ((word >> 25) << 5) | ((word >> 7) & 0x1F);
+        const std::int32_t imm = sext(imm_u, 12);
+        store_word(x(rs1) + static_cast<std::uint32_t>(imm), x(rs2));
+        result.cycles += 1;
+        break;
+      }
+      case rv::kOpBranch: {
+        const std::uint32_t imm_u = (((word >> 31) & 1u) << 12) |
+                                    (((word >> 7) & 1u) << 11) |
+                                    (((word >> 25) & 0x3Fu) << 5) |
+                                    (((word >> 8) & 0xFu) << 1);
+        const std::int32_t offset = sext(imm_u, 13);
+        bool taken = false;
+        switch (funct3) {
+          case 0x0: taken = x(rs1) == x(rs2); break;
+          case 0x1: taken = x(rs1) != x(rs2); break;
+          case 0x4: taken = sx(rs1) < sx(rs2); break;
+          case 0x5: taken = sx(rs1) >= sx(rs2); break;
+          default: throw std::invalid_argument("RvInterpreter: unsupported branch");
+        }
+        if (taken) next_pc = pc + static_cast<std::uint32_t>(offset);
+        break;
+      }
+      case rv::kOpJal: {
+        const std::uint32_t imm_u = (((word >> 31) & 1u) << 20) |
+                                    (((word >> 12) & 0xFFu) << 12) |
+                                    (((word >> 20) & 1u) << 11) |
+                                    (((word >> 21) & 0x3FFu) << 1);
+        core_.set_xreg(rd, pc + 4);
+        next_pc = pc + static_cast<std::uint32_t>(sext(imm_u, 21));
+        break;
+      }
+      case rv::kOpJalr: {
+        const std::int32_t imm = sext(word >> 20, 12);
+        const std::uint32_t target = (x(rs1) + static_cast<std::uint32_t>(imm)) & ~1u;
+        core_.set_xreg(rd, pc + 4);
+        next_pc = target;
+        break;
+      }
+      case rv::kOpSystem:
+        result.halted = true;
+        return result;
+      default:
+        throw std::invalid_argument("RvInterpreter: unsupported opcode");
+    }
+    pc = next_pc;
+  }
+  return result;  // fuel exhausted, halted stays false
+}
+
+}  // namespace edgemm::core

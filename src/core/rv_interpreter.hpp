@@ -1,0 +1,80 @@
+// Minimal RV32I execution model hosting the AI extension.
+//
+// §III-C: "the extended instructions can be utilized by customized
+// kernel functions, enabling the use of the RISC-V toolchain without the
+// internal modification of the compiler." This interpreter realizes that
+// claim in miniature: a base-ISA subset (ALU, loads/stores, branches,
+// jumps) supplies control flow and address arithmetic, and any word in
+// the custom opcode space is dispatched to the HostCore's coprocessor —
+// exactly the decode-and-dispatch structure of Fig. 5/6.
+//
+// Programs are built with the rv:: encoder helpers (a programmatic
+// assembler) or taken as raw words from any RV32I assembler.
+#ifndef EDGEMM_CORE_RV_INTERPRETER_HPP
+#define EDGEMM_CORE_RV_INTERPRETER_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/host_core.hpp"
+
+namespace edgemm::core {
+
+namespace rv {
+
+// --- RV32I encoders (subset) -----------------------------------------------
+std::uint32_t lui(unsigned rd, std::int32_t imm20);
+std::uint32_t addi(unsigned rd, unsigned rs1, std::int32_t imm12);
+std::uint32_t add(unsigned rd, unsigned rs1, unsigned rs2);
+std::uint32_t sub(unsigned rd, unsigned rs1, unsigned rs2);
+std::uint32_t and_(unsigned rd, unsigned rs1, unsigned rs2);
+std::uint32_t or_(unsigned rd, unsigned rs1, unsigned rs2);
+std::uint32_t xor_(unsigned rd, unsigned rs1, unsigned rs2);
+std::uint32_t slli(unsigned rd, unsigned rs1, unsigned shamt);
+std::uint32_t srli(unsigned rd, unsigned rs1, unsigned shamt);
+std::uint32_t slt(unsigned rd, unsigned rs1, unsigned rs2);
+std::uint32_t lw(unsigned rd, unsigned rs1, std::int32_t imm12);
+std::uint32_t sw(unsigned rs2, unsigned rs1, std::int32_t imm12);
+std::uint32_t beq(unsigned rs1, unsigned rs2, std::int32_t offset);
+std::uint32_t bne(unsigned rs1, unsigned rs2, std::int32_t offset);
+std::uint32_t blt(unsigned rs1, unsigned rs2, std::int32_t offset);
+std::uint32_t bge(unsigned rs1, unsigned rs2, std::int32_t offset);
+std::uint32_t jal(unsigned rd, std::int32_t offset);
+std::uint32_t jalr(unsigned rd, unsigned rs1, std::int32_t imm12);
+std::uint32_t ecall();  ///< used as the halt instruction
+
+}  // namespace rv
+
+/// Outcome of one program run.
+struct RvRunResult {
+  Cycle cycles = 0;               ///< base ops at 1 cycle + coprocessor charges
+  std::uint64_t instructions = 0; ///< retired count
+  bool halted = false;            ///< reached ecall (vs fuel exhaustion)
+};
+
+/// The host core's scalar pipeline: fetch/decode/execute over a word
+/// program, with custom-opcode words handed to the coprocessor.
+class RvInterpreter {
+ public:
+  /// `data_words` sizes the core's data memory (word-addressed loads and
+  /// stores; byte addresses must be 4-aligned or std::invalid_argument).
+  RvInterpreter(HostCore& core, std::size_t data_words = 4096);
+
+  /// Runs until ecall or `fuel` retired instructions.
+  RvRunResult run(std::span<const std::uint32_t> program,
+                  std::uint64_t fuel = 1'000'000);
+
+  /// Word-addressed data memory access for test setup/inspection.
+  std::uint32_t load_word(std::uint32_t byte_address) const;
+  void store_word(std::uint32_t byte_address, std::uint32_t value);
+
+ private:
+  HostCore& core_;
+  std::vector<std::uint32_t> data_;
+};
+
+}  // namespace edgemm::core
+
+#endif  // EDGEMM_CORE_RV_INTERPRETER_HPP

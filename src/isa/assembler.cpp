@@ -1,0 +1,235 @@
+#include "isa/assembler.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <utility>
+
+namespace edgemm::isa {
+
+namespace {
+
+constexpr std::array<std::pair<std::string_view, Csr>, 12> kCsrNames = {{
+    {"coreid", Csr::kCoreId},
+    {"coretype", Csr::kCoreType},
+    {"clusterid", Csr::kClusterId},
+    {"groupid", Csr::kGroupId},
+    {"corepos", Csr::kCorePos},
+    {"shapem", Csr::kShapeM},
+    {"shapen", Csr::kShapeN},
+    {"shapek", Csr::kShapeK},
+    {"prunet", Csr::kPruneThresh},
+    {"prunek", Csr::kPruneK},
+    {"prunecount", Csr::kPruneCount},
+    {"syncepoch", Csr::kSyncEpoch},
+}};
+
+std::string_view strip(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string_view strip_comment(std::string_view line) {
+  const std::size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  const std::size_t slashes = line.find("//");
+  if (slashes != std::string_view::npos) line = line.substr(0, slashes);
+  return line;
+}
+
+std::vector<std::string_view> split_operands(std::string_view rest) {
+  std::vector<std::string_view> out;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view tok =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    tok = strip(tok);
+    if (!tok.empty()) out.push_back(tok);
+    if (comma == std::string_view::npos) break;
+    rest.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
+/// Parses "m3" / "v12" / "x7" / "a2" style register tokens.
+std::uint8_t parse_reg(std::string_view tok, char prefix, unsigned max_index,
+                       std::size_t line_no) {
+  if (tok.size() < 2 || tok[0] != prefix) {
+    throw AssemblerError(line_no, "expected register '" + std::string(1, prefix) +
+                                      "N', got '" + std::string(tok) + "'");
+  }
+  unsigned value = 0;
+  const auto* first = tok.data() + 1;
+  const auto* last = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || value > max_index) {
+    throw AssemblerError(line_no, "bad register index in '" + std::string(tok) + "'");
+  }
+  return static_cast<std::uint8_t>(value);
+}
+
+/// Parses "(xN)" memory operands.
+std::uint8_t parse_mem(std::string_view tok, std::size_t line_no) {
+  if (tok.size() < 4 || tok.front() != '(' || tok.back() != ')') {
+    throw AssemblerError(line_no, "expected memory operand '(xN)', got '" +
+                                      std::string(tok) + "'");
+  }
+  return parse_reg(strip(tok.substr(1, tok.size() - 2)), 'x', 31, line_no);
+}
+
+std::uint8_t parse_act_uop(std::string_view tok, std::size_t line_no) {
+  if (tok == "relu") return static_cast<std::uint8_t>(ActUop::kRelu);
+  if (tok == "silu") return static_cast<std::uint8_t>(ActUop::kSilu);
+  if (tok == "gelu") return static_cast<std::uint8_t>(ActUop::kGelu);
+  throw AssemblerError(line_no, "unknown activation '" + std::string(tok) + "'");
+}
+
+std::uint8_t parse_cvt_uop(std::string_view tok, std::size_t line_no) {
+  if (tok == "bf16") return 0;
+  if (tok == "int8") return 1;
+  if (tok == "fp32") return 2;
+  throw AssemblerError(line_no, "unknown conversion '" + std::string(tok) + "'");
+}
+
+std::uint32_t assemble_impl(std::string_view line, std::size_t line_no) {
+  line = strip(strip_comment(line));
+  const std::size_t space = line.find_first_of(" \t");
+  const std::string_view name =
+      space == std::string_view::npos ? line : line.substr(0, space);
+  const std::string_view rest =
+      space == std::string_view::npos ? std::string_view{} : line.substr(space + 1);
+
+  const auto mnemonic = mnemonic_from_name(name);
+  if (!mnemonic) {
+    throw AssemblerError(line_no, "unknown mnemonic '" + std::string(name) + "'");
+  }
+  const InstrInfo& instr = info(*mnemonic);
+  const auto operands = split_operands(rest);
+  auto expect = [&](std::size_t n) {
+    if (operands.size() != n) {
+      throw AssemblerError(line_no, std::string(instr.name) + ": expected " +
+                                        std::to_string(n) + " operands, got " +
+                                        std::to_string(operands.size()));
+    }
+  };
+
+  Fields f;
+  f.format = instr.format;
+  f.func = instr.func;
+  f.func3 = instr.func3;
+
+  switch (*mnemonic) {
+    case Mnemonic::kMmMul:
+    case Mnemonic::kMmAdd:
+      expect(3);
+      f.md = parse_reg(operands[0], 'm', 7, line_no);
+      f.ms1 = parse_reg(operands[1], 'm', 7, line_no);
+      f.ms2 = parse_reg(operands[2], 'm', 7, line_no);
+      break;
+    case Mnemonic::kMmLd:
+    case Mnemonic::kMmSt:
+      expect(2);
+      f.md = parse_reg(operands[0], 'm', 7, line_no);
+      f.ms1 = parse_reg(operands[1], 'a', 7, line_no);  // LSU address slot
+      break;
+    case Mnemonic::kMmZero:
+      expect(1);
+      f.md = parse_reg(operands[0], 'm', 7, line_no);
+      break;
+    case Mnemonic::kMvMul:
+      expect(3);
+      f.vd = parse_reg(operands[0], 'v', 31, line_no);
+      f.vs1 = parse_reg(operands[1], 'v', 31, line_no);
+      f.rs1 = parse_mem(operands[2], line_no);
+      break;
+    case Mnemonic::kMvLdw:
+      expect(1);
+      f.rs1 = parse_mem(operands[0], line_no);
+      break;
+    case Mnemonic::kMvPrune:
+      expect(2);
+      f.vd = parse_reg(operands[0], 'v', 31, line_no);
+      f.vs1 = parse_reg(operands[1], 'v', 31, line_no);
+      break;
+    case Mnemonic::kVvAdd:
+    case Mnemonic::kVvMul:
+    case Mnemonic::kVvMax:
+      expect(3);
+      f.vd = parse_reg(operands[0], 'v', 31, line_no);
+      f.vs1 = parse_reg(operands[1], 'v', 31, line_no);
+      f.vs2 = parse_reg(operands[2], 'v', 31, line_no);
+      break;
+    case Mnemonic::kVvAct:
+      expect(3);
+      f.vd = parse_reg(operands[0], 'v', 31, line_no);
+      f.vs1 = parse_reg(operands[1], 'v', 31, line_no);
+      f.uop = parse_act_uop(operands[2], line_no);
+      break;
+    case Mnemonic::kVvCvt:
+      expect(3);
+      f.vd = parse_reg(operands[0], 'v', 31, line_no);
+      f.vs1 = parse_reg(operands[1], 'v', 31, line_no);
+      f.uop = parse_cvt_uop(operands[2], line_no);
+      break;
+    case Mnemonic::kCfgCsrW:
+    case Mnemonic::kCfgCsrR: {
+      expect(2);
+      const auto csr = csr_from_name(operands[0]);
+      if (!csr) {
+        throw AssemblerError(line_no, "unknown CSR '" + std::string(operands[0]) + "'");
+      }
+      f.csr = static_cast<std::uint8_t>(*csr);
+      f.rs1 = parse_reg(operands[1], 'x', 31, line_no);
+      break;
+    }
+    case Mnemonic::kCfgSync:
+      expect(0);
+      break;
+  }
+  return encode(f);
+}
+
+}  // namespace
+
+AssemblerError::AssemblerError(std::size_t line, const std::string& message)
+    : std::runtime_error("line " + std::to_string(line) + ": " + message),
+      line_(line) {}
+
+std::uint32_t assemble_line(std::string_view line) { return assemble_impl(line, 1); }
+
+std::vector<std::uint32_t> assemble(std::string_view source) {
+  std::vector<std::uint32_t> words;
+  std::size_t line_no = 0;
+  while (!source.empty()) {
+    ++line_no;
+    const std::size_t nl = source.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? source : source.substr(0, nl);
+    source = nl == std::string_view::npos ? std::string_view{} : source.substr(nl + 1);
+    if (strip(strip_comment(line)).empty()) continue;
+    words.push_back(assemble_impl(line, line_no));
+  }
+  return words;
+}
+
+std::optional<Csr> csr_from_name(std::string_view name) {
+  for (const auto& [csr_name_entry, csr] : kCsrNames) {
+    if (csr_name_entry == name) return csr;
+  }
+  return std::nullopt;
+}
+
+std::string_view csr_name(Csr csr) {
+  for (const auto& [name, entry] : kCsrNames) {
+    if (entry == csr) return name;
+  }
+  return "csr?";
+}
+
+}  // namespace edgemm::isa

@@ -1,0 +1,61 @@
+// Two-way translation between assembly text and extension words.
+//
+// The extension has no control flow of its own — the RISC-V host core
+// supplies loops and branches (paper §III-C: "extended instructions can
+// be utilized by customized kernel functions ... without internal
+// modification of the compiler"). The assembler therefore maps one line
+// to one 32-bit word.
+//
+// Operand syntax:
+//   matrix registers   m0..m7      (4 implemented; field is 3 bits wide)
+//   vector registers   v0..v31
+//   scalar registers   x0..x31     (host core GPRs)
+//   LSU address slots  a0..a7      (coprocessor address registers, M-M ld/st)
+//   memory operand     (xN)        (base address for M-V CIM ops)
+//   CSR names          coreid, coretype, clusterid, groupid, corepos,
+//                      shapem, shapen, shapek, prunet, prunek,
+//                      prunecount, syncepoch
+//   act selectors      relu, silu, gelu      (vv.act)
+//   cvt selectors      bf16, int8, fp32      (vv.cvt)
+//
+// Comments run from '#' or "//" to end of line; blank lines are skipped.
+#ifndef EDGEMM_ISA_ASSEMBLER_HPP
+#define EDGEMM_ISA_ASSEMBLER_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/csr.hpp"
+#include "isa/instructions.hpp"
+
+namespace edgemm::isa {
+
+/// Error with 1-based line number context.
+class AssemblerError : public std::runtime_error {
+ public:
+  AssemblerError(std::size_t line, const std::string& message);
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Assembles one instruction; throws AssemblerError (line = 1) on any
+/// syntax or range problem.
+std::uint32_t assemble_line(std::string_view line);
+
+/// Assembles a whole program, one instruction per non-empty line.
+std::vector<std::uint32_t> assemble(std::string_view source);
+
+/// Returns the CSR enum for an assembly-level CSR name, if known.
+std::optional<Csr> csr_from_name(std::string_view name);
+
+/// Inverse of csr_from_name; "csr?" for unmapped selectors.
+std::string_view csr_name(Csr csr);
+
+}  // namespace edgemm::isa
+
+#endif  // EDGEMM_ISA_ASSEMBLER_HPP

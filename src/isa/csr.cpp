@@ -1,0 +1,59 @@
+#include "isa/csr.hpp"
+
+#include <stdexcept>
+
+namespace edgemm::isa {
+
+namespace {
+constexpr std::size_t index_of(Csr csr) { return static_cast<std::size_t>(csr); }
+}  // namespace
+
+CsrFile::CsrFile(CoreId core_id, CoreKind core_type, ClusterId cluster_id,
+                 std::uint32_t group_id, std::uint32_t core_pos) {
+  regs_[index_of(Csr::kCoreId)] = core_id;
+  regs_[index_of(Csr::kCoreType)] = core_type == CoreKind::kMemoryCentric ? 1 : 0;
+  regs_[index_of(Csr::kClusterId)] = cluster_id;
+  regs_[index_of(Csr::kGroupId)] = group_id;
+  regs_[index_of(Csr::kCorePos)] = core_pos;
+  regs_[index_of(Csr::kPruneThresh)] = 16;  // paper's fixed t (§IV-A)
+}
+
+std::uint32_t CsrFile::read(Csr csr) const {
+  if (index_of(csr) >= kCsrCount) {
+    throw std::out_of_range("CsrFile::read: CSR out of map");
+  }
+  return regs_[index_of(csr)];
+}
+
+void CsrFile::write(Csr csr, std::uint32_t value) {
+  if (index_of(csr) >= kCsrCount) {
+    throw std::out_of_range("CsrFile::write: CSR out of map");
+  }
+  if (is_read_only(csr)) {
+    throw std::invalid_argument("CsrFile::write: CSR is read-only");
+  }
+  regs_[index_of(csr)] = value;
+}
+
+bool CsrFile::is_read_only(Csr csr) {
+  switch (csr) {
+    case Csr::kCoreId:
+    case Csr::kCoreType:
+    case Csr::kClusterId:
+    case Csr::kGroupId:
+    case Csr::kCorePos:
+    case Csr::kPruneCount:
+    case Csr::kSyncEpoch:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void CsrFile::bump_sync_epoch() { ++regs_[index_of(Csr::kSyncEpoch)]; }
+
+void CsrFile::set_prune_count(std::uint32_t n) {
+  regs_[index_of(Csr::kPruneCount)] = n;
+}
+
+}  // namespace edgemm::isa

@@ -1,0 +1,61 @@
+// Control-and-status registers of the EdgeMM programming model (§III-C).
+//
+// Each core exposes read-only identity CSRs (its index and type) so
+// kernels can compute the address offsets of their tensor shards, plus
+// writable runtime-shape and pruning CSRs consumed by the coprocessors.
+#ifndef EDGEMM_ISA_CSR_HPP
+#define EDGEMM_ISA_CSR_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace edgemm::isa {
+
+/// CSR address map (5-bit selector space of the Config format).
+enum class Csr : std::uint8_t {
+  kCoreId = 0x00,      ///< RO: global core index
+  kCoreType = 0x01,    ///< RO: 0 = CC, 1 = MC
+  kClusterId = 0x02,   ///< RO: global cluster index
+  kGroupId = 0x03,     ///< RO: group index
+  kCorePos = 0x04,     ///< RO: position of the core inside its cluster
+  kShapeM = 0x08,      ///< RW: GEMM/GEMV M dimension for the next op
+  kShapeN = 0x09,      ///< RW: N dimension
+  kShapeK = 0x0A,      ///< RW: K dimension
+  kPruneThresh = 0x10, ///< RW: pruning threshold t (Alg. 1; default 16)
+  kPruneK = 0x11,      ///< RW: current top-k budget k
+  kPruneCount = 0x12,  ///< RO: n reported by the th-mask after mv.prune
+  kSyncEpoch = 0x18,   ///< RO: barrier epoch counter
+};
+
+inline constexpr std::size_t kCsrCount = 32;
+
+/// One core's CSR file. Read-only registers reject writes with
+/// std::invalid_argument (software is expected to know the map).
+class CsrFile {
+ public:
+  /// Identity registers are fixed at construction (they are wired
+  /// constants in hardware).
+  CsrFile(CoreId core_id, CoreKind core_type, ClusterId cluster_id,
+          std::uint32_t group_id, std::uint32_t core_pos);
+
+  std::uint32_t read(Csr csr) const;
+  void write(Csr csr, std::uint32_t value);
+
+  /// True for the hard-wired identity registers.
+  static bool is_read_only(Csr csr);
+
+  /// Bumped by the cluster barrier; visible through kSyncEpoch.
+  void bump_sync_epoch();
+
+  /// Written by the pruner hardware (not by software).
+  void set_prune_count(std::uint32_t n);
+
+ private:
+  std::array<std::uint32_t, kCsrCount> regs_{};
+};
+
+}  // namespace edgemm::isa
+
+#endif  // EDGEMM_ISA_CSR_HPP

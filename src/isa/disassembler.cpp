@@ -1,0 +1,98 @@
+#include "isa/disassembler.hpp"
+
+#include <cstdio>
+
+#include "isa/assembler.hpp"
+#include "isa/encoding.hpp"
+#include "isa/instructions.hpp"
+
+namespace edgemm::isa {
+
+namespace {
+
+std::string raw_word(std::uint32_t word) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, ".word 0x%08x", word);
+  return buf;
+}
+
+std::string reg(char prefix, unsigned index) {
+  return std::string(1, prefix) + std::to_string(index);
+}
+
+std::string_view act_name(std::uint8_t uop) {
+  switch (static_cast<ActUop>(uop)) {
+    case ActUop::kRelu: return "relu";
+    case ActUop::kSilu: return "silu";
+    case ActUop::kGelu: return "gelu";
+  }
+  return "act?";
+}
+
+std::string_view cvt_name(std::uint8_t uop) {
+  switch (uop) {
+    case 0: return "bf16";
+    case 1: return "int8";
+    case 2: return "fp32";
+    default: return "cvt?";
+  }
+}
+
+}  // namespace
+
+std::string disassemble_word(std::uint32_t word) {
+  Fields f;
+  if (!decode(word, f)) return raw_word(word);
+  const auto mnemonic = mnemonic_from_fields(f);
+  if (!mnemonic) return raw_word(word);
+  const InstrInfo& instr = info(*mnemonic);
+  const std::string name(instr.name);
+
+  switch (*mnemonic) {
+    case Mnemonic::kMmMul:
+    case Mnemonic::kMmAdd:
+      return name + " " + reg('m', f.md) + ", " + reg('m', f.ms1) + ", " +
+             reg('m', f.ms2);
+    case Mnemonic::kMmLd:
+    case Mnemonic::kMmSt:
+      return name + " " + reg('m', f.md) + ", " + reg('a', f.ms1);
+    case Mnemonic::kMmZero:
+      return name + " " + reg('m', f.md);
+    case Mnemonic::kMvMul:
+      return name + " " + reg('v', f.vd) + ", " + reg('v', f.vs1) + ", (" +
+             reg('x', f.rs1) + ")";
+    case Mnemonic::kMvLdw:
+      return name + " (" + reg('x', f.rs1) + ")";
+    case Mnemonic::kMvPrune:
+      return name + " " + reg('v', f.vd) + ", " + reg('v', f.vs1);
+    case Mnemonic::kVvAdd:
+    case Mnemonic::kVvMul:
+    case Mnemonic::kVvMax:
+      return name + " " + reg('v', f.vd) + ", " + reg('v', f.vs1) + ", " +
+             reg('v', f.vs2);
+    case Mnemonic::kVvAct:
+      return name + " " + reg('v', f.vd) + ", " + reg('v', f.vs1) + ", " +
+             std::string(act_name(f.uop));
+    case Mnemonic::kVvCvt:
+      return name + " " + reg('v', f.vd) + ", " + reg('v', f.vs1) + ", " +
+             std::string(cvt_name(f.uop));
+    case Mnemonic::kCfgCsrW:
+    case Mnemonic::kCfgCsrR:
+      return name + " " + std::string(csr_name(static_cast<Csr>(f.csr))) + ", " +
+             reg('x', f.rs1);
+    case Mnemonic::kCfgSync:
+      return name;
+  }
+  return raw_word(word);
+}
+
+std::string disassemble(const std::vector<std::uint32_t>& words) {
+  std::string out;
+  for (const std::uint32_t w : words) {
+    out += disassemble_word(w);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace edgemm::isa

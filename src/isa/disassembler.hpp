@@ -1,0 +1,20 @@
+// Disassembly of extension words back to canonical assembly text.
+#ifndef EDGEMM_ISA_DISASSEMBLER_HPP
+#define EDGEMM_ISA_DISASSEMBLER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edgemm::isa {
+
+/// Renders one word. Unknown extension encodings disassemble to
+/// ".word 0x........"; non-extension words likewise.
+std::string disassemble_word(std::uint32_t word);
+
+/// Renders a program, one line per word.
+std::string disassemble(const std::vector<std::uint32_t>& words);
+
+}  // namespace edgemm::isa
+
+#endif  // EDGEMM_ISA_DISASSEMBLER_HPP

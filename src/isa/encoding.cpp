@@ -1,0 +1,134 @@
+#include "isa/encoding.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace edgemm::isa {
+
+namespace {
+
+void check_field(std::uint32_t value, std::uint32_t width, const char* name) {
+  if (value >= (1u << width)) {
+    throw std::invalid_argument(std::string("encode: field out of range: ") + name);
+  }
+}
+
+constexpr std::uint32_t bits(std::uint32_t word, int hi, int lo) {
+  return (word >> lo) & ((1u << (hi - lo + 1)) - 1u);
+}
+
+}  // namespace
+
+std::uint32_t encode(const Fields& f) {
+  std::uint32_t word = 0;
+  switch (f.format) {
+    case Format::kMatrixMatrix:
+      // opcode[6:0] size[9:7] func3[14:12] md[17:15] ms1[20:18] ms2[23:21]
+      // uop[26:25] func[31:27]
+      check_field(f.size, 3, "size");
+      check_field(f.func3, 3, "func3");
+      check_field(f.md, 3, "md");
+      check_field(f.ms1, 3, "ms1");
+      check_field(f.ms2, 3, "ms2");
+      check_field(f.uop, 2, "uop");
+      check_field(f.func, 5, "func");
+      word = kOpcodeMatrixMatrix | (std::uint32_t{f.size} << 7) |
+             (std::uint32_t{f.func3} << 12) | (std::uint32_t{f.md} << 15) |
+             (std::uint32_t{f.ms1} << 18) | (std::uint32_t{f.ms2} << 21) |
+             (std::uint32_t{f.uop} << 25) | (std::uint32_t{f.func} << 27);
+      break;
+    case Format::kMatrixVector:
+      // opcode[6:0] vd[11:7] func3[14:12] rs1[19:15] vs1[24:20] uop[26:25]
+      // func[31:27]
+      check_field(f.vd, 5, "vd");
+      check_field(f.func3, 3, "func3");
+      check_field(f.rs1, 5, "rs1");
+      check_field(f.vs1, 5, "vs1");
+      check_field(f.uop, 2, "uop");
+      check_field(f.func, 5, "func");
+      word = kOpcodeMatrixVector | (std::uint32_t{f.vd} << 7) |
+             (std::uint32_t{f.func3} << 12) | (std::uint32_t{f.rs1} << 15) |
+             (std::uint32_t{f.vs1} << 20) | (std::uint32_t{f.uop} << 25) |
+             (std::uint32_t{f.func} << 27);
+      break;
+    case Format::kVectorVector:
+      // opcode[6:0] vd[11:7] func3[14:12] vs1[19:15] vs2[24:20] uop[26:25]
+      // func[31:27]
+      check_field(f.vd, 5, "vd");
+      check_field(f.func3, 3, "func3");
+      check_field(f.vs1, 5, "vs1");
+      check_field(f.vs2, 5, "vs2");
+      check_field(f.uop, 2, "uop");
+      check_field(f.func, 5, "func");
+      word = kOpcodeVectorVector | (std::uint32_t{f.vd} << 7) |
+             (std::uint32_t{f.func3} << 12) | (std::uint32_t{f.vs1} << 15) |
+             (std::uint32_t{f.vs2} << 20) | (std::uint32_t{f.uop} << 25) |
+             (std::uint32_t{f.func} << 27);
+      break;
+    case Format::kConfig:
+      // opcode[6:0] size[9:7] func3[14:12] csr[19:15] rs1[24:20] uop[26:25]
+      // func[31:27]
+      check_field(f.size, 3, "size");
+      check_field(f.func3, 3, "func3");
+      check_field(f.csr, 5, "csr");
+      check_field(f.rs1, 5, "rs1");
+      check_field(f.uop, 2, "uop");
+      check_field(f.func, 5, "func");
+      word = kOpcodeConfig | (std::uint32_t{f.size} << 7) |
+             (std::uint32_t{f.func3} << 12) | (std::uint32_t{f.csr} << 15) |
+             (std::uint32_t{f.rs1} << 20) | (std::uint32_t{f.uop} << 25) |
+             (std::uint32_t{f.func} << 27);
+      break;
+  }
+  return word;
+}
+
+bool decode(std::uint32_t word, Fields& out) {
+  const std::uint32_t opcode = bits(word, 6, 0);
+  Fields f;
+  switch (opcode) {
+    case kOpcodeMatrixMatrix:
+      f.format = Format::kMatrixMatrix;
+      f.size = static_cast<std::uint8_t>(bits(word, 9, 7));
+      f.func3 = static_cast<std::uint8_t>(bits(word, 14, 12));
+      f.md = static_cast<std::uint8_t>(bits(word, 17, 15));
+      f.ms1 = static_cast<std::uint8_t>(bits(word, 20, 18));
+      f.ms2 = static_cast<std::uint8_t>(bits(word, 23, 21));
+      break;
+    case kOpcodeMatrixVector:
+      f.format = Format::kMatrixVector;
+      f.vd = static_cast<std::uint8_t>(bits(word, 11, 7));
+      f.func3 = static_cast<std::uint8_t>(bits(word, 14, 12));
+      f.rs1 = static_cast<std::uint8_t>(bits(word, 19, 15));
+      f.vs1 = static_cast<std::uint8_t>(bits(word, 24, 20));
+      break;
+    case kOpcodeVectorVector:
+      f.format = Format::kVectorVector;
+      f.vd = static_cast<std::uint8_t>(bits(word, 11, 7));
+      f.func3 = static_cast<std::uint8_t>(bits(word, 14, 12));
+      f.vs1 = static_cast<std::uint8_t>(bits(word, 19, 15));
+      f.vs2 = static_cast<std::uint8_t>(bits(word, 24, 20));
+      break;
+    case kOpcodeConfig:
+      f.format = Format::kConfig;
+      f.size = static_cast<std::uint8_t>(bits(word, 9, 7));
+      f.func3 = static_cast<std::uint8_t>(bits(word, 14, 12));
+      f.csr = static_cast<std::uint8_t>(bits(word, 19, 15));
+      f.rs1 = static_cast<std::uint8_t>(bits(word, 24, 20));
+      break;
+    default:
+      return false;
+  }
+  f.uop = static_cast<std::uint8_t>(bits(word, 26, 25));
+  f.func = static_cast<std::uint8_t>(bits(word, 31, 27));
+  out = f;
+  return true;
+}
+
+bool is_extension_word(std::uint32_t word) {
+  const std::uint32_t opcode = word & 0x7Fu;
+  return opcode == kOpcodeMatrixMatrix || opcode == kOpcodeMatrixVector ||
+         opcode == kOpcodeVectorVector || opcode == kOpcodeConfig;
+}
+
+}  // namespace edgemm::isa

@@ -1,0 +1,62 @@
+#include "isa/instructions.hpp"
+
+#include <array>
+
+#include "common/assert.hpp"
+
+namespace edgemm::isa {
+
+namespace {
+
+// func values partition the 5-bit space per format; func3 further selects
+// within a func group. uop is 0 unless the instruction uses it as an
+// operand (vv.act / vv.cvt) — see Fig. 7.
+constexpr std::array<InstrInfo, 16> kTable = {{
+    {Mnemonic::kMmMul, "mm.mul", Format::kMatrixMatrix, 0x01, 0, false},
+    {Mnemonic::kMmLd, "mm.ld", Format::kMatrixMatrix, 0x02, 0, false},
+    {Mnemonic::kMmSt, "mm.st", Format::kMatrixMatrix, 0x02, 1, false},
+    {Mnemonic::kMmZero, "mm.zero", Format::kMatrixMatrix, 0x03, 0, false},
+    {Mnemonic::kMmAdd, "mm.add", Format::kMatrixMatrix, 0x04, 0, false},
+    {Mnemonic::kMvMul, "mv.mul", Format::kMatrixVector, 0x01, 0, false},
+    {Mnemonic::kMvLdw, "mv.ldw", Format::kMatrixVector, 0x02, 0, false},
+    {Mnemonic::kMvPrune, "mv.prune", Format::kMatrixVector, 0x03, 0, false},
+    {Mnemonic::kVvAdd, "vv.add", Format::kVectorVector, 0x01, 0, false},
+    {Mnemonic::kVvMul, "vv.mul", Format::kVectorVector, 0x01, 1, false},
+    {Mnemonic::kVvMax, "vv.max", Format::kVectorVector, 0x01, 2, false},
+    {Mnemonic::kVvAct, "vv.act", Format::kVectorVector, 0x02, 0, true},
+    {Mnemonic::kVvCvt, "vv.cvt", Format::kVectorVector, 0x03, 0, true},
+    {Mnemonic::kCfgCsrW, "cfg.csrw", Format::kConfig, 0x01, 0, false},
+    {Mnemonic::kCfgCsrR, "cfg.csrr", Format::kConfig, 0x01, 1, false},
+    {Mnemonic::kCfgSync, "cfg.sync", Format::kConfig, 0x02, 0, false},
+}};
+
+}  // namespace
+
+std::span<const InstrInfo> instruction_table() { return kTable; }
+
+const InstrInfo& info(Mnemonic m) {
+  for (const InstrInfo& entry : kTable) {
+    if (entry.mnemonic == m) return entry;
+  }
+  EDGEMM_ASSERT_MSG(false, "unknown mnemonic enum");
+  return kTable[0];  // unreachable
+}
+
+std::optional<Mnemonic> mnemonic_from_name(std::string_view name) {
+  for (const InstrInfo& entry : kTable) {
+    if (entry.name == name) return entry.mnemonic;
+  }
+  return std::nullopt;
+}
+
+std::optional<Mnemonic> mnemonic_from_fields(const Fields& fields) {
+  for (const InstrInfo& entry : kTable) {
+    if (entry.format == fields.format && entry.func == fields.func &&
+        entry.func3 == fields.func3) {
+      return entry.mnemonic;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace edgemm::isa

@@ -1,0 +1,74 @@
+// Instruction set of the EdgeMM AI extension: mnemonics, their formats,
+// and their fixed func/uop selectors.
+#ifndef EDGEMM_ISA_INSTRUCTIONS_HPP
+#define EDGEMM_ISA_INSTRUCTIONS_HPP
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "isa/encoding.hpp"
+
+namespace edgemm::isa {
+
+/// Every extension instruction implemented by EdgeMM.
+///
+/// CC-core (M-M, Fig. 5): matrix loads/stores through the coprocessor's
+/// private LSU, weight-stationary GEMM, and element-wise matrix ops.
+/// MC-core (M-V, Fig. 6/8): CIM weight load, CIM GEMV, and the hardware
+/// activation-aware pruner.
+/// All cores (V-V): the vector subset used for activation functions and
+/// precision conversion. Config reads/writes the runtime CSRs.
+enum class Mnemonic : std::uint8_t {
+  // M-M — CC-core matrix instructions.
+  kMmMul,    ///< mm.mul  md, ms1, ms2 : md += ms1 × ms2 (weight-stationary)
+  kMmLd,     ///< mm.ld   md, ms1      : load matrix register (LSU)
+  kMmSt,     ///< mm.st   md, ms1      : store matrix register (LSU)
+  kMmZero,   ///< mm.zero md           : clear accumulator tile
+  kMmAdd,    ///< mm.add  md, ms1, ms2 : element-wise tile add
+  // M-V — MC-core matrix-vector instructions.
+  kMvMul,    ///< mv.mul  vd, vs1, (rs1) : vd = vs1 × CIM[rs1] (bit-serial)
+  kMvLdw,    ///< mv.ldw  (rs1)          : load weight tile into CIM macro
+  kMvPrune,  ///< mv.prune vd, vs1       : hardware act-aware pruner (Alg. 1)
+  // V-V — vector subset.
+  kVvAdd,    ///< vv.add vd, vs1, vs2
+  kVvMul,    ///< vv.mul vd, vs1, vs2 (element-wise; gating in Eq. 1)
+  kVvMax,    ///< vv.max vd, vs1, vs2
+  kVvAct,    ///< vv.act vd, vs1      (uop selects ReLU / SiLU / GELU)
+  kVvCvt,    ///< vv.cvt vd, vs1      (uop selects precision conversion)
+  // Config.
+  kCfgCsrW,  ///< cfg.csrw csr, rs1
+  kCfgCsrR,  ///< cfg.csrr csr, rs1 (rs1 is the destination scalar here)
+  kCfgSync,  ///< cfg.sync — cluster barrier (programming model §III-C)
+};
+
+/// Activation-function selector carried in the `uop` field of vv.act.
+enum class ActUop : std::uint8_t { kRelu = 0, kSilu = 1, kGelu = 2 };
+
+/// Static description of one mnemonic.
+struct InstrInfo {
+  Mnemonic mnemonic;
+  std::string_view name;   ///< assembly spelling, e.g. "mm.mul"
+  Format format;
+  std::uint8_t func;       ///< fixed func selector (5 bits)
+  std::uint8_t func3;      ///< fixed func3 selector (3 bits)
+  bool uop_is_operand;     ///< true when `uop` carries a selector (vv.act/cvt)
+};
+
+/// Table of all implemented instructions.
+std::span<const InstrInfo> instruction_table();
+
+/// Looks up by mnemonic enum. Never fails for valid enums.
+const InstrInfo& info(Mnemonic m);
+
+/// Looks up by assembly spelling; empty if unknown.
+std::optional<Mnemonic> mnemonic_from_name(std::string_view name);
+
+/// Recovers the mnemonic from decoded fields; empty if the fields match
+/// no implemented instruction.
+std::optional<Mnemonic> mnemonic_from_fields(const Fields& fields);
+
+}  // namespace edgemm::isa
+
+#endif  // EDGEMM_ISA_INSTRUCTIONS_HPP

@@ -1,0 +1,29 @@
+// Measurement helpers for the memory system (Fig. 6(b) methodology).
+#ifndef EDGEMM_MEM_ANALYSIS_HPP
+#define EDGEMM_MEM_ANALYSIS_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/dram.hpp"
+
+namespace edgemm::mem {
+
+/// One point of the effective-bandwidth curve.
+struct BandwidthSample {
+  Bytes transfer_bytes = 0;
+  double effective_bytes_per_cycle = 0.0;  ///< measured by event simulation
+  double analytic_bytes_per_cycle = 0.0;   ///< closed form for cross-check
+  double fraction_of_peak = 0.0;           ///< measured / peak
+};
+
+/// Runs one isolated DMA transfer per size through a fresh event-driven
+/// memory system and reports the achieved bandwidth. Reproduces the
+/// "effective bandwidth vs matrix size" assessment of paper Fig. 6(b).
+std::vector<BandwidthSample> measure_effective_bandwidth(
+    const DramConfig& dram_config, const std::vector<Bytes>& transfer_sizes,
+    Bytes burst_bytes = 4096);
+
+}  // namespace edgemm::mem
+
+#endif  // EDGEMM_MEM_ANALYSIS_HPP

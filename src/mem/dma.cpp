@@ -1,0 +1,112 @@
+#include "mem/dma.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace edgemm::mem {
+
+namespace {
+
+MemoryPath single_hop(DramController& dram, int port) {
+  MemoryPath path;
+  path.add_hop(dram.channel(), port);
+  return path;
+}
+
+void check_dma_config(const DmaConfig& config) {
+  if (config.burst_bytes == 0) {
+    throw std::invalid_argument("DmaEngine: burst_bytes must be > 0");
+  }
+  if (config.throttle_interval == 0) {
+    throw std::invalid_argument("DmaEngine: throttle_interval must be > 0");
+  }
+}
+
+}  // namespace
+
+DmaEngine::DmaEngine(sim::Simulator& sim, DramController& dram, int port,
+                     const DmaConfig& config, std::string name)
+    : DmaEngine(sim, single_hop(dram, port), config, std::move(name)) {}
+
+DmaEngine::DmaEngine(sim::Simulator& sim, MemoryPath path, const DmaConfig& config,
+                     std::string name)
+    : sim_(sim), path_(std::move(path)), config_(config), name_(std::move(name)) {
+  check_dma_config(config);
+  if (path_.empty()) {
+    throw std::invalid_argument("DmaEngine: memory path must have hops");
+  }
+}
+
+void DmaEngine::transfer(Bytes bytes, Done done) {
+  ++inflight_;
+  if (bytes == 0) {
+    sim_.schedule(0, [this, done = std::move(done)] {
+      --inflight_;
+      if (done) done();
+    });
+    return;
+  }
+  total_bytes_ += bytes;
+  Bytes remaining = bytes;
+  while (remaining > 0) {
+    const Bytes chunk = remaining > config_.burst_bytes ? config_.burst_bytes : remaining;
+    remaining -= chunk;
+    const bool last = remaining == 0;
+    issue_or_defer(Burst{chunk, last, last ? std::move(done) : Done{}});
+  }
+}
+
+Cycle DmaEngine::next_interval_boundary() const {
+  const Cycle t = config_.throttle_interval;
+  return ((sim_.now() / t) + 1) * t;
+}
+
+void DmaEngine::issue_or_defer(Burst burst) {
+  // Lazily roll the PMC interval forward (no periodic event needed when idle).
+  const Cycle t = config_.throttle_interval;
+  const Cycle interval_index = sim_.now() / t;
+  if (interval_index * t != interval_start_) {
+    interval_start_ = interval_index * t;
+    interval_usage_ = 0;
+  }
+
+  // §IV-B: once usage exceeds the budget, subsequent bursts are blocked
+  // until the interval elapses. Keep strict FIFO: if bursts are already
+  // deferred, new bursts queue behind them.
+  if (!deferred_.empty() || interval_usage_ > budget_) {
+    deferred_.push_back(std::move(burst));
+    if (!wakeup_scheduled_) {
+      wakeup_scheduled_ = true;
+      const Cycle boundary = next_interval_boundary();
+      throttle_stall_cycles_ += boundary - sim_.now();
+      sim_.schedule_at(boundary, [this] {
+        wakeup_scheduled_ = false;
+        interval_start_ = sim_.now();
+        interval_usage_ = 0;
+        // Drain deferred bursts; issue_or_defer re-blocks once the fresh
+        // budget is consumed again.
+        std::deque<Burst> pending;
+        pending.swap(deferred_);
+        for (auto& b : pending) issue_or_defer(std::move(b));
+      });
+    }
+    return;
+  }
+
+  interval_usage_ += burst.bytes;
+  issue(std::move(burst));
+}
+
+void DmaEngine::issue(Burst burst) {
+  const Bytes bytes = burst.bytes;
+  path_.request(bytes, [this, last = burst.last, done = std::move(burst.done)] {
+    if (last) {
+      EDGEMM_ASSERT(inflight_ > 0);
+      --inflight_;
+      if (done) done();
+    }
+  });
+}
+
+}  // namespace edgemm::mem

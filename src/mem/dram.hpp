@@ -1,0 +1,58 @@
+// DRAM controller model: the single shared channel at the root of the
+// EdgeMM memory hierarchy (Fig. 4, "DRAM Controller").
+#ifndef EDGEMM_MEM_DRAM_HPP
+#define EDGEMM_MEM_DRAM_HPP
+
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+#include "mem/resource_server.hpp"
+#include "sim/simulator.hpp"
+
+namespace edgemm::mem {
+
+/// Static parameters of the external memory.
+struct DramConfig {
+  /// Peak bandwidth in bytes per core cycle. LPDDR4X-class default:
+  /// 25.6 GB/s at a 1 GHz core clock.
+  double bytes_per_cycle = 25.6;
+  /// Closed-page access latency in core cycles (row activate + CAS +
+  /// controller + hierarchical AXI traversal).
+  Cycle latency = 100;
+};
+
+/// Thin wrapper over ResourceServer that fixes the naming and exposes the
+/// DRAM-specific analytic helpers.
+class DramController {
+ public:
+  DramController(sim::Simulator& sim, const DramConfig& config);
+
+  /// One port per cluster DMA engine.
+  int add_port(std::string port_name) { return server_->add_port(std::move(port_name)); }
+
+  void request(int port, Bytes bytes, ResourceServer::Done done) {
+    server_->request(port, bytes, std::move(done));
+  }
+
+  const DramConfig& config() const { return config_; }
+  ResourceServer& channel() { return *server_; }
+  const ResourceServer& channel() const { return *server_; }
+
+  Bytes bytes_served() const { return server_->bytes_served(); }
+  Bytes bytes_served(int port) const { return server_->bytes_served(port); }
+  double utilization() const { return server_->utilization(); }
+
+ private:
+  DramConfig config_;
+  std::unique_ptr<ResourceServer> server_;
+};
+
+/// Effective bandwidth (bytes/cycle) seen by one isolated transfer of
+/// `bytes`: bytes / (latency + ceil(bytes / peak)). This closed form is
+/// what the event-driven model measures and what Fig. 6(b) plots.
+double effective_bandwidth(const DramConfig& config, Bytes bytes);
+
+}  // namespace edgemm::mem
+
+#endif  // EDGEMM_MEM_DRAM_HPP

@@ -1,0 +1,49 @@
+#include "mem/memory_path.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace edgemm::mem {
+
+void MemoryPath::add_hop(ResourceServer& server, int port) {
+  hops_.push_back(Hop{&server, port});
+}
+
+void MemoryPath::request(Bytes bytes, std::function<void()> done) const {
+  if (hops_.empty()) {
+    throw std::logic_error("MemoryPath::request: no hops configured");
+  }
+  request_from(0, bytes, std::move(done));
+}
+
+void MemoryPath::request_from(std::size_t index, Bytes bytes,
+                              std::function<void()> done) const {
+  const Hop& hop = hops_[index];
+  if (index + 1 == hops_.size()) {
+    hop.server->request(hop.port, bytes, std::move(done));
+    return;
+  }
+  hop.server->request(hop.port, bytes,
+                      [this, index, bytes, done = std::move(done)]() mutable {
+                        request_from(index + 1, bytes, std::move(done));
+                      });
+}
+
+Cycle MemoryPath::total_latency() const {
+  Cycle total = 0;
+  for (const Hop& hop : hops_) total += hop.server->latency();
+  return total;
+}
+
+double MemoryPath::bottleneck_bytes_per_cycle() const {
+  double tightest = std::numeric_limits<double>::infinity();
+  for (const Hop& hop : hops_) {
+    tightest = std::min(tightest, hop.server->bytes_per_cycle());
+  }
+  return hops_.empty() ? 0.0 : tightest;
+}
+
+}  // namespace edgemm::mem

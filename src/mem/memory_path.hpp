@@ -1,0 +1,53 @@
+// A multi-hop route through the interconnect hierarchy (Fig. 4):
+//   cluster DMA -> cluster/group AXI crossbar -> system AXI crossbar
+//   -> DRAM controller.
+// Every hop is a bandwidth-limited ResourceServer with its own port for
+// the requester; a burst occupies the hops in order, pipelining across
+// bursts.
+#ifndef EDGEMM_MEM_MEMORY_PATH_HPP
+#define EDGEMM_MEM_MEMORY_PATH_HPP
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/resource_server.hpp"
+
+namespace edgemm::mem {
+
+/// Ordered hops from requester to memory. The last hop is the DRAM
+/// channel; intermediate hops are crossbar links.
+class MemoryPath {
+ public:
+  MemoryPath() = default;
+
+  /// Appends a hop; `port` must have been obtained from server.add_port.
+  void add_hop(ResourceServer& server, int port);
+
+  bool empty() const { return hops_.empty(); }
+  std::size_t hop_count() const { return hops_.size(); }
+
+  /// Routes one burst through all hops in order; `done` fires when the
+  /// final hop completes. Throws std::logic_error on an empty path.
+  void request(Bytes bytes, std::function<void()> done) const;
+
+  /// Sum of per-hop latencies (for analytic sanity checks).
+  Cycle total_latency() const;
+
+  /// The tightest per-hop bandwidth along the path.
+  double bottleneck_bytes_per_cycle() const;
+
+ private:
+  struct Hop {
+    ResourceServer* server = nullptr;
+    int port = -1;
+  };
+  void request_from(std::size_t index, Bytes bytes,
+                    std::function<void()> done) const;
+
+  std::vector<Hop> hops_;
+};
+
+}  // namespace edgemm::mem
+
+#endif  // EDGEMM_MEM_MEMORY_PATH_HPP

@@ -1,0 +1,86 @@
+// Shared bandwidth-limited resource with round-robin port arbitration.
+//
+// Both the DRAM channel and the hierarchical AXI crossbar links of
+// EdgeMM (Fig. 4) are instances of the same abstraction: a channel that
+// serves one request at a time at a fixed byte rate, with a fixed access
+// latency, arbitrating fairly among requesting ports.
+#ifndef EDGEMM_MEM_RESOURCE_SERVER_HPP
+#define EDGEMM_MEM_RESOURCE_SERVER_HPP
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace edgemm::mem {
+
+/// One request-at-a-time channel: occupancy = ceil(bytes / bytes_per_cycle),
+/// completion fires `latency` cycles after the channel releases the request.
+///
+/// Ports are served round-robin; requests within a port stay FIFO. An
+/// isolated transfer therefore sees an effective bandwidth of
+/// bytes / (latency + bytes/bw) — the curve of paper Fig. 6(b).
+class ResourceServer {
+ public:
+  using Done = std::function<void()>;
+
+  /// Throws std::invalid_argument if bytes_per_cycle <= 0.
+  ResourceServer(sim::Simulator& sim, std::string name, double bytes_per_cycle,
+                 Cycle latency);
+
+  /// Registers a requesting port (e.g. one per cluster DMA). Returns its id.
+  int add_port(std::string port_name);
+
+  /// Enqueues a transfer of `bytes` on `port`; `done` fires at completion.
+  /// Throws std::out_of_range for an unknown port.
+  void request(int port, Bytes bytes, Done done);
+
+  const std::string& name() const { return name_; }
+  double bytes_per_cycle() const { return bytes_per_cycle_; }
+  Cycle latency() const { return latency_; }
+
+  /// Total bytes fully served so far.
+  Bytes bytes_served() const { return bytes_served_; }
+
+  /// Bytes served on behalf of one port.
+  Bytes bytes_served(int port) const;
+
+  /// Cycles during which the channel was occupied.
+  Cycle busy_cycles() const { return busy_cycles_; }
+
+  /// Requests currently queued across all ports (excluding in-flight).
+  std::size_t queued_requests() const;
+
+  /// Channel utilization in [0,1] relative to elapsed simulation time.
+  double utilization() const;
+
+ private:
+  struct Request {
+    Bytes bytes;
+    Done done;
+  };
+  struct Port {
+    std::string name;
+    std::deque<Request> queue;
+    Bytes bytes_served = 0;
+  };
+
+  void try_dispatch();
+
+  sim::Simulator& sim_;
+  std::string name_;
+  double bytes_per_cycle_;
+  Cycle latency_;
+  std::vector<Port> ports_;
+  std::size_t rr_next_ = 0;  // next port considered by the arbiter
+  bool channel_busy_ = false;
+  Bytes bytes_served_ = 0;
+  Cycle busy_cycles_ = 0;
+};
+
+}  // namespace edgemm::mem
+
+#endif  // EDGEMM_MEM_RESOURCE_SERVER_HPP

@@ -1,0 +1,31 @@
+#include "mem/scratchpad.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace edgemm::mem {
+
+Scratchpad::Scratchpad(std::string name, Bytes capacity)
+    : name_(std::move(name)), capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("Scratchpad: capacity must be > 0");
+  }
+}
+
+bool Scratchpad::allocate(Bytes bytes) {
+  if (used_ + bytes > capacity_) return false;
+  used_ += bytes;
+  high_water_ = std::max(high_water_, used_);
+  return true;
+}
+
+void Scratchpad::release(Bytes bytes) {
+  EDGEMM_ASSERT_MSG(bytes <= used_, "scratchpad released more than allocated");
+  used_ -= bytes;
+}
+
+void Scratchpad::reset() { used_ = 0; }
+
+}  // namespace edgemm::mem

@@ -1,0 +1,53 @@
+// On-chip scratchpad (TCDM / shared buffer) capacity model.
+//
+// CC-clusters share a small data memory; MC-clusters integrate most of
+// their storage inside the CIM macros and keep only a small shared
+// buffer (paper §III-A). Kernels use this model to size tiles: the
+// larger MC-side memory permits larger DMA blocks, which is what makes
+// MC-clusters bandwidth-efficient (Fig. 6(b)).
+#ifndef EDGEMM_MEM_SCRATCHPAD_HPP
+#define EDGEMM_MEM_SCRATCHPAD_HPP
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace edgemm::mem {
+
+/// Bump-allocated scratchpad with a high-water mark.
+///
+/// The functional kernels do not store real bytes here (tensors live in
+/// host memory); the scratchpad tracks *capacity*, so tiling code can ask
+/// "what is the largest tile that fits?" and tests can assert that no
+/// kernel ever over-subscribes its cluster memory.
+class Scratchpad {
+ public:
+  /// Throws std::invalid_argument if capacity is zero.
+  Scratchpad(std::string name, Bytes capacity);
+
+  /// Reserves `bytes`; returns false (and reserves nothing) on overflow.
+  [[nodiscard]] bool allocate(Bytes bytes);
+
+  /// Releases `bytes`; releasing more than allocated is an invariant
+  /// violation (aborts via EDGEMM_ASSERT).
+  void release(Bytes bytes);
+
+  /// Releases everything.
+  void reset();
+
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+  Bytes free_bytes() const { return capacity_ - used_; }
+  Bytes high_water_mark() const { return high_water_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  Bytes capacity_;
+  Bytes used_ = 0;
+  Bytes high_water_ = 0;
+};
+
+}  // namespace edgemm::mem
+
+#endif  // EDGEMM_MEM_SCRATCHPAD_HPP

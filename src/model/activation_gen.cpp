@@ -1,0 +1,89 @@
+#include "model/activation_gen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edgemm::model {
+
+ActivationGenerator::ActivationGenerator(const ActivationProfile& profile,
+                                         std::uint64_t seed)
+    : profile_(profile), seed_(seed) {
+  if (profile.channels == 0 || profile.layers == 0) {
+    throw std::invalid_argument("ActivationGenerator: channels/layers must be > 0");
+  }
+  if (profile.outlier_fraction < 0.0 || profile.outlier_fraction > 1.0) {
+    throw std::invalid_argument("ActivationGenerator: outlier_fraction in [0,1]");
+  }
+}
+
+double ActivationGenerator::outlier_gain(std::size_t layer) const {
+  if (layer == 0) return profile_.first_layer_gain;
+  if (profile_.layers <= 2) return profile_.outlier_gain_last;
+  // Linear ramp over the stable layers 1 .. L-1.
+  const double frac = static_cast<double>(layer - 1) /
+                      static_cast<double>(profile_.layers - 2);
+  return profile_.outlier_gain_first +
+         frac * (profile_.outlier_gain_last - profile_.outlier_gain_first);
+}
+
+std::vector<std::size_t> ActivationGenerator::outlier_channels(std::size_t layer) const {
+  // Stable layers derive the set from (seed, layer) only; layer 0 callers
+  // should use activations() which mixes the token in.
+  Rng rng(seed_ ^ (0x517CC1B727220A95ULL * (layer + 1)));
+  const auto count = static_cast<std::size_t>(
+      static_cast<double>(profile_.channels) * profile_.outlier_fraction);
+  std::vector<std::size_t> channels;
+  channels.reserve(count);
+  while (channels.size() < count) {
+    const auto ch = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(profile_.channels) - 1));
+    if (std::find(channels.begin(), channels.end(), ch) == channels.end()) {
+      channels.push_back(ch);
+    }
+  }
+  std::sort(channels.begin(), channels.end());
+  return channels;
+}
+
+std::vector<float> ActivationGenerator::activations(std::size_t layer,
+                                                    std::size_t token) const {
+  if (layer >= profile_.layers) {
+    throw std::out_of_range("ActivationGenerator: layer out of range");
+  }
+  // Body values vary per (layer, token); outlier positions are stable per
+  // layer except at layer 0, where the set reshuffles every token.
+  Rng body_rng(seed_ ^ (0x9E3779B97F4A7C15ULL * (layer + 1)) ^
+               (0xBF58476D1CE4E5B9ULL * (token + 1)));
+
+  std::vector<std::size_t> outliers;
+  if (layer == 0) {
+    Rng set_rng(seed_ ^ 0xD1342543DE82EF95ULL ^ (0x94D049BB133111EBULL * (token + 1)));
+    const auto count = static_cast<std::size_t>(
+        static_cast<double>(profile_.channels) * profile_.outlier_fraction);
+    while (outliers.size() < count) {
+      const auto ch = static_cast<std::size_t>(
+          set_rng.uniform_int(0, static_cast<std::int64_t>(profile_.channels) - 1));
+      if (std::find(outliers.begin(), outliers.end(), ch) == outliers.end()) {
+        outliers.push_back(ch);
+      }
+    }
+  } else {
+    outliers = outlier_channels(layer);
+  }
+
+  std::vector<float> v(profile_.channels);
+  for (std::size_t c = 0; c < profile_.channels; ++c) {
+    const double magnitude = body_rng.log_normal(profile_.body_mu, profile_.body_sigma);
+    const double sign = body_rng.bernoulli(0.5) ? 1.0 : -1.0;
+    v[c] = static_cast<float>(sign * magnitude);
+  }
+  const double gain = outlier_gain(layer);
+  for (const std::size_t ch : outliers) {
+    // Outliers keep the body's sign but scale up; mild per-channel jitter
+    // keeps the top-k ordering non-degenerate.
+    v[ch] *= static_cast<float>(gain * (0.75 + 0.5 * body_rng.uniform()));
+  }
+  return v;
+}
+
+}  // namespace edgemm::model

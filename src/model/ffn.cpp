@@ -1,0 +1,71 @@
+#include "model/ffn.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "coproc/vector_unit.hpp"
+
+namespace edgemm::model {
+
+GatedMlpWeights random_gated_mlp(std::size_t d_model, std::size_t d_ffn, Rng& rng) {
+  const double scale_in = 1.0 / std::sqrt(static_cast<double>(d_model));
+  const double scale_out = 1.0 / std::sqrt(static_cast<double>(d_ffn));
+  auto fill = [&rng](Tensor& t, double scale) {
+    for (float& v : t.flat()) v = static_cast<float>(rng.gaussian(0.0, scale));
+  };
+  GatedMlpWeights w{Tensor(d_model, d_ffn), Tensor(d_model, d_ffn),
+                    Tensor(d_ffn, d_model)};
+  fill(w.up, scale_in);
+  fill(w.gate, scale_in);
+  fill(w.down, scale_out);
+  return w;
+}
+
+std::vector<float> ffn_reference(const GatedMlpWeights& w, std::span<const float> vx) {
+  if (vx.size() != w.d_model()) {
+    throw std::invalid_argument("ffn_reference: Vx length must be d_model");
+  }
+  const std::vector<float> hidden = ffn_hidden(w, vx);
+  return gemv_reference(hidden, w.down);
+}
+
+std::vector<float> ffn_hidden(const GatedMlpWeights& w, std::span<const float> vx) {
+  if (vx.size() != w.d_model()) {
+    throw std::invalid_argument("ffn_hidden: Vx length must be d_model");
+  }
+  const std::vector<float> up = gemv_reference(vx, w.up);
+  const std::vector<float> gate = gemv_reference(vx, w.gate);
+  std::vector<float> hidden(up.size());
+  for (std::size_t i = 0; i < up.size(); ++i) {
+    hidden[i] = up[i] * coproc::VectorUnit::silu(gate[i]);
+  }
+  return hidden;
+}
+
+std::vector<float> ffn_pruned(const GatedMlpWeights& w, std::span<const float> vx,
+                              std::span<const std::size_t> kept_channels) {
+  if (vx.size() != w.d_model()) {
+    throw std::invalid_argument("ffn_pruned: Vx length must be d_model");
+  }
+  const std::size_t d_ffn = w.d_ffn();
+  std::vector<float> up(d_ffn, 0.0F);
+  std::vector<float> gate(d_ffn, 0.0F);
+  for (const std::size_t ch : kept_channels) {
+    if (ch >= vx.size()) {
+      throw std::out_of_range("ffn_pruned: kept channel out of range");
+    }
+    const float v = vx[ch];
+    if (v == 0.0F) continue;
+    for (std::size_t j = 0; j < d_ffn; ++j) {
+      up[j] += v * w.up.at(ch, j);
+      gate[j] += v * w.gate.at(ch, j);
+    }
+  }
+  std::vector<float> hidden(d_ffn);
+  for (std::size_t j = 0; j < d_ffn; ++j) {
+    hidden[j] = up[j] * coproc::VectorUnit::silu(gate[j]);
+  }
+  return gemv_reference(hidden, w.down);
+}
+
+}  // namespace edgemm::model

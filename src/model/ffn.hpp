@@ -1,0 +1,49 @@
+// Gated-MLP FFN reference (Eq. 1) — the numeric ground truth for the
+// pruning-accuracy evaluation of Fig. 12(b).
+//
+//   FFN(Vx) = ((Vx · W_up) ∘ act(Vx · W_gate)) · W_down
+//
+// with W_up, W_gate ∈ R^{d_model × d_ffn}, W_down ∈ R^{d_ffn × d_model}
+// and SiLU as act() (LLaMA-family convention).
+#ifndef EDGEMM_MODEL_FFN_HPP
+#define EDGEMM_MODEL_FFN_HPP
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/tensor.hpp"
+
+namespace edgemm::model {
+
+/// Weights of one gated-MLP block.
+struct GatedMlpWeights {
+  Tensor up;    ///< d_model × d_ffn
+  Tensor gate;  ///< d_model × d_ffn
+  Tensor down;  ///< d_ffn × d_model
+
+  std::size_t d_model() const { return up.rows(); }
+  std::size_t d_ffn() const { return up.cols(); }
+};
+
+/// Draws Gaussian weights with the 1/sqrt(d) scaling of trained
+/// transformer blocks; deterministic in `rng`.
+GatedMlpWeights random_gated_mlp(std::size_t d_model, std::size_t d_ffn, Rng& rng);
+
+/// Dense reference: exact Eq. 1 on FP32.
+std::vector<float> ffn_reference(const GatedMlpWeights& w, std::span<const float> vx);
+
+/// Eq. 1 with the input channels restricted to `kept_channels`
+/// (ascending indices into Vx): the arithmetic the CIM macro performs
+/// after the hardware pruner dropped the other rows of W_up / W_gate.
+/// Channels of the hidden vector Vd are kept dense.
+std::vector<float> ffn_pruned(const GatedMlpWeights& w, std::span<const float> vx,
+                              std::span<const std::size_t> kept_channels);
+
+/// Intermediate hidden activation Vd = (Vx·W_up) ∘ act(Vx·W_gate) — the
+/// second sparse vector the paper calls out in Fig. 3.
+std::vector<float> ffn_hidden(const GatedMlpWeights& w, std::span<const float> vx);
+
+}  // namespace edgemm::model
+
+#endif  // EDGEMM_MODEL_FFN_HPP

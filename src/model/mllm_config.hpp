@@ -1,0 +1,89 @@
+// Model zoo: the representative MLLMs of paper Table I.
+//
+// Checkpoints are not shipped; what matters for every evaluated quantity
+// is the architecture (layer counts, widths, head layout), from which
+// parameter counts, FLOPs, and memory traffic follow exactly.
+#ifndef EDGEMM_MODEL_MLLM_CONFIG_HPP
+#define EDGEMM_MODEL_MLLM_CONFIG_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace edgemm::model {
+
+/// Shape of one pre-norm transformer stack (vision tower or LLM).
+struct TransformerShape {
+  std::string name;
+  std::size_t layers = 0;
+  std::size_t d_model = 0;
+  std::size_t d_ffn = 0;
+  std::size_t heads = 1;
+  std::size_t kv_heads = 1;  ///< < heads ⇒ grouped-query attention
+  std::size_t vocab = 0;     ///< 0 for vision towers (no LM head)
+  /// true = LLaMA-style gated MLP (3 projections, Eq. 1);
+  /// false = classic 2-projection GELU MLP (ViT towers, Phi-2).
+  bool gated_mlp = false;
+
+  std::size_t head_dim() const { return d_model / heads; }
+  std::size_t kv_dim() const { return head_dim() * kv_heads; }
+
+  /// Parameters of the attention block of one layer (Q, K, V, O).
+  std::size_t attn_params_per_layer() const;
+
+  /// Parameters of the MLP block of one layer.
+  std::size_t ffn_params_per_layer() const;
+
+  /// Total stack parameters, LM head included when vocab > 0.
+  std::size_t total_params() const;
+};
+
+/// A full multimodal LLM: encoder tower(s) + projector + language model.
+struct MllmConfig {
+  std::string name;
+  std::vector<TransformerShape> encoders;  ///< one entry per vision tower
+  std::size_t vision_tokens = 576;         ///< tokens produced per image
+  std::string projector = "MLP";
+  std::size_t projector_params = 0;
+  TransformerShape llm;
+
+  std::size_t encoder_params() const;
+  std::size_t total_params() const;
+};
+
+// --- Table I entries -------------------------------------------------------
+
+/// SPHINX-Tiny: CLIP-ConvNeXt + DINOv2 towers (≈0.4 B) + TinyLlama-1.1B.
+/// The paper's primary workload (§V-A).
+MllmConfig sphinx_tiny();
+
+/// KarmaVLM: SigLIP-so (0.4 B) + CLIP ViT-L/14 (0.3 B) + Qwen1.5-0.5B.
+/// The second profiled workload (Fig. 2).
+MllmConfig karmavlm();
+
+/// MobileVLM: CLIP ViT-L/14 + LDP projector + MobileLLaMA-2.7B.
+MllmConfig mobilevlm();
+
+/// TinyGPT-V: EVA tower + Q-Former projector + Phi-2 (2.7 B).
+MllmConfig tinygpt_v();
+
+/// DeepSeek-VL: SigLIP-L + DeepSeek-LLM-1.3B.
+MllmConfig deepseek_vl();
+
+/// LLaVA: CLIP ViT-L/14 + Vicuna-7B.
+MllmConfig llava_7b();
+
+/// Emu2-Chat: EVA tower + LLaMA-33B (the large-scale contrast row).
+MllmConfig emu2_chat();
+
+/// All Table I rows in presentation order.
+std::vector<MllmConfig> model_zoo();
+
+/// Looks a zoo entry up by name; throws std::invalid_argument if absent.
+MllmConfig model_by_name(const std::string& name);
+
+}  // namespace edgemm::model
+
+#endif  // EDGEMM_MODEL_MLLM_CONFIG_HPP

@@ -1,0 +1,89 @@
+#include "model/transformer.hpp"
+
+namespace edgemm::model {
+
+double PhaseProfile::arithmetic_intensity() const {
+  const Bytes bytes = total_bytes();
+  if (bytes == 0) return 0.0;
+  return static_cast<double>(flops) / static_cast<double>(bytes);
+}
+
+namespace {
+
+/// FLOPs of one full stack pass over `tokens` tokens with `context`
+/// attendable positions (projections + attention math).
+Flops stack_flops(const TransformerShape& s, std::size_t tokens, std::size_t context) {
+  const Flops proj_per_token =
+      2ULL * (s.attn_params_per_layer() + s.ffn_params_per_layer());
+  // QK^T and PV: per token, per layer, 2 × context × d_model each.
+  const Flops attn_per_token = 4ULL * context * s.d_model;
+  Flops total = static_cast<Flops>(s.layers) * tokens * (proj_per_token + attn_per_token);
+  if (s.vocab > 0) {
+    total += 2ULL * tokens * s.vocab * s.d_model;  // LM head
+  }
+  return total;
+}
+
+Bytes activation_traffic(const TransformerShape& s, std::size_t tokens,
+                         std::size_t elem_bytes) {
+  // Residual stream spills in and out of each layer.
+  return 2ULL * s.layers * tokens * s.d_model * elem_bytes;
+}
+
+}  // namespace
+
+PhaseProfile encoder_profile(const MllmConfig& model, std::size_t tokens,
+                             std::size_t elem_bytes) {
+  PhaseProfile p;
+  for (const TransformerShape& tower : model.encoders) {
+    p.flops += stack_flops(tower, tokens, tokens);
+    p.weight_bytes += static_cast<Bytes>(tower.total_params()) * elem_bytes;
+    p.act_bytes += activation_traffic(tower, tokens, elem_bytes);
+    p.params += tower.total_params();
+  }
+  // Projector: negligible latency (Fig. 2(a)) but counted for fidelity.
+  p.flops += 2ULL * tokens * model.projector_params;
+  p.weight_bytes += static_cast<Bytes>(model.projector_params) * elem_bytes;
+  p.params += model.projector_params;
+  return p;
+}
+
+PhaseProfile prefill_profile(const TransformerShape& llm, std::size_t tokens,
+                             std::size_t elem_bytes) {
+  PhaseProfile p;
+  p.flops = stack_flops(llm, tokens, tokens);
+  p.weight_bytes = static_cast<Bytes>(llm.total_params()) * elem_bytes;
+  // KV cache written once for every prefilled token.
+  p.kv_bytes = 2ULL * llm.layers * tokens * llm.kv_dim() * elem_bytes;
+  p.act_bytes = activation_traffic(llm, tokens, elem_bytes);
+  p.params = llm.total_params();
+  return p;
+}
+
+PhaseProfile decode_profile(const TransformerShape& llm, std::size_t context,
+                            std::size_t elem_bytes) {
+  PhaseProfile p;
+  p.flops = stack_flops(llm, 1, context);
+  p.weight_bytes = static_cast<Bytes>(llm.total_params()) * elem_bytes;
+  // Read the whole cache, append one entry.
+  p.kv_bytes = 2ULL * llm.layers * (context + 1) * llm.kv_dim() * elem_bytes;
+  p.act_bytes = activation_traffic(llm, 1, elem_bytes);
+  p.params = llm.total_params();
+  return p;
+}
+
+MemoryBreakdown decode_memory_breakdown(const TransformerShape& llm,
+                                        std::size_t context,
+                                        std::size_t elem_bytes) {
+  MemoryBreakdown b;
+  b.ffn_weights =
+      static_cast<Bytes>(llm.layers) * llm.ffn_params_per_layer() * elem_bytes;
+  b.attn_weights =
+      static_cast<Bytes>(llm.layers) * llm.attn_params_per_layer() * elem_bytes;
+  b.lm_head = static_cast<Bytes>(llm.vocab) * llm.d_model * elem_bytes;
+  b.kv_cache = 2ULL * llm.layers * (context + 1) * llm.kv_dim() * elem_bytes;
+  b.activations = activation_traffic(llm, 1, elem_bytes);
+  return b;
+}
+
+}  // namespace edgemm::model

@@ -1,0 +1,56 @@
+// Per-phase FLOP / byte analytics for MLLM inference — the quantities
+// behind the workload analysis of paper Fig. 2.
+#ifndef EDGEMM_MODEL_TRANSFORMER_HPP
+#define EDGEMM_MODEL_TRANSFORMER_HPP
+
+#include "common/types.hpp"
+#include "model/mllm_config.hpp"
+
+namespace edgemm::model {
+
+/// Compute/traffic profile of one inference phase.
+struct PhaseProfile {
+  Flops flops = 0;          ///< multiply-accumulates × 2
+  Bytes weight_bytes = 0;   ///< parameter traffic (once per phase pass)
+  Bytes kv_bytes = 0;       ///< KV-cache read+write traffic
+  Bytes act_bytes = 0;      ///< activation spill traffic
+  std::size_t params = 0;   ///< parameters touched
+
+  Bytes total_bytes() const { return weight_bytes + kv_bytes + act_bytes; }
+  /// FLOP per byte — the compute-vs-memory-bound discriminator of Fig. 2(b).
+  double arithmetic_intensity() const;
+};
+
+/// Memory-access composition of the decode phase (Fig. 2(c)).
+struct MemoryBreakdown {
+  Bytes ffn_weights = 0;
+  Bytes attn_weights = 0;
+  Bytes lm_head = 0;
+  Bytes kv_cache = 0;
+  Bytes activations = 0;
+
+  Bytes total() const {
+    return ffn_weights + attn_weights + lm_head + kv_cache + activations;
+  }
+};
+
+/// Vision-encoder pass over `tokens` patch tokens (all towers).
+PhaseProfile encoder_profile(const MllmConfig& model, std::size_t tokens,
+                             std::size_t elem_bytes);
+
+/// LLM prefill over `tokens` (vision + prompt) tokens.
+PhaseProfile prefill_profile(const TransformerShape& llm, std::size_t tokens,
+                             std::size_t elem_bytes);
+
+/// ONE decode iteration at context length `context` (paper: two orders of
+/// magnitude fewer FLOPs than prefill over the same parameters).
+PhaseProfile decode_profile(const TransformerShape& llm, std::size_t context,
+                            std::size_t elem_bytes);
+
+/// Decode-phase memory composition, FFN vs attention vs KV (Fig. 2(c)).
+MemoryBreakdown decode_memory_breakdown(const TransformerShape& llm,
+                                        std::size_t context, std::size_t elem_bytes);
+
+}  // namespace edgemm::model
+
+#endif  // EDGEMM_MODEL_TRANSFORMER_HPP

@@ -1,0 +1,121 @@
+#include "model/workload.hpp"
+
+#include <stdexcept>
+
+namespace edgemm::model {
+
+namespace {
+
+using core::GemmWork;
+
+/// Appends the projection + attention ops of one transformer layer
+/// processing `m` tokens with `context` attendable positions.
+void append_layer_ops(std::vector<GemmWork>& ops, const TransformerShape& s,
+                      std::size_t m, std::size_t context, Phase phase,
+                      bool mark_ffn_prunable) {
+  const std::size_t d = s.d_model;
+  const std::size_t kv = s.kv_dim();
+
+  // Fused QKV projection.
+  ops.push_back({m, d, d + 2 * kv, phase, false, 0, false});
+  // Attention score and value contractions stream the KV cache (BF16)
+  // rather than weights.
+  ops.push_back({m, kv, context, phase, false, 2, false});
+  ops.push_back({m, context, kv, phase, false, 2, false});
+  // Output projection.
+  ops.push_back({m, d, d, phase, false, 0, false});
+  // MLP. Gated blocks have up + gate + down (Eq. 1); classic blocks have
+  // up + down. Decode-phase FFN rows are what the activation-aware
+  // pruner drops (§IV-A).
+  if (s.gated_mlp) {
+    ops.push_back({m, d, s.d_ffn, phase, false, 0, mark_ffn_prunable});  // up
+    ops.push_back({m, d, s.d_ffn, phase, false, 0, mark_ffn_prunable});  // gate
+  } else {
+    ops.push_back({m, d, s.d_ffn, phase, false, 0, mark_ffn_prunable});  // up
+  }
+  ops.push_back({m, s.d_ffn, d, phase, false, 0, mark_ffn_prunable});    // down
+}
+
+}  // namespace
+
+core::PhaseWorkload build_phase_workload(const MllmConfig& model,
+                                         const WorkloadParams& params) {
+  if (params.input_tokens == 0 || params.crops == 0) {
+    throw std::invalid_argument("build_phase_workload: tokens/crops must be > 0");
+  }
+  core::PhaseWorkload w;
+
+  // --- Vision encoder(s): GEMM over all crops' patch tokens --------------
+  const std::size_t enc_tokens = model.vision_tokens * params.crops;
+  for (const TransformerShape& tower : model.encoders) {
+    for (std::size_t layer = 0; layer < tower.layers; ++layer) {
+      append_layer_ops(w.encoder, tower, enc_tokens, enc_tokens,
+                       Phase::kVisionEncoder, false);
+    }
+  }
+  // Projector (MLP/LDP/Q-Former) folded into the encoder stage; its
+  // latency is negligible (Fig. 2(a)).
+  if (model.projector_params > 0) {
+    const std::size_t eq_dim = model.llm.d_model;
+    const std::size_t eq_k =
+        std::max<std::size_t>(model.projector_params / eq_dim, 1);
+    w.encoder.push_back(
+        {enc_tokens, eq_k, eq_dim, Phase::kVisionEncoder, false, 0, false});
+  }
+
+  // --- LLM prefill ---------------------------------------------------------
+  for (std::size_t layer = 0; layer < model.llm.layers; ++layer) {
+    append_layer_ops(w.prefill, model.llm, params.input_tokens, params.input_tokens,
+                     Phase::kPrefill, false);
+  }
+
+  // --- One decode iteration -----------------------------------------------
+  for (std::size_t layer = 0; layer < model.llm.layers; ++layer) {
+    append_layer_ops(w.decode_token, model.llm, 1, params.decode_context,
+                     Phase::kDecode, true);
+  }
+  if (model.llm.vocab > 0) {
+    w.decode_token.push_back(
+        {1, model.llm.d_model, model.llm.vocab, Phase::kDecode, false, 0, false});
+  }
+  return w;
+}
+
+WorkloadParams default_params_for_output(std::size_t input_tokens,
+                                         std::size_t output_tokens,
+                                         std::size_t crops) {
+  WorkloadParams p;
+  p.input_tokens = input_tokens;
+  p.crops = crops;
+  p.decode_context = input_tokens + output_tokens / 2;
+  return p;
+}
+
+std::vector<core::GemmWork> aggregate_ops(const std::vector<core::GemmWork>& ops) {
+  std::vector<core::GemmWork> out;
+  for (const core::GemmWork& op : ops) {
+    bool merged = false;
+    for (core::GemmWork& agg : out) {
+      if (agg.m == op.m && agg.k == op.k && agg.phase == op.phase &&
+          agg.prunable == op.prunable &&
+          agg.weight_elem_bytes_override == op.weight_elem_bytes_override &&
+          agg.weights_resident == op.weights_resident) {
+        agg.n += op.n;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) out.push_back(op);
+  }
+  return out;
+}
+
+core::PhaseWorkload aggregate_workload(const core::PhaseWorkload& workload) {
+  core::PhaseWorkload out;
+  out.encoder = aggregate_ops(workload.encoder);
+  out.prefill = aggregate_ops(workload.prefill);
+  out.decode_token = aggregate_ops(workload.decode_token);
+  return out;
+}
+
+}  // namespace edgemm::model

@@ -1,0 +1,46 @@
+// Builds the per-phase operation lists (core::PhaseWorkload) that the
+// timing plane executes for a given MLLM.
+#ifndef EDGEMM_MODEL_WORKLOAD_HPP
+#define EDGEMM_MODEL_WORKLOAD_HPP
+
+#include "core/pipeline.hpp"
+#include "model/mllm_config.hpp"
+
+namespace edgemm::model {
+
+/// Scenario parameters for one request.
+struct WorkloadParams {
+  /// Tokens entering the LLM (vision + prompt). The paper profiles with
+  /// ~300, "primarily made up of vision tokens" (§II-B).
+  std::size_t input_tokens = 300;
+  /// Encoder passes per request: sub-image crops (SPHINX-style) or
+  /// streamed camera frames in the real-time scenarios of §IV-B.
+  std::size_t crops = 1;
+  /// Average attention context during decode (input + generated/2).
+  std::size_t decode_context = 364;
+};
+
+/// Expands `model` into encoder / prefill / per-token-decode op lists.
+/// FFN projections of the decode phase are marked prunable (§IV-A);
+/// KV-cache traffic is tagged with the BF16 element override.
+core::PhaseWorkload build_phase_workload(const MllmConfig& model,
+                                         const WorkloadParams& params);
+
+/// Convenience: decode_context consistent with `output_tokens`.
+WorkloadParams default_params_for_output(std::size_t input_tokens,
+                                         std::size_t output_tokens,
+                                         std::size_t crops = 1);
+
+/// Merges ops that share (k, phase, prunable, element override, residency)
+/// by summing their n dimensions. Total weight bytes, FLOPs, and — thanks
+/// to the linear tiling of both coprocessor cycle models — compute cycles
+/// are preserved, while the op count (and hence event count in long
+/// pipeline sweeps) drops by ~an order of magnitude.
+std::vector<core::GemmWork> aggregate_ops(const std::vector<core::GemmWork>& ops);
+
+/// aggregate_ops applied to every phase list of `workload`.
+core::PhaseWorkload aggregate_workload(const core::PhaseWorkload& workload);
+
+}  // namespace edgemm::model
+
+#endif  // EDGEMM_MODEL_WORKLOAD_HPP

@@ -1,0 +1,50 @@
+#include "pruning/dynamic_topk.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/statistics.hpp"
+
+namespace edgemm::pruning {
+
+DynamicTopK::DynamicTopK(const DynamicTopKConfig& config, std::size_t dim)
+    : config_(config), dim_(dim), k_(dim) {
+  if (config.threshold_t <= 0.0) {
+    throw std::invalid_argument("DynamicTopK: threshold_t must be > 0");
+  }
+  if (dim == 0) {
+    throw std::invalid_argument("DynamicTopK: dim must be > 0");
+  }
+}
+
+void DynamicTopK::begin_token() { k_ = dim_; }
+
+std::size_t DynamicTopK::k_for_layer(std::size_t layer) const {
+  if (config_.skip_first_layer && layer == 0) return dim_;
+  return k_;
+}
+
+void DynamicTopK::observe(std::size_t n) {
+  if (n < k_) k_ = n;  // Alg. 1: "if n < k: k = n"
+}
+
+std::size_t DynamicTopK::step(std::size_t layer, std::span<const float> activations) {
+  const std::size_t k_used = k_for_layer(layer);
+  // The first layer's distribution is unstable (§V-C) — it is neither
+  // pruned nor allowed to drive the budget for the layers below it.
+  if (!(config_.skip_first_layer && layer == 0)) {
+    observe(count_above_max_over_t(activations, config_.threshold_t));
+  }
+  return k_used;
+}
+
+std::size_t fixed_ratio_k(std::size_t dim, double prune_ratio) {
+  if (prune_ratio < 0.0 || prune_ratio > 1.0) {
+    throw std::invalid_argument("fixed_ratio_k: ratio must be in [0, 1]");
+  }
+  const auto kept = static_cast<std::size_t>(
+      std::llround(static_cast<double>(dim) * (1.0 - prune_ratio)));
+  return kept > 0 ? kept : 1;
+}
+
+}  // namespace edgemm::pruning

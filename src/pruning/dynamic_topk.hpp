@@ -1,0 +1,67 @@
+// Layer-wise dynamic Top-k pruning — Algorithm 1 of the paper.
+//
+//   for layers in model:
+//     if layer index == 1: k = d            // no pruning on the first layer
+//     V'x = top-k(Vx, k)
+//     W'  = pruning(W, index(V'x))
+//     GEMV(W', V'x)
+//     n = count(Vx[i] > max(Vx[i]) / t)
+//     if n < k: k = n                       // k decreases with depth
+//
+// The controller walks the decoder layers of one token generation,
+// handing each layer its current budget k and folding the observed
+// channel count n back in. t is fixed (16 in the paper's design).
+#ifndef EDGEMM_PRUNING_DYNAMIC_TOPK_HPP
+#define EDGEMM_PRUNING_DYNAMIC_TOPK_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace edgemm::pruning {
+
+/// Controller parameters.
+struct DynamicTopKConfig {
+  double threshold_t = 16.0;    ///< negligibility threshold (paper: 16)
+  bool skip_first_layer = true; ///< §V-C: pruning layer 1 wrecks accuracy
+};
+
+/// Per-token, per-layer budget controller. One instance per decoding
+/// stream; call begin_token() before each generated token.
+class DynamicTopK {
+ public:
+  /// `dim` is the activation channel count d. Throws
+  /// std::invalid_argument for t <= 0 or dim == 0.
+  DynamicTopK(const DynamicTopKConfig& config, std::size_t dim);
+
+  /// Resets k to d for a fresh token generation.
+  void begin_token();
+
+  /// Budget for `layer` (0-based). The first layer always gets d when
+  /// skip_first_layer is set.
+  std::size_t k_for_layer(std::size_t layer) const;
+
+  /// Folds the observed n (channels above max/t) back into k.
+  void observe(std::size_t n);
+
+  /// Convenience: runs the full Alg. 1 step for one layer's activation
+  /// vector — returns the budget used and updates k from the vector's
+  /// own statistics.
+  std::size_t step(std::size_t layer, std::span<const float> activations);
+
+  std::size_t current_k() const { return k_; }
+  double threshold() const { return config_.threshold_t; }
+
+ private:
+  DynamicTopKConfig config_;
+  std::size_t dim_;
+  std::size_t k_;
+};
+
+/// Fixed-ratio baseline (the "fixed pruning ratio" curves of Fig. 12(b)):
+/// always keeps ceil(d × (1 − ratio)) channels.
+std::size_t fixed_ratio_k(std::size_t dim, double prune_ratio);
+
+}  // namespace edgemm::pruning
+
+#endif  // EDGEMM_PRUNING_DYNAMIC_TOPK_HPP

@@ -1,0 +1,102 @@
+#include "pruning/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/statistics.hpp"
+#include "model/ffn.hpp"
+
+namespace edgemm::pruning {
+
+namespace {
+
+/// Keeps the k largest-magnitude channels, ascending index order.
+std::vector<std::size_t> kept_channels(std::span<const float> v, std::size_t k) {
+  auto idx = edgemm::top_k_indices_by_magnitude(v, k);
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+}  // namespace
+
+PruningEvalResult evaluate_pruning(const model::ActivationGenerator& gen,
+                                   const PruningEvalConfig& config) {
+  const auto& profile = gen.profile();
+  const std::size_t d = profile.channels;
+  PruningEvalResult result;
+  result.layers.resize(profile.layers);
+  result.mean_cosine_fixed.assign(config.fixed_ratios.size(), 0.0);
+
+  // One dynamic controller per token, walked down the layer stack; the
+  // per-layer budget depends on the shallower layers' statistics, so the
+  // outer loop is over tokens.
+  std::vector<std::vector<std::size_t>> k_per_token(
+      config.tokens, std::vector<std::size_t>(profile.layers, d));
+  for (std::size_t tok = 0; tok < config.tokens; ++tok) {
+    DynamicTopK controller(config.dynamic, d);
+    controller.begin_token();
+    for (std::size_t layer = 0; layer < profile.layers; ++layer) {
+      const auto v = gen.activations(layer, tok);
+      k_per_token[tok][layer] = controller.step(layer, v);
+    }
+  }
+
+  double sum_ratio = 0.0;
+  double sum_cos_dyn = 0.0;
+  std::size_t samples = 0;
+
+  Rng weight_rng(config.seed ^ 0xABCDEF0123456789ULL);
+  for (std::size_t layer = 0; layer < profile.layers; ++layer) {
+    LayerPruningStats& stats = result.layers[layer];
+    stats.layer = layer;
+    stats.cosine_fixed.assign(config.fixed_ratios.size(), 0.0);
+
+    // Fresh per-layer weights; sequential so only one layer's weights
+    // are resident at a time.
+    Rng layer_rng = weight_rng.split();
+    const auto weights = model::random_gated_mlp(d, config.d_ffn, layer_rng);
+
+    for (std::size_t tok = 0; tok < config.tokens; ++tok) {
+      const auto v = gen.activations(layer, tok);
+      stats.kurtosis += kurtosis(v);
+
+      const std::size_t k_used = k_per_token[tok][layer];
+      stats.k_used = k_used;
+      const double ratio = 1.0 - static_cast<double>(k_used) / static_cast<double>(d);
+      stats.pruning_ratio += ratio;
+      sum_ratio += ratio;
+
+      const auto dense = model::ffn_reference(weights, v);
+      const auto dyn_kept = kept_channels(v, k_used);
+      const auto pruned_dyn = model::ffn_pruned(weights, v, dyn_kept);
+      const double cos_dyn = cosine_similarity(dense, pruned_dyn);
+      stats.cosine_dynamic += cos_dyn;
+      sum_cos_dyn += cos_dyn;
+
+      for (std::size_t f = 0; f < config.fixed_ratios.size(); ++f) {
+        const std::size_t k_fixed = fixed_ratio_k(d, config.fixed_ratios[f]);
+        const auto fixed_kept = kept_channels(v, k_fixed);
+        const auto pruned_fixed = model::ffn_pruned(weights, v, fixed_kept);
+        stats.cosine_fixed[f] += cosine_similarity(dense, pruned_fixed);
+      }
+      ++samples;
+    }
+
+    const auto tokens_d = static_cast<double>(config.tokens);
+    stats.kurtosis /= tokens_d;
+    stats.pruning_ratio /= tokens_d;
+    stats.cosine_dynamic /= tokens_d;
+    for (double& c : stats.cosine_fixed) c /= tokens_d;
+    for (std::size_t f = 0; f < config.fixed_ratios.size(); ++f) {
+      result.mean_cosine_fixed[f] += stats.cosine_fixed[f];
+    }
+  }
+
+  result.mean_pruning_ratio = sum_ratio / static_cast<double>(samples);
+  result.mean_cosine_dynamic = sum_cos_dyn / static_cast<double>(samples);
+  for (double& c : result.mean_cosine_fixed) {
+    c /= static_cast<double>(profile.layers);
+  }
+  return result;
+}
+
+}  // namespace edgemm::pruning

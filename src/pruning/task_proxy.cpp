@@ -1,0 +1,77 @@
+#include "pruning/task_proxy.hpp"
+
+#include <algorithm>
+
+#include "common/statistics.hpp"
+#include "common/tensor.hpp"
+#include "model/ffn.hpp"
+
+namespace edgemm::pruning {
+
+namespace {
+
+std::size_t argmax(std::span<const float> logits) {
+  return static_cast<std::size_t>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+std::vector<std::size_t> kept_channels(std::span<const float> v, std::size_t k) {
+  auto idx = edgemm::top_k_indices_by_magnitude(v, k);
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+}  // namespace
+
+TaskProxyResult evaluate_task_proxy(const model::ActivationGenerator& gen,
+                                    const TaskProxyConfig& config) {
+  const auto& profile = gen.profile();
+  const std::size_t d = profile.channels;
+
+  Rng rng(config.seed ^ 0x5bd1e995u);
+  // The fixed answer head: answer_classes × d_model logits projection.
+  Tensor head(d, config.answer_classes);
+  for (float& v : head.flat()) v = static_cast<float>(rng.gaussian(0.0, 1.0));
+
+  TaskProxyResult result;
+  result.agreement_fixed.assign(config.fixed_ratios.size(), 0.0);
+
+  double ratio_sum = 0.0;
+  for (std::size_t tok = 0; tok < config.tokens; ++tok) {
+    DynamicTopK controller(config.dynamic, d);
+    controller.begin_token();
+    Rng layer_rng = rng.split();
+    for (std::size_t layer = 0; layer < profile.layers; ++layer) {
+      const auto v = gen.activations(layer, tok);
+      const std::size_t k_used = controller.step(layer, v);
+      ratio_sum += 1.0 - static_cast<double>(k_used) / static_cast<double>(d);
+
+      Rng weights_rng = layer_rng.split();
+      const auto weights = model::random_gated_mlp(d, config.d_ffn, weights_rng);
+      const auto dense_out = model::ffn_reference(weights, v);
+      const auto dense_answer = argmax(gemv_reference(dense_out, head));
+
+      const auto dyn_out = model::ffn_pruned(weights, v, kept_channels(v, k_used));
+      if (argmax(gemv_reference(dyn_out, head)) == dense_answer) {
+        result.agreement_dynamic += 1.0;
+      }
+      for (std::size_t f = 0; f < config.fixed_ratios.size(); ++f) {
+        const std::size_t k_fixed = fixed_ratio_k(d, config.fixed_ratios[f]);
+        const auto fixed_out =
+            model::ffn_pruned(weights, v, kept_channels(v, k_fixed));
+        if (argmax(gemv_reference(fixed_out, head)) == dense_answer) {
+          result.agreement_fixed[f] += 1.0;
+        }
+      }
+      ++result.decisions;
+    }
+  }
+
+  const auto n = static_cast<double>(result.decisions);
+  result.agreement_dynamic /= n;
+  for (double& a : result.agreement_fixed) a /= n;
+  result.mean_pruning_ratio = ratio_sum / n;
+  return result;
+}
+
+}  // namespace edgemm::pruning

@@ -1,0 +1,25 @@
+#include "sim/event_queue.hpp"
+
+#include "common/assert.hpp"
+
+namespace edgemm::sim {
+
+void EventQueue::push(Cycle when, Action action) {
+  heap_.push(Entry{when, next_seq_++, std::move(action)});
+}
+
+Cycle EventQueue::next_time() const {
+  EDGEMM_ASSERT(!heap_.empty());
+  return heap_.top().when;
+}
+
+Cycle EventQueue::pop_and_run() {
+  EDGEMM_ASSERT(!heap_.empty());
+  // Copy out before pop: the action may push new events.
+  Entry top = heap_.top();
+  heap_.pop();
+  top.action();
+  return top.when;
+}
+
+}  // namespace edgemm::sim

@@ -1,0 +1,76 @@
+#include "baselines/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+
+namespace edgemm::baselines {
+namespace {
+
+TEST(Energy, ChipPowerTimesTime) {
+  const auto cfg = core::default_chip_config();
+  const auto report = edgemm_energy(cfg, 2.0, 0);
+  EXPECT_DOUBLE_EQ(report.chip_joules, 0.224);  // 112 mW × 2 s
+  EXPECT_DOUBLE_EQ(report.dram_joules, 0.0);
+}
+
+TEST(Energy, DramChargedPerByte) {
+  const auto cfg = core::default_chip_config();
+  const auto report = edgemm_energy(cfg, 0.0, 1'000'000'000);  // 1 GB
+  // 160 pJ/B × 1e9 B = 0.16 J.
+  EXPECT_NEAR(report.dram_joules, 0.16, 1e-9);
+}
+
+TEST(Energy, TotalsAndTokensPerJoule) {
+  const auto cfg = core::default_chip_config();
+  const auto report = edgemm_energy(cfg, 1.0, 1'000'000'000);
+  EXPECT_NEAR(report.total_joules(), 0.112 + 0.16, 1e-9);
+  EXPECT_NEAR(tokens_per_joule(138.0, report), 138.0 / 0.272, 1e-6);
+}
+
+TEST(Energy, ZeroEnergyGuard) {
+  EXPECT_EQ(tokens_per_joule(100.0, EnergyReport{}), 0.0);
+}
+
+TEST(Energy, GpuBoardEnergy) {
+  EXPECT_DOUBLE_EQ(gpu_energy_joules(80.0, 0.5), 40.0);
+}
+
+TEST(Energy, BreakdownComponentsAddUp) {
+  const auto cfg = core::default_chip_config();
+  const auto b = energy_breakdown(cfg, /*sa_macs=*/1e12, /*cim_macs=*/1e12,
+                                  /*dram_bytes=*/1'000'000'000, /*seconds=*/1.0);
+  EXPECT_NEAR(b.sa_joules, 0.9, 1e-9);     // 1e12 × 0.9 pJ
+  EXPECT_NEAR(b.cim_joules, 0.15, 1e-9);   // 1e12 × 0.15 pJ
+  EXPECT_NEAR(b.dram_joules, 0.16, 1e-9);  // 1 GB × 160 pJ/B
+  EXPECT_NEAR(b.static_joules, 0.028, 1e-9);
+  EXPECT_NEAR(b.total_joules(),
+              b.sa_joules + b.cim_joules + b.dram_joules + b.static_joules, 1e-12);
+}
+
+TEST(Energy, CimMacsCheaperThanSaMacs) {
+  // The architectural point of the CIM macro: in-SRAM INT8 MACs avoid
+  // the operand movement a systolic BF16 MAC pays for.
+  const auto cfg = core::default_chip_config();
+  const auto b = energy_breakdown(cfg, 1e12, 1e12, 0, 0.0);
+  EXPECT_GT(b.sa_joules, 3.0 * b.cim_joules);
+}
+
+TEST(Energy, DramDominatesComputeAtDecodeIntensity) {
+  // Decode moves ~1 GB per 2 GFLOP: memory energy must dwarf compute.
+  const auto cfg = core::default_chip_config();
+  const auto b = energy_breakdown(cfg, 0, 1.0e9, 1'000'000'000, 0.02);
+  EXPECT_GT(b.dram_joules, 100.0 * b.cim_joules);
+}
+
+TEST(Energy, EdgeMmFarMoreEfficientThanGpu) {
+  // Table II direction: tokens/J on EdgeMM ≫ GPU for the same tokens.
+  const auto cfg = core::default_chip_config();
+  const double seconds = 1.0;
+  const auto edge = edgemm_energy(cfg, seconds, 50'000'000'000);  // 50 GB moved
+  const double gpu = gpu_energy_joules(80.0, seconds);
+  EXPECT_LT(edge.total_joules(), gpu / 5.0);
+}
+
+}  // namespace
+}  // namespace edgemm::baselines

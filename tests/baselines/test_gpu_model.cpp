@@ -1,0 +1,76 @@
+#include "baselines/gpu_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/workload.hpp"
+
+namespace edgemm::baselines {
+namespace {
+
+TEST(GpuModel, GemvIsBandwidthBound) {
+  GpuSpec spec;
+  const core::GemmWork gemv{1, 2048, 5632, Phase::kDecode, false, 0, false};
+  const double s = gpu_op_seconds(spec, gemv);
+  const double bytes = 2048.0 * 5632.0 * 2.0;
+  const double bw_floor = bytes / spec.memory_bandwidth;
+  EXPECT_GT(s, bw_floor);             // derated bandwidth + launch
+  EXPECT_LT(s, bw_floor * 4.0);       // but in the memory-bound regime
+}
+
+TEST(GpuModel, GemmIsComputeBound) {
+  GpuSpec spec;
+  const core::GemmWork gemm{300, 2048, 5632, Phase::kPrefill, false, 0, false};
+  const double s = gpu_op_seconds(spec, gemm);
+  const double flops = static_cast<double>(gemm.flops());
+  const double compute_floor = flops / spec.peak_flops;
+  EXPECT_GT(s, compute_floor);  // efficiency derate applies
+}
+
+TEST(GpuModel, LaunchOverheadVisibleOnTinyOps) {
+  GpuSpec spec;
+  const core::GemmWork tiny{1, 64, 64, Phase::kDecode, false, 0, false};
+  const double s = gpu_op_seconds(spec, tiny);
+  EXPECT_GE(s, spec.kernel_launch_seconds);
+  EXPECT_LT(s, spec.kernel_launch_seconds * 2.0);
+}
+
+TEST(GpuModel, EvaluatesFullWorkload) {
+  const auto workload =
+      model::build_phase_workload(model::sphinx_tiny(), model::WorkloadParams{});
+  const auto timing = evaluate_gpu(GpuSpec{}, workload);
+  EXPECT_GT(timing.encoder_seconds, 0.0);
+  EXPECT_GT(timing.prefill_seconds, 0.0);
+  EXPECT_GT(timing.decode_token_seconds, 0.0);
+  // Decode of one token is far cheaper than prefill of 300.
+  EXPECT_LT(timing.decode_token_seconds, timing.prefill_seconds);
+  // SPHINX-Tiny decode on a 3060-class GPU: O(5-20 ms) per token.
+  EXPECT_GT(timing.decode_token_seconds, 2e-3);
+  EXPECT_LT(timing.decode_token_seconds, 50e-3);
+}
+
+TEST(GpuModel, RequestTimeScalesWithOutput) {
+  const auto workload =
+      model::build_phase_workload(model::sphinx_tiny(), model::WorkloadParams{});
+  const auto timing = evaluate_gpu(GpuSpec{}, workload);
+  const double l32 = timing.request_seconds(32);
+  const double l128 = timing.request_seconds(128);
+  EXPECT_GT(l128, l32);
+  EXPECT_NEAR(l128 - l32, 96.0 * timing.decode_token_seconds, 1e-9);
+  EXPECT_GT(timing.tokens_per_second(128), timing.tokens_per_second(8));
+}
+
+TEST(GpuModel, LatencyBreakdownShiftsTowardDecode) {
+  // Fig. 2(a): growing output length inflates the decode share.
+  const auto workload =
+      model::build_phase_workload(model::sphinx_tiny(), model::WorkloadParams{});
+  const auto timing = evaluate_gpu(GpuSpec{}, workload);
+  auto decode_share = [&](std::size_t l) {
+    const double total = timing.request_seconds(l);
+    return timing.decode_token_seconds * static_cast<double>(l) / total;
+  };
+  EXPECT_LT(decode_share(8), decode_share(128));
+  EXPECT_GT(decode_share(512), 0.8);
+}
+
+}  // namespace
+}  // namespace edgemm::baselines

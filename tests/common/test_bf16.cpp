@@ -1,0 +1,74 @@
+#include "common/bf16.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace edgemm {
+namespace {
+
+TEST(Bf16, ZeroRoundTripsExactly) {
+  EXPECT_EQ(Bf16(0.0F).to_float(), 0.0F);
+  EXPECT_EQ(Bf16(-0.0F).bits(), 0x8000);
+}
+
+TEST(Bf16, ExactValuesSurvive) {
+  // Powers of two and small integers are exactly representable.
+  for (const float v : {1.0F, -1.0F, 2.0F, 0.5F, -0.25F, 128.0F, -65536.0F}) {
+    EXPECT_EQ(Bf16(v).to_float(), v) << v;
+  }
+}
+
+TEST(Bf16, RoundsToNearestEven) {
+  // 1 + 2^-8 is exactly halfway between 1.0 and the next BF16 (1 + 2^-7);
+  // ties go to the even mantissa, i.e. 1.0.
+  const float halfway = 1.0F + 0x1.0p-8F;
+  EXPECT_EQ(Bf16(halfway).to_float(), 1.0F);
+  // Slightly above the halfway point must round up.
+  const float above = 1.0F + 0x1.2p-8F;
+  EXPECT_EQ(Bf16(above).to_float(), 1.0F + 0x1.0p-7F);
+}
+
+TEST(Bf16, RelativeErrorBounded) {
+  // BF16 has 8 mantissa bits -> relative error <= 2^-8.
+  for (float v = 0.001F; v < 1.0e6F; v *= 3.7F) {
+    const float r = bf16_round(v);
+    EXPECT_LE(std::fabs(r - v) / v, 0x1.0p-8F) << v;
+  }
+}
+
+TEST(Bf16, InfinityAndNanPreserved) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(Bf16(inf).to_float(), inf);
+  EXPECT_EQ(Bf16(-inf).to_float(), -inf);
+  EXPECT_TRUE(std::isnan(Bf16(std::nanf("")).to_float()));
+}
+
+TEST(Bf16, LargeFiniteDoesNotOverflowToInf) {
+  // Values near FLT_MAX may round up to infinity only if they exceed the
+  // largest finite BF16; the largest finite BF16 itself must survive.
+  const float max_bf16 = Bf16::from_bits(0x7F7F).to_float();
+  EXPECT_TRUE(std::isfinite(bf16_round(max_bf16)));
+  EXPECT_EQ(bf16_round(max_bf16), max_bf16);
+}
+
+TEST(Bf16, FromBitsBitsRoundTrip) {
+  for (std::uint32_t b = 0; b < 0x10000u; b += 257) {
+    const auto v = Bf16::from_bits(static_cast<std::uint16_t>(b));
+    EXPECT_EQ(v.bits(), static_cast<std::uint16_t>(b));
+  }
+}
+
+TEST(Bf16, WideningThenNarrowingIsIdentityOnBf16Values) {
+  // Property: round(to_float(x)) == x for every non-NaN BF16 bit pattern.
+  for (std::uint32_t b = 0; b < 0x10000u; ++b) {
+    const auto v = Bf16::from_bits(static_cast<std::uint16_t>(b));
+    const float widened = v.to_float();
+    if (std::isnan(widened)) continue;
+    EXPECT_EQ(Bf16(widened).bits(), v.bits()) << b;
+  }
+}
+
+}  // namespace
+}  // namespace edgemm

@@ -1,0 +1,77 @@
+#include "common/quant.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace edgemm {
+namespace {
+
+TEST(Quant, RejectsBadBitWidths) {
+  const std::vector<float> v{1.0F};
+  EXPECT_THROW(quantize_symmetric(v, 1), std::invalid_argument);
+  EXPECT_THROW(quantize_symmetric(v, 17), std::invalid_argument);
+  EXPECT_THROW(quantize_symmetric(v, 0), std::invalid_argument);
+}
+
+TEST(Quant, AllZerosKeepScaleOne) {
+  const std::vector<float> v(16, 0.0F);
+  const auto q = quantize_symmetric(v, 8);
+  EXPECT_EQ(q.scale, 1.0F);
+  for (const auto c : q.codes) EXPECT_EQ(c, 0);
+}
+
+TEST(Quant, MaxMagnitudeMapsToQmax) {
+  const std::vector<float> v{-3.0F, 1.5F, 3.0F};
+  const auto q = quantize_symmetric(v, 8);
+  EXPECT_EQ(q.codes[2], 127);
+  EXPECT_EQ(q.codes[0], -127);
+}
+
+TEST(Quant, DequantizeInvertsWithinHalfLsb) {
+  Rng rng(7);
+  std::vector<float> v(256);
+  for (float& x : v) x = static_cast<float>(rng.gaussian(0.0, 2.0));
+  const auto q = quantize_symmetric(v, 8);
+  const auto back = dequantize(q);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(back[i], v[i], q.scale * 0.5F + 1e-6F) << i;
+  }
+}
+
+TEST(Quant, QuantMaxValues) {
+  EXPECT_EQ(quant_max(8), 127);
+  EXPECT_EQ(quant_max(4), 7);
+  EXPECT_EQ(quant_max(2), 1);
+  EXPECT_EQ(quant_max(16), 32767);
+}
+
+class QuantBitsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantBitsSweep, ErrorShrinksWithBits) {
+  const int bits = GetParam();
+  Rng rng(123);
+  std::vector<float> v(512);
+  for (float& x : v) x = static_cast<float>(rng.uniform(-4.0, 4.0));
+  const auto q = quantize_symmetric(v, bits);
+  const auto back = dequantize(q);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    max_err = std::max(max_err, std::fabs(static_cast<double>(back[i]) - v[i]));
+  }
+  // Half an LSB plus rounding slack.
+  EXPECT_LE(max_err, static_cast<double>(q.scale) * 0.5 + 1e-6);
+  // Codes stay within range.
+  for (const auto c : q.codes) {
+    EXPECT_LE(std::abs(c), quant_max(bits));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, QuantBitsSweep, ::testing::Values(2, 3, 4, 6, 8, 12, 16));
+
+}  // namespace
+}  // namespace edgemm

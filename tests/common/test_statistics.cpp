@@ -1,0 +1,133 @@
+#include "common/statistics.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace edgemm {
+namespace {
+
+TEST(Statistics, MeanAndVarianceBasics) {
+  const std::vector<float> v{1.0F, 2.0F, 3.0F, 4.0F};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(variance(v), 1.25);
+  EXPECT_EQ(mean(std::vector<float>{}), 0.0);
+  EXPECT_EQ(variance(std::vector<float>{1.0F}), 0.0);
+}
+
+TEST(Statistics, KurtosisOfConstantIsZeroGuard) {
+  const std::vector<float> v(64, 3.0F);
+  EXPECT_EQ(kurtosis(v), 0.0);
+}
+
+TEST(Statistics, KurtosisOfGaussianNearThree) {
+  Rng rng(12);
+  std::vector<float> v(200000);
+  for (float& x : v) x = static_cast<float>(rng.gaussian());
+  EXPECT_NEAR(kurtosis(v), 3.0, 0.1);
+}
+
+TEST(Statistics, OutliersRaiseKurtosis) {
+  Rng rng(13);
+  std::vector<float> body(4096);
+  for (float& x : body) x = static_cast<float>(rng.gaussian());
+  std::vector<float> spiked = body;
+  for (int i = 0; i < 40; ++i) spiked[static_cast<std::size_t>(i) * 100] *= 30.0F;
+  EXPECT_GT(kurtosis(spiked), kurtosis(body) * 3.0);
+}
+
+TEST(Statistics, CosineIdenticalIsOne) {
+  const std::vector<float> v{1.0F, -2.0F, 3.0F};
+  EXPECT_NEAR(cosine_similarity(v, v), 1.0, 1e-12);
+}
+
+TEST(Statistics, CosineOppositeIsMinusOne) {
+  const std::vector<float> a{1.0F, 2.0F};
+  const std::vector<float> b{-1.0F, -2.0F};
+  EXPECT_NEAR(cosine_similarity(a, b), -1.0, 1e-12);
+}
+
+TEST(Statistics, CosineOrthogonalIsZero) {
+  const std::vector<float> a{1.0F, 0.0F};
+  const std::vector<float> b{0.0F, 5.0F};
+  EXPECT_NEAR(cosine_similarity(a, b), 0.0, 1e-12);
+}
+
+TEST(Statistics, CosineZeroVectorConventions) {
+  const std::vector<float> z{0.0F, 0.0F};
+  const std::vector<float> v{1.0F, 1.0F};
+  EXPECT_EQ(cosine_similarity(z, z), 1.0);
+  EXPECT_EQ(cosine_similarity(z, v), 0.0);
+}
+
+TEST(Statistics, CosineLengthMismatchThrows) {
+  const std::vector<float> a{1.0F};
+  const std::vector<float> b{1.0F, 2.0F};
+  EXPECT_THROW(cosine_similarity(a, b), std::invalid_argument);
+}
+
+TEST(TopK, SelectsLargestMagnitudes) {
+  const std::vector<float> v{0.1F, -5.0F, 3.0F, -0.2F, 4.0F};
+  const auto idx = top_k_indices_by_magnitude(v, 3);
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 1u);  // |-5| largest
+  EXPECT_EQ(idx[1], 4u);  // 4
+  EXPECT_EQ(idx[2], 2u);  // 3
+}
+
+TEST(TopK, KClampedToSize) {
+  const std::vector<float> v{1.0F, 2.0F};
+  EXPECT_EQ(top_k_indices_by_magnitude(v, 10).size(), 2u);
+}
+
+TEST(TopK, DeterministicTieBreakByIndex) {
+  const std::vector<float> v{2.0F, -2.0F, 2.0F};
+  const auto idx = top_k_indices_by_magnitude(v, 2);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 1u);
+}
+
+TEST(CountAboveMaxOverT, MatchesAlgorithmOneSemantics) {
+  // max = 16; threshold = 16/16 = 1; elements with |v| > 1 count.
+  const std::vector<float> v{16.0F, 1.0F, 1.5F, -2.0F, 0.5F};
+  EXPECT_EQ(count_above_max_over_t(v, 16.0), 3u);  // 16, 1.5, 2
+}
+
+TEST(CountAboveMaxOverT, AllZerosGiveZero) {
+  const std::vector<float> v(8, 0.0F);
+  EXPECT_EQ(count_above_max_over_t(v, 16.0), 0u);
+}
+
+TEST(CountAboveMaxOverT, RejectsNonPositiveT) {
+  const std::vector<float> v{1.0F};
+  EXPECT_THROW(count_above_max_over_t(v, 0.0), std::invalid_argument);
+  EXPECT_THROW(count_above_max_over_t(v, -1.0), std::invalid_argument);
+}
+
+TEST(Sparsity, CountsNearZeros) {
+  const std::vector<float> v{0.0F, 1e-9F, 0.5F, -0.5F};
+  EXPECT_DOUBLE_EQ(sparsity(v, 1e-6), 0.5);
+  EXPECT_EQ(sparsity(std::vector<float>{}, 1e-6), 0.0);
+}
+
+class CountThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CountThresholdSweep, MonotoneInT) {
+  // Property: n is non-decreasing in t (larger t -> lower threshold).
+  Rng rng(88);
+  std::vector<float> v(512);
+  for (float& x : v) x = static_cast<float>(rng.gaussian());
+  const double t = GetParam();
+  const std::size_t n1 = count_above_max_over_t(v, t);
+  const std::size_t n2 = count_above_max_over_t(v, t * 2.0);
+  EXPECT_LE(n1, n2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, CountThresholdSweep,
+                         ::testing::Values(1.0, 2.0, 4.0, 8.0, 16.0, 32.0));
+
+}  // namespace
+}  // namespace edgemm

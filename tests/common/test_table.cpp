@@ -1,0 +1,70 @@
+#include "common/table.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace edgemm {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("demo");
+  t.set_header({"a", "bb"});
+  t.add_row({"1", "2"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("| a"), std::string::npos);
+  EXPECT_NE(s.find("| 1"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t("align");
+  t.set_header({"x", "y"});
+  t.add_row({"long-cell", "1"});
+  t.add_row({"s", "2"});
+  const std::string s = t.render();
+  // Every data line has equal length (fixed-width rendering).
+  std::size_t first_len = 0;
+  std::size_t pos = 0;
+  int lines_checked = 0;
+  while (pos < s.size()) {
+    const std::size_t nl = s.find('\n', pos);
+    const std::string line = s.substr(pos, nl - pos);
+    if (!line.empty() && line[0] == '|') {
+      if (first_len == 0) {
+        first_len = line.size();
+      } else {
+        EXPECT_EQ(line.size(), first_len);
+      }
+      ++lines_checked;
+    }
+    pos = nl + 1;
+  }
+  EXPECT_EQ(lines_checked, 3);
+}
+
+TEST(Table, RejectsColumnMismatch) {
+  Table t("bad");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Format, FixedPrecision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(-1.0, 0), "-1");
+}
+
+TEST(Format, SiSuffixes) {
+  EXPECT_EQ(fmt_si(2340.0, 2), "2.34 k");
+  EXPECT_EQ(fmt_si(2.34e9, 2), "2.34 G");
+  EXPECT_EQ(fmt_si(18.0e12, 1), "18.0 T");
+  EXPECT_EQ(fmt_si(42.0, 0), "42");
+}
+
+TEST(Format, PercentAndSpeedup) {
+  EXPECT_EQ(fmt_percent(0.423, 1), "42.3 %");
+  EXPECT_EQ(fmt_speedup(2.84, 2), "2.84x");
+}
+
+}  // namespace
+}  // namespace edgemm

@@ -1,0 +1,114 @@
+#include "common/tensor.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace edgemm {
+namespace {
+
+TEST(Tensor, ConstructsZeroed) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(t.at(r, c), 0.0F);
+  }
+}
+
+TEST(Tensor, RejectsZeroDimensions) {
+  EXPECT_THROW(Tensor(0, 4), std::invalid_argument);
+  EXPECT_THROW(Tensor(4, 0), std::invalid_argument);
+}
+
+TEST(Tensor, RejectsMismatchedData) {
+  EXPECT_THROW(Tensor(2, 2, std::vector<float>{1.0F}), std::invalid_argument);
+}
+
+TEST(Tensor, RowViewIsWritable) {
+  Tensor t(2, 3);
+  auto row = t.row(1);
+  row[2] = 5.0F;
+  EXPECT_EQ(t.at(1, 2), 5.0F);
+}
+
+TEST(Tensor, BlockExtractsSubmatrix) {
+  Tensor t(4, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) t.at(r, c) = static_cast<float>(r * 10 + c);
+  }
+  const Tensor b = t.block(1, 2, 2, 2);
+  EXPECT_EQ(b.at(0, 0), 12.0F);
+  EXPECT_EQ(b.at(1, 1), 23.0F);
+}
+
+TEST(Tensor, BlockOutOfRangeThrows) {
+  Tensor t(4, 4);
+  EXPECT_THROW(t.block(3, 0, 2, 2), std::out_of_range);
+  EXPECT_THROW(t.block(0, 3, 2, 2), std::out_of_range);
+}
+
+TEST(Tensor, TransposeInvolution) {
+  Rng rng(3);
+  Tensor t(5, 7);
+  for (float& v : t.flat()) v = static_cast<float>(rng.gaussian());
+  const Tensor tt = t.transposed().transposed();
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    for (std::size_t c = 0; c < t.cols(); ++c) EXPECT_EQ(tt.at(r, c), t.at(r, c));
+  }
+}
+
+TEST(Matmul, KnownProduct) {
+  Tensor a(2, 2, {1.0F, 2.0F, 3.0F, 4.0F});
+  Tensor b(2, 2, {5.0F, 6.0F, 7.0F, 8.0F});
+  const Tensor c = matmul_reference(a, b);
+  EXPECT_EQ(c.at(0, 0), 19.0F);
+  EXPECT_EQ(c.at(0, 1), 22.0F);
+  EXPECT_EQ(c.at(1, 0), 43.0F);
+  EXPECT_EQ(c.at(1, 1), 50.0F);
+}
+
+TEST(Matmul, DimensionMismatchThrows) {
+  Tensor a(2, 3);
+  Tensor b(2, 2);
+  EXPECT_THROW(matmul_reference(a, b), std::invalid_argument);
+}
+
+TEST(Matmul, IdentityIsNeutral) {
+  Rng rng(11);
+  Tensor a(4, 4);
+  for (float& v : a.flat()) v = static_cast<float>(rng.gaussian());
+  Tensor eye(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) eye.at(i, i) = 1.0F;
+  const Tensor c = matmul_reference(a, eye);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t col = 0; col < 4; ++col) {
+      EXPECT_FLOAT_EQ(c.at(r, col), a.at(r, col));
+    }
+  }
+}
+
+TEST(Gemv, MatchesMatmulRow) {
+  Rng rng(17);
+  Tensor m(6, 5);
+  for (float& v : m.flat()) v = static_cast<float>(rng.gaussian());
+  std::vector<float> vec(6);
+  for (float& v : vec) v = static_cast<float>(rng.gaussian());
+
+  const auto out = gemv_reference(vec, m);
+  Tensor row(1, 6, std::vector<float>(vec.begin(), vec.end()));
+  const Tensor expect = matmul_reference(row, m);
+  ASSERT_EQ(out.size(), 5u);
+  for (std::size_t j = 0; j < 5; ++j) EXPECT_FLOAT_EQ(out[j], expect.at(0, j));
+}
+
+TEST(Gemv, LengthMismatchThrows) {
+  Tensor m(3, 2);
+  std::vector<float> v(4, 1.0F);
+  EXPECT_THROW(gemv_reference(v, m), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgemm

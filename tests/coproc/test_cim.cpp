@@ -1,0 +1,162 @@
+#include "coproc/cim_macro.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace edgemm::coproc {
+namespace {
+
+CimConfig small_cfg() { return CimConfig{8, 4, 4, 8, 8}; }
+
+std::vector<std::int32_t> random_codes(std::size_t n, int bits, Rng& rng) {
+  std::vector<std::int32_t> v(n);
+  const std::int32_t lim = (1 << (bits - 1)) - 1;
+  for (auto& x : v) x = static_cast<std::int32_t>(rng.uniform_int(-lim, lim));
+  return v;
+}
+
+/// Plain integer reference: out[c] = sum_r act[r] * w[r][c].
+std::vector<std::int64_t> int_gemv_ref(const std::vector<std::int32_t>& act,
+                                       const std::vector<std::int32_t>& w,
+                                       std::size_t rows, std::size_t cols) {
+  std::vector<std::int64_t> out(cols, 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      out[c] += static_cast<std::int64_t>(act[r]) * w[r * cols + c];
+    }
+  }
+  return out;
+}
+
+TEST(Cim, RejectsBadGeometryAndPrecision) {
+  EXPECT_THROW(CimMacro(CimConfig{0, 4, 4, 8, 8}), std::invalid_argument);
+  EXPECT_THROW(CimMacro(CimConfig{8, 0, 4, 8, 8}), std::invalid_argument);
+  EXPECT_THROW(CimMacro(CimConfig{8, 4, 0, 8, 8}), std::invalid_argument);
+  EXPECT_THROW(CimMacro(CimConfig{8, 4, 4, 1, 8}), std::invalid_argument);
+  EXPECT_THROW(CimMacro(CimConfig{8, 4, 4, 8, 17}), std::invalid_argument);
+}
+
+TEST(Cim, WriteEntryValidation) {
+  CimMacro macro(small_cfg());
+  std::vector<std::int32_t> tile(4 * 8, 0);
+  EXPECT_THROW(macro.write_entry(4, tile), std::out_of_range);
+  EXPECT_THROW(macro.write_entry(0, std::vector<std::int32_t>(7, 0)),
+               std::invalid_argument);
+  tile[0] = 200;  // exceeds int8 range
+  EXPECT_THROW(macro.write_entry(0, tile), std::invalid_argument);
+}
+
+TEST(Cim, BitSerialEqualsIntegerGemv) {
+  // The bit-serial model must be *exactly* the two's-complement dot
+  // product — this is the keystone correctness property of the macro.
+  Rng rng(31);
+  const CimConfig cfg = small_cfg();
+  CimMacro macro(cfg);
+  const auto w = random_codes(cfg.tree_inputs * cfg.columns, cfg.weight_bits, rng);
+  macro.write_entry(0, w);
+  const auto act = random_codes(cfg.tree_inputs, cfg.act_bits, rng);
+  const auto out = macro.gemv(0, act);
+  const auto ref = int_gemv_ref(act, w, cfg.tree_inputs, cfg.columns);
+  for (std::size_t c = 0; c < cfg.columns; ++c) {
+    EXPECT_EQ(out[c], ref[c]) << c;
+  }
+}
+
+TEST(Cim, NegativeActivationsExact) {
+  const CimConfig cfg{2, 2, 1, 8, 8};
+  CimMacro macro(cfg);
+  macro.write_entry(0, std::vector<std::int32_t>{3, -7, 5, 9});
+  const auto out = macro.gemv(0, std::vector<std::int32_t>{-128, 127});
+  EXPECT_EQ(out[0], -128 * 3 + 127 * 5);
+  EXPECT_EQ(out[1], -128 * -7 + 127 * 9);
+}
+
+TEST(Cim, Eq3CycleFormula) {
+  // L_CIM = M*W + 1 (paper Eq. 3); GEMV is W + 1.
+  const CimConfig cfg{64, 16, 64, 8, 8};
+  EXPECT_EQ(cim_gemm_cycles(cfg, 1), 9u);
+  EXPECT_EQ(cim_gemm_cycles(cfg, 300), 300u * 8u + 1u);
+}
+
+TEST(Cim, CycleCounterMatchesFormulas) {
+  Rng rng(7);
+  const CimConfig cfg = small_cfg();
+  CimMacro macro(cfg);
+  const auto w = random_codes(cfg.tree_inputs * cfg.columns, cfg.weight_bits, rng);
+  macro.write_entry(0, w);
+  macro.write_entry(1, w);
+  const Cycle after_writes = macro.cycles_elapsed();
+  EXPECT_EQ(after_writes, 2 * cim_entry_write_cycles(cfg));
+
+  const auto act = random_codes(2 * cfg.tree_inputs, cfg.act_bits, rng);
+  macro.gemv_long(0, 2, act);
+  EXPECT_EQ(macro.cycles_elapsed(), after_writes + cim_gemm_cycles(cfg, 2));
+}
+
+TEST(Cim, GemvLongAccumulatesAcrossEntries) {
+  Rng rng(17);
+  const CimConfig cfg = small_cfg();
+  CimMacro macro(cfg);
+  const auto w0 = random_codes(cfg.tree_inputs * cfg.columns, cfg.weight_bits, rng);
+  const auto w1 = random_codes(cfg.tree_inputs * cfg.columns, cfg.weight_bits, rng);
+  macro.write_entry(0, w0);
+  macro.write_entry(1, w1);
+  const auto act = random_codes(2 * cfg.tree_inputs, cfg.act_bits, rng);
+
+  const auto combined = macro.gemv_long(0, 2, act);
+  const std::vector<std::int32_t> a0(act.begin(), act.begin() + cfg.tree_inputs);
+  const std::vector<std::int32_t> a1(act.begin() + cfg.tree_inputs, act.end());
+  const auto r0 = int_gemv_ref(a0, w0, cfg.tree_inputs, cfg.columns);
+  const auto r1 = int_gemv_ref(a1, w1, cfg.tree_inputs, cfg.columns);
+  for (std::size_t c = 0; c < cfg.columns; ++c) {
+    EXPECT_EQ(combined[c], r0[c] + r1[c]);
+  }
+}
+
+TEST(Cim, GemvLongValidation) {
+  CimMacro macro(small_cfg());
+  std::vector<std::int32_t> act(4, 0);
+  EXPECT_THROW(macro.gemv_long(0, 0, act), std::out_of_range);
+  EXPECT_THROW(macro.gemv_long(3, 2, act), std::out_of_range);
+  EXPECT_THROW(macro.gemv_long(0, 1, std::vector<std::int32_t>(3, 0)),
+               std::invalid_argument);
+  std::vector<std::int32_t> hot(4, 0);
+  hot[0] = 1 << 10;  // exceeds 8-bit activation range
+  EXPECT_THROW(macro.gemv_long(0, 1, hot), std::invalid_argument);
+}
+
+TEST(Cim, CapacityFormula) {
+  const CimConfig cfg{64, 16, 64, 8, 8};
+  EXPECT_EQ(cim_capacity_bytes(cfg), 64u * 16u * 64u);  // 64 KiB at 8-bit
+}
+
+class CimPrecisionSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(CimPrecisionSweep, BitSerialExactAtAllPrecisions) {
+  const auto [wbits, abits] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(wbits * 100 + abits));
+  const CimConfig cfg{4, 4, 2, wbits, abits};
+  CimMacro macro(cfg);
+  const auto w = random_codes(cfg.tree_inputs * cfg.columns, wbits, rng);
+  macro.write_entry(0, w);
+  const auto act = random_codes(cfg.tree_inputs, abits, rng);
+  const auto out = macro.gemv(0, act);
+  const auto ref = int_gemv_ref(act, w, cfg.tree_inputs, cfg.columns);
+  for (std::size_t c = 0; c < cfg.columns; ++c) EXPECT_EQ(out[c], ref[c]);
+  EXPECT_EQ(macro.cycles_elapsed(),
+            cim_entry_write_cycles(cfg) + cim_gemm_cycles(cfg, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, CimPrecisionSweep,
+                         ::testing::Values(std::make_pair(4, 4), std::make_pair(4, 8),
+                                           std::make_pair(8, 4), std::make_pair(8, 8),
+                                           std::make_pair(8, 16),
+                                           std::make_pair(16, 8),
+                                           std::make_pair(2, 2)));
+
+}  // namespace
+}  // namespace edgemm::coproc

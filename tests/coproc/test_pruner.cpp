@@ -1,0 +1,93 @@
+#include "coproc/pruner.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+
+namespace edgemm::coproc {
+namespace {
+
+TEST(Pruner, RejectsNonPositiveThreshold) {
+  ActAwarePruner pruner;
+  const std::vector<float> v{1.0F};
+  EXPECT_THROW(pruner.prune(v, 1, 0.0), std::invalid_argument);
+}
+
+TEST(Pruner, KeepsTopKByMagnitude) {
+  ActAwarePruner pruner;
+  const std::vector<float> v{0.1F, -8.0F, 0.2F, 5.0F, -0.05F};
+  const auto out = pruner.prune(v, 2, 16.0);
+  ASSERT_EQ(out.kept.size(), 2u);
+  EXPECT_EQ(out.kept[0], 1u);  // ascending index order
+  EXPECT_EQ(out.kept[1], 3u);
+  EXPECT_EQ(out.compacted, (std::vector<float>{-8.0F, 5.0F}));
+  EXPECT_EQ(out.max_abs, 8.0F);
+}
+
+TEST(Pruner, ThresholdCountMatchesStatistics) {
+  Rng rng(3);
+  std::vector<float> v(256);
+  for (float& x : v) x = static_cast<float>(rng.gaussian());
+  ActAwarePruner pruner;
+  const auto out = pruner.prune(v, 64, 16.0);
+  EXPECT_EQ(out.n_above_threshold, count_above_max_over_t(v, 16.0));
+}
+
+TEST(Pruner, AddressGeneratorUsesPitchAndBase) {
+  ActAwarePruner pruner;
+  const std::vector<float> v{9.0F, 0.0F, 7.0F, 0.0F};
+  PrunerConfig cfg;
+  cfg.base_address = 0x1000;
+  cfg.row_pitch_bytes = 64;
+  const auto out = pruner.prune(v, 2, 16.0, cfg);
+  ASSERT_EQ(out.row_addresses.size(), 2u);
+  EXPECT_EQ(out.row_addresses[0], 0x1000u);           // channel 0
+  EXPECT_EQ(out.row_addresses[1], 0x1000u + 2 * 64);  // channel 2
+}
+
+TEST(Pruner, KLargerThanVectorKeepsAll) {
+  ActAwarePruner pruner;
+  const std::vector<float> v{1.0F, 2.0F};
+  const auto out = pruner.prune(v, 10, 16.0);
+  EXPECT_EQ(out.kept.size(), 2u);
+}
+
+TEST(Pruner, KZeroPrunesEverything) {
+  ActAwarePruner pruner;
+  const std::vector<float> v{1.0F, 2.0F};
+  const auto out = pruner.prune(v, 0, 16.0);
+  EXPECT_TRUE(out.kept.empty());
+  EXPECT_TRUE(out.compacted.empty());
+}
+
+TEST(Pruner, CycleModelIsKPlusTwo) {
+  EXPECT_EQ(ActAwarePruner::prune_cycles(0), 2u);
+  EXPECT_EQ(ActAwarePruner::prune_cycles(64), 66u);
+  ActAwarePruner pruner;
+  const std::vector<float> v(128, 1.0F);
+  pruner.prune(v, 16, 16.0);
+  EXPECT_EQ(pruner.cycles_elapsed(), 18u);
+}
+
+TEST(Pruner, EnergyOfKeptDominates) {
+  // Property: the kept channels carry at least k/n of the total energy
+  // (they are the top-k); with outliers they carry nearly all of it.
+  Rng rng(17);
+  std::vector<float> v(512);
+  for (float& x : v) x = static_cast<float>(rng.gaussian(0.0, 0.1));
+  for (std::size_t i = 0; i < 10; ++i) v[i * 50] = 5.0F;
+  ActAwarePruner pruner;
+  const auto out = pruner.prune(v, 16, 16.0);
+  double kept_energy = 0.0;
+  for (const float x : out.compacted) kept_energy += static_cast<double>(x) * x;
+  double total_energy = 0.0;
+  for (const float x : v) total_energy += static_cast<double>(x) * x;
+  EXPECT_GT(kept_energy / total_energy, 0.9);
+}
+
+}  // namespace
+}  // namespace edgemm::coproc

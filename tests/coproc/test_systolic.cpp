@@ -1,0 +1,155 @@
+#include "coproc/systolic_array.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/bf16.hpp"
+#include "common/rng.hpp"
+#include "common/tensor.hpp"
+
+namespace edgemm::coproc {
+namespace {
+
+Tensor random_tensor(std::size_t r, std::size_t c, Rng& rng, double scale = 1.0) {
+  Tensor t(r, c);
+  for (float& v : t.flat()) v = static_cast<float>(rng.gaussian(0.0, scale));
+  return t;
+}
+
+TEST(Systolic, RejectsEmptyGeometry) {
+  EXPECT_THROW(SystolicArray(SystolicConfig{0, 16}), std::invalid_argument);
+  EXPECT_THROW(SystolicArray(SystolicConfig{16, 0}), std::invalid_argument);
+}
+
+TEST(Systolic, MultiplyWithoutWeightsThrows) {
+  SystolicArray sa(SystolicConfig{4, 4});
+  EXPECT_THROW(sa.multiply(Tensor(1, 4)), std::logic_error);
+}
+
+TEST(Systolic, ShapeValidation) {
+  SystolicArray sa(SystolicConfig{4, 4});
+  EXPECT_THROW(sa.load_weights(Tensor(3, 4)), std::invalid_argument);
+  sa.load_weights(Tensor(4, 4));
+  EXPECT_THROW(sa.multiply(Tensor(2, 3)), std::invalid_argument);
+}
+
+TEST(Systolic, MatchesReferenceWithinBf16Error) {
+  Rng rng(21);
+  const SystolicConfig cfg{8, 8};
+  SystolicArray sa(cfg);
+  const Tensor w = random_tensor(8, 8, rng);
+  const Tensor a = random_tensor(5, 8, rng);
+  sa.load_weights(w);
+  const Tensor out = sa.multiply(a);
+
+  // Reference computed on BF16-rounded operands must match exactly
+  // (same operand quantization, FP32 accumulate).
+  Tensor wq(8, 8);
+  Tensor aq(5, 8);
+  for (std::size_t i = 0; i < 64; ++i) wq.flat()[i] = bf16_round(w.flat()[i]);
+  for (std::size_t i = 0; i < 40; ++i) aq.flat()[i] = bf16_round(a.flat()[i]);
+  const Tensor ref = matmul_reference(aq, wq);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      EXPECT_NEAR(out.at(r, c), ref.at(r, c), 1e-4F) << r << "," << c;
+    }
+  }
+}
+
+TEST(Systolic, Eq2CycleFormula) {
+  // L_SA = 2R + C + M - 3 (paper Eq. 2).
+  const SystolicConfig cfg{16, 16};
+  EXPECT_EQ(systolic_tile_cycles(cfg, 1), 2 * 16 + 16 + 1 - 3);
+  EXPECT_EQ(systolic_tile_cycles(cfg, 300), 2 * 16 + 16 + 300 - 3);
+  // Load + stream decomposition must reconstruct Eq. 2 exactly.
+  EXPECT_EQ(16 + systolic_stream_cycles(cfg, 300), systolic_tile_cycles(cfg, 300));
+}
+
+TEST(Systolic, CycleCounterTracksFormula) {
+  const SystolicConfig cfg{8, 4};
+  SystolicArray sa(cfg);
+  sa.load_weights(Tensor(8, 4));
+  sa.multiply(Tensor(10, 8));
+  EXPECT_EQ(sa.cycles_elapsed(), systolic_tile_cycles(cfg, 10));
+}
+
+TEST(Systolic, GemvUtilizationIsPoor) {
+  // Fig. 5: a single activation column leaves PEs idle. GEMV utilization
+  // must be far below GEMM utilization on the same array.
+  Rng rng(5);
+  const SystolicConfig cfg{16, 16};
+
+  SystolicArray gemv_sa(cfg);
+  gemv_sa.load_weights(random_tensor(16, 16, rng));
+  gemv_sa.multiply(random_tensor(1, 16, rng));
+  const double gemv_util = gemv_sa.utilization();
+
+  SystolicArray gemm_sa(cfg);
+  gemm_sa.load_weights(random_tensor(16, 16, rng));
+  gemm_sa.multiply(random_tensor(256, 16, rng));
+  const double gemm_util = gemm_sa.utilization();
+
+  EXPECT_LT(gemv_util, 0.05);
+  EXPECT_GT(gemm_util, 0.7);
+  EXPECT_GT(gemm_util, 10.0 * gemv_util);
+}
+
+TEST(Systolic, WeightReuseSkipsReload) {
+  const SystolicConfig cfg{8, 8};
+  SystolicArray sa(cfg);
+  sa.load_weights(Tensor(8, 8));
+  const Cycle after_load = sa.cycles_elapsed();
+  EXPECT_EQ(after_load, 8u);
+  sa.multiply(Tensor(4, 8));
+  sa.multiply(Tensor(4, 8));  // stationary weights: no reload cost
+  EXPECT_EQ(sa.cycles_elapsed(), after_load + 2 * systolic_stream_cycles(cfg, 4));
+}
+
+TEST(Systolic, MacCounterExact) {
+  SystolicArray sa(SystolicConfig{4, 4});
+  sa.load_weights(Tensor(4, 4));
+  sa.multiply(Tensor(3, 4));
+  EXPECT_EQ(sa.macs_performed(), 3u * 4u * 4u);
+}
+
+TEST(Systolic, ResetCountersClears) {
+  SystolicArray sa(SystolicConfig{4, 4});
+  sa.load_weights(Tensor(4, 4));
+  sa.multiply(Tensor(1, 4));
+  sa.reset_counters();
+  EXPECT_EQ(sa.cycles_elapsed(), 0u);
+  EXPECT_EQ(sa.macs_performed(), 0u);
+}
+
+class SystolicShapeSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(SystolicShapeSweep, FunctionalAcrossGeometries) {
+  const auto [r, c, m] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(r * 1000 + c * 10 + m));
+  SystolicArray sa(SystolicConfig{r, c});
+  const Tensor w = random_tensor(r, c, rng, 0.5);
+  const Tensor a = random_tensor(m, r, rng, 0.5);
+  sa.load_weights(w);
+  const Tensor out = sa.multiply(a);
+  const Tensor ref = matmul_reference(a, w);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      // BF16 operand rounding bounds the relative error.
+      EXPECT_NEAR(out.at(i, j), ref.at(i, j),
+                  0.02F * static_cast<float>(r) + 1e-3F);
+    }
+  }
+  EXPECT_EQ(sa.cycles_elapsed(), systolic_tile_cycles(SystolicConfig{r, c}, m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SystolicShapeSweep,
+    ::testing::Values(std::make_tuple(4, 4, 1), std::make_tuple(4, 8, 3),
+                      std::make_tuple(8, 4, 16), std::make_tuple(16, 16, 1),
+                      std::make_tuple(16, 16, 64), std::make_tuple(2, 32, 5),
+                      std::make_tuple(32, 2, 5)));
+
+}  // namespace
+}  // namespace edgemm::coproc

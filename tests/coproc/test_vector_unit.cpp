@@ -1,0 +1,99 @@
+#include "coproc/vector_unit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace edgemm::coproc {
+namespace {
+
+TEST(VectorUnit, RejectsZeroLanes) {
+  EXPECT_THROW(VectorUnit(0), std::invalid_argument);
+}
+
+TEST(VectorUnit, ElementwiseOps) {
+  VectorUnit vu(4);
+  const std::vector<float> a{1.0F, -2.0F, 3.0F};
+  const std::vector<float> b{4.0F, 5.0F, -6.0F};
+  EXPECT_EQ(vu.add(a, b), (std::vector<float>{5.0F, 3.0F, -3.0F}));
+  EXPECT_EQ(vu.mul(a, b), (std::vector<float>{4.0F, -10.0F, -18.0F}));
+  EXPECT_EQ(vu.max(a, b), (std::vector<float>{4.0F, 5.0F, 3.0F}));
+}
+
+TEST(VectorUnit, LengthMismatchThrows) {
+  VectorUnit vu(4);
+  EXPECT_THROW(vu.add(std::vector<float>{1.0F}, std::vector<float>{1.0F, 2.0F}),
+               std::invalid_argument);
+}
+
+TEST(VectorUnit, ReluSemantics) {
+  VectorUnit vu(8);
+  const std::vector<float> x{-1.0F, 0.0F, 2.5F};
+  const auto y = vu.activate(x, isa::ActUop::kRelu);
+  EXPECT_EQ(y, (std::vector<float>{0.0F, 0.0F, 2.5F}));
+}
+
+TEST(VectorUnit, SiluProperties) {
+  // silu(0) = 0; silu(x) -> x for large x; silu is below identity for x>0.
+  EXPECT_EQ(VectorUnit::silu(0.0F), 0.0F);
+  EXPECT_NEAR(VectorUnit::silu(20.0F), 20.0F, 1e-3F);
+  EXPECT_LT(VectorUnit::silu(1.0F), 1.0F);
+  EXPECT_NEAR(VectorUnit::silu(1.0F), 1.0F / (1.0F + std::exp(-1.0F)), 1e-6F);
+}
+
+TEST(VectorUnit, GeluProperties) {
+  EXPECT_EQ(VectorUnit::gelu(0.0F), 0.0F);
+  EXPECT_NEAR(VectorUnit::gelu(10.0F), 10.0F, 1e-3F);
+  // gelu(-x) is small negative, approaching 0 for very negative x.
+  EXPECT_NEAR(VectorUnit::gelu(-10.0F), 0.0F, 1e-3F);
+}
+
+TEST(VectorUnit, Bf16ConversionQuantizes) {
+  VectorUnit vu(4);
+  const std::vector<float> x{1.00390625F};  // 1 + 2^-8, not a BF16 value
+  const auto y = vu.to_bf16(x);
+  EXPECT_NE(y[0], x[0]);
+  EXPECT_NEAR(y[0], x[0], 0.01F);
+}
+
+TEST(VectorUnit, CycleChargePerLaneGroup) {
+  VectorUnit vu(4);
+  const std::vector<float> a(10, 1.0F);
+  const std::vector<float> b(10, 2.0F);
+  vu.add(a, b);  // ceil(10/4) = 3 issues
+  EXPECT_EQ(vu.cycles_elapsed(), 3u);
+  vu.mul(a, b);
+  EXPECT_EQ(vu.cycles_elapsed(), 6u);
+  vu.reset_counters();
+  EXPECT_EQ(vu.cycles_elapsed(), 0u);
+}
+
+class ActSweep : public ::testing::TestWithParam<isa::ActUop> {};
+
+TEST_P(ActSweep, MonotoneOnPositiveAxisAndBoundedDip) {
+  // Properties shared by ReLU/SiLU/GELU: monotone non-decreasing for
+  // x >= 0, and the negative-axis dip (SiLU min ≈ −0.278, GELU ≈ −0.17)
+  // never goes below −0.3.
+  const auto op = GetParam();
+  VectorUnit vu(64);
+  std::vector<float> xs;
+  for (float x = -6.0F; x <= 6.0F; x += 0.05F) xs.push_back(x);
+  const auto ys = vu.activate(xs, op);
+  for (std::size_t i = 1; i < ys.size(); ++i) {
+    if (xs[i - 1] >= 0.0F) {
+      EXPECT_GE(ys[i], ys[i - 1] - 1e-5F) << "x=" << xs[i];
+    }
+    EXPECT_GE(ys[i], -0.3F) << "x=" << xs[i];
+    // Dominated by identity: act(x) <= max(x, 0) + eps.
+    EXPECT_LE(ys[i], std::max(xs[i], 0.0F) + 1e-5F) << "x=" << xs[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, ActSweep,
+                         ::testing::Values(isa::ActUop::kRelu, isa::ActUop::kSilu,
+                                           isa::ActUop::kGelu));
+
+}  // namespace
+}  // namespace edgemm::coproc

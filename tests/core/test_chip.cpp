@@ -1,0 +1,134 @@
+#include "core/chip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edgemm::core {
+namespace {
+
+TEST(Chip, HeterogeneousCompositionMatchesConfig) {
+  ChipTimingModel chip(default_chip_config(), ChipComposition::kHeterogeneous);
+  EXPECT_EQ(chip.clusters(ClusterKind::kComputeCentric).size(), 8u);
+  EXPECT_EQ(chip.clusters(ClusterKind::kMemoryCentric).size(), 8u);
+  EXPECT_EQ(chip.all_clusters().size(), 16u);
+}
+
+TEST(Chip, HomogeneousCompositionsFillAllSlots) {
+  ChipTimingModel homo_cc(default_chip_config(), ChipComposition::kHomoCc);
+  EXPECT_EQ(homo_cc.clusters(ClusterKind::kComputeCentric).size(), 16u);
+  EXPECT_TRUE(homo_cc.clusters(ClusterKind::kMemoryCentric).empty());
+
+  ChipTimingModel baseline(default_chip_config(), ChipComposition::kBaselineSnitch);
+  EXPECT_EQ(baseline.clusters(ClusterKind::kBaselineSimd).size(), 16u);
+}
+
+TEST(Chip, PreferredClustersFollowPhaseMapping) {
+  // §IV-B: encoder/prefill on CC; decode on MC.
+  ChipTimingModel chip(default_chip_config(), ChipComposition::kHeterogeneous);
+  for (const Phase phase : {Phase::kVisionEncoder, Phase::kProjector, Phase::kPrefill}) {
+    for (auto* cluster : chip.preferred_clusters(phase)) {
+      EXPECT_EQ(cluster->kind(), ClusterKind::kComputeCentric);
+    }
+  }
+  for (auto* cluster : chip.preferred_clusters(Phase::kDecode)) {
+    EXPECT_EQ(cluster->kind(), ClusterKind::kMemoryCentric);
+  }
+}
+
+TEST(Chip, HomogeneousChipsUseEverythingForEveryPhase) {
+  ChipTimingModel chip(default_chip_config(), ChipComposition::kHomoMc);
+  EXPECT_EQ(chip.preferred_clusters(Phase::kPrefill).size(), 16u);
+  EXPECT_EQ(chip.preferred_clusters(Phase::kDecode).size(), 16u);
+}
+
+TEST(Chip, PartitionCoversOutputExactly) {
+  const GemmWork work{4, 512, 1000, Phase::kPrefill, false, 0, false};
+  const auto shards = ChipTimingModel::partition(work, 8);
+  ASSERT_EQ(shards.size(), 8u);
+  std::size_t total_n = 0;
+  for (const auto& s : shards) {
+    EXPECT_EQ(s.m, work.m);
+    EXPECT_EQ(s.k, work.k);
+    total_n += s.n;
+  }
+  EXPECT_EQ(total_n, 1000u);
+  // Remainder spread: shard sizes differ by at most one.
+  EXPECT_EQ(shards.front().n, 125u);
+}
+
+TEST(Chip, PartitionMoreWaysThanColumns) {
+  const GemmWork work{1, 8, 3, Phase::kDecode, false, 0, false};
+  const auto shards = ChipTimingModel::partition(work, 8);
+  EXPECT_EQ(shards.size(), 3u);  // surplus ways get nothing
+}
+
+TEST(Chip, RunPhaseExecutesToCompletion) {
+  ChipConfig cfg = default_chip_config();
+  cfg.groups = 1;  // keep the test fast
+  ChipTimingModel chip(cfg, ChipComposition::kHeterogeneous);
+  const std::vector<GemmWork> ops{
+      {64, 1024, 1024, Phase::kPrefill, false, 0, false},
+      {64, 1024, 2048, Phase::kPrefill, false, 0, false},
+  };
+  const Cycle elapsed = chip.run_phase(ops);
+  EXPECT_GT(elapsed, 0u);
+  for (auto* cluster : chip.clusters(ClusterKind::kComputeCentric)) {
+    EXPECT_TRUE(cluster->idle());
+  }
+}
+
+TEST(Chip, ShardingAcrossClustersBeatsSingleCluster) {
+  // The same op on 1 vs 4 CC clusters: tensor partitioning must help.
+  ChipConfig small = default_chip_config();
+  small.groups = 1;
+  small.mc_clusters_per_group = 0;
+  small.cc_clusters_per_group = 1;
+
+  ChipConfig wide = small;
+  wide.cc_clusters_per_group = 4;
+
+  const std::vector<GemmWork> ops{{128, 2048, 2048, Phase::kPrefill, false, 0, false}};
+
+  ChipTimingModel chip1(small, ChipComposition::kHeterogeneous);
+  const Cycle t1 = chip1.run_phase(ops);
+  ChipTimingModel chip4(wide, ChipComposition::kHeterogeneous);
+  const Cycle t4 = chip4.run_phase(ops);
+  EXPECT_LT(t4, t1);
+  EXPECT_GT(static_cast<double>(t1) / static_cast<double>(t4), 2.0);
+}
+
+TEST(Chip, MixedPhaseSpanRunsGroupwise) {
+  ChipConfig cfg = default_chip_config();
+  cfg.groups = 1;
+  ChipTimingModel chip(cfg, ChipComposition::kHeterogeneous);
+  const std::vector<GemmWork> ops{
+      {32, 512, 512, Phase::kPrefill, false, 0, false},
+      {1, 512, 512, Phase::kDecode, false, 0, false},
+  };
+  const Cycle elapsed = chip.run_phase(ops);
+  EXPECT_GT(elapsed, 0u);
+  // Both cluster kinds must have seen work.
+  Bytes cc_bytes = 0;
+  Bytes mc_bytes = 0;
+  for (auto* c : chip.clusters(ClusterKind::kComputeCentric)) {
+    cc_bytes += c->dma().total_bytes();
+  }
+  for (auto* c : chip.clusters(ClusterKind::kMemoryCentric)) {
+    mc_bytes += c->dma().total_bytes();
+  }
+  EXPECT_GT(cc_bytes, 0u);
+  EXPECT_GT(mc_bytes, 0u);
+}
+
+TEST(Chip, ClearBandwidthBudgetsLiftsThrottles) {
+  ChipConfig cfg = default_chip_config();
+  cfg.groups = 1;
+  ChipTimingModel chip(cfg, ChipComposition::kHeterogeneous);
+  for (auto* c : chip.all_clusters()) c->dma().set_budget(1);
+  chip.clear_bandwidth_budgets();
+  for (auto* c : chip.all_clusters()) {
+    EXPECT_EQ(c->dma().budget(), mem::DmaEngine::kUnlimited);
+  }
+}
+
+}  // namespace
+}  // namespace edgemm::core

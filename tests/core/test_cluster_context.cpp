@@ -1,0 +1,111 @@
+#include "core/cluster_context.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+#include "isa/assembler.hpp"
+#include "isa/csr.hpp"
+
+namespace edgemm::core {
+namespace {
+
+ChipConfig cfg() {
+  ChipConfig c = tiny_chip_config();
+  c.cim = {8, 4, 8, 8, 8};
+  return c;
+}
+
+TEST(ClusterContext, RejectsEmptyCluster) {
+  EXPECT_THROW(ClusterContext(cfg(), CoreKind::kMemoryCentric, 0),
+               std::invalid_argument);
+}
+
+TEST(ClusterContext, CoresCarryDistinctIdentities) {
+  ClusterContext cluster(cfg(), CoreKind::kMemoryCentric, 2, /*cluster_id=*/3,
+                         /*group_id=*/1);
+  EXPECT_EQ(cluster.core(0).csrs().read(isa::Csr::kCorePos), 0u);
+  EXPECT_EQ(cluster.core(1).csrs().read(isa::Csr::kCorePos), 1u);
+  EXPECT_EQ(cluster.core(0).csrs().read(isa::Csr::kClusterId), 3u);
+  EXPECT_EQ(cluster.core(1).csrs().read(isa::Csr::kGroupId), 1u);
+  EXPECT_NE(cluster.core(0).csrs().read(isa::Csr::kCoreId),
+            cluster.core(1).csrs().read(isa::Csr::kCoreId));
+  EXPECT_THROW(cluster.core(2), std::out_of_range);
+}
+
+TEST(ClusterContext, SharedBufferSizedByKind) {
+  const ChipConfig c = cfg();
+  ClusterContext cc(c, CoreKind::kComputeCentric, 2);
+  ClusterContext mc(c, CoreKind::kMemoryCentric, 2);
+  EXPECT_EQ(cc.shared_buffer().capacity(), c.cc_cluster_tcdm_bytes);
+  EXPECT_EQ(mc.shared_buffer().capacity(), c.mc_shared_buffer_bytes);
+}
+
+TEST(ClusterContext, BarrierReleasesOnLastArrival) {
+  ClusterContext cluster(cfg(), CoreKind::kMemoryCentric, 3);
+  EXPECT_FALSE(cluster.barrier_arrive(0));
+  EXPECT_FALSE(cluster.barrier_arrive(2));
+  EXPECT_EQ(cluster.barrier_epochs(), 0u);
+  EXPECT_TRUE(cluster.barrier_arrive(1));
+  EXPECT_EQ(cluster.barrier_epochs(), 1u);
+  // Epoch visible through every core's CSR.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(cluster.core(i).csrs().read(isa::Csr::kSyncEpoch), 1u);
+  }
+}
+
+TEST(ClusterContext, DoubleArrivalIsAProgramBug) {
+  ClusterContext cluster(cfg(), CoreKind::kMemoryCentric, 2);
+  EXPECT_FALSE(cluster.barrier_arrive(0));
+  EXPECT_THROW(cluster.barrier_arrive(0), std::logic_error);
+}
+
+TEST(ClusterContext, BarrierResetsForNextEpoch) {
+  ClusterContext cluster(cfg(), CoreKind::kMemoryCentric, 2);
+  cluster.barrier_arrive(0);
+  cluster.barrier_arrive(1);
+  cluster.barrier_arrive(1);
+  EXPECT_TRUE(cluster.barrier_arrive(0));
+  EXPECT_EQ(cluster.barrier_epochs(), 2u);
+}
+
+TEST(ClusterContext, SpmdShardedGemvMatchesReference) {
+  // The §III-C flow at cluster scope: every core prunes-and-multiplies
+  // its channel shard; partial outputs reduce into the final vector.
+  const ChipConfig c = cfg();
+  ClusterContext cluster(c, CoreKind::kMemoryCentric, 2);
+
+  const std::size_t k = 16;
+  const std::size_t n = 8;
+  Rng rng(7);
+  Tensor weights(k, n);
+  for (float& v : weights.flat()) v = static_cast<float>(rng.gaussian(0.0, 0.4));
+  std::vector<float> act(k);
+  for (float& v : act) v = static_cast<float>(rng.gaussian());
+
+  std::vector<Tensor> shards;
+  shards.push_back(weights.block(0, 0, k / 2, n));
+  shards.push_back(weights.block(k / 2, 0, k / 2, n));
+
+  std::vector<float> combined(n, 0.0F);
+  const auto cycles = cluster.run_spmd([&](HostCore& core, std::size_t index) {
+    core.bind_matrix(0x2000, &shards[index]);
+    core.set_xreg(2, 0x2000);
+    core.set_vreg(0, std::vector<float>(act.begin() + index * (k / 2),
+                                        act.begin() + (index + 1) * (k / 2)));
+    Cycle used = core.execute(isa::assemble_line("mv.ldw (x2)"));
+    used += core.execute(isa::assemble_line("mv.mul v1, v0, (x2)"));
+    for (std::size_t i = 0; i < n; ++i) combined[i] += core.vreg(1)[i];
+    return used;
+  });
+
+  EXPECT_EQ(cycles.size(), 2u);
+  EXPECT_EQ(cluster.barrier_epochs(), 1u);
+  const auto ref = gemv_reference(act, weights);
+  EXPECT_GT(cosine_similarity(combined, ref), 0.99);
+}
+
+}  // namespace
+}  // namespace edgemm::core

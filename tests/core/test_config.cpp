@@ -1,0 +1,76 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace edgemm::core {
+namespace {
+
+TEST(Config, DefaultMatchesPaperHierarchy) {
+  const ChipConfig cfg = default_chip_config();
+  // §III-A: 4 groups × (2 CC + 2 MC clusters); 4 CC-cores / 2 MC-cores.
+  EXPECT_EQ(cfg.groups, 4u);
+  EXPECT_EQ(cfg.total_cc_clusters(), 8u);
+  EXPECT_EQ(cfg.total_mc_clusters(), 8u);
+  EXPECT_EQ(cfg.total_cc_cores(), 32u);
+  EXPECT_EQ(cfg.total_mc_cores(), 16u);
+}
+
+TEST(Config, PeakThroughputNearPublished) {
+  // Table II: ~18 TFLOP/s (BF16) at 1 GHz.
+  const ChipConfig cfg = default_chip_config();
+  EXPECT_NEAR(cfg.peak_flops(), 18.0e12, 3.0e12);
+}
+
+TEST(Config, McClusterMemoryExceedsCcTcdm) {
+  // §III-B: "MC-clusters have significantly larger data memory than
+  // CC-clusters."
+  const ChipConfig cfg = default_chip_config();
+  EXPECT_GT(cfg.mc_cluster_cim_bytes(), cfg.cc_cluster_tcdm_bytes);
+}
+
+TEST(Config, PublishedImplementationConstants) {
+  const ChipConfig cfg = default_chip_config();
+  EXPECT_DOUBLE_EQ(cfg.chip_power_w, 0.112);   // 112 mW post-P&R
+  EXPECT_DOUBLE_EQ(cfg.sa_area_share, 0.62);   // SA = 62 % of CC-core
+  EXPECT_DOUBLE_EQ(cfg.cim_area_share, 0.81);  // CIM = 81 % of MC-core
+  EXPECT_DOUBLE_EQ(cfg.clock_hz, 1.0e9);
+}
+
+TEST(Config, ValidateCatchesBrokenConfigs) {
+  ChipConfig cfg = default_chip_config();
+  cfg.groups = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = default_chip_config();
+  cfg.systolic.rows = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = default_chip_config();
+  cfg.dram.bytes_per_cycle = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = default_chip_config();
+  cfg.cc_elem_bytes = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Config, TinyConfigIsValidAndSmall) {
+  const ChipConfig tiny = tiny_chip_config();
+  EXPECT_NO_THROW(tiny.validate());
+  EXPECT_LT(tiny.total_cc_cores() + tiny.total_mc_cores(), 8u);
+}
+
+TEST(Config, ScalingChangesDerivedCounts) {
+  // §III-A: "the hardware architecture can also be scaled by changing
+  // architecture parameters."
+  ChipConfig cfg = default_chip_config();
+  cfg.groups = 8;
+  cfg.validate();
+  EXPECT_EQ(cfg.total_cc_clusters(), 16u);
+  EXPECT_NEAR(cfg.peak_flops(), 2.0 * default_chip_config().peak_flops(), 1e9);
+}
+
+}  // namespace
+}  // namespace edgemm::core

@@ -1,0 +1,166 @@
+#include "core/kernels.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+
+namespace edgemm::core {
+namespace {
+
+ChipConfig kernel_cfg() {
+  ChipConfig cfg = tiny_chip_config();
+  cfg.systolic = {4, 4};
+  cfg.cim = {8, 4, 8, 8, 8};
+  return cfg;
+}
+
+Tensor random_tensor(std::size_t r, std::size_t c, Rng& rng, double sigma = 0.5) {
+  Tensor t(r, c);
+  for (float& v : t.flat()) v = static_cast<float>(rng.gaussian(0.0, sigma));
+  return t;
+}
+
+TEST(SaGemmKernel, MatchesReferenceOnOddShapes) {
+  // 7×10 × 10×9 exercises padding on every tile edge.
+  const ChipConfig cfg = kernel_cfg();
+  Rng rng(3);
+  const Tensor a = random_tensor(7, 10, rng);
+  const Tensor w = random_tensor(10, 9, rng);
+  const auto result = sa_gemm(cfg, a, w);
+  const Tensor ref = matmul_reference(a, w);
+  ASSERT_EQ(result.out.rows(), 7u);
+  ASSERT_EQ(result.out.cols(), 9u);
+  for (std::size_t r = 0; r < 7; ++r) {
+    for (std::size_t c = 0; c < 9; ++c) {
+      EXPECT_NEAR(result.out.at(r, c), ref.at(r, c), 0.08F) << r << "," << c;
+    }
+  }
+}
+
+TEST(SaGemmKernel, TilePassCountAndCycles) {
+  const ChipConfig cfg = kernel_cfg();  // 4×4 array
+  Rng rng(4);
+  const Tensor a = random_tensor(5, 8, rng);
+  const Tensor w = random_tensor(8, 12, rng);
+  const auto result = sa_gemm(cfg, a, w);
+  // ceil(8/4) × ceil(12/4) = 2 × 3 tiles.
+  EXPECT_EQ(result.tile_passes, 6u);
+  // Each pass: load (R) + stream (Eq. 2 remainder) at m = 5.
+  EXPECT_EQ(result.cycles,
+            6u * coproc::systolic_tile_cycles(cfg.systolic, 5));
+}
+
+TEST(SaGemmKernel, InnerMismatchThrows) {
+  const ChipConfig cfg = kernel_cfg();
+  EXPECT_THROW(sa_gemm(cfg, Tensor(2, 3), Tensor(4, 2)), std::invalid_argument);
+}
+
+TEST(CimGemvKernel, MatchesReferenceWithinQuantError) {
+  const ChipConfig cfg = kernel_cfg();
+  Rng rng(5);
+  const Tensor w = random_tensor(16, 20, rng);  // K=16 > R·entries? 16/4=4 entries
+  std::vector<float> act(16);
+  for (float& v : act) v = static_cast<float>(rng.gaussian(0.0, 0.5));
+  const auto result = cim_gemv(cfg, act, w);
+  const auto ref = gemv_reference(act, w);
+  ASSERT_EQ(result.out.size(), 20u);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(result.out[i], ref[i], 0.25F) << i;
+  }
+  // ceil(20/8) = 3 column groups, ceil(16/4) = 4 entries.
+  EXPECT_EQ(result.column_groups, 3u);
+  EXPECT_EQ(result.entries_used, 4u);
+}
+
+TEST(CimGemvKernel, StreamsWhenKExceedsMacroCapacity) {
+  // K = 64 rows = 16 entries > 8 macro entries: two resident windows.
+  const ChipConfig cfg = kernel_cfg();
+  Rng rng(6);
+  const Tensor w = random_tensor(64, 8, rng);
+  std::vector<float> act(64);
+  for (float& v : act) v = static_cast<float>(rng.gaussian(0.0, 0.3));
+  const auto result = cim_gemv(cfg, act, w);
+  const auto ref = gemv_reference(act, w);
+  const double cos = cosine_similarity(result.out, ref);
+  EXPECT_GT(cos, 0.995);
+}
+
+TEST(CimGemvKernel, LengthMismatchThrows) {
+  const ChipConfig cfg = kernel_cfg();
+  EXPECT_THROW(cim_gemv(cfg, std::vector<float>(3, 1.0F), Tensor(4, 4)),
+               std::invalid_argument);
+}
+
+TEST(PrunedGemv, ValidatesArguments) {
+  const ChipConfig cfg = kernel_cfg();
+  const Tensor w(8, 4);
+  const std::vector<float> act(8, 1.0F);
+  EXPECT_THROW(cim_gemv_pruned(cfg, std::vector<float>(5, 1.0F), w, 4, 16.0, 2),
+               std::invalid_argument);
+  EXPECT_THROW(cim_gemv_pruned(cfg, act, w, 4, 0.0, 2), std::invalid_argument);
+  EXPECT_THROW(cim_gemv_pruned(cfg, act, w, 4, 16.0, 0), std::invalid_argument);
+}
+
+TEST(PrunedGemv, FullBudgetReducesToDenseGemv) {
+  const ChipConfig cfg = kernel_cfg();
+  Rng rng(7);
+  const Tensor w = random_tensor(16, 8, rng);
+  std::vector<float> act(16);
+  for (float& v : act) v = static_cast<float>(rng.gaussian());
+  const auto pruned = cim_gemv_pruned(cfg, act, w, 16, 16.0, 2);
+  EXPECT_EQ(pruned.channels_kept, 16u);
+  EXPECT_EQ(pruned.pruning_ratio, 0.0);
+  EXPECT_EQ(pruned.weight_bytes_fetched, pruned.weight_bytes_unpruned);
+  const auto dense = cim_gemv(cfg, act, w);
+  for (std::size_t i = 0; i < dense.out.size(); ++i) {
+    EXPECT_NEAR(pruned.out[i], dense.out[i], 0.15F);
+  }
+}
+
+TEST(PrunedGemv, OutlierDominatedVectorSurvivesHeavyPruning) {
+  const ChipConfig cfg = kernel_cfg();
+  Rng rng(8);
+  const Tensor w = random_tensor(32, 8, rng);
+  // Body ~0.02, four outliers at ±3: top-4 pruning keeps the signal.
+  std::vector<float> act(32);
+  for (float& v : act) v = static_cast<float>(rng.gaussian(0.0, 0.02));
+  act[3] = 3.0F;
+  act[11] = -2.5F;
+  act[19] = 2.8F;
+  act[27] = -3.2F;
+
+  const auto pruned = cim_gemv_pruned(cfg, act, w, 4, 16.0, 2);
+  EXPECT_EQ(pruned.channels_kept, 4u);
+  EXPECT_NEAR(pruned.pruning_ratio, 1.0 - 4.0 / 32.0, 1e-9);
+  EXPECT_LT(pruned.weight_bytes_fetched, pruned.weight_bytes_unpruned / 4);
+
+  const auto ref = gemv_reference(act, w);
+  EXPECT_GT(cosine_similarity(pruned.out, ref), 0.97);
+}
+
+TEST(PrunedGemv, BudgetSplitsAcrossCores) {
+  // With num_cores = 4 and k = 8 over 32 channels, each core keeps
+  // ceil(8·8/32) = 2 of its 8 local channels.
+  const ChipConfig cfg = kernel_cfg();
+  Rng rng(9);
+  const Tensor w = random_tensor(32, 8, rng);
+  std::vector<float> act(32);
+  for (float& v : act) v = static_cast<float>(rng.gaussian());
+  const auto pruned = cim_gemv_pruned(cfg, act, w, 8, 16.0, 4);
+  EXPECT_EQ(pruned.channels_kept, 8u);
+}
+
+TEST(PrunedGemv, ZeroBudgetYieldsZeroOutput) {
+  const ChipConfig cfg = kernel_cfg();
+  const Tensor w(8, 4);
+  const std::vector<float> act(8, 1.0F);
+  const auto pruned = cim_gemv_pruned(cfg, act, w, 0, 16.0, 2);
+  EXPECT_EQ(pruned.channels_kept, 0u);
+  for (const float v : pruned.out) EXPECT_EQ(v, 0.0F);
+}
+
+}  // namespace
+}  // namespace edgemm::core

@@ -1,0 +1,101 @@
+#include "core/mapping_explorer.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace edgemm::core {
+namespace {
+
+MappingExplorer make_explorer() { return MappingExplorer(default_chip_config()); }
+
+TEST(MappingExplorer, RejectsZeroWays) {
+  const auto explorer = make_explorer();
+  const GemmWork work{1, 512, 512, Phase::kDecode, false, 0, false};
+  EXPECT_THROW(
+      explorer.evaluate(work, ClusterKind::kMemoryCentric, Mapping::Split::kOutput, 0),
+      std::invalid_argument);
+}
+
+TEST(MappingExplorer, WaysClampToDimension) {
+  const auto explorer = make_explorer();
+  const GemmWork narrow{1, 512, 3, Phase::kDecode, false, 0, false};
+  const auto m = explorer.evaluate(narrow, ClusterKind::kMemoryCentric,
+                                   Mapping::Split::kOutput, 8);
+  EXPECT_EQ(m.ways, 3u);
+}
+
+TEST(MappingExplorer, ParallelismHelpsThenInputDuplicationBites) {
+  // The tradeoff the explorer exists to quantify: on compute-bound GEMM,
+  // per-cluster compute shrinks with ways, but every extra cluster
+  // re-reads the full activation input, so latency has an interior
+  // optimum rather than improving monotonically.
+  const auto explorer = make_explorer();
+  const GemmWork gemm{300, 2048, 2048, Phase::kPrefill, false, 0, false};
+  const auto one_way = explorer.evaluate(gemm, ClusterKind::kComputeCentric,
+                                         Mapping::Split::kOutput, 1);
+  const auto best = explorer.best(gemm, ClusterKind::kComputeCentric, 8);
+  EXPECT_GT(best.ways, 1u);
+  EXPECT_LT(best.predicted_cycles, one_way.predicted_cycles);
+  // Compute per cluster always shrinks with ways...
+  const auto w2 = explorer.evaluate(gemm, ClusterKind::kComputeCentric,
+                                    Mapping::Split::kOutput, 2);
+  const auto w8 = explorer.evaluate(gemm, ClusterKind::kComputeCentric,
+                                    Mapping::Split::kOutput, 8);
+  EXPECT_LT(w8.compute_cycles, w2.compute_cycles);
+  // ...while total traffic grows.
+  EXPECT_GT(w8.total_bytes, w2.total_bytes);
+}
+
+TEST(MappingExplorer, ReductionSplitPaysExchangeForWideOutputs) {
+  // With n >> k and a tall m, the partial-sum exchange (2 transfers of
+  // m×n accumulators per extra cluster) dominates the k-split's traffic.
+  const auto explorer = make_explorer();
+  const GemmWork gemm{64, 1024, 4096, Phase::kPrefill, false, 0, false};
+  const auto n_split = explorer.evaluate(gemm, ClusterKind::kComputeCentric,
+                                         Mapping::Split::kOutput, 4);
+  const auto k_split = explorer.evaluate(gemm, ClusterKind::kComputeCentric,
+                                         Mapping::Split::kReduction, 4);
+  EXPECT_GT(k_split.total_bytes, n_split.total_bytes);
+}
+
+TEST(MappingExplorer, KSplitWinsForNarrowOutputs) {
+  // A GEMV with tiny n but huge k cannot scale by output splitting;
+  // the reduction split is the only way to use multiple clusters.
+  const auto explorer = make_explorer();
+  const GemmWork narrow{1, 8192, 4, Phase::kDecode, false, 0, false};
+  const auto best = explorer.best(narrow, ClusterKind::kComputeCentric, 8);
+  EXPECT_EQ(best.split, Mapping::Split::kReduction);
+  EXPECT_GT(best.ways, 1u);
+}
+
+TEST(MappingExplorer, NSplitWinsForWideMemoryBoundGemv) {
+  // The scheduler's default: wide GEMV shards by output; the reduction
+  // split only adds exchange traffic on an already memory-bound op.
+  const auto explorer = make_explorer();
+  const GemmWork wide{1, 2048, 5632, Phase::kDecode, false, 0, false};
+  const auto best = explorer.best(wide, ClusterKind::kMemoryCentric, 8);
+  EXPECT_EQ(best.split, Mapping::Split::kOutput);
+}
+
+TEST(MappingExplorer, ExploreIsSortedAndComplete) {
+  const auto explorer = make_explorer();
+  const GemmWork work{16, 1024, 1024, Phase::kPrefill, false, 0, false};
+  const auto all = explorer.explore(work, ClusterKind::kComputeCentric, 4);
+  // ways 1 (n only) + ways 2..4 (both splits) = 1 + 3*2 = 7 candidates.
+  EXPECT_EQ(all.size(), 7u);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].predicted_cycles, all[i].predicted_cycles);
+  }
+}
+
+TEST(MappingExplorer, BestAgreesWithExploreFront) {
+  const auto explorer = make_explorer();
+  const GemmWork work{1, 2048, 2048, Phase::kDecode, false, 0, false};
+  const auto best = explorer.best(work, ClusterKind::kMemoryCentric, 8);
+  const auto all = explorer.explore(work, ClusterKind::kMemoryCentric, 8);
+  EXPECT_EQ(best.predicted_cycles, all.front().predicted_cycles);
+}
+
+}  // namespace
+}  // namespace edgemm::core

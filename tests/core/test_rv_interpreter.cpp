@@ -1,0 +1,218 @@
+#include "core/rv_interpreter.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "isa/assembler.hpp"
+
+namespace edgemm::core {
+namespace {
+
+using namespace rv;
+
+ChipConfig cfg() {
+  ChipConfig c = tiny_chip_config();
+  c.cim = {8, 4, 8, 8, 8};
+  return c;
+}
+
+HostCore make_cc() { return HostCore(cfg(), CoreKind::kComputeCentric, 0, 0, 0, 0); }
+HostCore make_mc(std::uint32_t pos = 0) {
+  return HostCore(cfg(), CoreKind::kMemoryCentric, pos, 0, 0, pos);
+}
+
+TEST(RvInterpreter, ArithmeticAndImmediates) {
+  HostCore core = make_cc();
+  RvInterpreter cpu(core);
+  const std::vector<std::uint32_t> program{
+      addi(1, 0, 40),    // x1 = 40
+      addi(2, 1, 2),     // x2 = 42
+      add(3, 1, 2),      // x3 = 82
+      sub(4, 2, 1),      // x4 = 2
+      slli(5, 4, 4),     // x5 = 32
+      srli(6, 5, 3),     // x6 = 4
+      xor_(7, 1, 2),     // x7 = 40 ^ 42
+      ecall(),
+  };
+  const auto result = cpu.run(program);
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(core.xreg(3), 82u);
+  EXPECT_EQ(core.xreg(4), 2u);
+  EXPECT_EQ(core.xreg(5), 32u);
+  EXPECT_EQ(core.xreg(6), 4u);
+  EXPECT_EQ(core.xreg(7), 40u ^ 42u);
+}
+
+TEST(RvInterpreter, NegativeImmediatesSignExtend) {
+  HostCore core = make_cc();
+  RvInterpreter cpu(core);
+  const std::vector<std::uint32_t> program{
+      addi(1, 0, -5),
+      addi(2, 1, 3),
+      ecall(),
+  };
+  cpu.run(program);
+  EXPECT_EQ(static_cast<std::int32_t>(core.xreg(2)), -2);
+}
+
+TEST(RvInterpreter, LuiBuildsUpperImmediate) {
+  HostCore core = make_cc();
+  RvInterpreter cpu(core);
+  const std::vector<std::uint32_t> program{
+      lui(1, 0x8),        // x1 = 0x8000
+      addi(1, 1, 0x100),  // x1 = 0x8100
+      ecall(),
+  };
+  cpu.run(program);
+  EXPECT_EQ(core.xreg(1), 0x8100u);
+}
+
+TEST(RvInterpreter, LoadStoreRoundTrip) {
+  HostCore core = make_cc();
+  RvInterpreter cpu(core);
+  cpu.store_word(64, 1234);
+  const std::vector<std::uint32_t> program{
+      addi(1, 0, 64),
+      lw(2, 1, 0),      // x2 = mem[64]
+      addi(2, 2, 1),
+      sw(2, 1, 4),      // mem[68] = 1235
+      ecall(),
+  };
+  cpu.run(program);
+  EXPECT_EQ(cpu.load_word(68), 1235u);
+}
+
+TEST(RvInterpreter, MisalignedAccessThrows) {
+  HostCore core = make_cc();
+  RvInterpreter cpu(core);
+  EXPECT_THROW(cpu.load_word(2), std::invalid_argument);
+  EXPECT_THROW(cpu.store_word(6, 1), std::invalid_argument);
+  EXPECT_THROW(cpu.load_word(1u << 20), std::out_of_range);
+}
+
+TEST(RvInterpreter, LoopSumsOneToTen) {
+  // x1 = counter, x2 = sum, x3 = limit.
+  HostCore core = make_cc();
+  RvInterpreter cpu(core);
+  const std::vector<std::uint32_t> program{
+      addi(1, 0, 1),     // 0x00: i = 1
+      addi(2, 0, 0),     // 0x04: sum = 0
+      addi(3, 0, 10),    // 0x08: limit = 10
+      add(2, 2, 1),      // 0x0C: sum += i
+      addi(1, 1, 1),     // 0x10: ++i
+      bge(3, 1, -8),     // 0x14: while (limit >= i) goto 0x0C
+      ecall(),           // 0x18
+  };
+  const auto result = cpu.run(program);
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(core.xreg(2), 55u);
+  EXPECT_GT(result.instructions, 30u);
+}
+
+TEST(RvInterpreter, JalAndJalrLinkAndJump) {
+  HostCore core = make_cc();
+  RvInterpreter cpu(core);
+  const std::vector<std::uint32_t> program{
+      jal(1, 12),        // 0x00: jump to 0x0C, x1 = 4
+      addi(2, 0, 111),   // 0x04: skipped on first pass
+      ecall(),           // 0x08
+      addi(3, 0, 7),     // 0x0C: landed here
+      jalr(4, 1, 0),     // 0x10: jump back to 0x04
+  };
+  const auto result = cpu.run(program);
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(core.xreg(1), 4u);
+  EXPECT_EQ(core.xreg(3), 7u);
+  EXPECT_EQ(core.xreg(2), 111u);
+  EXPECT_EQ(core.xreg(4), 20u);
+}
+
+TEST(RvInterpreter, FuelLimitStopsRunaways) {
+  HostCore core = make_cc();
+  RvInterpreter cpu(core);
+  const std::vector<std::uint32_t> program{
+      jal(0, 0),  // infinite loop onto itself
+  };
+  const auto result = cpu.run(program, /*fuel=*/1000);
+  EXPECT_FALSE(result.halted);
+  EXPECT_EQ(result.instructions, 1000u);
+}
+
+TEST(RvInterpreter, PcOutsideProgramThrows) {
+  HostCore core = make_cc();
+  RvInterpreter cpu(core);
+  const std::vector<std::uint32_t> program{
+      addi(1, 0, 1),  // falls off the end: no ecall
+  };
+  EXPECT_THROW(cpu.run(program), std::out_of_range);
+}
+
+TEST(RvInterpreter, ExtensionWordsDispatchToCoprocessor) {
+  // Base ISA + extension interleaved: the RV loop sets the pruning
+  // budget via a scalar register, then cfg.csrw + mv.prune execute on
+  // the coprocessor, exactly the Fig. 5/6 dispatch structure.
+  HostCore core = make_mc();
+  RvInterpreter cpu(core);
+  core.set_vreg(4, {0.01F, 8.0F, 0.02F, -6.0F, 0.005F});
+
+  std::vector<std::uint32_t> program{
+      addi(1, 0, 2),  // x1 = k budget
+      isa::assemble_line("cfg.csrw prunek, x1"),
+      isa::assemble_line("mv.prune v5, v4"),
+      ecall(),
+  };
+  const auto result = cpu.run(program);
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(core.vreg(5), (std::vector<float>{8.0F, -6.0F}));
+  // Coprocessor cycles dominate the two base instructions.
+  EXPECT_GT(result.cycles, 4u);
+}
+
+TEST(RvInterpreter, RvDrivenShardedGemv) {
+  // Full §III-C flow in machine code: each core computes its shard base
+  // address from the corepos CSR with base-ISA arithmetic, then runs the
+  // CIM kernel on its half of the matrix.
+  const ChipConfig config = cfg();
+  const std::size_t k = 16;
+  const std::size_t n = 8;
+  Rng rng(5);
+  Tensor weights(k, n);
+  for (float& v : weights.flat()) v = static_cast<float>(rng.gaussian(0.0, 0.4));
+  std::vector<float> act(k);
+  for (float& v : act) v = static_cast<float>(rng.gaussian());
+
+  std::vector<float> combined(n, 0.0F);
+  for (std::uint32_t pos = 0; pos < 2; ++pos) {
+    HostCore core = make_mc(pos);
+    RvInterpreter cpu(core);
+    const Tensor shard = weights.block(pos * (k / 2), 0, k / 2, n);
+    const std::vector<float> act_shard(act.begin() + pos * (k / 2),
+                                       act.begin() + (pos + 1) * (k / 2));
+    // Shard addresses 0x1000 and 0x1400, computed by the program.
+    core.bind_matrix(0x1000 + pos * 0x400, &shard);
+    core.set_vreg(0, act_shard);
+
+    const std::vector<std::uint32_t> program{
+        isa::assemble_line("cfg.csrr corepos, x1"),  // x1 = my position
+        slli(2, 1, 10),                              // x2 = pos * 0x400
+        lui(3, 0x1),                                 // x3 = 0x1000
+        add(3, 3, 2),                                // x3 = shard base
+        isa::assemble_line("mv.ldw (x3)"),
+        isa::assemble_line("mv.mul v2, v0, (x3)"),
+        ecall(),
+    };
+    const auto result = cpu.run(program);
+    ASSERT_TRUE(result.halted);
+    for (std::size_t i = 0; i < n; ++i) combined[i] += core.vreg(2)[i];
+  }
+  const auto ref = gemv_reference(act, weights);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(combined[i], ref[i], 0.25F) << i;
+  }
+}
+
+}  // namespace
+}  // namespace edgemm::core

@@ -1,0 +1,121 @@
+#include "isa/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/disassembler.hpp"
+#include "isa/encoding.hpp"
+
+namespace edgemm::isa {
+namespace {
+
+TEST(Assembler, AssemblesMatrixMul) {
+  const std::uint32_t w = assemble_line("mm.mul m0, m1, m2");
+  Fields f;
+  ASSERT_TRUE(decode(w, f));
+  EXPECT_EQ(f.format, Format::kMatrixMatrix);
+  EXPECT_EQ(f.md, 0);
+  EXPECT_EQ(f.ms1, 1);
+  EXPECT_EQ(f.ms2, 2);
+}
+
+TEST(Assembler, AssemblesMemoryOperand) {
+  const std::uint32_t w = assemble_line("mv.mul v1, v2, (x9)");
+  Fields f;
+  ASSERT_TRUE(decode(w, f));
+  EXPECT_EQ(f.format, Format::kMatrixVector);
+  EXPECT_EQ(f.vd, 1);
+  EXPECT_EQ(f.vs1, 2);
+  EXPECT_EQ(f.rs1, 9);
+}
+
+TEST(Assembler, AssemblesCsrByName) {
+  const std::uint32_t w = assemble_line("cfg.csrw shapek, x5");
+  Fields f;
+  ASSERT_TRUE(decode(w, f));
+  EXPECT_EQ(static_cast<Csr>(f.csr), Csr::kShapeK);
+  EXPECT_EQ(f.rs1, 5);
+}
+
+TEST(Assembler, AssemblesActivationSelector) {
+  const std::uint32_t w = assemble_line("vv.act v3, v4, silu");
+  Fields f;
+  ASSERT_TRUE(decode(w, f));
+  EXPECT_EQ(f.uop, static_cast<std::uint8_t>(ActUop::kSilu));
+}
+
+TEST(Assembler, CommentsAndBlanksSkipped) {
+  const auto words = assemble(R"(
+    # set up the shard
+    cfg.csrr coreid, x1   // who am i
+    mm.zero m0
+
+    mm.ld m1, a0
+  )");
+  EXPECT_EQ(words.size(), 3u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("mm.zero m0\nmm.bogus m1\n");
+    FAIL() << "expected AssemblerError";
+  } catch (const AssemblerError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Assembler, RejectsBadOperands) {
+  EXPECT_THROW(assemble_line("mm.mul m0, m1"), AssemblerError);       // arity
+  EXPECT_THROW(assemble_line("mm.mul m0, m1, m9"), AssemblerError);   // range
+  EXPECT_THROW(assemble_line("mm.mul m0, m1, x2"), AssemblerError);   // class
+  EXPECT_THROW(assemble_line("mv.mul v1, v2, x9"), AssemblerError);   // not (xN)
+  EXPECT_THROW(assemble_line("vv.act v1, v2, tanh"), AssemblerError); // selector
+  EXPECT_THROW(assemble_line("cfg.csrw nosuchcsr, x1"), AssemblerError);
+  EXPECT_THROW(assemble_line("cfg.sync x1"), AssemblerError);         // arity
+  EXPECT_THROW(assemble_line("v32 nonsense"), AssemblerError);
+}
+
+TEST(Assembler, CsrNameTableBijective) {
+  for (const Csr csr : {Csr::kCoreId, Csr::kCoreType, Csr::kClusterId, Csr::kGroupId,
+                        Csr::kCorePos, Csr::kShapeM, Csr::kShapeN, Csr::kShapeK,
+                        Csr::kPruneThresh, Csr::kPruneK, Csr::kPruneCount,
+                        Csr::kSyncEpoch}) {
+    const auto name = csr_name(csr);
+    const auto back = csr_from_name(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, csr);
+  }
+}
+
+class RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTrip, AssembleDisassembleAssembleIsIdentity) {
+  const std::uint32_t w1 = assemble_line(GetParam());
+  const std::string text = disassemble_word(w1);
+  const std::uint32_t w2 = assemble_line(text);
+  EXPECT_EQ(w1, w2) << GetParam() << " -> " << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllInstructions, RoundTrip,
+    ::testing::Values("mm.mul m0, m1, m2", "mm.add m3, m2, m1", "mm.ld m1, a0",
+                      "mm.st m2, a7", "mm.zero m3", "mv.mul v1, v2, (x9)",
+                      "mv.ldw (x4)", "mv.prune v5, v6", "vv.add v1, v2, v3",
+                      "vv.mul v4, v5, v6", "vv.max v7, v8, v9",
+                      "vv.act v1, v2, relu", "vv.act v1, v2, silu",
+                      "vv.act v1, v2, gelu", "vv.cvt v1, v2, bf16",
+                      "vv.cvt v1, v2, int8", "cfg.csrw prunet, x3",
+                      "cfg.csrr coreid, x1", "cfg.sync"));
+
+TEST(Disassembler, UnknownWordsRenderAsRaw) {
+  EXPECT_EQ(disassemble_word(0x00000013u), ".word 0x00000013");
+}
+
+TEST(Disassembler, ProgramRendersOnePerLine) {
+  const auto words = assemble("mm.zero m0\ncfg.sync\n");
+  const std::string text = disassemble(words);
+  EXPECT_NE(text.find("mm.zero m0\n"), std::string::npos);
+  EXPECT_NE(text.find("cfg.sync\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edgemm::isa

@@ -1,0 +1,70 @@
+#include "isa/csr.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace edgemm::isa {
+namespace {
+
+CsrFile make_file() {
+  return CsrFile(/*core_id=*/17, CoreKind::kMemoryCentric, /*cluster_id=*/3,
+                 /*group_id=*/1, /*core_pos=*/2);
+}
+
+TEST(Csr, IdentityRegistersWiredAtConstruction) {
+  const CsrFile csrs = make_file();
+  EXPECT_EQ(csrs.read(Csr::kCoreId), 17u);
+  EXPECT_EQ(csrs.read(Csr::kCoreType), 1u);  // MC
+  EXPECT_EQ(csrs.read(Csr::kClusterId), 3u);
+  EXPECT_EQ(csrs.read(Csr::kGroupId), 1u);
+  EXPECT_EQ(csrs.read(Csr::kCorePos), 2u);
+}
+
+TEST(Csr, CcCoreTypeIsZero) {
+  const CsrFile csrs(0, CoreKind::kComputeCentric, 0, 0, 0);
+  EXPECT_EQ(csrs.read(Csr::kCoreType), 0u);
+}
+
+TEST(Csr, DefaultPruneThresholdIsSixteen) {
+  // The paper fixes t = 16 in the design (§IV-A).
+  const CsrFile csrs = make_file();
+  EXPECT_EQ(csrs.read(Csr::kPruneThresh), 16u);
+}
+
+TEST(Csr, WritableRegistersHoldValues) {
+  CsrFile csrs = make_file();
+  csrs.write(Csr::kShapeM, 300);
+  csrs.write(Csr::kShapeK, 2048);
+  csrs.write(Csr::kPruneK, 128);
+  EXPECT_EQ(csrs.read(Csr::kShapeM), 300u);
+  EXPECT_EQ(csrs.read(Csr::kShapeK), 2048u);
+  EXPECT_EQ(csrs.read(Csr::kPruneK), 128u);
+}
+
+TEST(Csr, ReadOnlyRegistersRejectWrites) {
+  CsrFile csrs = make_file();
+  EXPECT_THROW(csrs.write(Csr::kCoreId, 0), std::invalid_argument);
+  EXPECT_THROW(csrs.write(Csr::kCoreType, 0), std::invalid_argument);
+  EXPECT_THROW(csrs.write(Csr::kPruneCount, 1), std::invalid_argument);
+  EXPECT_THROW(csrs.write(Csr::kSyncEpoch, 1), std::invalid_argument);
+}
+
+TEST(Csr, HardwareSideChannelsBypassReadOnly) {
+  CsrFile csrs = make_file();
+  csrs.set_prune_count(42);
+  EXPECT_EQ(csrs.read(Csr::kPruneCount), 42u);
+  csrs.bump_sync_epoch();
+  csrs.bump_sync_epoch();
+  EXPECT_EQ(csrs.read(Csr::kSyncEpoch), 2u);
+}
+
+TEST(Csr, ReadOnlyPredicateMatchesMap) {
+  EXPECT_TRUE(CsrFile::is_read_only(Csr::kCoreId));
+  EXPECT_TRUE(CsrFile::is_read_only(Csr::kSyncEpoch));
+  EXPECT_FALSE(CsrFile::is_read_only(Csr::kShapeN));
+  EXPECT_FALSE(CsrFile::is_read_only(Csr::kPruneThresh));
+}
+
+}  // namespace
+}  // namespace edgemm::isa

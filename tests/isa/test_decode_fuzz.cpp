@@ -1,0 +1,91 @@
+// Decoder robustness: random words must never crash the decode path,
+// and every word the decoder accepts must survive a field-level
+// re-encode round trip.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "isa/disassembler.hpp"
+#include "isa/encoding.hpp"
+#include "isa/instructions.hpp"
+
+namespace edgemm::isa {
+namespace {
+
+TEST(DecodeFuzz, RandomWordsNeverCrash) {
+  Rng rng(0xF0221);
+  for (int i = 0; i < 200000; ++i) {
+    const auto word = static_cast<std::uint32_t>(rng());
+    Fields fields;
+    const bool ok = decode(word, fields);
+    EXPECT_EQ(ok, is_extension_word(word));
+    // Disassembly is total: unknown words render as .word.
+    const std::string text = disassemble_word(word);
+    EXPECT_FALSE(text.empty());
+  }
+}
+
+TEST(DecodeFuzz, AcceptedWordsReencodeToThemselves) {
+  // Property: decode → encode is the identity on the extension's
+  // architecturally-defined bits for every implemented instruction.
+  Rng rng(0xF0222);
+  int verified = 0;
+  for (int i = 0; i < 200000; ++i) {
+    auto word = static_cast<std::uint32_t>(rng());
+    // Force a valid major opcode so more samples land in-space.
+    static constexpr std::uint32_t kOps[] = {kOpcodeMatrixMatrix, kOpcodeMatrixVector,
+                                             kOpcodeVectorVector, kOpcodeConfig};
+    word = (word & ~0x7Fu) | kOps[i % 4];
+    Fields fields;
+    ASSERT_TRUE(decode(word, fields));
+    if (!mnemonic_from_fields(fields).has_value()) continue;  // unallocated func
+    const std::uint32_t re = encode(fields);
+    Fields fields2;
+    ASSERT_TRUE(decode(re, fields2));
+    EXPECT_EQ(fields2.format, fields.format);
+    EXPECT_EQ(fields2.func, fields.func);
+    EXPECT_EQ(fields2.func3, fields.func3);
+    EXPECT_EQ(fields2.uop, fields.uop);
+    EXPECT_EQ(fields2.md, fields.md);
+    EXPECT_EQ(fields2.ms1, fields.ms1);
+    EXPECT_EQ(fields2.ms2, fields.ms2);
+    EXPECT_EQ(fields2.vd, fields.vd);
+    EXPECT_EQ(fields2.vs1, fields.vs1);
+    EXPECT_EQ(fields2.vs2, fields.vs2);
+    EXPECT_EQ(fields2.rs1, fields.rs1);
+    EXPECT_EQ(fields2.csr, fields.csr);
+    ++verified;
+  }
+  EXPECT_GT(verified, 1000);
+}
+
+TEST(DecodeFuzz, DisassembleOfValidInstructionsIsReassemblable) {
+  // Every implemented mnemonic with random in-range operands must
+  // survive disassemble -> (text) round trips via the raw word.
+  Rng rng(0xF0223);
+  for (int i = 0; i < 5000; ++i) {
+    const auto& table = instruction_table();
+    const InstrInfo& info_entry = table[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(table.size()) - 1))];
+    Fields f;
+    f.format = info_entry.format;
+    f.func = info_entry.func;
+    f.func3 = info_entry.func3;
+    f.md = static_cast<std::uint8_t>(rng.uniform_int(0, 7));
+    f.ms1 = static_cast<std::uint8_t>(rng.uniform_int(0, 7));
+    f.ms2 = static_cast<std::uint8_t>(rng.uniform_int(0, 7));
+    f.vd = static_cast<std::uint8_t>(rng.uniform_int(0, 31));
+    f.vs1 = static_cast<std::uint8_t>(rng.uniform_int(0, 31));
+    f.vs2 = static_cast<std::uint8_t>(rng.uniform_int(0, 31));
+    f.rs1 = static_cast<std::uint8_t>(rng.uniform_int(0, 31));
+    f.csr = static_cast<std::uint8_t>(rng.uniform_int(0, 3));  // named CSRs
+    if (info_entry.uop_is_operand) {
+      f.uop = static_cast<std::uint8_t>(rng.uniform_int(0, 2));
+    }
+    const std::uint32_t word = encode(f);
+    const std::string text = disassemble_word(word);
+    EXPECT_EQ(text.find(".word"), std::string::npos) << text;
+  }
+}
+
+}  // namespace
+}  // namespace edgemm::isa

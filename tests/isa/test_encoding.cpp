@@ -1,0 +1,137 @@
+#include "isa/encoding.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "isa/instructions.hpp"
+
+namespace edgemm::isa {
+namespace {
+
+TEST(Encoding, MatrixMatrixRoundTrip) {
+  Fields f;
+  f.format = Format::kMatrixMatrix;
+  f.size = 2;
+  f.func3 = 1;
+  f.md = 3;
+  f.ms1 = 1;
+  f.ms2 = 2;
+  f.uop = 1;
+  f.func = 0x11;
+  Fields back;
+  ASSERT_TRUE(decode(encode(f), back));
+  EXPECT_EQ(back.format, Format::kMatrixMatrix);
+  EXPECT_EQ(back.size, f.size);
+  EXPECT_EQ(back.func3, f.func3);
+  EXPECT_EQ(back.md, f.md);
+  EXPECT_EQ(back.ms1, f.ms1);
+  EXPECT_EQ(back.ms2, f.ms2);
+  EXPECT_EQ(back.uop, f.uop);
+  EXPECT_EQ(back.func, f.func);
+}
+
+TEST(Encoding, MatrixVectorRoundTrip) {
+  Fields f;
+  f.format = Format::kMatrixVector;
+  f.vd = 31;
+  f.func3 = 7;
+  f.rs1 = 13;
+  f.vs1 = 21;
+  f.uop = 3;
+  f.func = 0x1F;
+  Fields back;
+  ASSERT_TRUE(decode(encode(f), back));
+  EXPECT_EQ(back.format, Format::kMatrixVector);
+  EXPECT_EQ(back.vd, 31);
+  EXPECT_EQ(back.rs1, 13);
+  EXPECT_EQ(back.vs1, 21);
+  EXPECT_EQ(back.uop, 3);
+  EXPECT_EQ(back.func, 0x1F);
+}
+
+TEST(Encoding, VectorVectorRoundTrip) {
+  Fields f;
+  f.format = Format::kVectorVector;
+  f.vd = 1;
+  f.func3 = 2;
+  f.vs1 = 3;
+  f.vs2 = 4;
+  f.func = 0x02;
+  Fields back;
+  ASSERT_TRUE(decode(encode(f), back));
+  EXPECT_EQ(back.vs1, 3);
+  EXPECT_EQ(back.vs2, 4);
+}
+
+TEST(Encoding, ConfigRoundTrip) {
+  Fields f;
+  f.format = Format::kConfig;
+  f.size = 1;
+  f.func3 = 0;
+  f.csr = 0x10;
+  f.rs1 = 5;
+  f.func = 0x01;
+  Fields back;
+  ASSERT_TRUE(decode(encode(f), back));
+  EXPECT_EQ(back.csr, 0x10);
+  EXPECT_EQ(back.rs1, 5);
+}
+
+TEST(Encoding, FieldRangeViolationsThrow) {
+  Fields f;
+  f.format = Format::kMatrixMatrix;
+  f.md = 8;  // 3-bit field
+  EXPECT_THROW(encode(f), std::invalid_argument);
+  f.md = 0;
+  f.func = 32;  // 5-bit field
+  EXPECT_THROW(encode(f), std::invalid_argument);
+}
+
+TEST(Encoding, NonExtensionOpcodeRejected) {
+  Fields out;
+  EXPECT_FALSE(decode(0x00000013u, out));  // RV32I addi
+  EXPECT_FALSE(is_extension_word(0x00000013u));
+  EXPECT_TRUE(is_extension_word(kOpcodeMatrixMatrix));
+  EXPECT_TRUE(is_extension_word(kOpcodeConfig));
+}
+
+TEST(Encoding, OpcodesAreDistinctCustomSpace) {
+  EXPECT_NE(kOpcodeMatrixMatrix, kOpcodeMatrixVector);
+  EXPECT_NE(kOpcodeMatrixVector, kOpcodeVectorVector);
+  EXPECT_NE(kOpcodeVectorVector, kOpcodeConfig);
+  // All are 32-bit-form opcodes (lowest two bits 11).
+  for (const std::uint32_t op : {kOpcodeMatrixMatrix, kOpcodeMatrixVector,
+                                 kOpcodeVectorVector, kOpcodeConfig}) {
+    EXPECT_EQ(op & 0x3u, 0x3u);
+  }
+}
+
+TEST(Encoding, EveryTableEntryRoundTripsThroughFields) {
+  // Property: for every implemented instruction, encoding the canonical
+  // fields and re-resolving the mnemonic is the identity.
+  for (const InstrInfo& info_entry : instruction_table()) {
+    Fields f;
+    f.format = info_entry.format;
+    f.func = info_entry.func;
+    f.func3 = info_entry.func3;
+    Fields back;
+    ASSERT_TRUE(decode(encode(f), back)) << info_entry.name;
+    const auto m = mnemonic_from_fields(back);
+    ASSERT_TRUE(m.has_value()) << info_entry.name;
+    EXPECT_EQ(*m, info_entry.mnemonic) << info_entry.name;
+  }
+}
+
+TEST(Instructions, NameLookupIsTotalAndInverse) {
+  for (const InstrInfo& info_entry : instruction_table()) {
+    const auto m = mnemonic_from_name(info_entry.name);
+    ASSERT_TRUE(m.has_value()) << info_entry.name;
+    EXPECT_EQ(*m, info_entry.mnemonic);
+    EXPECT_EQ(info(*m).name, info_entry.name);
+  }
+  EXPECT_FALSE(mnemonic_from_name("mm.bogus").has_value());
+}
+
+}  // namespace
+}  // namespace edgemm::isa

@@ -1,0 +1,54 @@
+#include "mem/scratchpad.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace edgemm::mem {
+namespace {
+
+TEST(Scratchpad, RejectsZeroCapacity) {
+  EXPECT_THROW(Scratchpad("x", 0), std::invalid_argument);
+}
+
+TEST(Scratchpad, AllocateWithinCapacity) {
+  Scratchpad pad("tcdm", 1024);
+  EXPECT_TRUE(pad.allocate(512));
+  EXPECT_TRUE(pad.allocate(512));
+  EXPECT_EQ(pad.used(), 1024u);
+  EXPECT_EQ(pad.free_bytes(), 0u);
+}
+
+TEST(Scratchpad, OverflowRefusedWithoutSideEffects) {
+  Scratchpad pad("tcdm", 1024);
+  EXPECT_TRUE(pad.allocate(1000));
+  EXPECT_FALSE(pad.allocate(100));
+  EXPECT_EQ(pad.used(), 1000u);
+}
+
+TEST(Scratchpad, ReleaseReturnsSpace) {
+  Scratchpad pad("tcdm", 1024);
+  ASSERT_TRUE(pad.allocate(800));
+  pad.release(300);
+  EXPECT_EQ(pad.used(), 500u);
+  EXPECT_TRUE(pad.allocate(500));
+}
+
+TEST(Scratchpad, HighWaterMarkPersists) {
+  Scratchpad pad("tcdm", 1024);
+  ASSERT_TRUE(pad.allocate(900));
+  pad.release(900);
+  ASSERT_TRUE(pad.allocate(100));
+  EXPECT_EQ(pad.high_water_mark(), 900u);
+}
+
+TEST(Scratchpad, ResetClearsUsage) {
+  Scratchpad pad("tcdm", 1024);
+  ASSERT_TRUE(pad.allocate(1024));
+  pad.reset();
+  EXPECT_EQ(pad.used(), 0u);
+  EXPECT_TRUE(pad.allocate(1024));
+}
+
+}  // namespace
+}  // namespace edgemm::mem

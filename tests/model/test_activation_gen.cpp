@@ -1,0 +1,122 @@
+#include "model/activation_gen.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/statistics.hpp"
+
+namespace edgemm::model {
+namespace {
+
+ActivationProfile small_profile() {
+  ActivationProfile p;
+  p.channels = 512;
+  p.layers = 8;
+  return p;
+}
+
+TEST(ActivationGen, Validation) {
+  ActivationProfile p = small_profile();
+  p.channels = 0;
+  EXPECT_THROW(ActivationGenerator(p, 1), std::invalid_argument);
+  p = small_profile();
+  p.outlier_fraction = 1.5;
+  EXPECT_THROW(ActivationGenerator(p, 1), std::invalid_argument);
+  ActivationGenerator ok(small_profile(), 1);
+  EXPECT_THROW(ok.activations(8, 0), std::out_of_range);
+}
+
+TEST(ActivationGen, DeterministicPerSeed) {
+  ActivationGenerator a(small_profile(), 99);
+  ActivationGenerator b(small_profile(), 99);
+  EXPECT_EQ(a.activations(3, 5), b.activations(3, 5));
+  ActivationGenerator c(small_profile(), 100);
+  EXPECT_NE(a.activations(3, 5), c.activations(3, 5));
+}
+
+TEST(ActivationGen, OutlierGainRampsWithDepth) {
+  // "As the layer index increases, these outliers become more prominent."
+  ActivationGenerator gen(small_profile(), 7);
+  EXPECT_LT(gen.outlier_gain(1), gen.outlier_gain(4));
+  EXPECT_LT(gen.outlier_gain(4), gen.outlier_gain(7));
+  EXPECT_DOUBLE_EQ(gen.outlier_gain(1), small_profile().outlier_gain_first);
+  EXPECT_DOUBLE_EQ(gen.outlier_gain(7), small_profile().outlier_gain_last);
+  // Layer 0 is the special high-kurtosis-but-unstable layer (§V-C).
+  EXPECT_DOUBLE_EQ(gen.outlier_gain(0), small_profile().first_layer_gain);
+  EXPECT_GT(gen.outlier_gain(0), gen.outlier_gain(1));
+}
+
+TEST(ActivationGen, KurtosisGrowsWithDepth) {
+  // Fig. 12(a): kurtosis increases with layer depth.
+  ActivationGenerator gen(small_profile(), 11);
+  auto avg_kurtosis = [&](std::size_t layer) {
+    double sum = 0.0;
+    for (std::size_t tok = 0; tok < 8; ++tok) {
+      sum += kurtosis(gen.activations(layer, tok));
+    }
+    return sum / 8.0;
+  };
+  EXPECT_GT(avg_kurtosis(7), 2.0 * avg_kurtosis(1));
+}
+
+TEST(ActivationGen, StableLayersKeepOutlierSet) {
+  ActivationGenerator gen(small_profile(), 13);
+  const auto set_a = gen.outlier_channels(3);
+  const auto set_b = gen.outlier_channels(3);
+  EXPECT_EQ(set_a, set_b);
+  EXPECT_FALSE(set_a.empty());
+  // Different layers draw different sets (overwhelmingly likely).
+  EXPECT_NE(gen.outlier_channels(3), gen.outlier_channels(4));
+}
+
+TEST(ActivationGen, DeepLayerTopChannelsMatchOutlierSet) {
+  // In deep layers, the top-|outliers| magnitudes are dominated by the
+  // planted outlier channels (the heavy-tailed body may occasionally
+  // out-magnitude the weakest outlier, so require a large overlap).
+  ActivationProfile p = small_profile();
+  ActivationGenerator gen(p, 17);
+  const auto planted = gen.outlier_channels(7);
+  const auto v = gen.activations(7, 0);
+  auto top = top_k_indices_by_magnitude(v, planted.size());
+  std::sort(top.begin(), top.end());
+  std::vector<std::size_t> overlap;
+  std::set_intersection(top.begin(), top.end(), planted.begin(), planted.end(),
+                        std::back_inserter(overlap));
+  EXPECT_GE(overlap.size() * 10, planted.size() * 8)
+      << "only " << overlap.size() << " of " << planted.size() << " planted outliers";
+}
+
+TEST(ActivationGen, FirstLayerOutlierSetUnstableAcrossTokens) {
+  // §V-C: layer-1 statistics are unstable; the generator reshuffles its
+  // outlier positions per token.
+  ActivationGenerator gen(small_profile(), 19);
+  const std::size_t count = gen.outlier_channels(1).size();
+  auto top_set = [&](std::size_t token) {
+    const auto v = gen.activations(0, token);
+    auto idx = top_k_indices_by_magnitude(v, count);
+    std::sort(idx.begin(), idx.end());
+    return idx;
+  };
+  // Some pair of tokens must disagree.
+  const auto t0 = top_set(0);
+  bool differs = false;
+  for (std::size_t tok = 1; tok < 6 && !differs; ++tok) {
+    differs = top_set(tok) != t0;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ActivationGen, BodyIsMostlySmall) {
+  // Fig. 3(b): notable sparsity — most channels are far below the max
+  // in the deepest layer, where outliers are most prominent.
+  ActivationGenerator gen(small_profile(), 23);
+  const auto v = gen.activations(7, 0);
+  const std::size_t n = count_above_max_over_t(v, 16.0);
+  EXPECT_LT(static_cast<double>(n) / static_cast<double>(v.size()), 0.3);
+}
+
+}  // namespace
+}  // namespace edgemm::model

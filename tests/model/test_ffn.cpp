@@ -1,0 +1,115 @@
+#include "model/ffn.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/statistics.hpp"
+
+namespace edgemm::model {
+namespace {
+
+TEST(Ffn, ShapesAndValidation) {
+  Rng rng(1);
+  const auto w = random_gated_mlp(16, 48, rng);
+  EXPECT_EQ(w.d_model(), 16u);
+  EXPECT_EQ(w.d_ffn(), 48u);
+  EXPECT_THROW(ffn_reference(w, std::vector<float>(15, 0.0F)), std::invalid_argument);
+  EXPECT_THROW(ffn_hidden(w, std::vector<float>(17, 0.0F)), std::invalid_argument);
+}
+
+TEST(Ffn, ZeroInputGivesZeroOutput) {
+  Rng rng(2);
+  const auto w = random_gated_mlp(8, 24, rng);
+  const auto out = ffn_reference(w, std::vector<float>(8, 0.0F));
+  for (const float v : out) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(Ffn, ReferenceMatchesManualEquationOne) {
+  // FFN(Vx) = ((Vx·W_up) ∘ silu(Vx·W_gate)) · W_down, checked by hand on
+  // a 2×3 block.
+  GatedMlpWeights w{Tensor(2, 3), Tensor(2, 3), Tensor(3, 2)};
+  // W_up = [[1,0,2],[0,1,1]], W_gate = [[0,1,0],[1,0,1]], W_down = I-ish.
+  w.up.at(0, 0) = 1.0F;  w.up.at(0, 2) = 2.0F;  w.up.at(1, 1) = 1.0F;
+  w.up.at(1, 2) = 1.0F;
+  w.gate.at(0, 1) = 1.0F;  w.gate.at(1, 0) = 1.0F;  w.gate.at(1, 2) = 1.0F;
+  w.down.at(0, 0) = 1.0F;  w.down.at(1, 1) = 1.0F;  w.down.at(2, 0) = 1.0F;
+
+  const std::vector<float> vx{1.0F, 2.0F};
+  // up = [1, 2, 4]; gate = [2, 1, 2]; silu(gate) = [1.7616, 0.7311, 1.7616]
+  // hidden = [1.7616, 1.4622, 7.0464]; out = [hidden0+hidden2, hidden1].
+  const auto out = ffn_reference(w, vx);
+  ASSERT_EQ(out.size(), 2u);
+  auto silu = [](float x) { return x / (1.0F + std::exp(-x)); };
+  const float h0 = 1.0F * silu(2.0F);
+  const float h1 = 2.0F * silu(1.0F);
+  const float h2 = 4.0F * silu(2.0F);
+  EXPECT_NEAR(out[0], h0 + h2, 1e-5F);
+  EXPECT_NEAR(out[1], h1, 1e-5F);
+}
+
+TEST(Ffn, PrunedWithAllChannelsEqualsDense) {
+  Rng rng(3);
+  const auto w = random_gated_mlp(32, 96, rng);
+  std::vector<float> vx(32);
+  for (float& v : vx) v = static_cast<float>(rng.gaussian());
+  std::vector<std::size_t> all(32);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto dense = ffn_reference(w, vx);
+  const auto pruned = ffn_pruned(w, vx, all);
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    EXPECT_NEAR(pruned[i], dense[i], 1e-4F);
+  }
+}
+
+TEST(Ffn, PrunedRejectsBadChannels) {
+  Rng rng(4);
+  const auto w = random_gated_mlp(8, 16, rng);
+  const std::vector<float> vx(8, 1.0F);
+  const std::vector<std::size_t> bad{9};
+  EXPECT_THROW(ffn_pruned(w, vx, bad), std::out_of_range);
+}
+
+TEST(Ffn, PruningOutlierVectorKeepsHighCosine) {
+  Rng rng(5);
+  const auto w = random_gated_mlp(128, 384, rng);
+  // Outlier-dominated input: body sigma 0.02, 6 outliers at ~2.
+  std::vector<float> vx(128);
+  for (float& v : vx) v = static_cast<float>(rng.gaussian(0.0, 0.02));
+  for (std::size_t i = 0; i < 6; ++i) vx[i * 20] = 2.0F * (i % 2 == 0 ? 1.0F : -1.0F);
+
+  auto kept = top_k_indices_by_magnitude(vx, 12);
+  std::sort(kept.begin(), kept.end());
+  const auto dense = ffn_reference(w, vx);
+  const auto pruned = ffn_pruned(w, vx, kept);
+  EXPECT_GT(cosine_similarity(dense, pruned), 0.95);
+}
+
+TEST(Ffn, PruningUniformVectorHurtsMore) {
+  // Without outliers, dropping 90 % of channels discards real signal.
+  Rng rng(6);
+  const auto w = random_gated_mlp(128, 384, rng);
+  std::vector<float> vx(128);
+  for (float& v : vx) v = static_cast<float>(rng.gaussian(0.0, 1.0));
+  auto kept = top_k_indices_by_magnitude(vx, 12);
+  std::sort(kept.begin(), kept.end());
+  const auto dense = ffn_reference(w, vx);
+  const auto pruned = ffn_pruned(w, vx, kept);
+  EXPECT_LT(cosine_similarity(dense, pruned), 0.95);
+}
+
+TEST(Ffn, HiddenFeedsReference) {
+  Rng rng(7);
+  const auto w = random_gated_mlp(16, 32, rng);
+  std::vector<float> vx(16);
+  for (float& v : vx) v = static_cast<float>(rng.gaussian());
+  const auto hidden = ffn_hidden(w, vx);
+  const auto out = ffn_reference(w, vx);
+  const auto manual = gemv_reference(hidden, w.down);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_FLOAT_EQ(out[i], manual[i]);
+}
+
+}  // namespace
+}  // namespace edgemm::model

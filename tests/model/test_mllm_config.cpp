@@ -1,0 +1,87 @@
+#include "model/mllm_config.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace edgemm::model {
+namespace {
+
+TEST(ModelZoo, ContainsAllTableOneRows) {
+  const auto zoo = model_zoo();
+  EXPECT_EQ(zoo.size(), 7u);
+  for (const char* name : {"Emu2-Chat", "LLaVA", "MobileVLM", "TinyGPT-V",
+                           "SPHINX-Tiny", "DeepSeek-VL", "KarmaVLM"}) {
+    EXPECT_NO_THROW(model_by_name(name)) << name;
+  }
+  EXPECT_THROW(model_by_name("GPT-5"), std::invalid_argument);
+}
+
+TEST(ModelZoo, ParameterCountsMatchNamedSizes) {
+  // Published sizes, ±15 % (we count projection matrices only — no
+  // embeddings/norms).
+  auto near = [](std::size_t actual, double expected_billion) {
+    const double actual_b = static_cast<double>(actual) / 1e9;
+    return actual_b > expected_billion * 0.8 && actual_b < expected_billion * 1.25;
+  };
+  EXPECT_TRUE(near(sphinx_tiny().llm.total_params(), 1.1))
+      << sphinx_tiny().llm.total_params();
+  EXPECT_TRUE(near(karmavlm().llm.total_params(), 0.55))
+      << karmavlm().llm.total_params();
+  EXPECT_TRUE(near(mobilevlm().llm.total_params(), 2.7))
+      << mobilevlm().llm.total_params();
+  EXPECT_TRUE(near(tinygpt_v().llm.total_params(), 2.7))
+      << tinygpt_v().llm.total_params();
+  EXPECT_TRUE(near(deepseek_vl().llm.total_params(), 1.3))
+      << deepseek_vl().llm.total_params();
+  EXPECT_TRUE(near(llava_7b().llm.total_params(), 6.6))
+      << llava_7b().llm.total_params();
+}
+
+TEST(ModelZoo, EncoderParamsNearPublished) {
+  // SPHINX-Tiny: mixed towers ≈ 0.4 B (Table I); KarmaVLM 0.4 + 0.3 B.
+  const auto sphinx = sphinx_tiny();
+  EXPECT_GT(sphinx.encoder_params(), 500'000'000u);
+  EXPECT_LT(sphinx.encoder_params(), 800'000'000u);
+  const auto karma = karmavlm();
+  EXPECT_GT(karma.encoder_params(), 550'000'000u);
+  EXPECT_LT(karma.encoder_params(), 900'000'000u);
+}
+
+TEST(ModelZoo, EdgeModelsAreUnderThreeBillion) {
+  // §II-A: edge MLLMs adopt compressed LLMs below 3B parameters.
+  for (const char* name : {"MobileVLM", "TinyGPT-V", "SPHINX-Tiny", "DeepSeek-VL",
+                           "KarmaVLM"}) {
+    EXPECT_LT(model_by_name(name).llm.total_params(), 3'000'000'000u) << name;
+  }
+  // The contrast rows are not edge-class.
+  EXPECT_GT(emu2_chat().llm.total_params(), 20'000'000'000u);
+}
+
+TEST(Shapes, GroupedQueryAttentionShrinksKv) {
+  const auto tiny_llama = sphinx_tiny().llm;
+  EXPECT_EQ(tiny_llama.kv_heads, 4u);
+  EXPECT_EQ(tiny_llama.head_dim(), 64u);
+  EXPECT_EQ(tiny_llama.kv_dim(), 256u);
+  EXPECT_LT(tiny_llama.kv_dim(), tiny_llama.d_model);
+}
+
+TEST(Shapes, GatedMlpHasThreeProjections) {
+  const auto s = sphinx_tiny().llm;
+  EXPECT_TRUE(s.gated_mlp);
+  EXPECT_EQ(s.ffn_params_per_layer(), 3u * s.d_model * s.d_ffn);
+  const auto phi = tinygpt_v().llm;
+  EXPECT_FALSE(phi.gated_mlp);
+  EXPECT_EQ(phi.ffn_params_per_layer(), 2u * phi.d_model * phi.d_ffn);
+}
+
+TEST(Shapes, FfnDominatesAttentionParams) {
+  // §II-B: FFN consumes the largest weight portion because the channel
+  // dimension is several times the model dimension.
+  for (const auto& m : model_zoo()) {
+    EXPECT_GT(m.llm.ffn_params_per_layer(), m.llm.attn_params_per_layer()) << m.name;
+  }
+}
+
+}  // namespace
+}  // namespace edgemm::model

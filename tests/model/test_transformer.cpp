@@ -1,0 +1,72 @@
+#include "model/transformer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edgemm::model {
+namespace {
+
+TEST(Profiles, DecodeIsMemoryBoundPrefillIsNot) {
+  // Fig. 2(b): decode uses the same parameters as prefill but two orders
+  // of magnitude fewer FLOPs -> far lower arithmetic intensity.
+  const auto llm = sphinx_tiny().llm;
+  const auto prefill = prefill_profile(llm, 300, 2);
+  const auto decode = decode_profile(llm, 300, 2);
+  EXPECT_EQ(prefill.params, decode.params);
+  EXPECT_GT(prefill.flops, 100 * decode.flops);
+  EXPECT_GT(prefill.arithmetic_intensity(), 50.0);
+  EXPECT_LT(decode.arithmetic_intensity(), 2.0);
+}
+
+TEST(Profiles, EncoderIsComputeIntensive) {
+  const auto model = sphinx_tiny();
+  const auto enc = encoder_profile(model, 300, 2);
+  EXPECT_GT(enc.arithmetic_intensity(), 50.0);
+  EXPECT_GT(enc.flops, 0u);
+}
+
+TEST(Profiles, PrefillFlopsScaleWithTokens) {
+  const auto llm = sphinx_tiny().llm;
+  const auto p300 = prefill_profile(llm, 300, 2);
+  const auto p600 = prefill_profile(llm, 600, 2);
+  // Slightly superlinear because attention is quadratic in tokens.
+  EXPECT_GT(p600.flops, 2 * p300.flops - p300.flops / 10);
+  EXPECT_EQ(p600.weight_bytes, p300.weight_bytes);  // same parameters
+}
+
+TEST(Profiles, WeightBytesScaleWithElementSize) {
+  const auto llm = sphinx_tiny().llm;
+  EXPECT_EQ(decode_profile(llm, 300, 2).weight_bytes,
+            2 * decode_profile(llm, 300, 1).weight_bytes);
+}
+
+TEST(Breakdown, FfnDominatesDecodeTraffic) {
+  // Fig. 2(c): weights dominate; FFN is the largest portion; KV cache is
+  // small at edge context lengths.
+  const auto llm = sphinx_tiny().llm;
+  const auto b = decode_memory_breakdown(llm, 300, 1);
+  EXPECT_GT(b.ffn_weights, b.attn_weights);
+  EXPECT_GT(b.ffn_weights, b.kv_cache * 10);
+  EXPECT_GT(b.ffn_weights + b.attn_weights + b.lm_head, b.total() * 9 / 10);
+  const double ffn_share =
+      static_cast<double>(b.ffn_weights) / static_cast<double>(b.total());
+  EXPECT_GT(ffn_share, 0.5);
+}
+
+TEST(Breakdown, KvCacheGrowsWithContext) {
+  const auto llm = sphinx_tiny().llm;
+  const auto short_ctx = decode_memory_breakdown(llm, 100, 1);
+  const auto long_ctx = decode_memory_breakdown(llm, 1000, 1);
+  EXPECT_GT(long_ctx.kv_cache, 5 * short_ctx.kv_cache);
+  EXPECT_EQ(long_ctx.ffn_weights, short_ctx.ffn_weights);
+}
+
+TEST(Breakdown, TotalsAreConsistent) {
+  const auto llm = karmavlm().llm;
+  const auto b = decode_memory_breakdown(llm, 300, 1);
+  const auto p = decode_profile(llm, 300, 1);
+  // Breakdown weights + lm_head == profile weight bytes.
+  EXPECT_EQ(b.ffn_weights + b.attn_weights + b.lm_head, p.weight_bytes);
+}
+
+}  // namespace
+}  // namespace edgemm::model

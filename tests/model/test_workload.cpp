@@ -1,0 +1,108 @@
+#include "model/workload.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "model/transformer.hpp"
+
+namespace edgemm::model {
+namespace {
+
+TEST(Workload, Validation) {
+  EXPECT_THROW(build_phase_workload(sphinx_tiny(), WorkloadParams{0, 1, 300}),
+               std::invalid_argument);
+  EXPECT_THROW(build_phase_workload(sphinx_tiny(), WorkloadParams{300, 0, 300}),
+               std::invalid_argument);
+}
+
+TEST(Workload, PhaseTagsConsistent) {
+  const auto w = build_phase_workload(sphinx_tiny(), WorkloadParams{});
+  for (const auto& op : w.encoder) EXPECT_EQ(op.phase, Phase::kVisionEncoder);
+  for (const auto& op : w.prefill) EXPECT_EQ(op.phase, Phase::kPrefill);
+  for (const auto& op : w.decode_token) EXPECT_EQ(op.phase, Phase::kDecode);
+}
+
+TEST(Workload, DecodeOpsAreGemv) {
+  const auto w = build_phase_workload(sphinx_tiny(), WorkloadParams{});
+  for (const auto& op : w.decode_token) EXPECT_EQ(op.m, 1u);
+}
+
+TEST(Workload, PrefillUsesInputTokens) {
+  WorkloadParams params;
+  params.input_tokens = 300;
+  const auto w = build_phase_workload(sphinx_tiny(), params);
+  for (const auto& op : w.prefill) EXPECT_EQ(op.m, 300u);
+}
+
+TEST(Workload, OnlyDecodeFfnOpsArePrunable) {
+  // §IV-A prunes FFN weight rows during GEMV (decode); nothing else.
+  const auto w = build_phase_workload(sphinx_tiny(), WorkloadParams{});
+  for (const auto& op : w.encoder) EXPECT_FALSE(op.prunable);
+  for (const auto& op : w.prefill) EXPECT_FALSE(op.prunable);
+  std::size_t prunable = 0;
+  for (const auto& op : w.decode_token) prunable += op.prunable ? 1 : 0;
+  // 3 gated-MLP projections per layer × 22 layers.
+  EXPECT_EQ(prunable, 3u * sphinx_tiny().llm.layers);
+}
+
+TEST(Workload, KvOpsCarryBf16Override) {
+  const auto w = build_phase_workload(sphinx_tiny(), WorkloadParams{});
+  std::size_t kv_ops = 0;
+  for (const auto& op : w.decode_token) {
+    if (op.weight_elem_bytes_override == 2) ++kv_ops;
+  }
+  // Two attention contractions per layer.
+  EXPECT_EQ(kv_ops, 2u * sphinx_tiny().llm.layers);
+}
+
+TEST(Workload, LmHeadPresentForLlm) {
+  const auto model = karmavlm();  // large vocab
+  const auto w = build_phase_workload(model, WorkloadParams{});
+  const auto& last = w.decode_token.back();
+  EXPECT_EQ(last.n, model.llm.vocab);
+  EXPECT_EQ(last.k, model.llm.d_model);
+}
+
+TEST(Workload, DecodeWeightBytesMatchAnalyticProfile) {
+  // Cross-plane consistency: summing op weight traffic (INT8, KV BF16)
+  // must land near the analytic decode profile.
+  const auto model = sphinx_tiny();
+  WorkloadParams params = default_params_for_output(300, 128);
+  const auto w = build_phase_workload(model, params);
+
+  Bytes op_bytes = 0;
+  for (const auto& op : w.decode_token) {
+    const std::size_t elem =
+        op.weight_elem_bytes_override > 0 ? op.weight_elem_bytes_override : 1;
+    op_bytes += static_cast<Bytes>(op.k) * op.n * elem;
+  }
+  const auto profile = decode_profile(model.llm, params.decode_context, 1);
+  const auto analytic = profile.weight_bytes + profile.kv_bytes;
+  const double rel = static_cast<double>(op_bytes) / static_cast<double>(analytic);
+  EXPECT_GT(rel, 0.9);
+  EXPECT_LT(rel, 1.1);
+}
+
+TEST(Workload, CropsScaleEncoderWork) {
+  WorkloadParams one = {300, 1, 300};
+  WorkloadParams five = {300, 5, 300};
+  const auto w1 = build_phase_workload(sphinx_tiny(), one);
+  const auto w5 = build_phase_workload(sphinx_tiny(), five);
+  ASSERT_EQ(w1.encoder.size(), w5.encoder.size());
+  Flops f1 = 0;
+  Flops f5 = 0;
+  for (const auto& op : w1.encoder) f1 += op.flops();
+  for (const auto& op : w5.encoder) f5 += op.flops();
+  EXPECT_GT(f5, 4 * f1);
+}
+
+TEST(Workload, DefaultParamsDeriveContext) {
+  const auto p = default_params_for_output(300, 128, 2);
+  EXPECT_EQ(p.input_tokens, 300u);
+  EXPECT_EQ(p.crops, 2u);
+  EXPECT_EQ(p.decode_context, 300u + 64u);
+}
+
+}  // namespace
+}  // namespace edgemm::model

@@ -1,0 +1,116 @@
+#include "pruning/dynamic_topk.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace edgemm::pruning {
+namespace {
+
+TEST(DynamicTopK, Validation) {
+  DynamicTopKConfig bad;
+  bad.threshold_t = 0.0;
+  EXPECT_THROW(DynamicTopK(bad, 16), std::invalid_argument);
+  EXPECT_THROW(DynamicTopK(DynamicTopKConfig{}, 0), std::invalid_argument);
+}
+
+TEST(DynamicTopK, StartsUnpruned) {
+  DynamicTopK controller(DynamicTopKConfig{}, 2048);
+  controller.begin_token();
+  EXPECT_EQ(controller.current_k(), 2048u);
+  EXPECT_EQ(controller.k_for_layer(0), 2048u);
+}
+
+TEST(DynamicTopK, FirstLayerAlwaysFullWidth) {
+  // Alg. 1 / §V-C: the first layer is never pruned.
+  DynamicTopK controller(DynamicTopKConfig{}, 256);
+  controller.begin_token();
+  controller.observe(10);  // k collapses to 10
+  EXPECT_EQ(controller.k_for_layer(0), 256u);
+  EXPECT_EQ(controller.k_for_layer(5), 10u);
+}
+
+TEST(DynamicTopK, SkipFlagOffPrunesFirstLayerToo) {
+  DynamicTopKConfig cfg;
+  cfg.skip_first_layer = false;
+  DynamicTopK controller(cfg, 256);
+  controller.begin_token();
+  controller.observe(10);
+  EXPECT_EQ(controller.k_for_layer(0), 10u);
+}
+
+TEST(DynamicTopK, KOnlyDecreases) {
+  // "k should decrease progressively with layer depth."
+  DynamicTopK controller(DynamicTopKConfig{}, 1024);
+  controller.begin_token();
+  controller.observe(500);
+  EXPECT_EQ(controller.current_k(), 500u);
+  controller.observe(800);  // larger n must NOT raise k
+  EXPECT_EQ(controller.current_k(), 500u);
+  controller.observe(100);
+  EXPECT_EQ(controller.current_k(), 100u);
+}
+
+TEST(DynamicTopK, BeginTokenResets) {
+  DynamicTopK controller(DynamicTopKConfig{}, 1024);
+  controller.begin_token();
+  controller.observe(5);
+  controller.begin_token();
+  EXPECT_EQ(controller.current_k(), 1024u);
+}
+
+TEST(DynamicTopK, FirstLayerStatisticsDoNotDriveK) {
+  // §V-C: the first layer's distribution is unstable; its n must not
+  // collapse the budget for deeper layers.
+  DynamicTopK controller(DynamicTopKConfig{}, 8);
+  controller.begin_token();
+  // A spiky layer-0 vector (n would be 1).
+  const std::vector<float> spiky{100.0F, 0.1F, 0.1F, 0.1F, 0.1F, 0.1F, 0.1F, 0.1F};
+  controller.step(0, spiky);
+  EXPECT_EQ(controller.current_k(), 8u);  // untouched
+  controller.step(1, spiky);
+  EXPECT_EQ(controller.current_k(), 1u);  // stable layers do update
+}
+
+TEST(DynamicTopK, StepUsesVectorStatistics) {
+  DynamicTopK controller(DynamicTopKConfig{}, 8);
+  controller.begin_token();
+  // max = 16, threshold = 1 -> n = 2 (16 and 1.5).
+  const std::vector<float> v{16.0F, 1.5F, 0.5F, 0.2F, 0.1F, 0.1F, 0.1F, 0.1F};
+  const std::size_t k_used = controller.step(1, v);
+  EXPECT_EQ(k_used, 8u);  // budget before the update
+  EXPECT_EQ(controller.current_k(), 2u);
+}
+
+TEST(FixedRatio, ComputesKeptChannels) {
+  EXPECT_EQ(fixed_ratio_k(1000, 0.1), 900u);
+  EXPECT_EQ(fixed_ratio_k(1000, 0.7), 300u);
+  EXPECT_EQ(fixed_ratio_k(1000, 0.0), 1000u);
+  EXPECT_EQ(fixed_ratio_k(1000, 1.0), 1u);  // clamps to at least one
+  EXPECT_THROW(fixed_ratio_k(1000, 1.5), std::invalid_argument);
+}
+
+class ThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdSweep, LargerTKeepsMoreChannels) {
+  // Property (ablation of the paper's fixed t = 16): k after one step is
+  // non-decreasing in t.
+  const std::vector<float> v{8.0F, 4.0F, 2.0F, 1.0F, 0.5F, 0.25F, 0.12F, 0.06F};
+  const double t = GetParam();
+  DynamicTopKConfig cfg_small;
+  cfg_small.threshold_t = t;
+  DynamicTopKConfig cfg_large;
+  cfg_large.threshold_t = t * 4.0;
+  DynamicTopK a(cfg_small, v.size());
+  DynamicTopK b(cfg_large, v.size());
+  a.begin_token();
+  b.begin_token();
+  a.step(1, v);
+  b.step(1, v);
+  EXPECT_LE(a.current_k(), b.current_k());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ts, ThresholdSweep, ::testing::Values(2.0, 4.0, 8.0, 16.0));
+
+}  // namespace
+}  // namespace edgemm::pruning

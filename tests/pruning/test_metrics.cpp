@@ -1,0 +1,90 @@
+#include "pruning/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edgemm::pruning {
+namespace {
+
+model::ActivationProfile eval_profile() {
+  model::ActivationProfile p;
+  p.channels = 256;
+  p.layers = 8;
+  return p;
+}
+
+PruningEvalConfig eval_config() {
+  PruningEvalConfig cfg;
+  cfg.d_ffn = 256;
+  cfg.tokens = 3;
+  return cfg;
+}
+
+TEST(PruningEval, ProducesPerLayerStats) {
+  model::ActivationGenerator gen(eval_profile(), 42);
+  const auto result = evaluate_pruning(gen, eval_config());
+  ASSERT_EQ(result.layers.size(), 8u);
+  for (const auto& layer : result.layers) {
+    EXPECT_GE(layer.pruning_ratio, 0.0);
+    EXPECT_LE(layer.pruning_ratio, 1.0);
+    EXPECT_GE(layer.cosine_dynamic, -1.0);
+    EXPECT_LE(layer.cosine_dynamic, 1.0 + 1e-9);
+    EXPECT_GT(layer.kurtosis, 0.0);
+    ASSERT_EQ(layer.cosine_fixed.size(), 2u);
+  }
+}
+
+TEST(PruningEval, FirstLayerNeverPruned) {
+  model::ActivationGenerator gen(eval_profile(), 42);
+  const auto result = evaluate_pruning(gen, eval_config());
+  EXPECT_EQ(result.layers[0].pruning_ratio, 0.0);
+  EXPECT_NEAR(result.layers[0].cosine_dynamic, 1.0, 1e-6);
+}
+
+TEST(PruningEval, PruningRatioGrowsWithDepth) {
+  // Fig. 12(a): the dynamic ratio ramps up as outliers sharpen.
+  model::ActivationGenerator gen(eval_profile(), 42);
+  const auto result = evaluate_pruning(gen, eval_config());
+  EXPECT_GT(result.layers.back().pruning_ratio,
+            result.layers[1].pruning_ratio + 0.1);
+  EXPECT_GT(result.mean_pruning_ratio, 0.1);
+}
+
+TEST(PruningEval, KurtosisTracksDepth) {
+  model::ActivationGenerator gen(eval_profile(), 42);
+  const auto result = evaluate_pruning(gen, eval_config());
+  EXPECT_GT(result.layers.back().kurtosis, result.layers[1].kurtosis);
+}
+
+TEST(PruningEval, DynamicBeatsAggressiveFixedOnShallowLayers) {
+  // Fig. 12(b): fixed 0.7 collapses in the shallow layers where most
+  // channels still matter; dynamic pruning does not.
+  model::ActivationGenerator gen(eval_profile(), 42);
+  PruningEvalConfig cfg = eval_config();
+  cfg.fixed_ratios = {0.1, 0.7};
+  const auto result = evaluate_pruning(gen, cfg);
+  // Compare on layer 1 (first prunable layer).
+  const auto& shallow = result.layers[1];
+  EXPECT_GT(shallow.cosine_dynamic, shallow.cosine_fixed[1] + 0.02);
+}
+
+TEST(PruningEval, DynamicComparableToMildFixedOverall) {
+  // Fig. 12(b): dynamic achieves "comparable accuracy as a mild fixed
+  // pruning ratio of 0.1" while pruning far more aggressively.
+  model::ActivationGenerator gen(eval_profile(), 42);
+  const auto result = evaluate_pruning(gen, eval_config());
+  EXPECT_GT(result.mean_cosine_dynamic, 0.9);
+  EXPECT_GT(result.mean_cosine_dynamic, result.mean_cosine_fixed[0] - 0.08);
+  EXPECT_GT(result.mean_pruning_ratio, 0.25);  // far deeper than 0.1 fixed
+}
+
+TEST(PruningEval, DeterministicAcrossRuns) {
+  model::ActivationGenerator gen_a(eval_profile(), 42);
+  model::ActivationGenerator gen_b(eval_profile(), 42);
+  const auto a = evaluate_pruning(gen_a, eval_config());
+  const auto b = evaluate_pruning(gen_b, eval_config());
+  EXPECT_EQ(a.mean_pruning_ratio, b.mean_pruning_ratio);
+  EXPECT_EQ(a.mean_cosine_dynamic, b.mean_cosine_dynamic);
+}
+
+}  // namespace
+}  // namespace edgemm::pruning

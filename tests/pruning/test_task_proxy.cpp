@@ -1,0 +1,74 @@
+#include "pruning/task_proxy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edgemm::pruning {
+namespace {
+
+model::ActivationProfile proxy_profile() {
+  model::ActivationProfile p;
+  p.channels = 256;
+  p.layers = 6;
+  return p;
+}
+
+TaskProxyConfig proxy_config() {
+  TaskProxyConfig cfg;
+  cfg.d_ffn = 256;
+  cfg.tokens = 3;
+  cfg.answer_classes = 32;
+  return cfg;
+}
+
+TEST(TaskProxy, ScoresAreProbabilities) {
+  model::ActivationGenerator gen(proxy_profile(), 17);
+  const auto result = evaluate_task_proxy(gen, proxy_config());
+  EXPECT_GE(result.agreement_dynamic, 0.0);
+  EXPECT_LE(result.agreement_dynamic, 1.0);
+  ASSERT_EQ(result.agreement_fixed.size(), 2u);
+  for (const double a : result.agreement_fixed) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+  EXPECT_EQ(result.decisions, 3u * 6u);
+}
+
+TEST(TaskProxy, DynamicKeepsHighAgreement) {
+  // The "minimal VQA score reduction" claim: the dynamic scheme rarely
+  // flips the downstream answer.
+  model::ActivationGenerator gen(proxy_profile(), 17);
+  const auto result = evaluate_task_proxy(gen, proxy_config());
+  EXPECT_GT(result.agreement_dynamic, 0.8);
+}
+
+TEST(TaskProxy, DynamicBeatsAggressiveFixed) {
+  // Fixed 0.7 flips far more answers (it mutilates shallow layers).
+  model::ActivationGenerator gen(proxy_profile(), 17);
+  const auto result = evaluate_task_proxy(gen, proxy_config());
+  EXPECT_GE(result.agreement_dynamic, result.agreement_fixed[1]);
+}
+
+TEST(TaskProxy, MildFixedIsNearPerfect) {
+  model::ActivationGenerator gen(proxy_profile(), 17);
+  const auto result = evaluate_task_proxy(gen, proxy_config());
+  EXPECT_GT(result.agreement_fixed[0], 0.85);  // ratio 0.1
+}
+
+TEST(TaskProxy, Deterministic) {
+  model::ActivationGenerator gen_a(proxy_profile(), 17);
+  model::ActivationGenerator gen_b(proxy_profile(), 17);
+  const auto a = evaluate_task_proxy(gen_a, proxy_config());
+  const auto b = evaluate_task_proxy(gen_b, proxy_config());
+  EXPECT_EQ(a.agreement_dynamic, b.agreement_dynamic);
+  EXPECT_EQ(a.mean_pruning_ratio, b.mean_pruning_ratio);
+}
+
+TEST(TaskProxy, ReportsPruningDepth) {
+  model::ActivationGenerator gen(proxy_profile(), 17);
+  const auto result = evaluate_task_proxy(gen, proxy_config());
+  EXPECT_GT(result.mean_pruning_ratio, 0.05);
+  EXPECT_LT(result.mean_pruning_ratio, 0.95);
+}
+
+}  // namespace
+}  // namespace edgemm::pruning

@@ -1,0 +1,60 @@
+#include "sim/event_queue.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace edgemm::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTimestamp) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop_and_run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, PopReturnsTimestamp) {
+  EventQueue q;
+  q.push(17, [] {});
+  EXPECT_EQ(q.next_time(), 17u);
+  EXPECT_EQ(q.pop_and_run(), 17u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ActionsMayPushNewEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.push(1, [&] {
+    ++fired;
+    q.push(2, [&] { ++fired; });
+  });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SizeTracksContents) {
+  EventQueue q;
+  EXPECT_EQ(q.size(), 0u);
+  q.push(1, [] {});
+  q.push(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.pop_and_run();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace
+}  // namespace edgemm::sim
