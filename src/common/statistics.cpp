@@ -98,4 +98,18 @@ double sparsity(std::span<const float> values, double eps) {
   return static_cast<double>(zeros) / static_cast<double>(values.size());
 }
 
+double percentile(std::span<const double> values, double p) {
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile: p must be in [0, 100]");
+  }
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
 }  // namespace edgemm

@@ -37,6 +37,12 @@ std::size_t count_above_max_over_t(std::span<const float> values, double t);
 /// Fraction of elements with |v| <= eps (sparsity measure for Fig. 3).
 double sparsity(std::span<const float> values, double eps);
 
+/// p-th percentile (p in [0, 100]) of `values` with linear interpolation
+/// between order statistics; the tail-latency metric of the serving
+/// benches (p50/p95/p99). Returns 0 for an empty span. Throws
+/// std::invalid_argument for p outside [0, 100].
+double percentile(std::span<const double> values, double p);
+
 }  // namespace edgemm
 
 #endif  // EDGEMM_COMMON_STATISTICS_HPP

@@ -1,0 +1,90 @@
+#include "core/phase_scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace edgemm::core {
+
+const char* to_string(Lane lane) {
+  switch (lane) {
+    case Lane::kCcStage: return "cc-stage";
+    case Lane::kMcDecode: return "mc-decode";
+  }
+  return "?";
+}
+
+PhaseScheduler::PhaseScheduler(ChipTimingModel& chip) : chip_(chip) {
+  // §IV-B mapping: encoder/prefill prefer the CC clusters, decode the MC
+  // clusters; preferred_clusters already falls back to every cluster for
+  // the homogeneous and baseline compositions.
+  cc_.clusters = chip_.preferred_clusters(Phase::kPrefill);
+  mc_.clusters = chip_.preferred_clusters(Phase::kDecode);
+  EDGEMM_ASSERT_MSG(!cc_.clusters.empty() && !mc_.clusters.empty(),
+                    "PhaseScheduler: chip has no clusters for a lane");
+}
+
+PhaseScheduler::LaneState& PhaseScheduler::state(Lane lane) {
+  return lane == Lane::kCcStage ? cc_ : mc_;
+}
+
+const PhaseScheduler::LaneState& PhaseScheduler::state(Lane lane) const {
+  return lane == Lane::kCcStage ? cc_ : mc_;
+}
+
+void PhaseScheduler::submit(Lane lane, std::vector<GemmWork> ops,
+                            std::function<void()> done,
+                            std::function<void()> started) {
+  submit(lane, std::make_shared<const std::vector<GemmWork>>(std::move(ops)),
+         std::move(done), std::move(started));
+}
+
+void PhaseScheduler::submit(Lane lane, OpsRef ops, std::function<void()> done,
+                            std::function<void()> started) {
+  if (!ops || ops->empty()) {
+    throw std::invalid_argument("PhaseScheduler::submit: empty op list");
+  }
+  LaneState& s = state(lane);
+  s.queue.push_back(Job{std::move(ops), std::move(done), std::move(started)});
+  if (!s.busy) dispatch_next(s);
+}
+
+bool PhaseScheduler::idle(Lane lane) const {
+  const LaneState& s = state(lane);
+  return !s.busy && s.queue.empty();
+}
+
+std::size_t PhaseScheduler::queued(Lane lane) const {
+  const LaneState& s = state(lane);
+  return s.queue.size();
+}
+
+std::size_t PhaseScheduler::dispatched(Lane lane) const {
+  return state(lane).dispatched;
+}
+
+const std::vector<ClusterTimingModel*>& PhaseScheduler::lane_clusters(
+    Lane lane) const {
+  return state(lane).clusters;
+}
+
+void PhaseScheduler::dispatch_next(LaneState& lane) {
+  EDGEMM_ASSERT(!lane.busy);
+  if (lane.queue.empty()) return;
+  Job job = std::move(lane.queue.front());
+  lane.queue.pop_front();
+  lane.busy = true;
+  ++lane.dispatched;
+  if (job.started) job.started();
+  auto done = std::move(job.done);
+  chip_.run_on(lane.clusters, *job.ops, [this, &lane, done = std::move(done)] {
+    lane.busy = false;
+    if (done) done();
+    // `done` may have submitted follow-up work (continuous batching does
+    // exactly this); only dispatch if it did not already claim the lane.
+    if (!lane.busy) dispatch_next(lane);
+  });
+}
+
+}  // namespace edgemm::core

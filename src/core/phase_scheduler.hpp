@@ -1,0 +1,99 @@
+// Lane-based phase scheduler over the heterogeneous chip (Fig. 9).
+//
+// The CC lane runs modality-encoder + LLM-prefill jobs, the MC lane runs
+// decode steps; jobs on one lane execute FIFO, one at a time, across the
+// lane's full cluster set, while the two lanes overlap freely. This is
+// the scheduling core shared by the legacy fixed-workload MllmPipeline
+// and the request-level serve::ServingEngine (continuous batching: a
+// prefill job for a newly arrived request can run on the CC lane while
+// the MC lane drains decode steps of in-flight requests).
+#ifndef EDGEMM_CORE_PHASE_SCHEDULER_HPP
+#define EDGEMM_CORE_PHASE_SCHEDULER_HPP
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/chip.hpp"
+#include "core/timing.hpp"
+
+namespace edgemm::core {
+
+/// The two overlapping stages of the streaming pipeline.
+enum class Lane : std::uint8_t {
+  kCcStage,   ///< vision encoder + LLM prefill (compute-centric clusters)
+  kMcDecode,  ///< autoregressive decode steps (memory-centric clusters)
+};
+
+const char* to_string(Lane lane);
+
+/// Dispatches jobs onto the chip's cluster sets with per-lane FIFO order.
+///
+/// A job is one ChipTimingModel::run_on call: its ops are tensor-partitioned
+/// across the lane's clusters and the job retires when every shard has.
+/// Submitting to a busy lane queues the job; `started` (optional) fires at
+/// dispatch time, `done` at retirement — both inside the simulation, so
+/// sim().now() reads the event's timestamp.
+class PhaseScheduler {
+ public:
+  explicit PhaseScheduler(ChipTimingModel& chip);
+
+  ChipTimingModel& chip() { return chip_; }
+  sim::Simulator& sim() { return chip_.simulator(); }
+
+  /// Shared-ownership op list for jobs submitted many times (e.g. the
+  /// same decode step once per token) — avoids copying the vector per
+  /// submission.
+  using OpsRef = std::shared_ptr<const std::vector<GemmWork>>;
+
+  /// Enqueues `ops` as one job on `lane`. Throws std::invalid_argument
+  /// for an empty op list (an empty job has no retirement event).
+  void submit(Lane lane, std::vector<GemmWork> ops, std::function<void()> done,
+              std::function<void()> started = {});
+
+  /// Same, without copying: the job shares ownership of `ops`.
+  void submit(Lane lane, OpsRef ops, std::function<void()> done,
+              std::function<void()> started = {});
+
+  /// True when no job is running or queued on `lane`.
+  bool idle(Lane lane) const;
+
+  /// Jobs waiting behind the running one (0 when idle or running the
+  /// only job).
+  std::size_t queued(Lane lane) const;
+
+  /// Jobs dispatched to `lane` so far (for tests and occupancy stats).
+  std::size_t dispatched(Lane lane) const;
+
+  /// The cluster set backing `lane` under the chip's composition
+  /// (heterogeneous: CC / MC; homogeneous compositions share all
+  /// clusters between both lanes and serialize inside the cluster FIFOs).
+  const std::vector<ClusterTimingModel*>& lane_clusters(Lane lane) const;
+
+ private:
+  struct Job {
+    OpsRef ops;
+    std::function<void()> done;
+    std::function<void()> started;
+  };
+  struct LaneState {
+    std::vector<ClusterTimingModel*> clusters;
+    std::deque<Job> queue;
+    bool busy = false;
+    std::size_t dispatched = 0;
+  };
+
+  LaneState& state(Lane lane);
+  const LaneState& state(Lane lane) const;
+  void dispatch_next(LaneState& lane);
+
+  ChipTimingModel& chip_;
+  LaneState cc_;
+  LaneState mc_;
+};
+
+}  // namespace edgemm::core
+
+#endif  // EDGEMM_CORE_PHASE_SCHEDULER_HPP

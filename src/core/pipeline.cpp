@@ -7,6 +7,7 @@
 
 #include "common/assert.hpp"
 #include "common/units.hpp"
+#include "core/phase_scheduler.hpp"
 
 namespace edgemm::core {
 
@@ -124,17 +125,11 @@ PipelineResult MllmPipeline::run(const PhaseWorkload& workload,
     if (batch > 1) {
       // Batch decoding rebalances the pipeline (Fig. 9(c)): size Bc:Bm
       // from the actual per-round byte ratio instead of the l-schedule.
-      auto round_bytes = [](ClusterTimingModel& probe,
-                            const std::vector<GemmWork>& ops, std::size_t repeat) {
-        double bytes = 0.0;
-        for (const GemmWork& op : ops) {
-          bytes += static_cast<double>(probe.weight_bytes(op) +
-                                       probe.activation_bytes(op));
-        }
-        return bytes * static_cast<double>(repeat);
-      };
-      const double cc_bytes = round_bytes(*cc_set.front(), cc_round, 1);
-      const double mc_bytes = round_bytes(*mc_set.front(), decode_step, l);
+      const double cc_bytes =
+          static_cast<double>(estimated_traffic_bytes(*cc_set.front(), cc_round));
+      const double mc_bytes =
+          static_cast<double>(estimated_traffic_bytes(*mc_set.front(), decode_step)) *
+          static_cast<double>(l);
       const double raw_ratio = cc_bytes > 0.0 ? mc_bytes / cc_bytes : 1.0;
       applied_ratio = std::clamp<std::size_t>(
           static_cast<std::size_t>(raw_ratio + 0.5), 1, options.policy.max_mc_ratio);
@@ -150,17 +145,17 @@ PipelineResult MllmPipeline::run(const PhaseWorkload& workload,
   }
 
   // --- Event-driven pipeline driver --------------------------------------
+  // The lane mechanics (cluster sets, FIFO dispatch, overlap between the
+  // CC stage and MC decode) live in PhaseScheduler; what remains here is
+  // the fixed-workload round structure of the original experiment.
   struct BatchTimes {
     Cycle cc_start = 0, cc_end = 0, mc_start = 0, mc_end = 0;
     bool cc_done = false;
   };
   struct Driver {
-    sim::Simulator& sim;
-    ChipTimingModel& chip;
-    const std::vector<ClusterTimingModel*>& cc_set;
-    const std::vector<ClusterTimingModel*>& mc_set;
-    const std::vector<GemmWork>& cc_round;
-    const std::vector<GemmWork>& decode_step;
+    PhaseScheduler& sched;
+    PhaseScheduler::OpsRef cc_round;    ///< shared: one submission per batch
+    PhaseScheduler::OpsRef decode_step; ///< shared: one submission per token
     std::size_t l;
     std::size_t n_batches;
     std::vector<BatchTimes> times;
@@ -169,29 +164,31 @@ PipelineResult MllmPipeline::run(const PhaseWorkload& workload,
 
     void start_cc(std::size_t j) {
       if (j >= n_batches) return;
-      times[j].cc_start = sim.now();
-      chip.run_on(cc_set, cc_round, [this, j] {
-        times[j].cc_end = sim.now();
-        times[j].cc_done = true;
-        try_start_mc();
-        start_cc(j + 1);  // streaming input: next batch is always waiting
-      });
+      sched.submit(
+          Lane::kCcStage, cc_round,
+          [this, j] {
+            times[j].cc_end = sched.sim().now();
+            times[j].cc_done = true;
+            try_start_mc();
+            start_cc(j + 1);  // streaming input: next batch is always waiting
+          },
+          [this, j] { times[j].cc_start = sched.sim().now(); });
     }
 
     void try_start_mc() {
       if (mc_busy || mc_next >= n_batches || !times[mc_next].cc_done) return;
       mc_busy = true;
-      times[mc_next].mc_start = sim.now();
+      times[mc_next].mc_start = sched.sim().now();
       decode_token(mc_next, 0);
     }
 
     void decode_token(std::size_t j, std::size_t t) {
-      chip.run_on(mc_set, decode_step, [this, j, t] {
+      sched.submit(Lane::kMcDecode, decode_step, [this, j, t] {
         if (t + 1 < l) {
           decode_token(j, t + 1);
           return;
         }
-        times[j].mc_end = sim.now();
+        times[j].mc_end = sched.sim().now();
         mc_busy = false;
         ++mc_next;
         try_start_mc();
@@ -199,8 +196,12 @@ PipelineResult MllmPipeline::run(const PhaseWorkload& workload,
     }
   };
 
-  Driver driver{chip.simulator(), chip,      cc_set, mc_set,
-                cc_round,         decode_step, l,      n_batches,
+  PhaseScheduler scheduler(chip);
+  Driver driver{scheduler,
+                std::make_shared<const std::vector<GemmWork>>(std::move(cc_round)),
+                std::make_shared<const std::vector<GemmWork>>(decode_step),
+                l,
+                n_batches,
                 std::vector<BatchTimes>(n_batches)};
   driver.start_cc(0);
   chip.simulator().run();

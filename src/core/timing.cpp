@@ -213,4 +213,13 @@ void ClusterTimingModel::finish_block(Block block) {
   if (block.done) block.done();
 }
 
+Bytes estimated_traffic_bytes(const ClusterTimingModel& cluster,
+                              std::span<const GemmWork> ops) {
+  Bytes bytes = 0;
+  for (const GemmWork& op : ops) {
+    bytes += cluster.weight_bytes(op) + cluster.activation_bytes(op);
+  }
+  return bytes;
+}
+
 }  // namespace edgemm::core

@@ -9,6 +9,7 @@
 
 #include <deque>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -125,6 +126,12 @@ class ClusterTimingModel {
   bool compute_busy_ = false;
   ClusterStats stats_;
 };
+
+/// Total DRAM traffic (weights + activations) `ops` would generate on
+/// `cluster` — the traffic estimate behind the §IV-B budget ratios of
+/// both the pipeline and the serving engine.
+Bytes estimated_traffic_bytes(const ClusterTimingModel& cluster,
+                              std::span<const GemmWork> ops);
 
 }  // namespace edgemm::core
 

@@ -8,32 +8,47 @@ namespace {
 
 using core::GemmWork;
 
-/// Appends the projection + attention ops of one transformer layer
-/// processing `m` tokens with `context` attendable positions.
+/// Appends the projection + attention ops of one transformer layer.
+/// Weight-bearing ops (QKV/O/MLP) process `m_weights` rows; the KV-cache
+/// stream ops are emitted once per entry of `contexts` with `m_attn`
+/// rows each — one entry for a single request, one entry per batched
+/// request for a continuous-batching decode step (private KV caches
+/// cannot share a fetch the way weights do).
 void append_layer_ops(std::vector<GemmWork>& ops, const TransformerShape& s,
-                      std::size_t m, std::size_t context, Phase phase,
+                      std::size_t m_weights, std::size_t m_attn,
+                      std::span<const std::size_t> contexts, Phase phase,
                       bool mark_ffn_prunable) {
   const std::size_t d = s.d_model;
   const std::size_t kv = s.kv_dim();
 
   // Fused QKV projection.
-  ops.push_back({m, d, d + 2 * kv, phase, false, 0, false});
+  ops.push_back({m_weights, d, d + 2 * kv, phase, false, 0, false});
   // Attention score and value contractions stream the KV cache (BF16)
   // rather than weights.
-  ops.push_back({m, kv, context, phase, false, 2, false});
-  ops.push_back({m, context, kv, phase, false, 2, false});
+  for (const std::size_t context : contexts) {
+    ops.push_back({m_attn, kv, context, phase, false, 2, false});
+    ops.push_back({m_attn, context, kv, phase, false, 2, false});
+  }
   // Output projection.
-  ops.push_back({m, d, d, phase, false, 0, false});
+  ops.push_back({m_weights, d, d, phase, false, 0, false});
   // MLP. Gated blocks have up + gate + down (Eq. 1); classic blocks have
   // up + down. Decode-phase FFN rows are what the activation-aware
   // pruner drops (§IV-A).
   if (s.gated_mlp) {
-    ops.push_back({m, d, s.d_ffn, phase, false, 0, mark_ffn_prunable});  // up
-    ops.push_back({m, d, s.d_ffn, phase, false, 0, mark_ffn_prunable});  // gate
+    ops.push_back({m_weights, d, s.d_ffn, phase, false, 0, mark_ffn_prunable});  // up
+    ops.push_back({m_weights, d, s.d_ffn, phase, false, 0, mark_ffn_prunable});  // gate
   } else {
-    ops.push_back({m, d, s.d_ffn, phase, false, 0, mark_ffn_prunable});  // up
+    ops.push_back({m_weights, d, s.d_ffn, phase, false, 0, mark_ffn_prunable});  // up
   }
-  ops.push_back({m, s.d_ffn, d, phase, false, 0, mark_ffn_prunable});    // down
+  ops.push_back({m_weights, s.d_ffn, d, phase, false, 0, mark_ffn_prunable});  // down
+}
+
+/// The single-request form: `m` tokens attending `context` positions.
+void append_layer_ops(std::vector<GemmWork>& ops, const TransformerShape& s,
+                      std::size_t m, std::size_t context, Phase phase,
+                      bool mark_ffn_prunable) {
+  const std::size_t contexts[] = {context};
+  append_layer_ops(ops, s, m, m, contexts, phase, mark_ffn_prunable);
 }
 
 }  // namespace
@@ -89,6 +104,38 @@ WorkloadParams default_params_for_output(std::size_t input_tokens,
   p.crops = crops;
   p.decode_context = input_tokens + output_tokens / 2;
   return p;
+}
+
+core::PhaseWorkload build_request_workload(const MllmConfig& model,
+                                           const RequestShape& shape) {
+  if (shape.output_tokens == 0) {
+    throw std::invalid_argument("build_request_workload: output_tokens must be > 0");
+  }
+  return build_phase_workload(
+      model, default_params_for_output(shape.input_tokens, shape.output_tokens,
+                                       shape.crops));
+}
+
+std::vector<core::GemmWork> build_decode_step(
+    const MllmConfig& model, std::span<const std::size_t> contexts) {
+  if (contexts.empty()) {
+    throw std::invalid_argument("build_decode_step: empty batch");
+  }
+  for (const std::size_t context : contexts) {
+    if (context == 0) {
+      throw std::invalid_argument("build_decode_step: zero attention context");
+    }
+  }
+  std::vector<GemmWork> ops;
+  const std::size_t batch = contexts.size();
+  for (std::size_t layer = 0; layer < model.llm.layers; ++layer) {
+    append_layer_ops(ops, model.llm, batch, 1, contexts, Phase::kDecode, true);
+  }
+  if (model.llm.vocab > 0) {
+    ops.push_back(
+        {batch, model.llm.d_model, model.llm.vocab, Phase::kDecode, false, 0, false});
+  }
+  return ops;
 }
 
 std::vector<core::GemmWork> aggregate_ops(const std::vector<core::GemmWork>& ops) {

@@ -3,6 +3,8 @@
 #ifndef EDGEMM_MODEL_WORKLOAD_HPP
 #define EDGEMM_MODEL_WORKLOAD_HPP
 
+#include <span>
+
 #include "core/pipeline.hpp"
 #include "model/mllm_config.hpp"
 
@@ -30,6 +32,29 @@ core::PhaseWorkload build_phase_workload(const MllmConfig& model,
 WorkloadParams default_params_for_output(std::size_t input_tokens,
                                          std::size_t output_tokens,
                                          std::size_t crops = 1);
+
+/// Shape of one serving request (serve::Request carries these fields).
+struct RequestShape {
+  std::size_t input_tokens = 300;
+  std::size_t output_tokens = 128;
+  std::size_t crops = 1;
+};
+
+/// Per-request workload: the phase op lists for exactly one request of
+/// `model`, with the decode context derived from the request's own
+/// prompt and output lengths (the request-level analogue of
+/// build_phase_workload + default_params_for_output).
+core::PhaseWorkload build_request_workload(const MllmConfig& model,
+                                           const RequestShape& shape);
+
+/// One continuous-batching decode iteration for a batch of in-flight
+/// requests with individual attention contexts. Weight-bearing ops
+/// (QKV/O/FFN/LM-head) are batched to m = contexts.size(), amortizing a
+/// single weight fetch across the batch (Fig. 9(c)); the KV-cache stream
+/// ops stay per-request (m = 1) with each request's own context — unlike
+/// weights, KV caches are private and cannot be shared across the batch.
+std::vector<core::GemmWork> build_decode_step(
+    const MllmConfig& model, std::span<const std::size_t> contexts);
 
 /// Merges ops that share (k, phase, prunable, element override, residency)
 /// by summing their n dimensions. Total weight bytes, FLOPs, and — thanks

@@ -1,0 +1,24 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edgemm::serve {
+
+AdmissionPolicy::AdmissionPolicy(AdmissionLimits limits) : limits_(limits) {
+  if (limits_.max_decode_batch == 0 || limits_.max_inflight == 0) {
+    throw std::invalid_argument("AdmissionPolicy: limits must be > 0");
+  }
+  if (limits_.max_inflight < limits_.max_decode_batch) {
+    throw std::invalid_argument(
+        "AdmissionPolicy: max_inflight must be >= max_decode_batch");
+  }
+}
+
+std::size_t AdmissionPolicy::decode_join_count(std::size_t active,
+                                               std::size_t ready) const {
+  if (active >= limits_.max_decode_batch) return 0;
+  return std::min(ready, limits_.max_decode_batch - active);
+}
+
+}  // namespace edgemm::serve

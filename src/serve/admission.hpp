@@ -1,0 +1,47 @@
+// Admission control: the gate between the request queue and the chip.
+#ifndef EDGEMM_SERVE_ADMISSION_HPP
+#define EDGEMM_SERVE_ADMISSION_HPP
+
+#include <cstddef>
+
+namespace edgemm::serve {
+
+/// Concurrency limits enforced by the admission policy.
+struct AdmissionLimits {
+  /// Requests decoding in one continuous-batching step (the Fig. 9(c)
+  /// stream-batch ceiling; amortizes one weight fetch per step).
+  std::size_t max_decode_batch = 8;
+  /// Requests admitted but not yet finished (prefilling, waiting to join
+  /// the decode batch, or decoding). Admitting beyond the decode batch
+  /// keeps prefilled requests ready to join the moment a slot frees.
+  std::size_t max_inflight = 16;
+};
+
+/// Decides when a queued request may start prefill and how many
+/// decode-ready requests may join the next decode step.
+class AdmissionPolicy {
+ public:
+  AdmissionPolicy() = default;
+  /// Throws std::invalid_argument when a limit is zero or
+  /// max_inflight < max_decode_batch (the batch could never fill).
+  explicit AdmissionPolicy(AdmissionLimits limits);
+
+  const AdmissionLimits& limits() const { return limits_; }
+
+  /// True when a request may be admitted (start prefill) with `inflight`
+  /// requests currently admitted-but-unfinished.
+  bool admit(std::size_t inflight) const {
+    return inflight < limits_.max_inflight;
+  }
+
+  /// How many of `ready` decode-ready requests may join a decode batch
+  /// that already holds `active` requests.
+  std::size_t decode_join_count(std::size_t active, std::size_t ready) const;
+
+ private:
+  AdmissionLimits limits_{};
+};
+
+}  // namespace edgemm::serve
+
+#endif  // EDGEMM_SERVE_ADMISSION_HPP

@@ -1,0 +1,48 @@
+// Request-level serving types: what enters the engine and what it
+// records about each request's lifecycle.
+#ifndef EDGEMM_SERVE_REQUEST_HPP
+#define EDGEMM_SERVE_REQUEST_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace edgemm::serve {
+
+using RequestId = std::uint64_t;
+
+/// One inference request entering the serving engine.
+struct Request {
+  RequestId id = 0;
+  Cycle arrival = 0;  ///< cycle at which the request enters the queue
+  /// Index into the engine's model list (multi-model serving batches
+  /// decode only among requests of the same model).
+  std::size_t model = 0;
+  std::size_t input_tokens = 300;  ///< prompt + vision tokens entering the LLM
+  std::size_t output_tokens = 128; ///< tokens to generate
+  std::size_t crops = 1;           ///< encoder passes (sub-image crops)
+};
+
+/// Lifecycle timestamps the engine records per request (all in cycles).
+struct RequestRecord {
+  Request request;
+  Cycle admitted = 0;       ///< popped from the queue, prefill submitted
+  Cycle prefill_start = 0;  ///< CC-lane job dispatched
+  Cycle prefill_end = 0;    ///< encoder + prefill retired
+  Cycle first_token = 0;    ///< first decode step including this request
+  Cycle finish = 0;         ///< last output token retired
+  std::size_t tokens_generated = 0;
+  bool done = false;
+
+  Cycle latency_cycles() const { return finish - request.arrival; }
+  double latency_ms(double clock_hz = kChipClockHz) const {
+    return cycles_to_ms(latency_cycles(), clock_hz);
+  }
+  Cycle queue_delay_cycles() const { return prefill_start - request.arrival; }
+};
+
+}  // namespace edgemm::serve
+
+#endif  // EDGEMM_SERVE_REQUEST_HPP

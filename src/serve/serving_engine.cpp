@@ -1,0 +1,301 @@
+#include "serve/serving_engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/statistics.hpp"
+#include "common/units.hpp"
+#include "core/pipeline.hpp"
+#include "model/workload.hpp"
+
+namespace edgemm::serve {
+
+using core::GemmWork;
+using core::Lane;
+
+ServingEngine::ServingEngine(const core::ChipConfig& config,
+                             std::vector<model::MllmConfig> models,
+                             ServingOptions options)
+    : config_(config),
+      models_(std::move(models)),
+      options_(options),
+      admission_(options.admission),
+      chip_(config_, core::ChipComposition::kHeterogeneous),
+      scheduler_(chip_),
+      manager_(config_, options.policy) {
+  if (models_.empty()) {
+    throw std::invalid_argument("ServingEngine: no models to serve");
+  }
+  // Probe the decode traffic decomposition of every model once, on an
+  // MC cluster. A step of batch B with contexts c_i moves
+  //   shared + sum_i (request + kv_slope * c_i)
+  // bytes: the batch-amortized weight fetch, the per-request activation
+  // traffic, and the per-request KV stream. Solved from three probes —
+  // batch 1 at two contexts (isolates the KV slope) and batch 2
+  // (isolates the per-request share, since the weight fetch does not
+  // grow with the batch). Used by the interval rebalancer to size the
+  // MC side of the budget split without rebuilding op lists per tick.
+  const core::ClusterTimingModel* probe =
+      scheduler_.lane_clusters(Lane::kMcDecode).front();
+  for (const model::MllmConfig& m : models_) {
+    auto step_bytes = [&](std::span<const std::size_t> contexts) {
+      const auto ops = core::pruned_ops(model::build_decode_step(m, contexts),
+                                        options_.prune_keep_fraction);
+      return static_cast<double>(core::estimated_traffic_bytes(*probe, ops));
+    };
+    const std::array<std::size_t, 1> near{1};
+    const std::array<std::size_t, 1> far{1025};
+    const std::array<std::size_t, 2> pair{1, 1};
+    const double batch1_near = step_bytes(near);
+    const double batch1_far = step_bytes(far);
+    const double batch2 = step_bytes(pair);
+    const double slope = (batch1_far - batch1_near) / 1024.0;
+    const double per_request_near = batch2 - batch1_near;
+    decode_kv_slope_.push_back(slope);
+    decode_request_bytes_.push_back(per_request_near - slope);
+    decode_shared_bytes_.push_back(batch1_near - per_request_near);
+  }
+}
+
+void ServingEngine::set_completion_callback(CompletionCallback callback) {
+  on_complete_ = std::move(callback);
+}
+
+Bytes ServingEngine::cc_job_bytes(const std::vector<GemmWork>& ops) const {
+  return core::estimated_traffic_bytes(
+      *scheduler_.lane_clusters(Lane::kCcStage).front(), ops);
+}
+
+ServingResult ServingEngine::run(std::vector<Request> requests) {
+  if (ran_) {
+    throw std::logic_error("ServingEngine::run: engine instances are one-shot");
+  }
+  ran_ = true;
+  if (requests.empty()) {
+    throw std::invalid_argument("ServingEngine::run: empty trace");
+  }
+  records_.reserve(requests.size());
+  prefill_bytes_.assign(requests.size(), 0);
+  for (const Request& r : requests) {
+    if (r.input_tokens == 0 || r.output_tokens == 0 || r.crops == 0) {
+      throw std::invalid_argument("ServingEngine::run: zero-length request");
+    }
+    if (r.model >= models_.size()) {
+      throw std::invalid_argument("ServingEngine::run: model index out of range");
+    }
+    if (!index_.emplace(r.id, records_.size()).second) {
+      throw std::invalid_argument("ServingEngine::run: duplicate request id");
+    }
+    records_.push_back(RequestRecord{r});
+  }
+  total_ = records_.size();
+
+  sim::Simulator& sim = scheduler_.sim();
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    sim.schedule_at(records_[i].request.arrival, [this, i] { on_arrival(i); });
+  }
+  // PMC throttles are always armed (§IV-B); start from the default equal
+  // partition and let the interval rebalancer shift it.
+  manager_.apply_equal_sharing(chip_);
+  if (options_.manage_bandwidth) {
+    const Cycle interval = options_.rebalance_interval > 0
+                               ? options_.rebalance_interval
+                               : config_.dma.throttle_interval;
+    schedule_rebalance(interval);
+  }
+  sim.run();
+  EDGEMM_ASSERT_MSG(completed_ == total_,
+                    "ServingEngine: trace replay left unfinished requests");
+
+  // --- Aggregate metrics ---------------------------------------------------
+  ServingResult result;
+  result.completed = completed_;
+  Cycle first_arrival = records_.front().request.arrival;
+  Cycle last_finish = 0;
+  std::size_t total_tokens = 0;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(records_.size());
+  for (const RequestRecord& rec : records_) {
+    first_arrival = std::min(first_arrival, rec.request.arrival);
+    last_finish = std::max(last_finish, rec.finish);
+    total_tokens += rec.tokens_generated;
+    latencies_ms.push_back(rec.latency_ms(config_.clock_hz));
+  }
+  result.makespan = last_finish - first_arrival;
+  result.makespan_ms = cycles_to_ms(result.makespan, config_.clock_hz);
+  result.p50_latency_ms = percentile(latencies_ms, 50.0);
+  result.p95_latency_ms = percentile(latencies_ms, 95.0);
+  result.p99_latency_ms = percentile(latencies_ms, 99.0);
+  double sum = 0.0;
+  for (const double v : latencies_ms) sum += v;
+  result.mean_latency_ms = sum / static_cast<double>(latencies_ms.size());
+  result.tokens_per_second =
+      static_cast<double>(total_tokens) /
+      cycles_to_seconds(std::max<Cycle>(result.makespan, 1), config_.clock_hz);
+  result.dram_utilization = chip_.dram().utilization();
+  result.decode_steps = decode_steps_;
+  result.mean_decode_batch =
+      decode_steps_ > 0 ? static_cast<double>(batch_occupancy_sum_) /
+                              static_cast<double>(decode_steps_)
+                        : 0.0;
+  result.peak_queue_depth = peak_queue_depth_;
+  result.rebalances = rebalances_;
+  return result;
+}
+
+void ServingEngine::on_arrival(std::size_t index) {
+  queue_.push(records_[index].request);
+  peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
+  pump_admission();
+}
+
+void ServingEngine::pump_admission() {
+  sim::Simulator& sim = scheduler_.sim();
+  while (queue_.ready(sim.now()) && admission_.admit(inflight_)) {
+    const Request r = queue_.pop();
+    const std::size_t index = index_.at(r.id);
+    RequestRecord& rec = records_[index];
+    ++inflight_;
+    rec.admitted = sim.now();
+
+    // CC-lane job: this request's encoder + prefill ops. The decode side
+    // is built per step instead (contexts grow token by token).
+    auto workload = model::build_request_workload(
+        models_[r.model], {r.input_tokens, r.output_tokens, r.crops});
+    std::vector<GemmWork> cc_ops = std::move(workload.encoder);
+    cc_ops.insert(cc_ops.end(), workload.prefill.begin(), workload.prefill.end());
+    cc_ops = model::aggregate_ops(cc_ops);
+    prefill_bytes_[index] = cc_job_bytes(cc_ops);
+    cc_pending_bytes_ += static_cast<double>(prefill_bytes_[index]);
+
+    scheduler_.submit(
+        Lane::kCcStage, std::move(cc_ops),
+        [this, index] { on_prefill_done(index); },
+        [this, index] {
+          records_[index].prefill_start = scheduler_.sim().now();
+        });
+  }
+}
+
+void ServingEngine::on_prefill_done(std::size_t index) {
+  RequestRecord& rec = records_[index];
+  rec.prefill_end = scheduler_.sim().now();
+  cc_pending_bytes_ -= static_cast<double>(prefill_bytes_[index]);
+  decode_ready_.push_back(index);
+  // Continuous batching: if the MC lane is mid-step, this request joins
+  // at the next step boundary; only an idle lane needs a kick.
+  if (scheduler_.idle(Lane::kMcDecode)) start_decode_step();
+}
+
+void ServingEngine::start_decode_step() {
+  const std::size_t join =
+      admission_.decode_join_count(active_.size(), decode_ready_.size());
+  for (std::size_t j = 0; j < join; ++j) {
+    active_.push_back(decode_ready_.front());
+    decode_ready_.pop_front();
+  }
+  if (active_.empty()) return;  // MC lane drains until new prefills land
+
+  // One continuous-batching step: per served model, batch the weight-
+  // bearing ops across that model's active requests and stream each
+  // request's own KV cache.
+  std::vector<GemmWork> step;
+  std::vector<std::size_t> contexts;
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    contexts.clear();
+    for (const std::size_t index : active_) {
+      const RequestRecord& rec = records_[index];
+      if (rec.request.model == m) {
+        contexts.push_back(rec.request.input_tokens + rec.tokens_generated);
+      }
+    }
+    if (contexts.empty()) continue;
+    const auto ops = model::build_decode_step(models_[m], contexts);
+    step.insert(step.end(), ops.begin(), ops.end());
+  }
+  step = model::aggregate_ops(
+      core::pruned_ops(step, options_.prune_keep_fraction));
+
+  ++decode_steps_;
+  batch_occupancy_sum_ += active_.size();
+  scheduler_.submit(Lane::kMcDecode, std::move(step),
+                    [this] { on_decode_step_done(); });
+}
+
+void ServingEngine::on_decode_step_done() {
+  const Cycle now = scheduler_.sim().now();
+  std::vector<std::size_t> still_active;
+  still_active.reserve(active_.size());
+  for (const std::size_t index : active_) {
+    RequestRecord& rec = records_[index];
+    ++rec.tokens_generated;
+    if (rec.tokens_generated == 1) rec.first_token = now;
+    if (rec.tokens_generated >= rec.request.output_tokens) {
+      rec.finish = now;
+      rec.done = true;
+      ++completed_;
+      --inflight_;
+      if (on_complete_) on_complete_(rec);
+    } else {
+      still_active.push_back(index);
+    }
+  }
+  active_ = std::move(still_active);
+  pump_admission();   // retired requests freed admission slots
+  start_decode_step();  // survivors + any newly prefilled joiners
+}
+
+void ServingEngine::schedule_rebalance(Cycle interval) {
+  scheduler_.sim().schedule(interval, [this, interval] {
+    if (completed_ >= total_) return;  // drained: stop ticking, let run() end
+    rebalance();
+    schedule_rebalance(interval);
+  });
+}
+
+void ServingEngine::rebalance() {
+  // Size Bc:Bm from the bytes actually pending on each side (the dynamic
+  // analogue of the Fig. 9(c) per-round byte ratio): admitted prefill
+  // work on the CC side, remaining decode traffic of in-flight requests
+  // on the MC side. Weight fetches are charged once per step — the
+  // model's batch keeps decoding until its longest request drains — not
+  // once per request; continuous batching is what amortizes them.
+  double mc_bytes = 0.0;
+  std::vector<std::size_t> max_remaining(models_.size(), 0);
+  auto add_remaining = [&](std::size_t index) {
+    const RequestRecord& rec = records_[index];
+    const std::size_t remaining =
+        rec.request.output_tokens - rec.tokens_generated;
+    const std::size_t context =
+        rec.request.input_tokens + rec.tokens_generated;
+    const std::size_t m = rec.request.model;
+    max_remaining[m] = std::max(max_remaining[m], remaining);
+    mc_bytes += static_cast<double>(remaining) *
+                (decode_request_bytes_[m] +
+                 decode_kv_slope_[m] * static_cast<double>(context));
+  };
+  for (const std::size_t index : active_) add_remaining(index);
+  for (const std::size_t index : decode_ready_) add_remaining(index);
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    mc_bytes +=
+        decode_shared_bytes_[m] * static_cast<double>(max_remaining[m]);
+  }
+
+  std::size_t ratio = 1;
+  if (cc_pending_bytes_ <= 0.0) {
+    // No upstream work: hand the MC side the whole ramp.
+    ratio = options_.policy.max_mc_ratio;
+  } else if (mc_bytes > 0.0) {
+    ratio = std::clamp<std::size_t>(
+        static_cast<std::size_t>(mc_bytes / cc_pending_bytes_ + 0.5), 1,
+        options_.policy.max_mc_ratio);
+  }
+  manager_.apply_ratio(chip_, ratio);
+  ++rebalances_;
+}
+
+}  // namespace edgemm::serve

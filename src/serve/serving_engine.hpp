@@ -1,0 +1,133 @@
+// Request-level serving engine with continuous batching (the serving
+// generalization of the Fig. 9 streaming pipeline).
+//
+// Requests arrive over simulated time, wait in an arrival-ordered queue,
+// and are admitted by an AdmissionPolicy. Admitted requests prefill on
+// the CC lane while the MC lane drains decode steps of the in-flight
+// batch; a request that finishes prefill joins the decode batch at the
+// next step boundary — it does not wait for the batch to drain (continuous
+// batching). The §IV-B BandwidthManager rebalances the CC:MC DMA budget
+// split every throttle interval from the bytes actually pending on each
+// side, and per-request completion callbacks record tail latency.
+#ifndef EDGEMM_SERVE_SERVING_ENGINE_HPP
+#define EDGEMM_SERVE_SERVING_ENGINE_HPP
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bandwidth_manager.hpp"
+#include "core/chip.hpp"
+#include "core/config.hpp"
+#include "core/phase_scheduler.hpp"
+#include "model/mllm_config.hpp"
+#include "serve/admission.hpp"
+#include "serve/request.hpp"
+#include "serve/request_queue.hpp"
+
+namespace edgemm::serve {
+
+/// Engine knobs for one trace replay.
+struct ServingOptions {
+  AdmissionLimits admission{};
+  /// Adaptive CC:MC budget rebalancing; false = static equal sharing
+  /// (the §IV-B baseline, PMC throttles still armed).
+  bool manage_bandwidth = true;
+  core::BandwidthPolicy policy{};
+  /// Fraction of prunable FFN rows kept during decode (§IV-A); 1 = off.
+  double prune_keep_fraction = 1.0;
+  /// Cycles between bandwidth rebalances; 0 = the DMA throttle interval.
+  Cycle rebalance_interval = 0;
+};
+
+/// Aggregate outcome of one trace replay.
+struct ServingResult {
+  std::size_t completed = 0;
+  Cycle makespan = 0;  ///< first arrival to last token retired
+  double makespan_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double mean_latency_ms = 0.0;
+  double tokens_per_second = 0.0;
+  double dram_utilization = 0.0;
+  double mean_decode_batch = 0.0;  ///< average in-flight requests per step
+  std::size_t decode_steps = 0;
+  std::size_t peak_queue_depth = 0;
+  std::size_t rebalances = 0;
+};
+
+/// Drives the heterogeneous chip through a request trace. One-shot: each
+/// engine instance owns a fresh chip and replays exactly one trace.
+class ServingEngine {
+ public:
+  using CompletionCallback = std::function<void(const RequestRecord&)>;
+
+  /// Throws std::invalid_argument for an empty model list.
+  ServingEngine(const core::ChipConfig& config,
+                std::vector<model::MllmConfig> models, ServingOptions options);
+
+  /// Fires inside the simulation whenever a request retires.
+  void set_completion_callback(CompletionCallback callback);
+
+  /// Replays `requests` to completion and returns aggregate metrics.
+  /// Throws std::invalid_argument for an empty trace, duplicate ids,
+  /// zero token counts, or an out-of-range model index; std::logic_error
+  /// on a second call.
+  ServingResult run(std::vector<Request> requests);
+
+  /// Per-request lifecycle records, in the order requests were passed.
+  const std::vector<RequestRecord>& records() const { return records_; }
+
+  const core::ChipTimingModel& chip() const { return chip_; }
+
+ private:
+  void on_arrival(std::size_t index);
+  void pump_admission();
+  void on_prefill_done(std::size_t index);
+  void start_decode_step();
+  void on_decode_step_done();
+  void schedule_rebalance(Cycle interval);
+  void rebalance();
+  Bytes cc_job_bytes(const std::vector<core::GemmWork>& ops) const;
+
+  core::ChipConfig config_;
+  std::vector<model::MllmConfig> models_;
+  ServingOptions options_;
+  AdmissionPolicy admission_;
+  core::ChipTimingModel chip_;
+  core::PhaseScheduler scheduler_;
+  core::BandwidthManager manager_;
+
+  RequestQueue queue_;
+  std::vector<RequestRecord> records_;
+  std::vector<Bytes> prefill_bytes_;         ///< per record, for rebalancing
+  std::unordered_map<RequestId, std::size_t> index_;
+  std::deque<std::size_t> decode_ready_;     ///< prefilled, awaiting a slot
+  std::vector<std::size_t> active_;          ///< current decode batch
+  /// Per-token decode traffic model per served MllmConfig, probed at
+  /// construction. One decode step of a batch with contexts c_i costs
+  /// shared + sum_i (request + kv_slope * c_i): `shared` is the weight
+  /// fetch amortized across the whole batch (Fig. 9(c)), the other two
+  /// terms are per-request (activations + private KV stream).
+  std::vector<double> decode_shared_bytes_;
+  std::vector<double> decode_request_bytes_;
+  std::vector<double> decode_kv_slope_;
+
+  CompletionCallback on_complete_;
+  bool ran_ = false;
+  std::size_t total_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t inflight_ = 0;
+  double cc_pending_bytes_ = 0.0;
+  std::size_t decode_steps_ = 0;
+  std::size_t batch_occupancy_sum_ = 0;
+  std::size_t peak_queue_depth_ = 0;
+  std::size_t rebalances_ = 0;
+};
+
+}  // namespace edgemm::serve
+
+#endif  // EDGEMM_SERVE_SERVING_ENGINE_HPP

@@ -1,0 +1,49 @@
+#include "serve/trace.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace edgemm::serve {
+
+std::vector<Request> poisson_trace(const TraceConfig& config) {
+  if (config.requests == 0) {
+    throw std::invalid_argument("poisson_trace: requests must be > 0");
+  }
+  if (config.arrival_rate_per_s <= 0.0 || config.clock_hz <= 0.0) {
+    throw std::invalid_argument("poisson_trace: rate and clock must be > 0");
+  }
+  if (config.min_output_tokens == 0 ||
+      config.min_output_tokens > config.max_output_tokens) {
+    throw std::invalid_argument(
+        "poisson_trace: need 0 < min_output_tokens <= max_output_tokens");
+  }
+  if (config.input_tokens == 0 || config.crops == 0) {
+    throw std::invalid_argument("poisson_trace: input_tokens/crops must be > 0");
+  }
+
+  Rng rng(config.seed);
+  const double cycles_per_second = config.clock_hz;
+  std::vector<Request> trace;
+  trace.reserve(config.requests);
+  double arrival_s = 0.0;
+  for (std::size_t i = 0; i < config.requests; ++i) {
+    // Exponential inter-arrival via inverse transform; uniform() is in
+    // [0, 1) so 1 - u is in (0, 1] and the log is finite.
+    arrival_s += -std::log(1.0 - rng.uniform()) / config.arrival_rate_per_s;
+    Request r;
+    r.id = i;
+    r.arrival = static_cast<Cycle>(arrival_s * cycles_per_second);
+    r.model = config.model;
+    r.input_tokens = config.input_tokens;
+    r.crops = config.crops;
+    r.output_tokens = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(config.min_output_tokens),
+                        static_cast<std::int64_t>(config.max_output_tokens)));
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+}  // namespace edgemm::serve

@@ -1,0 +1,38 @@
+// Deterministic synthetic request traces (Poisson arrivals).
+#ifndef EDGEMM_SERVE_TRACE_HPP
+#define EDGEMM_SERVE_TRACE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "serve/request.hpp"
+
+namespace edgemm::serve {
+
+/// Parameters of a synthetic trace. Identical configs (seed included)
+/// regenerate identical traces, so every bench/test replay is exact.
+struct TraceConfig {
+  std::size_t requests = 32;
+  /// Poisson arrival rate in requests per second of simulated time.
+  double arrival_rate_per_s = 8.0;
+  double clock_hz = kChipClockHz;
+  std::size_t model = 0;
+  std::size_t input_tokens = 300;
+  std::size_t crops = 1;
+  /// Output lengths drawn uniformly from [min, max] (inclusive).
+  std::size_t min_output_tokens = 32;
+  std::size_t max_output_tokens = 256;
+  std::uint64_t seed = 42;
+};
+
+/// Generates `config.requests` requests with exponential inter-arrival
+/// times (a Poisson process) and uniform output lengths, ids 0..n-1 in
+/// arrival order. Throws std::invalid_argument for a non-positive rate,
+/// zero request/token counts, or min > max output tokens.
+std::vector<Request> poisson_trace(const TraceConfig& config);
+
+}  // namespace edgemm::serve
+
+#endif  // EDGEMM_SERVE_TRACE_HPP

@@ -129,5 +129,22 @@ TEST_P(CountThresholdSweep, MonotoneInT) {
 INSTANTIATE_TEST_SUITE_P(Thresholds, CountThresholdSweep,
                          ::testing::Values(1.0, 2.0, 4.0, 8.0, 16.0, 32.0));
 
+TEST(Percentile, InterpolatesOrderStatistics) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 1.75);
+  const std::vector<double> single{7.5};
+  EXPECT_DOUBLE_EQ(percentile(single, 99.0), 7.5);
+}
+
+TEST(Percentile, HandlesEmptyAndValidates) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(percentile(v, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile(v, 100.5), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace edgemm

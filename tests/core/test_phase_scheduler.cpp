@@ -1,0 +1,99 @@
+#include "core/phase_scheduler.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace edgemm::core {
+namespace {
+
+ChipConfig small_cfg() {
+  ChipConfig cfg = default_chip_config();
+  cfg.groups = 1;
+  return cfg;
+}
+
+std::vector<GemmWork> cc_job() {
+  return {{64, 256, 256, Phase::kPrefill, false, 0, false}};
+}
+
+std::vector<GemmWork> mc_job() {
+  return {{1, 256, 512, Phase::kDecode, false, 0, false}};
+}
+
+TEST(PhaseScheduler, MapsLanesToHeterogeneousClusterSets) {
+  ChipTimingModel chip(small_cfg(), ChipComposition::kHeterogeneous);
+  PhaseScheduler sched(chip);
+  for (const auto* cluster : sched.lane_clusters(Lane::kCcStage)) {
+    EXPECT_EQ(cluster->kind(), ClusterKind::kComputeCentric);
+  }
+  for (const auto* cluster : sched.lane_clusters(Lane::kMcDecode)) {
+    EXPECT_EQ(cluster->kind(), ClusterKind::kMemoryCentric);
+  }
+  EXPECT_TRUE(sched.idle(Lane::kCcStage));
+  EXPECT_TRUE(sched.idle(Lane::kMcDecode));
+}
+
+TEST(PhaseScheduler, RunsLaneJobsFifoBackToBack) {
+  ChipTimingModel chip(small_cfg(), ChipComposition::kHeterogeneous);
+  PhaseScheduler sched(chip);
+  std::vector<int> order;
+  Cycle first_end = 0, second_start = 0;
+
+  sched.submit(Lane::kCcStage, cc_job(), [&] {
+    order.push_back(1);
+    first_end = sched.sim().now();
+  });
+  sched.submit(
+      Lane::kCcStage, cc_job(), [&] { order.push_back(2); },
+      [&] { second_start = sched.sim().now(); });
+  EXPECT_EQ(sched.queued(Lane::kCcStage), 1u);  // second waits behind first
+
+  chip.simulator().run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(second_start, first_end);  // FIFO dispatch, no idle gap
+  EXPECT_TRUE(sched.idle(Lane::kCcStage));
+  EXPECT_EQ(sched.dispatched(Lane::kCcStage), 2u);
+}
+
+TEST(PhaseScheduler, LanesOverlapAcrossClusterSets) {
+  ChipTimingModel chip(small_cfg(), ChipComposition::kHeterogeneous);
+  PhaseScheduler sched(chip);
+  Cycle cc_end = 0, mc_end = 0;
+  sched.submit(Lane::kCcStage, cc_job(), [&] { cc_end = sched.sim().now(); });
+  sched.submit(Lane::kMcDecode, mc_job(), [&] { mc_end = sched.sim().now(); });
+  chip.simulator().run();
+  EXPECT_GT(cc_end, 0u);
+  EXPECT_GT(mc_end, 0u);
+  // The small decode job retires long before the prefill GEMM: the MC
+  // lane did not wait for the CC lane.
+  EXPECT_LT(mc_end, cc_end);
+}
+
+TEST(PhaseScheduler, CallbackMaySubmitFollowUpWork) {
+  ChipTimingModel chip(small_cfg(), ChipComposition::kHeterogeneous);
+  PhaseScheduler sched(chip);
+  int tokens = 0;
+  std::function<void()> decode_next = [&] {
+    if (++tokens < 4) {
+      sched.submit(Lane::kMcDecode, mc_job(), decode_next);
+    }
+  };
+  sched.submit(Lane::kMcDecode, mc_job(), decode_next);
+  chip.simulator().run();
+  EXPECT_EQ(tokens, 4);
+  EXPECT_EQ(sched.dispatched(Lane::kMcDecode), 4u);
+}
+
+TEST(PhaseScheduler, RejectsEmptyJobs) {
+  ChipTimingModel chip(small_cfg(), ChipComposition::kHeterogeneous);
+  PhaseScheduler sched(chip);
+  EXPECT_THROW(sched.submit(Lane::kCcStage, std::vector<GemmWork>{}, [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(sched.submit(Lane::kMcDecode, PhaseScheduler::OpsRef{}, [] {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgemm::core

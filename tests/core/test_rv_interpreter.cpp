@@ -175,7 +175,6 @@ TEST(RvInterpreter, RvDrivenShardedGemv) {
   // Full §III-C flow in machine code: each core computes its shard base
   // address from the corepos CSR with base-ISA arithmetic, then runs the
   // CIM kernel on its half of the matrix.
-  const ChipConfig config = cfg();
   const std::size_t k = 16;
   const std::size_t n = 8;
   Rng rng(5);

@@ -104,5 +104,60 @@ TEST(Workload, DefaultParamsDeriveContext) {
   EXPECT_EQ(p.decode_context, 300u + 64u);
 }
 
+TEST(Workload, RequestWorkloadMatchesPhaseWorkload) {
+  const RequestShape shape{300, 128, 2};
+  const auto per_request = build_request_workload(sphinx_tiny(), shape);
+  const auto reference = build_phase_workload(
+      sphinx_tiny(), default_params_for_output(300, 128, 2));
+  ASSERT_EQ(per_request.encoder.size(), reference.encoder.size());
+  ASSERT_EQ(per_request.prefill.size(), reference.prefill.size());
+  ASSERT_EQ(per_request.decode_token.size(), reference.decode_token.size());
+  for (std::size_t i = 0; i < reference.decode_token.size(); ++i) {
+    EXPECT_EQ(per_request.decode_token[i].k, reference.decode_token[i].k);
+    EXPECT_EQ(per_request.decode_token[i].n, reference.decode_token[i].n);
+  }
+  EXPECT_THROW(build_request_workload(sphinx_tiny(), RequestShape{300, 0, 1}),
+               std::invalid_argument);
+}
+
+TEST(Workload, SingleRequestDecodeStepMatchesLegacyDecodeToken) {
+  const auto params = default_params_for_output(300, 128);
+  const auto reference =
+      build_phase_workload(sphinx_tiny(), params).decode_token;
+  const std::size_t contexts[] = {params.decode_context};
+  const auto step = build_decode_step(sphinx_tiny(), contexts);
+  ASSERT_EQ(step.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(step[i].m, reference[i].m);
+    EXPECT_EQ(step[i].k, reference[i].k);
+    EXPECT_EQ(step[i].n, reference[i].n);
+    EXPECT_EQ(step[i].prunable, reference[i].prunable);
+    EXPECT_EQ(step[i].weight_elem_bytes_override,
+              reference[i].weight_elem_bytes_override);
+  }
+}
+
+TEST(Workload, BatchedDecodeStepSharesWeightsNotKvCaches) {
+  const std::size_t contexts[] = {310, 350, 420};
+  const auto step = build_decode_step(sphinx_tiny(), contexts);
+  std::size_t kv_ops = 0;
+  for (const auto& op : step) {
+    if (op.weight_elem_bytes_override != 0) {
+      // KV-cache streams stay per-request: m = 1, each request's context.
+      EXPECT_EQ(op.m, 1u);
+      ++kv_ops;
+    } else {
+      // Weight-bearing ops amortize one fetch across the batch.
+      EXPECT_EQ(op.m, 3u);
+    }
+  }
+  const std::size_t layers = sphinx_tiny().llm.layers;
+  EXPECT_EQ(kv_ops, layers * 2 * 3);
+
+  EXPECT_THROW(build_decode_step(sphinx_tiny(), {}), std::invalid_argument);
+  const std::size_t bad[] = {300, 0};
+  EXPECT_THROW(build_decode_step(sphinx_tiny(), bad), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace edgemm::model

@@ -1,0 +1,36 @@
+#include "serve/admission.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace edgemm::serve {
+namespace {
+
+TEST(AdmissionPolicy, ValidatesLimits) {
+  EXPECT_THROW(AdmissionPolicy(AdmissionLimits{0, 4}), std::invalid_argument);
+  EXPECT_THROW(AdmissionPolicy(AdmissionLimits{4, 0}), std::invalid_argument);
+  // The batch could never fill if fewer requests may be in flight.
+  EXPECT_THROW(AdmissionPolicy(AdmissionLimits{8, 4}), std::invalid_argument);
+  EXPECT_NO_THROW(AdmissionPolicy(AdmissionLimits{4, 4}));
+}
+
+TEST(AdmissionPolicy, AdmitsUpToMaxInflight) {
+  const AdmissionPolicy policy(AdmissionLimits{2, 3});
+  EXPECT_TRUE(policy.admit(0));
+  EXPECT_TRUE(policy.admit(2));
+  EXPECT_FALSE(policy.admit(3));
+  EXPECT_FALSE(policy.admit(4));
+}
+
+TEST(AdmissionPolicy, DecodeJoinFillsRemainingBatchSlots) {
+  const AdmissionPolicy policy(AdmissionLimits{4, 8});
+  EXPECT_EQ(policy.decode_join_count(0, 10), 4u);
+  EXPECT_EQ(policy.decode_join_count(1, 2), 2u);
+  EXPECT_EQ(policy.decode_join_count(3, 5), 1u);
+  EXPECT_EQ(policy.decode_join_count(4, 5), 0u);  // batch already full
+  EXPECT_EQ(policy.decode_join_count(2, 0), 0u);  // nothing ready
+}
+
+}  // namespace
+}  // namespace edgemm::serve

@@ -1,0 +1,213 @@
+#include "serve/serving_engine.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/trace.hpp"
+
+namespace edgemm::serve {
+namespace {
+
+core::ChipConfig small_cfg() {
+  core::ChipConfig cfg = core::default_chip_config();
+  cfg.groups = 1;  // 2 CC + 2 MC clusters: fast simulation
+  return cfg;
+}
+
+/// Small synthetic MLLM, cheap enough for many engine runs per test.
+model::MllmConfig tiny_model() {
+  model::MllmConfig m;
+  m.name = "tiny-mllm";
+  m.encoders = {{"enc", 2, 256, 512, 4, 4, 0, false}};
+  m.vision_tokens = 16;
+  m.projector_params = 0;
+  m.llm = {"llm", 2, 256, 512, 4, 4, 1024, true};
+  return m;
+}
+
+Request req(RequestId id, Cycle arrival, std::size_t output_tokens,
+            std::size_t input_tokens = 32, std::size_t model = 0) {
+  Request r;
+  r.id = id;
+  r.arrival = arrival;
+  r.model = model;
+  r.input_tokens = input_tokens;
+  r.output_tokens = output_tokens;
+  r.crops = 1;
+  return r;
+}
+
+ServingOptions fast_options(std::size_t max_batch = 4,
+                            std::size_t max_inflight = 8) {
+  ServingOptions options;
+  options.admission = AdmissionLimits{max_batch, max_inflight};
+  options.manage_bandwidth = false;
+  return options;
+}
+
+TEST(ServingEngine, CompletesTraceWithOrderedLatencyPercentiles) {
+  ServingEngine engine(small_cfg(), {tiny_model()}, fast_options());
+  TraceConfig trace_cfg;
+  trace_cfg.requests = 12;
+  trace_cfg.arrival_rate_per_s = 2000.0;  // heavy contention on the tiny chip
+  trace_cfg.input_tokens = 32;
+  trace_cfg.min_output_tokens = 2;
+  trace_cfg.max_output_tokens = 12;
+  const auto result = engine.run(poisson_trace(trace_cfg));
+
+  EXPECT_EQ(result.completed, 12u);
+  EXPECT_GT(result.makespan, 0u);
+  EXPECT_GT(result.tokens_per_second, 0.0);
+  EXPECT_GT(result.dram_utilization, 0.0);
+  EXPECT_LE(result.dram_utilization, 1.0);
+  EXPECT_GT(result.p50_latency_ms, 0.0);
+  // Tail ordering invariant: p99 >= p95 >= p50.
+  EXPECT_GE(result.p95_latency_ms, result.p50_latency_ms);
+  EXPECT_GE(result.p99_latency_ms, result.p95_latency_ms);
+  EXPECT_GT(result.mean_decode_batch, 1.0);  // contention actually batched
+
+  for (const RequestRecord& rec : engine.records()) {
+    EXPECT_TRUE(rec.done);
+    EXPECT_EQ(rec.tokens_generated, rec.request.output_tokens);
+    EXPECT_GE(rec.prefill_start, rec.request.arrival);
+    EXPECT_GT(rec.prefill_end, rec.prefill_start);
+    EXPECT_GE(rec.first_token, rec.prefill_end);
+    EXPECT_GE(rec.finish, rec.first_token);
+  }
+}
+
+TEST(ServingEngine, RequestArrivingMidDecodePrefillsBeforeBatchDrains) {
+  // Probe run: when does a lone long request decode?
+  ServingEngine probe(small_cfg(), {tiny_model()}, fast_options());
+  probe.run({req(0, 0, 48)});
+  const RequestRecord lone = probe.records()[0];
+  ASSERT_GT(lone.finish, lone.prefill_end);
+
+  // Real run: a short request lands squarely inside the decode window.
+  const Cycle mid_decode = lone.first_token + (lone.finish - lone.first_token) / 2;
+  ServingEngine engine(small_cfg(), {tiny_model()}, fast_options());
+  engine.run({req(0, 0, 48), req(1, mid_decode, 4)});
+  const RequestRecord& first = engine.records()[0];
+  const RequestRecord& joiner = engine.records()[1];
+
+  // Continuous batching: the joiner's prefill runs on the CC lane while
+  // the first request's decode batch is still draining on the MC lane,
+  // and its decode starts before that batch finishes.
+  EXPECT_GE(joiner.prefill_start, joiner.request.arrival);
+  EXPECT_LT(joiner.prefill_start, first.finish);
+  EXPECT_LT(joiner.first_token, first.finish);
+}
+
+TEST(ServingEngine, AdmissionDefersWhenBatchAndInflightAreFull) {
+  // max_inflight == max_decode_batch == 2: a third simultaneous request
+  // may only be admitted once one of the first two retires.
+  ServingEngine engine(small_cfg(), {tiny_model()}, fast_options(2, 2));
+  engine.run({req(0, 0, 24), req(1, 0, 24), req(2, 0, 4)});
+  const auto& records = engine.records();
+  const Cycle earliest_finish =
+      std::min(records[0].finish, records[1].finish);
+  EXPECT_GE(records[2].admitted, earliest_finish);
+  EXPECT_GE(records[2].prefill_start, earliest_finish);
+}
+
+TEST(ServingEngine, ContinuousBatchingBeatsSequentialOnMakespan) {
+  std::vector<Request> trace;
+  for (std::size_t i = 0; i < 8; ++i) {
+    trace.push_back(req(i, i * 1000, 12));
+  }
+  ServingEngine batched(small_cfg(), {tiny_model()}, fast_options(4, 8));
+  const auto continuous = batched.run(trace);
+  ServingEngine serial(small_cfg(), {tiny_model()}, fast_options(1, 1));
+  const auto sequential = serial.run(trace);
+
+  EXPECT_LT(continuous.makespan, sequential.makespan);
+  EXPECT_GT(continuous.tokens_per_second, sequential.tokens_per_second);
+  EXPECT_DOUBLE_EQ(sequential.mean_decode_batch, 1.0);
+}
+
+TEST(ServingEngine, ReplayIsDeterministic) {
+  TraceConfig trace_cfg;
+  trace_cfg.requests = 6;
+  trace_cfg.arrival_rate_per_s = 1000.0;
+  trace_cfg.input_tokens = 32;
+  trace_cfg.min_output_tokens = 2;
+  trace_cfg.max_output_tokens = 8;
+
+  ServingEngine a(small_cfg(), {tiny_model()}, fast_options());
+  const auto ra = a.run(poisson_trace(trace_cfg));
+  ServingEngine b(small_cfg(), {tiny_model()}, fast_options());
+  const auto rb = b.run(poisson_trace(trace_cfg));
+
+  EXPECT_EQ(ra.makespan, rb.makespan);
+  EXPECT_EQ(ra.decode_steps, rb.decode_steps);
+  for (std::size_t i = 0; i < a.records().size(); ++i) {
+    EXPECT_EQ(a.records()[i].finish, b.records()[i].finish);
+  }
+}
+
+TEST(ServingEngine, BandwidthManagementRebalancesUnderLoad) {
+  TraceConfig trace_cfg;
+  trace_cfg.requests = 8;
+  trace_cfg.arrival_rate_per_s = 2000.0;
+  trace_cfg.input_tokens = 32;
+  trace_cfg.min_output_tokens = 8;
+  trace_cfg.max_output_tokens = 24;
+
+  ServingOptions options = fast_options();
+  options.manage_bandwidth = true;
+  options.rebalance_interval = 50'000;
+  ServingEngine engine(small_cfg(), {tiny_model()}, options);
+  const auto result = engine.run(poisson_trace(trace_cfg));
+  EXPECT_EQ(result.completed, 8u);
+  EXPECT_GT(result.rebalances, 0u);
+}
+
+TEST(ServingEngine, FiresCompletionCallbacksInFinishOrder) {
+  ServingEngine engine(small_cfg(), {tiny_model()}, fast_options());
+  std::vector<RequestId> completions;
+  Cycle last_finish = 0;
+  engine.set_completion_callback([&](const RequestRecord& rec) {
+    completions.push_back(rec.request.id);
+    EXPECT_GE(rec.finish, last_finish);
+    last_finish = rec.finish;
+  });
+  engine.run({req(0, 0, 16), req(1, 100, 2), req(2, 200, 6)});
+  EXPECT_EQ(completions.size(), 3u);
+}
+
+TEST(ServingEngine, ServesMultipleModelsInOneBatchCycle) {
+  model::MllmConfig second = tiny_model();
+  second.name = "tiny-mllm-2";
+  second.llm.d_ffn = 768;
+  ServingEngine engine(small_cfg(), {tiny_model(), second}, fast_options());
+  engine.run({req(0, 0, 8, 32, 0), req(1, 0, 8, 32, 1), req(2, 0, 6, 32, 0)});
+  for (const RequestRecord& rec : engine.records()) {
+    EXPECT_TRUE(rec.done);
+  }
+}
+
+TEST(ServingEngine, ValidatesRequestsAndLifecycle) {
+  EXPECT_THROW(ServingEngine(small_cfg(), {}, fast_options()),
+               std::invalid_argument);
+
+  ServingEngine engine(small_cfg(), {tiny_model()}, fast_options());
+  EXPECT_THROW(engine.run({}), std::invalid_argument);
+
+  ServingEngine dup(small_cfg(), {tiny_model()}, fast_options());
+  EXPECT_THROW(dup.run({req(3, 0, 4), req(3, 10, 4)}), std::invalid_argument);
+
+  ServingEngine zero(small_cfg(), {tiny_model()}, fast_options());
+  EXPECT_THROW(zero.run({req(0, 0, 0)}), std::invalid_argument);
+
+  ServingEngine oob(small_cfg(), {tiny_model()}, fast_options());
+  EXPECT_THROW(oob.run({req(0, 0, 4, 32, /*model=*/5)}), std::invalid_argument);
+
+  ServingEngine once(small_cfg(), {tiny_model()}, fast_options());
+  once.run({req(0, 0, 2)});
+  EXPECT_THROW(once.run({req(1, 0, 2)}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace edgemm::serve

@@ -1,0 +1,81 @@
+#include "serve/trace.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace edgemm::serve {
+namespace {
+
+TEST(PoissonTrace, IsDeterministicForASeed) {
+  TraceConfig cfg;
+  cfg.requests = 64;
+  cfg.seed = 7;
+  const auto a = poisson_trace(cfg);
+  const auto b = poisson_trace(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].output_tokens, b[i].output_tokens);
+  }
+  cfg.seed = 8;
+  const auto c = poisson_trace(cfg);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_different |= a[i].arrival != c[i].arrival;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(PoissonTrace, ArrivalsAreMonotonicWithSequentialIds) {
+  TraceConfig cfg;
+  cfg.requests = 128;
+  const auto trace = poisson_trace(cfg);
+  ASSERT_EQ(trace.size(), cfg.requests);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].id, i);
+    if (i > 0) {
+      EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
+    }
+    EXPECT_GE(trace[i].output_tokens, cfg.min_output_tokens);
+    EXPECT_LE(trace[i].output_tokens, cfg.max_output_tokens);
+    EXPECT_EQ(trace[i].input_tokens, cfg.input_tokens);
+  }
+}
+
+TEST(PoissonTrace, MeanInterArrivalTracksTheRate) {
+  TraceConfig cfg;
+  cfg.requests = 4000;
+  cfg.arrival_rate_per_s = 100.0;
+  const auto trace = poisson_trace(cfg);
+  const double span_s = static_cast<double>(trace.back().arrival) / cfg.clock_hz;
+  const double mean_gap_s = span_s / static_cast<double>(cfg.requests);
+  // Loose 3-sigma-ish bounds around 1/lambda = 10 ms.
+  EXPECT_GT(mean_gap_s, 0.009);
+  EXPECT_LT(mean_gap_s, 0.011);
+}
+
+TEST(PoissonTrace, ValidatesConfig) {
+  TraceConfig cfg;
+  cfg.requests = 0;
+  EXPECT_THROW(poisson_trace(cfg), std::invalid_argument);
+  cfg = TraceConfig{};
+  cfg.arrival_rate_per_s = 0.0;
+  EXPECT_THROW(poisson_trace(cfg), std::invalid_argument);
+  cfg = TraceConfig{};
+  cfg.min_output_tokens = 64;
+  cfg.max_output_tokens = 32;
+  EXPECT_THROW(poisson_trace(cfg), std::invalid_argument);
+  cfg = TraceConfig{};
+  cfg.min_output_tokens = 0;
+  EXPECT_THROW(poisson_trace(cfg), std::invalid_argument);
+  cfg = TraceConfig{};
+  cfg.input_tokens = 0;
+  EXPECT_THROW(poisson_trace(cfg), std::invalid_argument);
+  cfg = TraceConfig{};
+  cfg.crops = 0;
+  EXPECT_THROW(poisson_trace(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgemm::serve
