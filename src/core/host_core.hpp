@@ -98,7 +98,10 @@ class HostCore {
   Cycle exec_vector(const struct DecodedView& d);
   Cycle exec_config(const struct DecodedView& d);
 
-  const ChipConfig& config_;
+  /// Held by value: HostCores are built from throwaway configs all over
+  /// the tests (and ChipConfig is a small flat struct), so a reference
+  /// member would dangle the moment a caller passes a temporary.
+  ChipConfig config_;
   CoreKind kind_;
   isa::CsrFile csrs_;
 

@@ -1,5 +1,6 @@
 #include "core/phase_scheduler.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -46,7 +47,8 @@ void PhaseScheduler::submit(Lane lane, OpsRef ops, std::function<void()> done,
     throw std::invalid_argument("PhaseScheduler::submit: empty op list");
   }
   LaneState& s = state(lane);
-  s.queue.push_back(Job{std::move(ops), std::move(done), std::move(started)});
+  s.queue.push_back(Job{std::move(ops), std::move(done), std::move(started),
+                        sim().now()});
   if (!s.busy) dispatch_next(s);
 }
 
@@ -61,7 +63,11 @@ std::size_t PhaseScheduler::queued(Lane lane) const {
 }
 
 std::size_t PhaseScheduler::dispatched(Lane lane) const {
-  return state(lane).dispatched;
+  return state(lane).stats.dispatched;
+}
+
+const PhaseScheduler::LaneStats& PhaseScheduler::lane_stats(Lane lane) const {
+  return state(lane).stats;
 }
 
 const std::vector<ClusterTimingModel*>& PhaseScheduler::lane_clusters(
@@ -75,7 +81,10 @@ void PhaseScheduler::dispatch_next(LaneState& lane) {
   Job job = std::move(lane.queue.front());
   lane.queue.pop_front();
   lane.busy = true;
-  ++lane.dispatched;
+  ++lane.stats.dispatched;
+  const Cycle waited = sim().now() - job.submitted;
+  lane.stats.max_queue_wait = std::max(lane.stats.max_queue_wait, waited);
+  lane.stats.total_queue_wait += waited;
   if (job.started) job.started();
   auto done = std::move(job.done);
   chip_.run_on(lane.clusters, *job.ops, [this, &lane, done = std::move(done)] {

@@ -67,6 +67,24 @@ class PhaseScheduler {
   /// Jobs dispatched to `lane` so far (for tests and occupancy stats).
   std::size_t dispatched(Lane lane) const;
 
+  /// Per-lane queueing statistics: how long jobs sat behind earlier jobs
+  /// between submit and dispatch. max_queue_wait is the head-of-line
+  /// blocking metric chunked prefill exists to bound.
+  struct LaneStats {
+    std::size_t dispatched = 0;
+    Cycle max_queue_wait = 0;
+    Cycle total_queue_wait = 0;
+
+    double mean_queue_wait() const {
+      return dispatched > 0
+                 ? static_cast<double>(total_queue_wait) /
+                       static_cast<double>(dispatched)
+                 : 0.0;
+    }
+  };
+
+  const LaneStats& lane_stats(Lane lane) const;
+
   /// The cluster set backing `lane` under the chip's composition
   /// (heterogeneous: CC / MC; homogeneous compositions share all
   /// clusters between both lanes and serialize inside the cluster FIFOs).
@@ -77,12 +95,13 @@ class PhaseScheduler {
     OpsRef ops;
     std::function<void()> done;
     std::function<void()> started;
+    Cycle submitted = 0;
   };
   struct LaneState {
     std::vector<ClusterTimingModel*> clusters;
     std::deque<Job> queue;
     bool busy = false;
-    std::size_t dispatched = 0;
+    LaneStats stats;
   };
 
   LaneState& state(Lane lane);

@@ -53,18 +53,17 @@ void append_layer_ops(std::vector<GemmWork>& ops, const TransformerShape& s,
 
 }  // namespace
 
-core::PhaseWorkload build_phase_workload(const MllmConfig& model,
-                                         const WorkloadParams& params) {
-  if (params.input_tokens == 0 || params.crops == 0) {
-    throw std::invalid_argument("build_phase_workload: tokens/crops must be > 0");
+std::vector<core::GemmWork> build_encoder_ops(const MllmConfig& model,
+                                              std::size_t crops) {
+  if (crops == 0) {
+    throw std::invalid_argument("build_encoder_ops: crops must be > 0");
   }
-  core::PhaseWorkload w;
-
-  // --- Vision encoder(s): GEMM over all crops' patch tokens --------------
-  const std::size_t enc_tokens = model.vision_tokens * params.crops;
+  std::vector<GemmWork> ops;
+  // GEMM over all crops' patch tokens.
+  const std::size_t enc_tokens = model.vision_tokens * crops;
   for (const TransformerShape& tower : model.encoders) {
     for (std::size_t layer = 0; layer < tower.layers; ++layer) {
-      append_layer_ops(w.encoder, tower, enc_tokens, enc_tokens,
+      append_layer_ops(ops, tower, enc_tokens, enc_tokens,
                        Phase::kVisionEncoder, false);
     }
   }
@@ -74,15 +73,44 @@ core::PhaseWorkload build_phase_workload(const MllmConfig& model,
     const std::size_t eq_dim = model.llm.d_model;
     const std::size_t eq_k =
         std::max<std::size_t>(model.projector_params / eq_dim, 1);
-    w.encoder.push_back(
+    ops.push_back(
         {enc_tokens, eq_k, eq_dim, Phase::kVisionEncoder, false, 0, false});
   }
+  return ops;
+}
 
-  // --- LLM prefill ---------------------------------------------------------
-  for (std::size_t layer = 0; layer < model.llm.layers; ++layer) {
-    append_layer_ops(w.prefill, model.llm, params.input_tokens, params.input_tokens,
-                     Phase::kPrefill, false);
+std::vector<core::GemmWork> build_prefill_chunk(const MllmConfig& model,
+                                                std::size_t start,
+                                                std::size_t tokens,
+                                                std::size_t prompt_tokens) {
+  if (tokens == 0) {
+    throw std::invalid_argument("build_prefill_chunk: tokens must be > 0");
   }
+  if (start + tokens > prompt_tokens) {
+    throw std::invalid_argument(
+        "build_prefill_chunk: chunk exceeds the prompt");
+  }
+  std::vector<GemmWork> ops;
+  for (std::size_t layer = 0; layer < model.llm.layers; ++layer) {
+    append_layer_ops(ops, model.llm, tokens, prompt_tokens, Phase::kPrefill,
+                     false);
+  }
+  return ops;
+}
+
+std::size_t kv_bytes_per_token(const MllmConfig& model) {
+  return model.llm.layers * 2 * model.llm.kv_dim() * 2;  // K+V rows, BF16
+}
+
+core::PhaseWorkload build_phase_workload(const MllmConfig& model,
+                                         const WorkloadParams& params) {
+  if (params.input_tokens == 0 || params.crops == 0) {
+    throw std::invalid_argument("build_phase_workload: tokens/crops must be > 0");
+  }
+  core::PhaseWorkload w;
+  w.encoder = build_encoder_ops(model, params.crops);
+  w.prefill =
+      build_prefill_chunk(model, 0, params.input_tokens, params.input_tokens);
 
   // --- One decode iteration -----------------------------------------------
   for (std::size_t layer = 0; layer < model.llm.layers; ++layer) {

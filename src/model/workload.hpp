@@ -47,6 +47,32 @@ struct RequestShape {
 core::PhaseWorkload build_request_workload(const MllmConfig& model,
                                            const RequestShape& shape);
 
+/// Vision-encoder (+ projector) ops for one request with `crops` encoder
+/// passes — the front of every prefill plan. Throws std::invalid_argument
+/// for zero crops.
+std::vector<core::GemmWork> build_encoder_ops(const MllmConfig& model,
+                                              std::size_t crops);
+
+/// One chunk of a chunked prefill: LLM-prefill ops for prompt tokens
+/// [start, start + tokens) of a `prompt_tokens`-long prompt. Attention
+/// is charged at the same rectangle convention as the monolithic
+/// prefill of build_phase_workload (every row attends the full
+/// `prompt_tokens` context), so a plan whose chunk sizes sum to the
+/// prompt length models EXACTLY the monolithic op totals — planners
+/// differ only in how the work is sliced into lane jobs (and in the
+/// per-chunk weight re-fetch). Chunk (0, prompt_tokens, prompt_tokens)
+/// IS the monolithic prefill. Throws std::invalid_argument for zero
+/// tokens or start + tokens > prompt_tokens.
+std::vector<core::GemmWork> build_prefill_chunk(const MllmConfig& model,
+                                                std::size_t start,
+                                                std::size_t tokens,
+                                                std::size_t prompt_tokens);
+
+/// Bytes one generated token appends to a request's KV cache: K and V
+/// rows of kv_dim across all LLM layers, stored BF16 (the same element
+/// override the decode KV-stream ops carry).
+std::size_t kv_bytes_per_token(const MllmConfig& model);
+
 /// One continuous-batching decode iteration for a batch of in-flight
 /// requests with individual attention contexts. Weight-bearing ops
 /// (QKV/O/FFN/LM-head) are batched to m = contexts.size(), amortizing a

@@ -1,12 +1,21 @@
-// Admission control: the gate between the request queue and the chip.
+// Scheduler policies: the gate between the request queue and the chip.
+//
+// ConcurrencyPolicy is the default SchedulerPolicy (the PR-1
+// AdmissionLimits behavior: pure concurrency caps). SloAwarePolicy
+// layers per-request deadline feasibility on top: a request whose
+// estimated completion already misses its deadline is rejected up front
+// instead of wasting bandwidth and dragging the tail of the requests
+// that could still make theirs.
 #ifndef EDGEMM_SERVE_ADMISSION_HPP
 #define EDGEMM_SERVE_ADMISSION_HPP
 
 #include <cstddef>
 
+#include "serve/policy.hpp"
+
 namespace edgemm::serve {
 
-/// Concurrency limits enforced by the admission policy.
+/// Concurrency limits enforced by ConcurrencyPolicy.
 struct AdmissionLimits {
   /// Requests decoding in one continuous-batching step (the Fig. 9(c)
   /// stream-batch ceiling; amortizes one weight fetch per step).
@@ -17,29 +26,50 @@ struct AdmissionLimits {
   std::size_t max_inflight = 16;
 };
 
-/// Decides when a queued request may start prefill and how many
-/// decode-ready requests may join the next decode step.
-class AdmissionPolicy {
+/// Default scheduler: admit while below max_inflight, defer otherwise;
+/// decode joins fill the batch up to max_decode_batch.
+class ConcurrencyPolicy : public SchedulerPolicy {
  public:
-  AdmissionPolicy() = default;
+  ConcurrencyPolicy() = default;
   /// Throws std::invalid_argument when a limit is zero or
   /// max_inflight < max_decode_batch (the batch could never fill).
-  explicit AdmissionPolicy(AdmissionLimits limits);
+  explicit ConcurrencyPolicy(AdmissionLimits limits);
 
   const AdmissionLimits& limits() const { return limits_; }
 
-  /// True when a request may be admitted (start prefill) with `inflight`
-  /// requests currently admitted-but-unfinished.
-  bool admit(std::size_t inflight) const {
-    return inflight < limits_.max_inflight;
-  }
-
-  /// How many of `ready` decode-ready requests may join a decode batch
-  /// that already holds `active` requests.
-  std::size_t decode_join_count(std::size_t active, std::size_t ready) const;
+  const char* name() const override { return "concurrency"; }
+  AdmissionVerdict admit(const Request& r,
+                         const AdmissionContext& ctx) const override;
+  std::size_t decode_join_count(std::size_t active,
+                                std::size_t ready) const override;
 
  private:
   AdmissionLimits limits_{};
+};
+
+/// SLO-aware scheduler: concurrency caps plus deadline feasibility.
+/// Requests without a deadline pass straight to the concurrency verdict.
+class SloAwarePolicy final : public ConcurrencyPolicy {
+ public:
+  struct Options {
+    /// Multiplier on (queue delay + service) before comparing against
+    /// the deadline: > 1 rejects earlier (conservative), < 1 later.
+    double slack = 1.0;
+  };
+
+  /// Throws std::invalid_argument for a non-positive slack (inherits the
+  /// limit checks of ConcurrencyPolicy).
+  explicit SloAwarePolicy(AdmissionLimits limits);
+  SloAwarePolicy(AdmissionLimits limits, Options options);
+
+  const Options& options() const { return options_; }
+
+  const char* name() const override { return "slo-aware"; }
+  AdmissionVerdict admit(const Request& r,
+                         const AdmissionContext& ctx) const override;
+
+ private:
+  Options options_{};
 };
 
 }  // namespace edgemm::serve

@@ -1,0 +1,161 @@
+#include "serve/engine_config.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "model/activation_gen.hpp"
+
+namespace edgemm::serve {
+
+namespace {
+
+/// FNV-1a over the model name: a stable per-model seed perturbation so
+/// different zoo entries draw different proxy instances.
+std::uint64_t name_hash(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+double derive_keep_fraction(const model::MllmConfig& model,
+                            const TaskProxyPruningOptions& options) {
+  if (options.min_agreement < 0.0 || options.min_agreement > 1.0) {
+    throw std::invalid_argument(
+        "derive_keep_fraction: min_agreement must be in [0, 1]");
+  }
+  if (!(options.min_keep_fraction > 0.0) || options.min_keep_fraction > 1.0) {
+    throw std::invalid_argument(
+        "derive_keep_fraction: min_keep_fraction must be in (0, 1]");
+  }
+  if (options.max_proxy_channels == 0 || options.max_proxy_layers == 0) {
+    throw std::invalid_argument(
+        "derive_keep_fraction: proxy caps must be > 0");
+  }
+
+  model::ActivationProfile profile;
+  profile.channels = std::min(model.llm.d_model, options.max_proxy_channels);
+  profile.layers = std::max<std::size_t>(
+      std::min(model.llm.layers, options.max_proxy_layers), 2);
+  const model::ActivationGenerator gen(
+      profile, options.proxy.seed ^ name_hash(model.name));
+  const pruning::TaskProxyResult result =
+      pruning::evaluate_task_proxy(gen, options.proxy);
+
+  double keep = 1.0;  // pruning off unless the proxy clears the bar
+  if (result.agreement_dynamic >= options.min_agreement) {
+    keep = 1.0 - result.mean_pruning_ratio;
+  } else {
+    // Fall back to the most aggressive fixed ratio that still agrees.
+    double best_ratio = 0.0;
+    for (std::size_t f = 0; f < options.proxy.fixed_ratios.size(); ++f) {
+      if (result.agreement_fixed[f] >= options.min_agreement) {
+        best_ratio = std::max(best_ratio, options.proxy.fixed_ratios[f]);
+      }
+    }
+    keep = 1.0 - best_ratio;
+  }
+  return std::clamp(keep, options.min_keep_fraction, 1.0);
+}
+
+EngineConfig::EngineConfig()
+    : scheduler_(std::make_shared<ConcurrencyPolicy>(AdmissionLimits{})),
+      planner_(std::make_shared<MonolithicPrefill>()),
+      batcher_(std::make_shared<FifoBatch>()) {}
+
+EngineConfig EngineConfig::from_legacy(const ServingOptions& options) {
+  EngineConfig config;
+  config.scheduler(std::make_shared<ConcurrencyPolicy>(options.admission))
+      .manage_bandwidth(options.manage_bandwidth)
+      .bandwidth_policy(options.policy)
+      .rebalance_interval(options.rebalance_interval)
+      .prune_keep_fraction(options.prune_keep_fraction);
+  return config;
+}
+
+EngineConfig& EngineConfig::scheduler(
+    std::shared_ptr<const SchedulerPolicy> policy) {
+  if (!policy) {
+    throw std::invalid_argument("EngineConfig: null SchedulerPolicy");
+  }
+  scheduler_ = std::move(policy);
+  return *this;
+}
+
+EngineConfig& EngineConfig::prefill_planner(
+    std::shared_ptr<const PrefillPlanner> planner) {
+  if (!planner) {
+    throw std::invalid_argument("EngineConfig: null PrefillPlanner");
+  }
+  planner_ = std::move(planner);
+  return *this;
+}
+
+EngineConfig& EngineConfig::batch_policy(
+    std::shared_ptr<const BatchPolicy> policy) {
+  if (!policy) {
+    throw std::invalid_argument("EngineConfig: null BatchPolicy");
+  }
+  batcher_ = std::move(policy);
+  return *this;
+}
+
+EngineConfig& EngineConfig::manage_bandwidth(bool enabled) {
+  manage_bandwidth_ = enabled;
+  return *this;
+}
+
+EngineConfig& EngineConfig::bandwidth_policy(
+    const core::BandwidthPolicy& policy) {
+  bandwidth_ = policy;
+  return *this;
+}
+
+EngineConfig& EngineConfig::rebalance_interval(Cycle interval) {
+  rebalance_interval_ = interval;
+  return *this;
+}
+
+EngineConfig& EngineConfig::prune_keep_fraction(double fraction) {
+  if (!(fraction > 0.0) || fraction > 1.0) {
+    throw std::invalid_argument(
+        "EngineConfig: prune_keep_fraction must be in (0, 1]");
+  }
+  prune_keep_fraction_ = fraction;
+  return *this;
+}
+
+EngineConfig& EngineConfig::task_proxy_pruning(TaskProxyPruningOptions options) {
+  if (options.min_agreement < 0.0 || options.min_agreement > 1.0) {
+    throw std::invalid_argument(
+        "EngineConfig: task-proxy min_agreement must be in [0, 1]");
+  }
+  if (!(options.min_keep_fraction > 0.0) || options.min_keep_fraction > 1.0) {
+    throw std::invalid_argument(
+        "EngineConfig: task-proxy min_keep_fraction must be in (0, 1]");
+  }
+  task_proxy_ = std::move(options);
+  return *this;
+}
+
+EngineConfig& EngineConfig::kv_capacity_bytes(Bytes bytes) {
+  kv_capacity_bytes_ = bytes;
+  return *this;
+}
+
+void EngineConfig::validate() const {
+  if (!scheduler_ || !planner_ || !batcher_) {
+    throw std::invalid_argument("EngineConfig: missing policy");
+  }
+  if (!(prune_keep_fraction_ > 0.0) || prune_keep_fraction_ > 1.0) {
+    throw std::invalid_argument(
+        "EngineConfig: prune_keep_fraction must be in (0, 1]");
+  }
+}
+
+}  // namespace edgemm::serve

@@ -1,0 +1,127 @@
+// EngineConfig: composes the serving engine's policies and knobs.
+//
+// Replaces the PR-1 flat ServingOptions struct (kept below as a
+// deprecated shim). A config is built fluently and validated once by
+// the engine:
+//
+//   auto cfg = EngineConfig()
+//                  .scheduler(std::make_shared<SloAwarePolicy>(limits))
+//                  .prefill_planner(std::make_shared<ChunkedPrefill>(128))
+//                  .batch_policy(std::make_shared<ShortestRemainingFirst>())
+//                  .kv_capacity_bytes(chip_kv_capacity(chip, 256.0));
+#ifndef EDGEMM_SERVE_ENGINE_CONFIG_HPP
+#define EDGEMM_SERVE_ENGINE_CONFIG_HPP
+
+#include <memory>
+#include <optional>
+
+#include "core/bandwidth_manager.hpp"
+#include "model/mllm_config.hpp"
+#include "pruning/task_proxy.hpp"
+#include "serve/admission.hpp"
+#include "serve/policy.hpp"
+
+namespace edgemm::serve {
+
+/// Wires the §IV-A task-proxy accuracy model into the engine: instead of
+/// a global prune_keep_fraction constant, each request's keep fraction
+/// is derived from a proxy evaluation of its model (see
+/// derive_keep_fraction).
+struct TaskProxyPruningOptions {
+  /// Proxy harness parameters (answer head, tokens sampled, FFN width).
+  pruning::TaskProxyConfig proxy{};
+  /// A pruning ratio is only adopted while the proxy's answer-agreement
+  /// stays at or above this.
+  double min_agreement = 0.85;
+  /// Floor on the derived keep fraction (never prune more than 1-floor).
+  double min_keep_fraction = 0.1;
+  /// Caps on the derived activation profile, so the proxy stays cheap
+  /// for big zoo models (it is an accuracy model, not a simulation).
+  std::size_t max_proxy_channels = 512;
+  std::size_t max_proxy_layers = 8;
+};
+
+/// Derives the decode keep fraction for `model` from the task proxy: the
+/// dynamic Top-k ratio when its agreement clears min_agreement, else the
+/// most aggressive fixed ratio that does, else 1.0 (pruning off).
+/// Deterministic per (model name, options).
+double derive_keep_fraction(const model::MllmConfig& model,
+                            const TaskProxyPruningOptions& options);
+
+/// DEPRECATED PR-1 engine knobs, kept so existing call sites compile.
+/// Convert with EngineConfig::from_legacy or pass to the deprecated
+/// ServingEngine constructor.
+struct ServingOptions {
+  AdmissionLimits admission{};
+  /// Adaptive CC:MC budget rebalancing; false = static equal sharing
+  /// (the §IV-B baseline, PMC throttles still armed).
+  bool manage_bandwidth = true;
+  core::BandwidthPolicy policy{};
+  /// Fraction of prunable FFN rows kept during decode (§IV-A); 1 = off.
+  double prune_keep_fraction = 1.0;
+  /// Cycles between bandwidth rebalances; 0 = the DMA throttle interval.
+  Cycle rebalance_interval = 0;
+};
+
+/// Policy composition + engine knobs for one trace replay.
+class EngineConfig {
+ public:
+  /// Defaults reproduce PR-1 behavior: ConcurrencyPolicy with default
+  /// AdmissionLimits, monolithic prefill, FIFO decode joins, bandwidth
+  /// management on, pruning and KV accounting off.
+  EngineConfig();
+
+  /// The PR-1 shim: a ServingOptions mapped onto equivalent policies.
+  static EngineConfig from_legacy(const ServingOptions& options);
+
+  // --- Builder setters (each validates its argument eagerly) -------------
+  EngineConfig& scheduler(std::shared_ptr<const SchedulerPolicy> policy);
+  EngineConfig& prefill_planner(std::shared_ptr<const PrefillPlanner> planner);
+  EngineConfig& batch_policy(std::shared_ptr<const BatchPolicy> policy);
+  EngineConfig& manage_bandwidth(bool enabled);
+  EngineConfig& bandwidth_policy(const core::BandwidthPolicy& policy);
+  /// 0 = the DMA throttle interval.
+  EngineConfig& rebalance_interval(Cycle interval);
+  /// Global decode keep fraction in (0, 1]; overridden per request when
+  /// task-proxy pruning is enabled. Throws std::invalid_argument.
+  EngineConfig& prune_keep_fraction(double fraction);
+  EngineConfig& task_proxy_pruning(TaskProxyPruningOptions options);
+  /// KV byte budget for the decode batch; 0 (default) disables
+  /// accounting — the Fig. 10 chip's raw CIM capacity is smaller than a
+  /// single request's KV cache, so a meaningful budget must be chosen
+  /// explicitly (see chip_kv_capacity's oversubscription parameter).
+  EngineConfig& kv_capacity_bytes(Bytes bytes);
+
+  // --- Getters ------------------------------------------------------------
+  const SchedulerPolicy& scheduler() const { return *scheduler_; }
+  const PrefillPlanner& prefill_planner() const { return *planner_; }
+  const BatchPolicy& batch_policy() const { return *batcher_; }
+  bool manage_bandwidth() const { return manage_bandwidth_; }
+  const core::BandwidthPolicy& bandwidth_policy() const { return bandwidth_; }
+  Cycle rebalance_interval() const { return rebalance_interval_; }
+  double prune_keep_fraction() const { return prune_keep_fraction_; }
+  const std::optional<TaskProxyPruningOptions>& task_proxy_pruning() const {
+    return task_proxy_;
+  }
+  Bytes kv_capacity() const { return kv_capacity_bytes_; }
+
+  /// Re-checks the composed whole (policies present, fractions sane).
+  /// The engine calls this once at construction; throws
+  /// std::invalid_argument with the violated condition.
+  void validate() const;
+
+ private:
+  std::shared_ptr<const SchedulerPolicy> scheduler_;
+  std::shared_ptr<const PrefillPlanner> planner_;
+  std::shared_ptr<const BatchPolicy> batcher_;
+  bool manage_bandwidth_ = true;
+  core::BandwidthPolicy bandwidth_{};
+  Cycle rebalance_interval_ = 0;
+  double prune_keep_fraction_ = 1.0;
+  std::optional<TaskProxyPruningOptions> task_proxy_;
+  Bytes kv_capacity_bytes_ = 0;
+};
+
+}  // namespace edgemm::serve
+
+#endif  // EDGEMM_SERVE_ENGINE_CONFIG_HPP

@@ -1,0 +1,52 @@
+#include "serve/kv_tracker.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "model/workload.hpp"
+
+namespace edgemm::serve {
+
+Bytes kv_footprint_bytes(const Request& r, const model::MllmConfig& model) {
+  return static_cast<Bytes>(r.input_tokens + r.output_tokens) *
+         model::kv_bytes_per_token(model);
+}
+
+Bytes chip_kv_capacity(const core::ChipConfig& config, double oversubscription) {
+  if (!(oversubscription > 0.0)) {
+    throw std::invalid_argument("chip_kv_capacity: oversubscription must be > 0");
+  }
+  const double base = static_cast<double>(config.total_mc_clusters()) *
+                      static_cast<double>(config.mc_cluster_cim_bytes());
+  return static_cast<Bytes>(std::llround(base * oversubscription));
+}
+
+KvCapacityTracker::KvCapacityTracker(Bytes capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("KvCapacityTracker: capacity must be > 0");
+  }
+}
+
+bool KvCapacityTracker::try_reserve(RequestId id, Bytes bytes) {
+  if (held_.contains(id)) {
+    throw std::logic_error("KvCapacityTracker: duplicate reservation");
+  }
+  if (bytes > available()) {
+    ++deferrals_;
+    return false;
+  }
+  held_.emplace(id, bytes);
+  reserved_ += bytes;
+  return true;
+}
+
+void KvCapacityTracker::release(RequestId id) {
+  const auto it = held_.find(id);
+  if (it == held_.end()) {
+    throw std::logic_error("KvCapacityTracker: releasing unknown reservation");
+  }
+  reserved_ -= it->second;
+  held_.erase(it);
+}
+
+}  // namespace edgemm::serve

@@ -1,0 +1,69 @@
+// KV-cache capacity accounting for the decode batch.
+//
+// Each request decoding on the MC side owns a private KV cache whose
+// full footprint is (input + output tokens) x kv_bytes_per_token of its
+// model. The tracker charges that footprint against a byte budget when
+// the request joins the decode batch and releases it at retirement; a
+// join that would overflow is deferred by the engine (the request stays
+// decode-ready and retries at the next step boundary).
+//
+// The natural budget unit is the MC-side CIM storage of the chip
+// (chip_kv_capacity below, from ChipConfig::mc_cluster_cim_bytes());
+// because the Fig. 10 chip's on-chip CIM capacity is far below one
+// realistic KV cache, budgets are expressed as an oversubscription
+// multiple of it (KV pages stream from DRAM through the macros).
+#ifndef EDGEMM_SERVE_KV_TRACKER_HPP
+#define EDGEMM_SERVE_KV_TRACKER_HPP
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "core/config.hpp"
+#include "model/mllm_config.hpp"
+#include "serve/request.hpp"
+
+namespace edgemm::serve {
+
+/// MC-side KV byte budget of `config`: oversubscription x total MC
+/// clusters x per-cluster CIM bytes. Throws std::invalid_argument for a
+/// non-positive oversubscription.
+Bytes chip_kv_capacity(const core::ChipConfig& config,
+                       double oversubscription = 1.0);
+
+/// Full KV-cache footprint `r` reaches by its last generated token —
+/// the amount a request reserves when it joins the decode batch (and
+/// the unit KV budgets should be sized in).
+Bytes kv_footprint_bytes(const Request& r, const model::MllmConfig& model);
+
+/// Reserve/release ledger over a fixed byte capacity. Reservations are
+/// keyed by request id; the tracker never overcommits.
+class KvCapacityTracker {
+ public:
+  /// Throws std::invalid_argument for a zero capacity.
+  explicit KvCapacityTracker(Bytes capacity);
+
+  Bytes capacity() const { return capacity_; }
+  Bytes reserved() const { return reserved_; }
+  Bytes available() const { return capacity_ - reserved_; }
+  std::size_t holders() const { return held_.size(); }
+  /// Failed try_reserve calls so far (each one is a deferred join).
+  std::size_t deferrals() const { return deferrals_; }
+
+  /// Reserves `bytes` for `id`. Filling the budget to exactly capacity
+  /// succeeds; one byte over fails (and counts a deferral). Throws
+  /// std::logic_error when `id` already holds a reservation.
+  bool try_reserve(RequestId id, Bytes bytes);
+
+  /// Releases `id`'s reservation; throws std::logic_error if absent.
+  void release(RequestId id);
+
+ private:
+  Bytes capacity_;
+  Bytes reserved_ = 0;
+  std::size_t deferrals_ = 0;
+  std::unordered_map<RequestId, Bytes> held_;
+};
+
+}  // namespace edgemm::serve
+
+#endif  // EDGEMM_SERVE_KV_TRACKER_HPP

@@ -1,0 +1,55 @@
+#include "serve/policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edgemm::serve {
+
+const char* to_string(AdmissionVerdict verdict) {
+  switch (verdict) {
+    case AdmissionVerdict::kAdmit: return "admit";
+    case AdmissionVerdict::kDefer: return "defer";
+    case AdmissionVerdict::kReject: return "reject";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> MonolithicPrefill::plan(const Request& r) const {
+  return {r.input_tokens};
+}
+
+ChunkedPrefill::ChunkedPrefill(std::size_t max_chunk_tokens)
+    : max_chunk_tokens_(max_chunk_tokens) {
+  if (max_chunk_tokens_ == 0) {
+    throw std::invalid_argument("ChunkedPrefill: max_chunk_tokens must be > 0");
+  }
+}
+
+std::vector<std::size_t> ChunkedPrefill::plan(const Request& r) const {
+  std::vector<std::size_t> chunks;
+  std::size_t remaining = r.input_tokens;
+  while (remaining > 0) {
+    const std::size_t take = std::min(remaining, max_chunk_tokens_);
+    chunks.push_back(take);
+    remaining -= take;
+  }
+  return chunks;
+}
+
+void FifoBatch::order_joiners(std::vector<std::size_t>&,
+                              const std::vector<RequestRecord>&) const {}
+
+void ShortestRemainingFirst::order_joiners(
+    std::vector<std::size_t>& ready,
+    const std::vector<RequestRecord>& records) const {
+  std::stable_sort(ready.begin(), ready.end(),
+                   [&records](std::size_t a, std::size_t b) {
+                     const auto remaining = [&records](std::size_t i) {
+                       const RequestRecord& rec = records[i];
+                       return rec.request.output_tokens - rec.tokens_generated;
+                     };
+                     return remaining(a) < remaining(b);
+                   });
+}
+
+}  // namespace edgemm::serve

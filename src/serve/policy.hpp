@@ -1,0 +1,138 @@
+// Pluggable scheduling-policy interfaces of the serving engine.
+//
+// The engine is a policy-driven orchestrator: WHAT to admit is decided
+// by a SchedulerPolicy, HOW a request's prefill is cut into CC-lane jobs
+// by a PrefillPlanner, and WHICH prefilled requests join the next decode
+// step (and in what order) by a BatchPolicy. Concrete policies live in
+// admission.hpp (scheduler side) and below (planner / batcher side); new
+// ones only need to implement one of these interfaces and be handed to
+// EngineConfig.
+#ifndef EDGEMM_SERVE_POLICY_HPP
+#define EDGEMM_SERVE_POLICY_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace edgemm::serve {
+
+/// Outcome of one admission judgment.
+enum class AdmissionVerdict : std::uint8_t {
+  kAdmit,  ///< pop the request and start its prefill now
+  kDefer,  ///< leave it queued; it is re-judged at the next pump
+  kReject, ///< drop it (recorded as rejected, never served)
+};
+
+const char* to_string(AdmissionVerdict verdict);
+
+/// Engine-state snapshot handed to SchedulerPolicy::admit. All estimates
+/// are maintained online by the engine (measured CC-lane throughput and
+/// decode-step duration EWMAs) — deterministic, but estimates, not
+/// guarantees.
+struct AdmissionContext {
+  Cycle now = 0;
+  std::size_t inflight = 0;        ///< admitted but unfinished requests
+  std::size_t active_batch = 0;    ///< requests in the current decode batch
+  std::size_t queue_depth = 0;     ///< queued requests, candidate included
+  /// Estimated cycles until the candidate's first prefill chunk could
+  /// dispatch (CC-lane backlog over measured lane throughput).
+  Cycle estimated_queue_delay = 0;
+  /// Estimated unloaded service time for the candidate: prefill traffic
+  /// over measured CC throughput plus output_tokens decode steps.
+  Cycle estimated_service = 0;
+};
+
+/// Admission and decode-batch sizing. Implementations must be
+/// deterministic pure functions of their arguments and construction
+/// parameters. Contract: a kDefer verdict with zero in-flight requests
+/// is escalated to kAdmit by the engine — a policy cannot starve an
+/// otherwise idle chip.
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+  virtual const char* name() const = 0;
+
+  /// Judges the queue head `r` under engine state `ctx`.
+  virtual AdmissionVerdict admit(const Request& r,
+                                 const AdmissionContext& ctx) const = 0;
+
+  /// How many of `ready` prefilled requests may join a decode batch
+  /// already holding `active` requests.
+  virtual std::size_t decode_join_count(std::size_t active,
+                                        std::size_t ready) const = 0;
+};
+
+/// Splits one request's prefill (vision encoder + LLM prefill) into
+/// successive CC-lane jobs. Returning more than one chunk bounds
+/// head-of-line blocking: another request's chunk can dispatch between
+/// two of ours, so the worst-case CC-lane queueing delay drops from a
+/// whole prefill to one chunk.
+class PrefillPlanner {
+ public:
+  virtual ~PrefillPlanner() = default;
+  virtual const char* name() const = 0;
+
+  /// Chunk sizes in prefill tokens. Must be non-empty, all-positive and
+  /// sum to r.input_tokens (the engine validates and throws
+  /// std::logic_error otherwise). The first chunk additionally carries
+  /// the encoder + projector ops.
+  virtual std::vector<std::size_t> plan(const Request& r) const = 0;
+};
+
+/// The PR-1 behavior: the whole prefill as one CC-lane job.
+class MonolithicPrefill final : public PrefillPlanner {
+ public:
+  const char* name() const override { return "monolithic"; }
+  std::vector<std::size_t> plan(const Request& r) const override;
+};
+
+/// Equal chunks of at most `max_chunk_tokens` (last chunk takes the
+/// remainder).
+class ChunkedPrefill final : public PrefillPlanner {
+ public:
+  /// Throws std::invalid_argument for a zero chunk size.
+  explicit ChunkedPrefill(std::size_t max_chunk_tokens);
+  std::size_t max_chunk_tokens() const { return max_chunk_tokens_; }
+  const char* name() const override { return "chunked"; }
+  std::vector<std::size_t> plan(const Request& r) const override;
+
+ private:
+  std::size_t max_chunk_tokens_;
+};
+
+/// Orders the decode-ready list before each decode step: the engine
+/// joins requests front-first, so the policy decides who enters the
+/// batch when slots (or KV capacity) are scarce. `ready` holds indices
+/// into `records`, arriving in prefill-completion (FIFO) order; the
+/// policy may reorder but not add or drop entries.
+class BatchPolicy {
+ public:
+  virtual ~BatchPolicy() = default;
+  virtual const char* name() const = 0;
+  virtual void order_joiners(std::vector<std::size_t>& ready,
+                             const std::vector<RequestRecord>& records) const = 0;
+};
+
+/// Prefill-completion order (the PR-1 behavior).
+class FifoBatch final : public BatchPolicy {
+ public:
+  const char* name() const override { return "fifo"; }
+  void order_joiners(std::vector<std::size_t>& ready,
+                     const std::vector<RequestRecord>& records) const override;
+};
+
+/// Shortest-remaining-first: fewest remaining output tokens joins first
+/// (frees decode slots and KV reservations sooner); ties keep FIFO
+/// order.
+class ShortestRemainingFirst final : public BatchPolicy {
+ public:
+  const char* name() const override { return "shortest-remaining-first"; }
+  void order_joiners(std::vector<std::size_t>& ready,
+                     const std::vector<RequestRecord>& records) const override;
+};
+
+}  // namespace edgemm::serve
+
+#endif  // EDGEMM_SERVE_POLICY_HPP

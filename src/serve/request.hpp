@@ -23,6 +23,10 @@ struct Request {
   std::size_t input_tokens = 300;  ///< prompt + vision tokens entering the LLM
   std::size_t output_tokens = 128; ///< tokens to generate
   std::size_t crops = 1;           ///< encoder passes (sub-image crops)
+  /// Absolute SLO deadline (cycle by which the last token must retire);
+  /// 0 = no deadline. SLO-aware schedulers may reject requests that
+  /// cannot meet theirs.
+  Cycle deadline = 0;
 };
 
 /// Lifecycle timestamps the engine records per request (all in cycles).
@@ -34,13 +38,23 @@ struct RequestRecord {
   Cycle first_token = 0;    ///< first decode step including this request
   Cycle finish = 0;         ///< last output token retired
   std::size_t tokens_generated = 0;
+  std::size_t prefill_chunks = 0;  ///< CC-lane jobs the planner cut prefill into
+  /// Fraction of prunable FFN rows kept during this request's decode
+  /// (global EngineConfig constant, or per-model from the task proxy).
+  double prune_keep_fraction = 1.0;
   bool done = false;
+  bool rejected = false;  ///< dropped by the scheduler policy, never served
 
   Cycle latency_cycles() const { return finish - request.arrival; }
   double latency_ms(double clock_hz = kChipClockHz) const {
     return cycles_to_ms(latency_cycles(), clock_hz);
   }
   Cycle queue_delay_cycles() const { return prefill_start - request.arrival; }
+  /// True when the request completed and met its deadline (requests
+  /// without a deadline always do; rejected requests never do).
+  bool deadline_met() const {
+    return done && (request.deadline == 0 || finish <= request.deadline);
+  }
 };
 
 }  // namespace edgemm::serve

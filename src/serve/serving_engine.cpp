@@ -17,19 +17,41 @@ namespace edgemm::serve {
 using core::GemmWork;
 using core::Lane;
 
+namespace {
+
+/// EWMA weight for the online throughput/step-duration estimators.
+constexpr double kEstimatorGain = 0.25;
+
+}  // namespace
+
 ServingEngine::ServingEngine(const core::ChipConfig& config,
                              std::vector<model::MllmConfig> models,
-                             ServingOptions options)
+                             EngineConfig engine_config)
     : config_(config),
       models_(std::move(models)),
-      options_(options),
-      admission_(options.admission),
+      engine_config_(std::move(engine_config)),
       chip_(config_, core::ChipComposition::kHeterogeneous),
       scheduler_(chip_),
-      manager_(config_, options.policy) {
+      manager_(config_, engine_config_.bandwidth_policy()) {
+  engine_config_.validate();
   if (models_.empty()) {
     throw std::invalid_argument("ServingEngine: no models to serve");
   }
+  if (engine_config_.kv_capacity() > 0) {
+    kv_.emplace(engine_config_.kv_capacity());
+  }
+
+  // Decode keep fraction per model: the task-proxy derivation when
+  // enabled (§IV-A accuracy model), else the global constant.
+  for (const model::MllmConfig& m : models_) {
+    if (engine_config_.task_proxy_pruning()) {
+      keep_fraction_.push_back(
+          derive_keep_fraction(m, *engine_config_.task_proxy_pruning()));
+    } else {
+      keep_fraction_.push_back(engine_config_.prune_keep_fraction());
+    }
+  }
+
   // Probe the decode traffic decomposition of every model once, on an
   // MC cluster. A step of batch B with contexts c_i moves
   //   shared + sum_i (request + kv_slope * c_i)
@@ -41,10 +63,11 @@ ServingEngine::ServingEngine(const core::ChipConfig& config,
   // MC side of the budget split without rebuilding op lists per tick.
   const core::ClusterTimingModel* probe =
       scheduler_.lane_clusters(Lane::kMcDecode).front();
-  for (const model::MllmConfig& m : models_) {
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    const model::MllmConfig& m = models_[i];
     auto step_bytes = [&](std::span<const std::size_t> contexts) {
       const auto ops = core::pruned_ops(model::build_decode_step(m, contexts),
-                                        options_.prune_keep_fraction);
+                                        keep_fraction_[i]);
       return static_cast<double>(core::estimated_traffic_bytes(*probe, ops));
     };
     const std::array<std::size_t, 1> near{1};
@@ -59,7 +82,25 @@ ServingEngine::ServingEngine(const core::ChipConfig& config,
     decode_request_bytes_.push_back(per_request_near - slope);
     decode_shared_bytes_.push_back(batch1_near - per_request_near);
   }
+
+  // Seed the policy estimators analytically; they converge onto the
+  // measured values as chunks retire and decode steps complete.
+  cc_bytes_per_cycle_est_ = std::max(config_.dram.bytes_per_cycle * 0.5, 1e-6);
+  double worst_step = 1.0;
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    const double step_bytes = decode_shared_bytes_[i] +
+                              decode_request_bytes_[i] +
+                              decode_kv_slope_[i] * 512.0;
+    worst_step = std::max(worst_step, step_bytes / cc_bytes_per_cycle_est_);
+  }
+  decode_step_cycles_est_ = worst_step;
 }
+
+ServingEngine::ServingEngine(const core::ChipConfig& config,
+                             std::vector<model::MllmConfig> models,
+                             ServingOptions options)
+    : ServingEngine(config, std::move(models),
+                    EngineConfig::from_legacy(options)) {}
 
 void ServingEngine::set_completion_callback(CompletionCallback callback) {
   on_complete_ = std::move(callback);
@@ -79,13 +120,19 @@ ServingResult ServingEngine::run(std::vector<Request> requests) {
     throw std::invalid_argument("ServingEngine::run: empty trace");
   }
   records_.reserve(requests.size());
-  prefill_bytes_.assign(requests.size(), 0);
   for (const Request& r : requests) {
     if (r.input_tokens == 0 || r.output_tokens == 0 || r.crops == 0) {
       throw std::invalid_argument("ServingEngine::run: zero-length request");
     }
     if (r.model >= models_.size()) {
       throw std::invalid_argument("ServingEngine::run: model index out of range");
+    }
+    if (kv_) {
+      if (kv_footprint_bytes(r, models_[r.model]) > kv_->capacity()) {
+        throw std::invalid_argument(
+            "ServingEngine::run: request KV cache exceeds the KV capacity "
+            "budget (it could never join a decode batch)");
+      }
     }
     if (!index_.emplace(r.id, records_.size()).second) {
       throw std::invalid_argument("ServingEngine::run: duplicate request id");
@@ -101,38 +148,46 @@ ServingResult ServingEngine::run(std::vector<Request> requests) {
   // PMC throttles are always armed (§IV-B); start from the default equal
   // partition and let the interval rebalancer shift it.
   manager_.apply_equal_sharing(chip_);
-  if (options_.manage_bandwidth) {
-    const Cycle interval = options_.rebalance_interval > 0
-                               ? options_.rebalance_interval
+  if (engine_config_.manage_bandwidth()) {
+    const Cycle interval = engine_config_.rebalance_interval() > 0
+                               ? engine_config_.rebalance_interval()
                                : config_.dma.throttle_interval;
     schedule_rebalance(interval);
   }
   sim.run();
-  EDGEMM_ASSERT_MSG(completed_ == total_,
+  EDGEMM_ASSERT_MSG(completed_ + rejected_ == total_,
                     "ServingEngine: trace replay left unfinished requests");
 
   // --- Aggregate metrics ---------------------------------------------------
   ServingResult result;
   result.completed = completed_;
+  result.rejected = rejected_;
   Cycle first_arrival = records_.front().request.arrival;
   Cycle last_finish = 0;
   std::size_t total_tokens = 0;
   std::vector<double> latencies_ms;
-  latencies_ms.reserve(records_.size());
+  latencies_ms.reserve(completed_);
   for (const RequestRecord& rec : records_) {
     first_arrival = std::min(first_arrival, rec.request.arrival);
+    if (rec.request.deadline > 0) {
+      ++result.with_deadline;
+      if (rec.deadline_met()) ++result.slo_attained;
+    }
+    if (!rec.done) continue;
     last_finish = std::max(last_finish, rec.finish);
     total_tokens += rec.tokens_generated;
     latencies_ms.push_back(rec.latency_ms(config_.clock_hz));
   }
-  result.makespan = last_finish - first_arrival;
+  result.makespan = last_finish > first_arrival ? last_finish - first_arrival : 0;
   result.makespan_ms = cycles_to_ms(result.makespan, config_.clock_hz);
   result.p50_latency_ms = percentile(latencies_ms, 50.0);
   result.p95_latency_ms = percentile(latencies_ms, 95.0);
   result.p99_latency_ms = percentile(latencies_ms, 99.0);
   double sum = 0.0;
   for (const double v : latencies_ms) sum += v;
-  result.mean_latency_ms = sum / static_cast<double>(latencies_ms.size());
+  result.mean_latency_ms =
+      latencies_ms.empty() ? 0.0
+                           : sum / static_cast<double>(latencies_ms.size());
   result.tokens_per_second =
       static_cast<double>(total_tokens) /
       cycles_to_seconds(std::max<Cycle>(result.makespan, 1), config_.clock_hz);
@@ -144,6 +199,15 @@ ServingResult ServingEngine::run(std::vector<Request> requests) {
                         : 0.0;
   result.peak_queue_depth = peak_queue_depth_;
   result.rebalances = rebalances_;
+  result.slo_attainment =
+      result.with_deadline > 0
+          ? static_cast<double>(result.slo_attained) /
+                static_cast<double>(result.with_deadline)
+          : 1.0;
+  result.prefill_jobs = scheduler_.dispatched(Lane::kCcStage);
+  result.max_cc_queue_delay_ms = cycles_to_ms(
+      scheduler_.lane_stats(Lane::kCcStage).max_queue_wait, config_.clock_hz);
+  result.kv_deferrals = kv_ ? kv_->deferrals() : 0;
   return result;
 }
 
@@ -153,38 +217,133 @@ void ServingEngine::on_arrival(std::size_t index) {
   pump_admission();
 }
 
+ServingEngine::PrefillPlan& ServingEngine::plan_for(std::size_t index) {
+  const auto it = plans_.find(index);
+  if (it != plans_.end()) return it->second;
+
+  const Request& r = records_[index].request;
+  const model::MllmConfig& m = models_[r.model];
+  const std::vector<std::size_t> chunk_tokens =
+      engine_config_.prefill_planner().plan(r);
+  std::size_t planned = 0;
+  for (const std::size_t tokens : chunk_tokens) planned += tokens;
+  if (chunk_tokens.empty() || planned != r.input_tokens ||
+      std::find(chunk_tokens.begin(), chunk_tokens.end(), 0u) !=
+          chunk_tokens.end()) {
+    throw std::logic_error(
+        "ServingEngine: PrefillPlanner returned an invalid plan (chunks must "
+        "be positive and sum to input_tokens)");
+  }
+
+  PrefillPlan plan;
+  std::size_t start = 0;
+  for (std::size_t c = 0; c < chunk_tokens.size(); ++c) {
+    // The first chunk carries the encoder + projector ops in front of
+    // its prefill slice.
+    std::vector<GemmWork> ops =
+        c == 0 ? model::build_encoder_ops(m, r.crops) : std::vector<GemmWork>{};
+    const auto chunk =
+        model::build_prefill_chunk(m, start, chunk_tokens[c], r.input_tokens);
+    ops.insert(ops.end(), chunk.begin(), chunk.end());
+    ops = model::aggregate_ops(ops);
+    const Bytes bytes = cc_job_bytes(ops);
+    plan.jobs.push_back(std::move(ops));
+    plan.job_bytes.push_back(bytes);
+    plan.total_bytes += bytes;
+    start += chunk_tokens[c];
+  }
+  return plans_.emplace(index, std::move(plan)).first->second;
+}
+
+AdmissionContext ServingEngine::admission_context(std::size_t index) {
+  const Request& r = records_[index].request;
+  AdmissionContext ctx;
+  ctx.now = scheduler_.sim().now();
+  ctx.inflight = inflight_;
+  ctx.active_batch = active_.size();
+  ctx.queue_depth = queue_.size();
+  ctx.estimated_queue_delay = static_cast<Cycle>(
+      std::max(cc_pending_bytes_, 0.0) / cc_bytes_per_cycle_est_);
+  const PrefillPlan& plan = plan_for(index);
+  const double prefill_cycles =
+      static_cast<double>(plan.total_bytes) / cc_bytes_per_cycle_est_;
+  const double decode_cycles =
+      static_cast<double>(r.output_tokens) * decode_step_cycles_est_;
+  ctx.estimated_service = static_cast<Cycle>(prefill_cycles + decode_cycles);
+  return ctx;
+}
+
 void ServingEngine::pump_admission() {
   sim::Simulator& sim = scheduler_.sim();
-  while (queue_.ready(sim.now()) && admission_.admit(inflight_)) {
+  while (queue_.ready(sim.now())) {
+    const std::size_t index = index_.at(queue_.front().id);
+    AdmissionVerdict verdict = engine_config_.scheduler().admit(
+        records_[index].request, admission_context(index));
+    // Progress guarantee: a policy may not starve an idle chip.
+    if (verdict == AdmissionVerdict::kDefer && inflight_ == 0) {
+      verdict = AdmissionVerdict::kAdmit;
+    }
+    if (verdict == AdmissionVerdict::kDefer) break;
     const Request r = queue_.pop();
-    const std::size_t index = index_.at(r.id);
     RequestRecord& rec = records_[index];
+    if (verdict == AdmissionVerdict::kReject) {
+      rec.rejected = true;
+      ++rejected_;
+      plans_.erase(index);
+      continue;
+    }
+
     ++inflight_;
     rec.admitted = sim.now();
-
-    // CC-lane job: this request's encoder + prefill ops. The decode side
-    // is built per step instead (contexts grow token by token).
-    auto workload = model::build_request_workload(
-        models_[r.model], {r.input_tokens, r.output_tokens, r.crops});
-    std::vector<GemmWork> cc_ops = std::move(workload.encoder);
-    cc_ops.insert(cc_ops.end(), workload.prefill.begin(), workload.prefill.end());
-    cc_ops = model::aggregate_ops(cc_ops);
-    prefill_bytes_[index] = cc_job_bytes(cc_ops);
-    cc_pending_bytes_ += static_cast<double>(prefill_bytes_[index]);
-
-    scheduler_.submit(
-        Lane::kCcStage, std::move(cc_ops),
-        [this, index] { on_prefill_done(index); },
-        [this, index] {
-          records_[index].prefill_start = scheduler_.sim().now();
-        });
+    rec.prune_keep_fraction = keep_fraction_[r.model];
+    PrefillPlan& plan = plan_for(index);
+    rec.prefill_chunks = plan.jobs.size();
+    cc_pending_bytes_ += static_cast<double>(plan.total_bytes);
+    submit_next_chunk(index);
   }
+}
+
+void ServingEngine::submit_next_chunk(std::size_t index) {
+  PrefillPlan& plan = plans_.at(index);
+  const std::size_t chunk = plan.next++;
+  const bool first = chunk == 0;
+  scheduler_.submit(
+      Lane::kCcStage, std::move(plan.jobs[chunk]),
+      [this, index] { on_chunk_done(index); },
+      [this, index, first] {
+        const Cycle now = scheduler_.sim().now();
+        plans_.at(index).chunk_started = now;
+        if (first) records_[index].prefill_start = now;
+      });
+}
+
+void ServingEngine::on_chunk_done(std::size_t index) {
+  PrefillPlan& plan = plans_.at(index);
+  const std::size_t chunk = plan.next - 1;
+  const Cycle now = scheduler_.sim().now();
+  const Bytes bytes = plan.job_bytes[chunk];
+  cc_pending_bytes_ -= static_cast<double>(bytes);
+  // Fold the measured chunk throughput into the CC-lane estimator.
+  if (now > plan.chunk_started && bytes > 0) {
+    const double observed = static_cast<double>(bytes) /
+                            static_cast<double>(now - plan.chunk_started);
+    cc_bytes_per_cycle_est_ = (1.0 - kEstimatorGain) * cc_bytes_per_cycle_est_ +
+                              kEstimatorGain * observed;
+  }
+  if (plan.next < plan.jobs.size()) {
+    // Chain the next chunk: it queues BEHIND any job another request
+    // submitted meanwhile — exactly the interleaving that bounds
+    // CC-lane head-of-line blocking.
+    submit_next_chunk(index);
+    return;
+  }
+  plans_.erase(index);
+  on_prefill_done(index);
 }
 
 void ServingEngine::on_prefill_done(std::size_t index) {
   RequestRecord& rec = records_[index];
   rec.prefill_end = scheduler_.sim().now();
-  cc_pending_bytes_ -= static_cast<double>(prefill_bytes_[index]);
   decode_ready_.push_back(index);
   // Continuous batching: if the MC lane is mid-step, this request joins
   // at the next step boundary; only an idle lane needs a kick.
@@ -192,11 +351,26 @@ void ServingEngine::on_prefill_done(std::size_t index) {
 }
 
 void ServingEngine::start_decode_step() {
-  const std::size_t join =
-      admission_.decode_join_count(active_.size(), decode_ready_.size());
-  for (std::size_t j = 0; j < join; ++j) {
-    active_.push_back(decode_ready_.front());
-    decode_ready_.pop_front();
+  if (!decode_ready_.empty()) {
+    engine_config_.batch_policy().order_joiners(decode_ready_, records_);
+  }
+  const std::size_t join = engine_config_.scheduler().decode_join_count(
+      active_.size(), decode_ready_.size());
+  std::size_t joined = 0;
+  for (auto it = decode_ready_.begin();
+       it != decode_ready_.end() && joined < join;) {
+    const std::size_t index = *it;
+    if (kv_) {
+      const Request& r = records_[index].request;
+      if (!kv_->try_reserve(r.id, kv_footprint_bytes(r, models_[r.model]))) {
+        // Deferred join: stays decode-ready, retries next step boundary.
+        ++it;
+        continue;
+      }
+    }
+    active_.push_back(index);
+    it = decode_ready_.erase(it);
+    ++joined;
   }
   if (active_.empty()) return;  // MC lane drains until new prefills land
 
@@ -214,20 +388,26 @@ void ServingEngine::start_decode_step() {
       }
     }
     if (contexts.empty()) continue;
-    const auto ops = model::build_decode_step(models_[m], contexts);
+    const auto ops = core::pruned_ops(
+        model::build_decode_step(models_[m], contexts), keep_fraction_[m]);
     step.insert(step.end(), ops.begin(), ops.end());
   }
-  step = model::aggregate_ops(
-      core::pruned_ops(step, options_.prune_keep_fraction));
+  step = model::aggregate_ops(step);
 
   ++decode_steps_;
   batch_occupancy_sum_ += active_.size();
+  step_started_ = scheduler_.sim().now();
   scheduler_.submit(Lane::kMcDecode, std::move(step),
                     [this] { on_decode_step_done(); });
 }
 
 void ServingEngine::on_decode_step_done() {
   const Cycle now = scheduler_.sim().now();
+  if (now > step_started_) {
+    decode_step_cycles_est_ =
+        (1.0 - kEstimatorGain) * decode_step_cycles_est_ +
+        kEstimatorGain * static_cast<double>(now - step_started_);
+  }
   std::vector<std::size_t> still_active;
   still_active.reserve(active_.size());
   for (const std::size_t index : active_) {
@@ -239,6 +419,7 @@ void ServingEngine::on_decode_step_done() {
       rec.done = true;
       ++completed_;
       --inflight_;
+      if (kv_) kv_->release(rec.request.id);
       if (on_complete_) on_complete_(rec);
     } else {
       still_active.push_back(index);
@@ -251,7 +432,7 @@ void ServingEngine::on_decode_step_done() {
 
 void ServingEngine::schedule_rebalance(Cycle interval) {
   scheduler_.sim().schedule(interval, [this, interval] {
-    if (completed_ >= total_) return;  // drained: stop ticking, let run() end
+    if (completed_ + rejected_ >= total_) return;  // drained: stop ticking
     rebalance();
     schedule_rebalance(interval);
   });
@@ -288,14 +469,27 @@ void ServingEngine::rebalance() {
   std::size_t ratio = 1;
   if (cc_pending_bytes_ <= 0.0) {
     // No upstream work: hand the MC side the whole ramp.
-    ratio = options_.policy.max_mc_ratio;
+    ratio = engine_config_.bandwidth_policy().max_mc_ratio;
   } else if (mc_bytes > 0.0) {
     ratio = std::clamp<std::size_t>(
         static_cast<std::size_t>(mc_bytes / cc_pending_bytes_ + 0.5), 1,
-        options_.policy.max_mc_ratio);
+        engine_config_.bandwidth_policy().max_mc_ratio);
   }
   manager_.apply_ratio(chip_, ratio);
   ++rebalances_;
+}
+
+ReplayOutcome replay_trace(const core::ChipConfig& config,
+                           std::vector<model::MllmConfig> models,
+                           EngineConfig engine_config,
+                           std::vector<Request> requests,
+                           ServingEngine::CompletionCallback on_complete) {
+  ServingEngine engine(config, std::move(models), std::move(engine_config));
+  if (on_complete) engine.set_completion_callback(std::move(on_complete));
+  ReplayOutcome outcome;
+  outcome.result = engine.run(std::move(requests));
+  outcome.records = engine.records();
+  return outcome;
 }
 
 }  // namespace edgemm::serve

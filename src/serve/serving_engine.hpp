@@ -1,11 +1,20 @@
-// Request-level serving engine with continuous batching (the serving
-// generalization of the Fig. 9 streaming pipeline).
+// Policy-driven request-level serving engine with continuous batching
+// (the serving generalization of the Fig. 9 streaming pipeline).
 //
-// Requests arrive over simulated time, wait in an arrival-ordered queue,
-// and are admitted by an AdmissionPolicy. Admitted requests prefill on
-// the CC lane while the MC lane drains decode steps of the in-flight
-// batch; a request that finishes prefill joins the decode batch at the
-// next step boundary — it does not wait for the batch to drain (continuous
+// Requests arrive over simulated time and wait in an arrival-ordered
+// queue. The engine itself only orchestrates; the decisions are made by
+// the EngineConfig's policies:
+//   - a SchedulerPolicy judges the queue head (admit / defer / reject,
+//     e.g. SLO-aware rejection of requests that cannot meet their
+//     deadline given the estimated backlog);
+//   - a PrefillPlanner cuts each admitted request's encoder + prefill
+//     into one or more CC-lane jobs (chunked prefill bounds CC-lane
+//     head-of-line blocking);
+//   - a BatchPolicy orders the prefilled requests joining the decode
+//     batch at each step boundary, subject to the KvCapacityTracker's
+//     byte budget (joins that would overflow are deferred).
+// A request that finishes prefill joins the decode batch at the next
+// step boundary — it does not wait for the batch to drain (continuous
 // batching). The §IV-B BandwidthManager rebalances the CC:MC DMA budget
 // split every throttle interval from the bytes actually pending on each
 // side, and per-request completion callbacks record tail latency.
@@ -13,8 +22,8 @@
 #define EDGEMM_SERVE_SERVING_ENGINE_HPP
 
 #include <cstddef>
-#include <deque>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -23,28 +32,19 @@
 #include "core/config.hpp"
 #include "core/phase_scheduler.hpp"
 #include "model/mllm_config.hpp"
-#include "serve/admission.hpp"
+#include "serve/engine_config.hpp"
+#include "serve/kv_tracker.hpp"
 #include "serve/request.hpp"
 #include "serve/request_queue.hpp"
 
 namespace edgemm::serve {
 
-/// Engine knobs for one trace replay.
-struct ServingOptions {
-  AdmissionLimits admission{};
-  /// Adaptive CC:MC budget rebalancing; false = static equal sharing
-  /// (the §IV-B baseline, PMC throttles still armed).
-  bool manage_bandwidth = true;
-  core::BandwidthPolicy policy{};
-  /// Fraction of prunable FFN rows kept during decode (§IV-A); 1 = off.
-  double prune_keep_fraction = 1.0;
-  /// Cycles between bandwidth rebalances; 0 = the DMA throttle interval.
-  Cycle rebalance_interval = 0;
-};
-
-/// Aggregate outcome of one trace replay.
+/// Aggregate outcome of one trace replay. Latency percentiles and
+/// throughput cover completed requests only; rejected requests count
+/// against SLO attainment but not against the latency tail.
 struct ServingResult {
   std::size_t completed = 0;
+  std::size_t rejected = 0;  ///< dropped by the scheduler policy
   Cycle makespan = 0;  ///< first arrival to last token retired
   double makespan_ms = 0.0;
   double p50_latency_ms = 0.0;
@@ -57,15 +57,36 @@ struct ServingResult {
   std::size_t decode_steps = 0;
   std::size_t peak_queue_depth = 0;
   std::size_t rebalances = 0;
+  // --- Policy-seam observability -----------------------------------------
+  std::size_t with_deadline = 0;  ///< requests that carried an SLO deadline
+  std::size_t slo_attained = 0;   ///< completed on or before their deadline
+  double slo_attainment = 1.0;    ///< attained / with_deadline (1 if none)
+  std::size_t prefill_jobs = 0;   ///< CC-lane jobs (prefill chunks) dispatched
+  /// Worst job queueing delay on the CC lane — the head-of-line blocking
+  /// chunked prefill bounds.
+  double max_cc_queue_delay_ms = 0.0;
+  std::size_t kv_deferrals = 0;   ///< decode joins deferred for KV capacity
 };
 
-/// Drives the heterogeneous chip through a request trace. One-shot: each
-/// engine instance owns a fresh chip and replays exactly one trace.
+/// Drives the heterogeneous chip through a request trace.
+///
+/// One-shot by design: each engine owns a fresh chip whose DRAM/DMA
+/// statistics, policy estimators and records are one replay's state, so
+/// run() throws std::logic_error on a second call instead of replaying
+/// on a warmed chip. Use replay_trace() below when you only need the
+/// outcome — it makes the one-replay contract a compile-time affordance
+/// (no engine instance survives to misuse).
 class ServingEngine {
  public:
   using CompletionCallback = std::function<void(const RequestRecord&)>;
 
-  /// Throws std::invalid_argument for an empty model list.
+  /// Throws std::invalid_argument for an empty model list or an invalid
+  /// EngineConfig composition.
+  ServingEngine(const core::ChipConfig& config,
+                std::vector<model::MllmConfig> models, EngineConfig engine_config);
+
+  /// PR-1 shim; prefer the EngineConfig constructor.
+  [[deprecated("compose an EngineConfig instead of ServingOptions")]]
   ServingEngine(const core::ChipConfig& config,
                 std::vector<model::MllmConfig> models, ServingOptions options);
 
@@ -74,7 +95,8 @@ class ServingEngine {
 
   /// Replays `requests` to completion and returns aggregate metrics.
   /// Throws std::invalid_argument for an empty trace, duplicate ids,
-  /// zero token counts, or an out-of-range model index; std::logic_error
+  /// zero token counts, an out-of-range model index, or a request whose
+  /// KV cache alone exceeds the configured KV capacity; std::logic_error
   /// on a second call.
   ServingResult run(std::vector<Request> requests);
 
@@ -83,9 +105,35 @@ class ServingEngine {
 
   const core::ChipTimingModel& chip() const { return chip_; }
 
+  /// KV accounting ledger; nullptr when EngineConfig left it disabled.
+  const KvCapacityTracker* kv_tracker() const {
+    return kv_ ? &*kv_ : nullptr;
+  }
+
+  /// Decode keep fraction the engine uses for `model_index` (the global
+  /// EngineConfig constant, or the task-proxy derivation per model).
+  double keep_fraction(std::size_t model_index) const {
+    return keep_fraction_.at(model_index);
+  }
+
  private:
+  /// One admitted request's remaining prefill jobs (built once, consumed
+  /// chunk by chunk; also cached for deferred queue heads so repeated
+  /// admission judgments don't rebuild op lists).
+  struct PrefillPlan {
+    std::vector<std::vector<core::GemmWork>> jobs;
+    std::vector<Bytes> job_bytes;
+    Bytes total_bytes = 0;
+    std::size_t next = 0;
+    Cycle chunk_started = 0;
+  };
+
   void on_arrival(std::size_t index);
   void pump_admission();
+  AdmissionContext admission_context(std::size_t index);
+  PrefillPlan& plan_for(std::size_t index);
+  void submit_next_chunk(std::size_t index);
+  void on_chunk_done(std::size_t index);
   void on_prefill_done(std::size_t index);
   void start_decode_step();
   void on_decode_step_done();
@@ -95,18 +143,18 @@ class ServingEngine {
 
   core::ChipConfig config_;
   std::vector<model::MllmConfig> models_;
-  ServingOptions options_;
-  AdmissionPolicy admission_;
+  EngineConfig engine_config_;
   core::ChipTimingModel chip_;
   core::PhaseScheduler scheduler_;
   core::BandwidthManager manager_;
+  std::optional<KvCapacityTracker> kv_;
 
   RequestQueue queue_;
   std::vector<RequestRecord> records_;
-  std::vector<Bytes> prefill_bytes_;         ///< per record, for rebalancing
   std::unordered_map<RequestId, std::size_t> index_;
-  std::deque<std::size_t> decode_ready_;     ///< prefilled, awaiting a slot
-  std::vector<std::size_t> active_;          ///< current decode batch
+  std::unordered_map<std::size_t, PrefillPlan> plans_;  ///< by record index
+  std::vector<std::size_t> decode_ready_;   ///< prefilled, awaiting a slot
+  std::vector<std::size_t> active_;         ///< current decode batch
   /// Per-token decode traffic model per served MllmConfig, probed at
   /// construction. One decode step of a batch with contexts c_i costs
   /// shared + sum_i (request + kv_slope * c_i): `shared` is the weight
@@ -115,18 +163,40 @@ class ServingEngine {
   std::vector<double> decode_shared_bytes_;
   std::vector<double> decode_request_bytes_;
   std::vector<double> decode_kv_slope_;
+  std::vector<double> keep_fraction_;       ///< decode keep fraction per model
 
   CompletionCallback on_complete_;
   bool ran_ = false;
   std::size_t total_ = 0;
   std::size_t completed_ = 0;
+  std::size_t rejected_ = 0;
   std::size_t inflight_ = 0;
   double cc_pending_bytes_ = 0.0;
   std::size_t decode_steps_ = 0;
   std::size_t batch_occupancy_sum_ = 0;
   std::size_t peak_queue_depth_ = 0;
   std::size_t rebalances_ = 0;
+  Cycle step_started_ = 0;
+  /// Online estimators feeding AdmissionContext (EWMA over measured
+  /// chunk throughput / decode-step duration; seeded analytically).
+  double cc_bytes_per_cycle_est_ = 1.0;
+  double decode_step_cycles_est_ = 1.0;
 };
+
+/// Result + records of a one-shot replay (replay_trace below).
+struct ReplayOutcome {
+  ServingResult result;
+  std::vector<RequestRecord> records;
+};
+
+/// Constructs an engine on a fresh chip, replays `requests`, and returns
+/// the outcome. The engine never escapes, so the one-replay-per-chip
+/// contract cannot be violated at runtime.
+ReplayOutcome replay_trace(const core::ChipConfig& config,
+                           std::vector<model::MllmConfig> models,
+                           EngineConfig engine_config,
+                           std::vector<Request> requests,
+                           ServingEngine::CompletionCallback on_complete = {});
 
 }  // namespace edgemm::serve
 

@@ -22,16 +22,28 @@ std::vector<Request> poisson_trace(const TraceConfig& config) {
   if (config.input_tokens == 0 || config.crops == 0) {
     throw std::invalid_argument("poisson_trace: input_tokens/crops must be > 0");
   }
+  if (config.burst == 0) {
+    throw std::invalid_argument("poisson_trace: burst must be > 0");
+  }
+  if (config.slo_per_token_ms < 0.0) {
+    throw std::invalid_argument("poisson_trace: slo_per_token_ms must be >= 0");
+  }
 
   Rng rng(config.seed);
   const double cycles_per_second = config.clock_hz;
+  // Bursts arrive at rate/burst so the request rate is unchanged.
+  const double burst_rate =
+      config.arrival_rate_per_s / static_cast<double>(config.burst);
   std::vector<Request> trace;
   trace.reserve(config.requests);
   double arrival_s = 0.0;
   for (std::size_t i = 0; i < config.requests; ++i) {
     // Exponential inter-arrival via inverse transform; uniform() is in
-    // [0, 1) so 1 - u is in (0, 1] and the log is finite.
-    arrival_s += -std::log(1.0 - rng.uniform()) / config.arrival_rate_per_s;
+    // [0, 1) so 1 - u is in (0, 1] and the log is finite. Requests
+    // within a burst share one draw.
+    if (i % config.burst == 0) {
+      arrival_s += -std::log(1.0 - rng.uniform()) / burst_rate;
+    }
     Request r;
     r.id = i;
     r.arrival = static_cast<Cycle>(arrival_s * cycles_per_second);
@@ -41,6 +53,12 @@ std::vector<Request> poisson_trace(const TraceConfig& config) {
     r.output_tokens = static_cast<std::size_t>(
         rng.uniform_int(static_cast<std::int64_t>(config.min_output_tokens),
                         static_cast<std::int64_t>(config.max_output_tokens)));
+    if (config.slo_base_ms > 0.0) {
+      const double slo_ms =
+          config.slo_base_ms +
+          config.slo_per_token_ms * static_cast<double>(r.output_tokens);
+      r.deadline = r.arrival + static_cast<Cycle>(slo_ms * 1e-3 * config.clock_hz);
+    }
     trace.push_back(r);
   }
   return trace;

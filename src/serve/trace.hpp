@@ -24,13 +24,24 @@ struct TraceConfig {
   /// Output lengths drawn uniformly from [min, max] (inclusive).
   std::size_t min_output_tokens = 32;
   std::size_t max_output_tokens = 256;
+  /// Requests per burst: 1 = pure Poisson; b > 1 lands b requests on
+  /// every arrival draw (a compound-Poisson bursty load) while the
+  /// overall request rate stays arrival_rate_per_s.
+  std::size_t burst = 1;
+  /// Per-request SLO deadline: arrival + slo_base_ms +
+  /// slo_per_token_ms * output_tokens. base <= 0 disables deadlines.
+  double slo_base_ms = 0.0;
+  double slo_per_token_ms = 0.0;
   std::uint64_t seed = 42;
 };
 
 /// Generates `config.requests` requests with exponential inter-arrival
-/// times (a Poisson process) and uniform output lengths, ids 0..n-1 in
-/// arrival order. Throws std::invalid_argument for a non-positive rate,
-/// zero request/token counts, or min > max output tokens.
+/// times (a Poisson process over bursts of `burst` requests), uniform
+/// output lengths, and optional SLO deadlines, ids 0..n-1 in arrival
+/// order. With burst = 1 and deadlines off, a given seed reproduces the
+/// PR-1 traces exactly. Throws std::invalid_argument for a non-positive
+/// rate, zero request/token/burst counts, min > max output tokens, or a
+/// negative per-token SLO.
 std::vector<Request> poisson_trace(const TraceConfig& config);
 
 }  // namespace edgemm::serve

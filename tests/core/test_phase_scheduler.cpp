@@ -1,6 +1,8 @@
 #include "core/phase_scheduler.hpp"
 
+#include <functional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -84,6 +86,49 @@ TEST(PhaseScheduler, CallbackMaySubmitFollowUpWork) {
   chip.simulator().run();
   EXPECT_EQ(tokens, 4);
   EXPECT_EQ(sched.dispatched(Lane::kMcDecode), 4u);
+}
+
+TEST(PhaseScheduler, TracksPerLaneQueueWaitStats) {
+  ChipTimingModel chip(small_cfg(), ChipComposition::kHeterogeneous);
+  PhaseScheduler sched(chip);
+  Cycle first_end = 0;
+  sched.submit(Lane::kCcStage, cc_job(),
+               [&] { first_end = sched.sim().now(); });
+  sched.submit(Lane::kCcStage, cc_job(), [] {});
+  sched.submit(Lane::kCcStage, cc_job(), [] {});
+  chip.simulator().run();
+
+  const auto& stats = sched.lane_stats(Lane::kCcStage);
+  EXPECT_EQ(stats.dispatched, 3u);
+  // Job 2 waited one job, job 3 waited two: max wait = two job durations,
+  // total = three, mean = one.
+  EXPECT_EQ(stats.max_queue_wait, 2 * first_end);
+  EXPECT_EQ(stats.total_queue_wait, 3 * first_end);
+  EXPECT_DOUBLE_EQ(stats.mean_queue_wait(), static_cast<double>(first_end));
+  // The other lane is untouched.
+  EXPECT_EQ(sched.lane_stats(Lane::kMcDecode).dispatched, 0u);
+  EXPECT_EQ(sched.lane_stats(Lane::kMcDecode).max_queue_wait, 0u);
+}
+
+TEST(PhaseScheduler, ChainedMultiJobPrefillInterleavesWithOtherSubmitters) {
+  // Request A splits its prefill into three chained chunks (each chunk's
+  // done callback submits the next); request B submits one job while A's
+  // first chunk runs. FIFO order gives B the lane after A1 — the
+  // head-of-line-blocking bound chunked prefill relies on.
+  ChipTimingModel chip(small_cfg(), ChipComposition::kHeterogeneous);
+  PhaseScheduler sched(chip);
+  std::vector<std::string> order;
+  std::function<void(int)> submit_chunk = [&](int chunk) {
+    sched.submit(Lane::kCcStage, cc_job(), [&, chunk] {
+      order.push_back("A" + std::to_string(chunk));
+      if (chunk < 3) submit_chunk(chunk + 1);
+    });
+  };
+  submit_chunk(1);
+  sched.submit(Lane::kCcStage, cc_job(), [&] { order.push_back("B"); });
+  chip.simulator().run();
+  EXPECT_EQ(order, (std::vector<std::string>{"A1", "B", "A2", "A3"}));
+  EXPECT_EQ(sched.dispatched(Lane::kCcStage), 4u);
 }
 
 TEST(PhaseScheduler, RejectsEmptyJobs) {

@@ -137,6 +137,80 @@ TEST(Workload, SingleRequestDecodeStepMatchesLegacyDecodeToken) {
   }
 }
 
+TEST(Workload, PrefillChunkZeroIsTheMonolithicPrefill) {
+  const auto reference =
+      build_phase_workload(sphinx_tiny(), WorkloadParams{300, 1, 364}).prefill;
+  const auto chunk = build_prefill_chunk(sphinx_tiny(), 0, 300, 300);
+  ASSERT_EQ(chunk.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(chunk[i].m, reference[i].m);
+    EXPECT_EQ(chunk[i].k, reference[i].k);
+    EXPECT_EQ(chunk[i].n, reference[i].n);
+    EXPECT_EQ(chunk[i].phase, reference[i].phase);
+    EXPECT_EQ(chunk[i].prunable, reference[i].prunable);
+    EXPECT_EQ(chunk[i].weight_elem_bytes_override,
+              reference[i].weight_elem_bytes_override);
+  }
+}
+
+TEST(Workload, PrefillChunksCoverExactlyTheMonolithicWork) {
+  // Token rows processed by every op kind must sum across chunks to the
+  // monolithic count: all ops carry m = chunk tokens, and attention is
+  // charged at the same rectangle convention as the monolithic prefill
+  // (context = full prompt), so planners differ only in job slicing.
+  const auto& llm = sphinx_tiny().llm;
+  const std::size_t chunk_sizes[] = {128, 128, 44};
+  std::size_t start = 0;
+  std::size_t qkv_rows = 0;
+  for (const std::size_t tokens : chunk_sizes) {
+    const auto ops = build_prefill_chunk(sphinx_tiny(), start, tokens, 300);
+    for (const auto& op : ops) {
+      EXPECT_EQ(op.m, tokens);
+      if (op.weight_elem_bytes_override != 0) {
+        // KV stream ops: context spans the whole prompt.
+        EXPECT_TRUE(op.k == 300u || op.n == 300u);
+      }
+    }
+    // One QKV op per layer; count its token rows via the first op.
+    qkv_rows += ops.front().m * llm.layers;
+    start += tokens;
+  }
+  EXPECT_EQ(start, 300u);
+  const auto mono = build_prefill_chunk(sphinx_tiny(), 0, 300, 300);
+  EXPECT_EQ(qkv_rows, mono.front().m * llm.layers);
+
+  EXPECT_THROW(build_prefill_chunk(sphinx_tiny(), 0, 0, 300),
+               std::invalid_argument);
+  // A chunk may not run past its prompt.
+  EXPECT_THROW(build_prefill_chunk(sphinx_tiny(), 256, 64, 300),
+               std::invalid_argument);
+}
+
+TEST(Workload, EncoderOpsMatchPhaseWorkloadEncoder) {
+  for (const std::size_t crops : {1u, 3u}) {
+    const auto reference =
+        build_phase_workload(sphinx_tiny(), WorkloadParams{300, crops, 364})
+            .encoder;
+    const auto encoder = build_encoder_ops(sphinx_tiny(), crops);
+    ASSERT_EQ(encoder.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(encoder[i].m, reference[i].m);
+      EXPECT_EQ(encoder[i].k, reference[i].k);
+      EXPECT_EQ(encoder[i].n, reference[i].n);
+    }
+  }
+  EXPECT_THROW(build_encoder_ops(sphinx_tiny(), 0), std::invalid_argument);
+}
+
+TEST(Workload, KvBytesPerTokenFollowsModelShape) {
+  const auto m = sphinx_tiny();
+  // K + V rows of kv_dim across all LLM layers, BF16.
+  EXPECT_EQ(kv_bytes_per_token(m), m.llm.layers * 2 * m.llm.kv_dim() * 2);
+  auto wide = m;
+  wide.llm.kv_heads = wide.llm.heads;  // no GQA: bigger KV rows
+  EXPECT_GT(kv_bytes_per_token(wide), kv_bytes_per_token(m));
+}
+
 TEST(Workload, BatchedDecodeStepSharesWeightsNotKvCaches) {
   const std::size_t contexts[] = {310, 350, 420};
   const auto step = build_decode_step(sphinx_tiny(), contexts);

@@ -7,29 +7,86 @@
 namespace edgemm::serve {
 namespace {
 
-TEST(AdmissionPolicy, ValidatesLimits) {
-  EXPECT_THROW(AdmissionPolicy(AdmissionLimits{0, 4}), std::invalid_argument);
-  EXPECT_THROW(AdmissionPolicy(AdmissionLimits{4, 0}), std::invalid_argument);
+AdmissionContext ctx_with(std::size_t inflight, Cycle now = 0,
+                          Cycle queue_delay = 0, Cycle service = 0) {
+  AdmissionContext ctx;
+  ctx.now = now;
+  ctx.inflight = inflight;
+  ctx.estimated_queue_delay = queue_delay;
+  ctx.estimated_service = service;
+  return ctx;
+}
+
+Request request_with_deadline(Cycle deadline) {
+  Request r;
+  r.id = 1;
+  r.deadline = deadline;
+  return r;
+}
+
+TEST(ConcurrencyPolicy, ValidatesLimits) {
+  EXPECT_THROW(ConcurrencyPolicy(AdmissionLimits{0, 4}), std::invalid_argument);
+  EXPECT_THROW(ConcurrencyPolicy(AdmissionLimits{4, 0}), std::invalid_argument);
   // The batch could never fill if fewer requests may be in flight.
-  EXPECT_THROW(AdmissionPolicy(AdmissionLimits{8, 4}), std::invalid_argument);
-  EXPECT_NO_THROW(AdmissionPolicy(AdmissionLimits{4, 4}));
+  EXPECT_THROW(ConcurrencyPolicy(AdmissionLimits{8, 4}), std::invalid_argument);
+  EXPECT_NO_THROW(ConcurrencyPolicy(AdmissionLimits{4, 4}));
 }
 
-TEST(AdmissionPolicy, AdmitsUpToMaxInflight) {
-  const AdmissionPolicy policy(AdmissionLimits{2, 3});
-  EXPECT_TRUE(policy.admit(0));
-  EXPECT_TRUE(policy.admit(2));
-  EXPECT_FALSE(policy.admit(3));
-  EXPECT_FALSE(policy.admit(4));
+TEST(ConcurrencyPolicy, AdmitsUpToMaxInflightThenDefers) {
+  const ConcurrencyPolicy policy(AdmissionLimits{2, 3});
+  const Request r;
+  EXPECT_EQ(policy.admit(r, ctx_with(0)), AdmissionVerdict::kAdmit);
+  EXPECT_EQ(policy.admit(r, ctx_with(2)), AdmissionVerdict::kAdmit);
+  EXPECT_EQ(policy.admit(r, ctx_with(3)), AdmissionVerdict::kDefer);
+  EXPECT_EQ(policy.admit(r, ctx_with(4)), AdmissionVerdict::kDefer);
 }
 
-TEST(AdmissionPolicy, DecodeJoinFillsRemainingBatchSlots) {
-  const AdmissionPolicy policy(AdmissionLimits{4, 8});
+TEST(ConcurrencyPolicy, DecodeJoinFillsRemainingBatchSlots) {
+  const ConcurrencyPolicy policy(AdmissionLimits{4, 8});
   EXPECT_EQ(policy.decode_join_count(0, 10), 4u);
   EXPECT_EQ(policy.decode_join_count(1, 2), 2u);
   EXPECT_EQ(policy.decode_join_count(3, 5), 1u);
   EXPECT_EQ(policy.decode_join_count(4, 5), 0u);  // batch already full
   EXPECT_EQ(policy.decode_join_count(2, 0), 0u);  // nothing ready
+}
+
+TEST(SloAwarePolicy, ValidatesSlack) {
+  EXPECT_THROW(SloAwarePolicy(AdmissionLimits{2, 4}, {.slack = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(SloAwarePolicy(AdmissionLimits{2, 4}, {.slack = -1.0}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(SloAwarePolicy(AdmissionLimits{2, 4}));
+}
+
+TEST(SloAwarePolicy, PassesThroughWithoutDeadline) {
+  const SloAwarePolicy policy(AdmissionLimits{2, 3});
+  const Request r;  // deadline == 0
+  EXPECT_EQ(policy.admit(r, ctx_with(0, 0, 1'000'000, 1'000'000)),
+            AdmissionVerdict::kAdmit);
+  EXPECT_EQ(policy.admit(r, ctx_with(3)), AdmissionVerdict::kDefer);
+}
+
+TEST(SloAwarePolicy, RejectsInfeasibleDeadline) {
+  const SloAwarePolicy policy(AdmissionLimits{2, 3});
+  // now + queue_delay + service = 100 + 400 + 600 = 1100 > 1000.
+  EXPECT_EQ(policy.admit(request_with_deadline(1000), ctx_with(0, 100, 400, 600)),
+            AdmissionVerdict::kReject);
+  // Exactly feasible (1100 <= 1100) admits.
+  EXPECT_EQ(policy.admit(request_with_deadline(1100), ctx_with(0, 100, 400, 600)),
+            AdmissionVerdict::kAdmit);
+  // Feasible but at the inflight cap defers rather than rejects.
+  EXPECT_EQ(policy.admit(request_with_deadline(5000), ctx_with(3, 100, 400, 600)),
+            AdmissionVerdict::kDefer);
+}
+
+TEST(SloAwarePolicy, SlackScalesTheEstimate) {
+  const SloAwarePolicy tight(AdmissionLimits{2, 3}, {.slack = 2.0});
+  const SloAwarePolicy loose(AdmissionLimits{2, 3}, {.slack = 0.5});
+  const Request r = request_with_deadline(1000);
+  const AdmissionContext ctx = ctx_with(0, 0, 400, 400);
+  // 2.0 * 800 = 1600 > 1000 rejects; 0.5 * 800 = 400 <= 1000 admits.
+  EXPECT_EQ(tight.admit(r, ctx), AdmissionVerdict::kReject);
+  EXPECT_EQ(loose.admit(r, ctx), AdmissionVerdict::kAdmit);
 }
 
 }  // namespace

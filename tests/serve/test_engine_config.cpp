@@ -1,0 +1,122 @@
+#include "serve/engine_config.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "model/mllm_config.hpp"
+
+namespace edgemm::serve {
+namespace {
+
+TEST(EngineConfig, DefaultsReproducePr1Composition) {
+  const EngineConfig config;
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_STREQ(config.scheduler().name(), "concurrency");
+  EXPECT_STREQ(config.prefill_planner().name(), "monolithic");
+  EXPECT_STREQ(config.batch_policy().name(), "fifo");
+  EXPECT_TRUE(config.manage_bandwidth());
+  EXPECT_DOUBLE_EQ(config.prune_keep_fraction(), 1.0);
+  EXPECT_EQ(config.kv_capacity(), 0u);  // accounting off
+  EXPECT_FALSE(config.task_proxy_pruning().has_value());
+}
+
+TEST(EngineConfig, BuilderComposesPolicies) {
+  const EngineConfig config =
+      EngineConfig()
+          .scheduler(std::make_shared<SloAwarePolicy>(AdmissionLimits{4, 8}))
+          .prefill_planner(std::make_shared<ChunkedPrefill>(64))
+          .batch_policy(std::make_shared<ShortestRemainingFirst>())
+          .manage_bandwidth(false)
+          .prune_keep_fraction(0.5)
+          .rebalance_interval(1234)
+          .kv_capacity_bytes(1 << 20);
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_STREQ(config.scheduler().name(), "slo-aware");
+  EXPECT_STREQ(config.prefill_planner().name(), "chunked");
+  EXPECT_STREQ(config.batch_policy().name(), "shortest-remaining-first");
+  EXPECT_FALSE(config.manage_bandwidth());
+  EXPECT_DOUBLE_EQ(config.prune_keep_fraction(), 0.5);
+  EXPECT_EQ(config.rebalance_interval(), 1234u);
+  EXPECT_EQ(config.kv_capacity(), Bytes{1 << 20});
+}
+
+TEST(EngineConfig, SettersValidateEagerly) {
+  EngineConfig config;
+  EXPECT_THROW(config.scheduler(nullptr), std::invalid_argument);
+  EXPECT_THROW(config.prefill_planner(nullptr), std::invalid_argument);
+  EXPECT_THROW(config.batch_policy(nullptr), std::invalid_argument);
+  EXPECT_THROW(config.prune_keep_fraction(0.0), std::invalid_argument);
+  EXPECT_THROW(config.prune_keep_fraction(-0.5), std::invalid_argument);
+  EXPECT_THROW(config.prune_keep_fraction(1.5), std::invalid_argument);
+  TaskProxyPruningOptions bad;
+  bad.min_agreement = 1.5;
+  EXPECT_THROW(config.task_proxy_pruning(bad), std::invalid_argument);
+  bad.min_agreement = 0.9;
+  bad.min_keep_fraction = 0.0;
+  EXPECT_THROW(config.task_proxy_pruning(bad), std::invalid_argument);
+}
+
+TEST(EngineConfig, FromLegacyMapsEveryServingOption) {
+  ServingOptions options;
+  options.admission = AdmissionLimits{2, 4};
+  options.manage_bandwidth = false;
+  options.policy.max_mc_ratio = 5;
+  options.prune_keep_fraction = 0.7;
+  options.rebalance_interval = 999;
+  const EngineConfig config = EngineConfig::from_legacy(options);
+  EXPECT_STREQ(config.scheduler().name(), "concurrency");
+  EXPECT_STREQ(config.prefill_planner().name(), "monolithic");
+  EXPECT_STREQ(config.batch_policy().name(), "fifo");
+  EXPECT_FALSE(config.manage_bandwidth());
+  EXPECT_EQ(config.bandwidth_policy().max_mc_ratio, 5u);
+  EXPECT_DOUBLE_EQ(config.prune_keep_fraction(), 0.7);
+  EXPECT_EQ(config.rebalance_interval(), 999u);
+  // The legacy limits survive through the scheduler seam.
+  EXPECT_EQ(config.scheduler().decode_join_count(0, 10), 2u);
+}
+
+TEST(DeriveKeepFraction, IsDeterministicAndBounded) {
+  const model::MllmConfig model = model::sphinx_tiny();
+  TaskProxyPruningOptions options;
+  options.proxy.tokens = 2;  // keep the test fast
+  options.max_proxy_channels = 128;
+  options.max_proxy_layers = 4;
+  const double a = derive_keep_fraction(model, options);
+  const double b = derive_keep_fraction(model, options);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_GE(a, options.min_keep_fraction);
+  EXPECT_LE(a, 1.0);
+}
+
+TEST(DeriveKeepFraction, DiffersAcrossModels) {
+  TaskProxyPruningOptions options;
+  options.proxy.tokens = 2;
+  options.max_proxy_channels = 128;
+  options.max_proxy_layers = 4;
+  // Different model names perturb the proxy seed, so the §IV-A accuracy
+  // model is evaluated per model rather than once globally.
+  const double sphinx = derive_keep_fraction(model::sphinx_tiny(), options);
+  const double karma = derive_keep_fraction(model::karmavlm(), options);
+  // Both are valid fractions; equality would only happen if the proxy
+  // ignored the model, so assert the plumbing keeps them distinct.
+  EXPECT_NE(sphinx, karma);
+}
+
+TEST(DeriveKeepFraction, ImpossibleAgreementDisablesPruning) {
+  const model::MllmConfig model = model::sphinx_tiny();
+  TaskProxyPruningOptions options;
+  options.proxy.tokens = 2;
+  options.proxy.fixed_ratios = {0.99};  // agreement will not survive this
+  options.min_agreement = 1.1;  // validated by the EngineConfig setter...
+  EXPECT_THROW(derive_keep_fraction(model, options), std::invalid_argument);
+  options.min_agreement = 1.0;  // ...but 1.0 is legal and nearly unreachable
+  options.max_proxy_channels = 128;
+  options.max_proxy_layers = 4;
+  const double keep = derive_keep_fraction(model, options);
+  EXPECT_GE(keep, options.min_keep_fraction);
+}
+
+}  // namespace
+}  // namespace edgemm::serve

@@ -1,0 +1,74 @@
+#include "serve/kv_tracker.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+
+namespace edgemm::serve {
+namespace {
+
+TEST(KvCapacityTracker, ValidatesCapacity) {
+  EXPECT_THROW(KvCapacityTracker(0), std::invalid_argument);
+}
+
+TEST(KvCapacityTracker, ReservesExactlyToCapacity) {
+  KvCapacityTracker tracker(1000);
+  EXPECT_TRUE(tracker.try_reserve(1, 600));
+  EXPECT_EQ(tracker.reserved(), 600u);
+  EXPECT_EQ(tracker.available(), 400u);
+  // Filling the budget to exactly capacity succeeds.
+  EXPECT_TRUE(tracker.try_reserve(2, 400));
+  EXPECT_EQ(tracker.reserved(), 1000u);
+  EXPECT_EQ(tracker.available(), 0u);
+  EXPECT_EQ(tracker.holders(), 2u);
+  EXPECT_EQ(tracker.deferrals(), 0u);
+}
+
+TEST(KvCapacityTracker, OneByteOverDefers) {
+  KvCapacityTracker tracker(1000);
+  EXPECT_TRUE(tracker.try_reserve(1, 1000));
+  EXPECT_FALSE(tracker.try_reserve(2, 1));  // one byte over
+  EXPECT_EQ(tracker.deferrals(), 1u);
+  EXPECT_EQ(tracker.holders(), 1u);
+  EXPECT_EQ(tracker.reserved(), 1000u);
+
+  KvCapacityTracker fresh(1000);
+  EXPECT_FALSE(fresh.try_reserve(1, 1001));  // single oversized request
+  EXPECT_EQ(fresh.deferrals(), 1u);
+  // Zero-byte reservations are fine even at a full budget.
+  EXPECT_TRUE(fresh.try_reserve(2, 1000));
+  EXPECT_TRUE(fresh.try_reserve(3, 0));
+}
+
+TEST(KvCapacityTracker, ReleaseMakesRoomAgain) {
+  KvCapacityTracker tracker(1000);
+  EXPECT_TRUE(tracker.try_reserve(1, 700));
+  EXPECT_FALSE(tracker.try_reserve(2, 500));
+  tracker.release(1);
+  EXPECT_EQ(tracker.reserved(), 0u);
+  EXPECT_TRUE(tracker.try_reserve(2, 500));
+  EXPECT_EQ(tracker.holders(), 1u);
+}
+
+TEST(KvCapacityTracker, RejectsDuplicateAndUnknownIds) {
+  KvCapacityTracker tracker(1000);
+  EXPECT_TRUE(tracker.try_reserve(1, 100));
+  EXPECT_THROW(tracker.try_reserve(1, 100), std::logic_error);
+  EXPECT_THROW(tracker.release(2), std::logic_error);
+  tracker.release(1);
+  EXPECT_THROW(tracker.release(1), std::logic_error);
+}
+
+TEST(ChipKvCapacity, ScalesWithMcClustersAndOversubscription) {
+  const core::ChipConfig cfg = core::default_chip_config();
+  const Bytes base = chip_kv_capacity(cfg);
+  EXPECT_EQ(base, cfg.total_mc_clusters() * cfg.mc_cluster_cim_bytes());
+  EXPECT_EQ(chip_kv_capacity(cfg, 2.0), 2 * base);
+  EXPECT_THROW(chip_kv_capacity(cfg, 0.0), std::invalid_argument);
+  EXPECT_THROW(chip_kv_capacity(cfg, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgemm::serve

@@ -1,0 +1,89 @@
+#include "serve/policy.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace edgemm::serve {
+namespace {
+
+Request req(std::size_t input_tokens) {
+  Request r;
+  r.input_tokens = input_tokens;
+  return r;
+}
+
+RequestRecord rec(std::size_t output_tokens, std::size_t generated = 0) {
+  Request r;
+  r.output_tokens = output_tokens;
+  RequestRecord record{r};
+  record.tokens_generated = generated;
+  return record;
+}
+
+TEST(MonolithicPrefill, OneChunkCoveringTheWholePrompt) {
+  const MonolithicPrefill planner;
+  EXPECT_EQ(planner.plan(req(300)), std::vector<std::size_t>{300});
+  EXPECT_EQ(planner.plan(req(1)), std::vector<std::size_t>{1});
+}
+
+TEST(ChunkedPrefill, ValidatesChunkSize) {
+  EXPECT_THROW(ChunkedPrefill(0), std::invalid_argument);
+}
+
+TEST(ChunkedPrefill, EqualChunksWithRemainderLast) {
+  const ChunkedPrefill planner(128);
+  EXPECT_EQ(planner.plan(req(300)),
+            (std::vector<std::size_t>{128, 128, 44}));
+  EXPECT_EQ(planner.plan(req(256)), (std::vector<std::size_t>{128, 128}));
+  EXPECT_EQ(planner.plan(req(100)), std::vector<std::size_t>{100});
+}
+
+TEST(ChunkedPrefill, ChunkTokensAlwaysSumToPrompt) {
+  for (const std::size_t chunk : {1u, 7u, 64u, 1000u}) {
+    const ChunkedPrefill planner(chunk);
+    for (const std::size_t input : {1u, 13u, 128u, 301u}) {
+      const auto plan = planner.plan(req(input));
+      std::size_t sum = 0;
+      for (const std::size_t tokens : plan) {
+        EXPECT_GT(tokens, 0u);
+        EXPECT_LE(tokens, chunk);
+        sum += tokens;
+      }
+      EXPECT_EQ(sum, input);
+    }
+  }
+}
+
+TEST(FifoBatch, PreservesPrefillCompletionOrder) {
+  const std::vector<RequestRecord> records = {rec(8), rec(2), rec(5)};
+  std::vector<std::size_t> ready = {0, 1, 2};
+  FifoBatch().order_joiners(ready, records);
+  EXPECT_EQ(ready, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ShortestRemainingFirst, OrdersByRemainingTokens) {
+  const std::vector<RequestRecord> records = {rec(8), rec(2), rec(5)};
+  std::vector<std::size_t> ready = {0, 1, 2};
+  ShortestRemainingFirst().order_joiners(ready, records);
+  EXPECT_EQ(ready, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(ShortestRemainingFirst, CountsGeneratedTokensAndKeepsTiesFifo) {
+  // Record 0 has 8 to go but 6 already generated (2 remaining) — ties
+  // with record 1 and stays ahead of it (stable order).
+  const std::vector<RequestRecord> records = {rec(8, 6), rec(2), rec(5, 4)};
+  std::vector<std::size_t> ready = {0, 1, 2};
+  ShortestRemainingFirst().order_joiners(ready, records);
+  EXPECT_EQ(ready, (std::vector<std::size_t>{2, 0, 1}));
+}
+
+TEST(AdmissionVerdictNames, AreStable) {
+  EXPECT_STREQ(to_string(AdmissionVerdict::kAdmit), "admit");
+  EXPECT_STREQ(to_string(AdmissionVerdict::kDefer), "defer");
+  EXPECT_STREQ(to_string(AdmissionVerdict::kReject), "reject");
+}
+
+}  // namespace
+}  // namespace edgemm::serve

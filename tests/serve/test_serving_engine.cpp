@@ -1,10 +1,12 @@
 #include "serve/serving_engine.hpp"
 
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "model/workload.hpp"
 #include "serve/trace.hpp"
 
 namespace edgemm::serve {
@@ -39,16 +41,16 @@ Request req(RequestId id, Cycle arrival, std::size_t output_tokens,
   return r;
 }
 
-ServingOptions fast_options(std::size_t max_batch = 4,
-                            std::size_t max_inflight = 8) {
-  ServingOptions options;
-  options.admission = AdmissionLimits{max_batch, max_inflight};
-  options.manage_bandwidth = false;
-  return options;
+EngineConfig fast_config(std::size_t max_batch = 4,
+                         std::size_t max_inflight = 8) {
+  return EngineConfig()
+      .scheduler(std::make_shared<ConcurrencyPolicy>(
+          AdmissionLimits{max_batch, max_inflight}))
+      .manage_bandwidth(false);
 }
 
 TEST(ServingEngine, CompletesTraceWithOrderedLatencyPercentiles) {
-  ServingEngine engine(small_cfg(), {tiny_model()}, fast_options());
+  ServingEngine engine(small_cfg(), {tiny_model()}, fast_config());
   TraceConfig trace_cfg;
   trace_cfg.requests = 12;
   trace_cfg.arrival_rate_per_s = 2000.0;  // heavy contention on the tiny chip
@@ -58,6 +60,7 @@ TEST(ServingEngine, CompletesTraceWithOrderedLatencyPercentiles) {
   const auto result = engine.run(poisson_trace(trace_cfg));
 
   EXPECT_EQ(result.completed, 12u);
+  EXPECT_EQ(result.rejected, 0u);
   EXPECT_GT(result.makespan, 0u);
   EXPECT_GT(result.tokens_per_second, 0.0);
   EXPECT_GT(result.dram_utilization, 0.0);
@@ -67,10 +70,14 @@ TEST(ServingEngine, CompletesTraceWithOrderedLatencyPercentiles) {
   EXPECT_GE(result.p95_latency_ms, result.p50_latency_ms);
   EXPECT_GE(result.p99_latency_ms, result.p95_latency_ms);
   EXPECT_GT(result.mean_decode_batch, 1.0);  // contention actually batched
+  EXPECT_DOUBLE_EQ(result.slo_attainment, 1.0);  // no deadlines in the trace
+  EXPECT_EQ(result.prefill_jobs, 12u);  // monolithic: one CC job per request
 
   for (const RequestRecord& rec : engine.records()) {
     EXPECT_TRUE(rec.done);
+    EXPECT_FALSE(rec.rejected);
     EXPECT_EQ(rec.tokens_generated, rec.request.output_tokens);
+    EXPECT_EQ(rec.prefill_chunks, 1u);
     EXPECT_GE(rec.prefill_start, rec.request.arrival);
     EXPECT_GT(rec.prefill_end, rec.prefill_start);
     EXPECT_GE(rec.first_token, rec.prefill_end);
@@ -80,14 +87,14 @@ TEST(ServingEngine, CompletesTraceWithOrderedLatencyPercentiles) {
 
 TEST(ServingEngine, RequestArrivingMidDecodePrefillsBeforeBatchDrains) {
   // Probe run: when does a lone long request decode?
-  ServingEngine probe(small_cfg(), {tiny_model()}, fast_options());
+  ServingEngine probe(small_cfg(), {tiny_model()}, fast_config());
   probe.run({req(0, 0, 48)});
   const RequestRecord lone = probe.records()[0];
   ASSERT_GT(lone.finish, lone.prefill_end);
 
   // Real run: a short request lands squarely inside the decode window.
   const Cycle mid_decode = lone.first_token + (lone.finish - lone.first_token) / 2;
-  ServingEngine engine(small_cfg(), {tiny_model()}, fast_options());
+  ServingEngine engine(small_cfg(), {tiny_model()}, fast_config());
   engine.run({req(0, 0, 48), req(1, mid_decode, 4)});
   const RequestRecord& first = engine.records()[0];
   const RequestRecord& joiner = engine.records()[1];
@@ -103,7 +110,7 @@ TEST(ServingEngine, RequestArrivingMidDecodePrefillsBeforeBatchDrains) {
 TEST(ServingEngine, AdmissionDefersWhenBatchAndInflightAreFull) {
   // max_inflight == max_decode_batch == 2: a third simultaneous request
   // may only be admitted once one of the first two retires.
-  ServingEngine engine(small_cfg(), {tiny_model()}, fast_options(2, 2));
+  ServingEngine engine(small_cfg(), {tiny_model()}, fast_config(2, 2));
   engine.run({req(0, 0, 24), req(1, 0, 24), req(2, 0, 4)});
   const auto& records = engine.records();
   const Cycle earliest_finish =
@@ -117,9 +124,9 @@ TEST(ServingEngine, ContinuousBatchingBeatsSequentialOnMakespan) {
   for (std::size_t i = 0; i < 8; ++i) {
     trace.push_back(req(i, i * 1000, 12));
   }
-  ServingEngine batched(small_cfg(), {tiny_model()}, fast_options(4, 8));
+  ServingEngine batched(small_cfg(), {tiny_model()}, fast_config(4, 8));
   const auto continuous = batched.run(trace);
-  ServingEngine serial(small_cfg(), {tiny_model()}, fast_options(1, 1));
+  ServingEngine serial(small_cfg(), {tiny_model()}, fast_config(1, 1));
   const auto sequential = serial.run(trace);
 
   EXPECT_LT(continuous.makespan, sequential.makespan);
@@ -135,9 +142,9 @@ TEST(ServingEngine, ReplayIsDeterministic) {
   trace_cfg.min_output_tokens = 2;
   trace_cfg.max_output_tokens = 8;
 
-  ServingEngine a(small_cfg(), {tiny_model()}, fast_options());
+  ServingEngine a(small_cfg(), {tiny_model()}, fast_config());
   const auto ra = a.run(poisson_trace(trace_cfg));
-  ServingEngine b(small_cfg(), {tiny_model()}, fast_options());
+  ServingEngine b(small_cfg(), {tiny_model()}, fast_config());
   const auto rb = b.run(poisson_trace(trace_cfg));
 
   EXPECT_EQ(ra.makespan, rb.makespan);
@@ -155,17 +162,16 @@ TEST(ServingEngine, BandwidthManagementRebalancesUnderLoad) {
   trace_cfg.min_output_tokens = 8;
   trace_cfg.max_output_tokens = 24;
 
-  ServingOptions options = fast_options();
-  options.manage_bandwidth = true;
-  options.rebalance_interval = 50'000;
-  ServingEngine engine(small_cfg(), {tiny_model()}, options);
+  EngineConfig config = fast_config();
+  config.manage_bandwidth(true).rebalance_interval(50'000);
+  ServingEngine engine(small_cfg(), {tiny_model()}, std::move(config));
   const auto result = engine.run(poisson_trace(trace_cfg));
   EXPECT_EQ(result.completed, 8u);
   EXPECT_GT(result.rebalances, 0u);
 }
 
 TEST(ServingEngine, FiresCompletionCallbacksInFinishOrder) {
-  ServingEngine engine(small_cfg(), {tiny_model()}, fast_options());
+  ServingEngine engine(small_cfg(), {tiny_model()}, fast_config());
   std::vector<RequestId> completions;
   Cycle last_finish = 0;
   engine.set_completion_callback([&](const RequestRecord& rec) {
@@ -181,7 +187,7 @@ TEST(ServingEngine, ServesMultipleModelsInOneBatchCycle) {
   model::MllmConfig second = tiny_model();
   second.name = "tiny-mllm-2";
   second.llm.d_ffn = 768;
-  ServingEngine engine(small_cfg(), {tiny_model(), second}, fast_options());
+  ServingEngine engine(small_cfg(), {tiny_model(), second}, fast_config());
   engine.run({req(0, 0, 8, 32, 0), req(1, 0, 8, 32, 1), req(2, 0, 6, 32, 0)});
   for (const RequestRecord& rec : engine.records()) {
     EXPECT_TRUE(rec.done);
@@ -189,25 +195,151 @@ TEST(ServingEngine, ServesMultipleModelsInOneBatchCycle) {
 }
 
 TEST(ServingEngine, ValidatesRequestsAndLifecycle) {
-  EXPECT_THROW(ServingEngine(small_cfg(), {}, fast_options()),
+  EXPECT_THROW(ServingEngine(small_cfg(), {}, fast_config()),
                std::invalid_argument);
 
-  ServingEngine engine(small_cfg(), {tiny_model()}, fast_options());
+  ServingEngine engine(small_cfg(), {tiny_model()}, fast_config());
   EXPECT_THROW(engine.run({}), std::invalid_argument);
 
-  ServingEngine dup(small_cfg(), {tiny_model()}, fast_options());
+  ServingEngine dup(small_cfg(), {tiny_model()}, fast_config());
   EXPECT_THROW(dup.run({req(3, 0, 4), req(3, 10, 4)}), std::invalid_argument);
 
-  ServingEngine zero(small_cfg(), {tiny_model()}, fast_options());
+  ServingEngine zero(small_cfg(), {tiny_model()}, fast_config());
   EXPECT_THROW(zero.run({req(0, 0, 0)}), std::invalid_argument);
 
-  ServingEngine oob(small_cfg(), {tiny_model()}, fast_options());
+  ServingEngine oob(small_cfg(), {tiny_model()}, fast_config());
   EXPECT_THROW(oob.run({req(0, 0, 4, 32, /*model=*/5)}), std::invalid_argument);
 
-  ServingEngine once(small_cfg(), {tiny_model()}, fast_options());
+  ServingEngine once(small_cfg(), {tiny_model()}, fast_config());
   once.run({req(0, 0, 2)});
   EXPECT_THROW(once.run({req(1, 0, 2)}), std::logic_error);
 }
+
+TEST(ServingEngine, ReplayTraceFactoryReturnsResultAndRecords) {
+  std::size_t callbacks = 0;
+  const auto outcome = replay_trace(
+      small_cfg(), {tiny_model()}, fast_config(),
+      {req(0, 0, 4), req(1, 100, 2)},
+      [&callbacks](const RequestRecord&) { ++callbacks; });
+  EXPECT_EQ(outcome.result.completed, 2u);
+  EXPECT_EQ(outcome.records.size(), 2u);
+  EXPECT_TRUE(outcome.records[0].done);
+  EXPECT_EQ(callbacks, 2u);
+
+  // The factory replay matches a manual one-shot engine exactly.
+  ServingEngine manual(small_cfg(), {tiny_model()}, fast_config());
+  const auto reference = manual.run({req(0, 0, 4), req(1, 100, 2)});
+  EXPECT_EQ(outcome.result.makespan, reference.makespan);
+}
+
+TEST(ServingEngine, SloPolicyRejectsHopelessRequestsUnderBacklog) {
+  // Request 1's deadline is one cycle after arrival; with request 0's
+  // long prefill + decode backlog ahead of it, no estimate can fit, so
+  // the SLO-aware scheduler rejects instead of serving it late.
+  EngineConfig config =
+      EngineConfig()
+          .scheduler(std::make_shared<SloAwarePolicy>(AdmissionLimits{2, 4}))
+          .manage_bandwidth(false);
+  Request hopeless = req(1, 1000, 8, 256);
+  hopeless.deadline = hopeless.arrival + 1;
+  ServingEngine engine(small_cfg(), {tiny_model()}, std::move(config));
+  const auto result = engine.run({req(0, 0, 32, 256), hopeless});
+
+  EXPECT_EQ(result.completed, 1u);
+  EXPECT_EQ(result.rejected, 1u);
+  EXPECT_TRUE(engine.records()[1].rejected);
+  EXPECT_FALSE(engine.records()[1].done);
+  EXPECT_EQ(result.with_deadline, 1u);
+  EXPECT_EQ(result.slo_attained, 0u);
+  EXPECT_DOUBLE_EQ(result.slo_attainment, 0.0);
+  EXPECT_TRUE(engine.records()[0].done);
+}
+
+TEST(ServingEngine, GenerousDeadlinesAreAttained) {
+  EngineConfig config =
+      EngineConfig()
+          .scheduler(std::make_shared<SloAwarePolicy>(AdmissionLimits{2, 4}))
+          .manage_bandwidth(false);
+  Request relaxed = req(0, 0, 4);
+  relaxed.deadline = 1'000'000'000;  // 1 s at 1 GHz: trivially feasible
+  ServingEngine engine(small_cfg(), {tiny_model()}, std::move(config));
+  const auto result = engine.run({relaxed});
+  EXPECT_EQ(result.completed, 1u);
+  EXPECT_EQ(result.rejected, 0u);
+  EXPECT_EQ(result.slo_attained, 1u);
+  EXPECT_DOUBLE_EQ(result.slo_attainment, 1.0);
+  EXPECT_TRUE(engine.records()[0].deadline_met());
+}
+
+TEST(ServingEngine, KvCapacityDefersJoinsUntilReleased) {
+  // Capacity fits exactly one request's KV cache: the second prefilled
+  // request must wait for the first to retire before joining the batch.
+  const model::MllmConfig m = tiny_model();
+  const Bytes per_request = kv_footprint_bytes(req(0, 0, 8), m);
+  EngineConfig config = fast_config().kv_capacity_bytes(per_request);
+  ServingEngine engine(small_cfg(), {m}, std::move(config));
+  const auto result = engine.run({req(0, 0, 8), req(1, 0, 8)});
+
+  EXPECT_EQ(result.completed, 2u);
+  EXPECT_GT(result.kv_deferrals, 0u);
+  ASSERT_NE(engine.kv_tracker(), nullptr);
+  EXPECT_EQ(engine.kv_tracker()->reserved(), 0u);  // all released at the end
+  // Serialized decode: the second request's first token comes after the
+  // first request fully retired.
+  EXPECT_GE(engine.records()[1].first_token, engine.records()[0].finish);
+  EXPECT_DOUBLE_EQ(result.mean_decode_batch, 1.0);
+}
+
+TEST(ServingEngine, OversizedKvRequestIsRejectedUpFront) {
+  const model::MllmConfig m = tiny_model();
+  const Bytes too_small = kv_footprint_bytes(req(0, 0, 8), m) - 1;
+  ServingEngine engine(small_cfg(), {m},
+                       fast_config().kv_capacity_bytes(too_small));
+  EXPECT_THROW(engine.run({req(0, 0, 8)}), std::invalid_argument);
+}
+
+TEST(ServingEngine, TaskProxyPruningDerivesPerModelKeepFractions) {
+  TaskProxyPruningOptions proxy;
+  proxy.proxy.tokens = 2;
+  proxy.max_proxy_channels = 128;
+  proxy.max_proxy_layers = 4;
+  EngineConfig config = fast_config().task_proxy_pruning(proxy);
+  ServingEngine engine(small_cfg(), {tiny_model()}, std::move(config));
+  const double keep = engine.keep_fraction(0);
+  EXPECT_GE(keep, proxy.min_keep_fraction);
+  EXPECT_LE(keep, 1.0);
+  EXPECT_DOUBLE_EQ(keep, derive_keep_fraction(tiny_model(), proxy));
+
+  const auto result = engine.run({req(0, 0, 6), req(1, 100, 4)});
+  EXPECT_EQ(result.completed, 2u);
+  for (const RequestRecord& rec : engine.records()) {
+    EXPECT_DOUBLE_EQ(rec.prune_keep_fraction, keep);
+  }
+}
+
+// The deprecated ServingOptions shim must keep compiling and behave
+// exactly like EngineConfig::from_legacy.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(ServingEngine, DeprecatedServingOptionsShimMatchesFromLegacy) {
+  ServingOptions options;
+  options.admission = AdmissionLimits{4, 8};
+  options.manage_bandwidth = false;
+  const std::vector<Request> trace = {req(0, 0, 6), req(1, 500, 4)};
+
+  ServingEngine legacy(small_cfg(), {tiny_model()}, options);
+  const auto via_shim = legacy.run(trace);
+  ServingEngine modern(small_cfg(), {tiny_model()},
+                       EngineConfig::from_legacy(options));
+  const auto via_config = modern.run(trace);
+
+  EXPECT_EQ(via_shim.makespan, via_config.makespan);
+  EXPECT_EQ(via_shim.decode_steps, via_config.decode_steps);
+  for (std::size_t i = 0; i < legacy.records().size(); ++i) {
+    EXPECT_EQ(legacy.records()[i].finish, modern.records()[i].finish);
+  }
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace edgemm::serve
