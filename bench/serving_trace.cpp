@@ -8,8 +8,9 @@
 //   2. policy comparison — FIFO vs shortest-remaining-first vs
 //      SLO-aware admission on a bursty deadline trace (tail latency +
 //      SLO attainment), plus KV-capacity accounting on the same trace.
-//   3. chunked vs monolithic prefill on a long-prefill trace
-//      (worst-case CC-lane queueing delay).
+//   3. prefill planners on a long-prefill trace: monolithic vs chunked
+//      vs weight-resident chunk chaining (CC weight traffic, makespan,
+//      worst-case CC-lane queueing delay, pin/fallback accounting).
 //   4. fidelity sweep — makespan drift across burst/block coarsening
 //      factors (8x/4x/2x/1x).
 #include <cstdio>
@@ -21,6 +22,7 @@
 #include "model/mllm_config.hpp"
 #include "model/workload.hpp"
 #include "serve/kv_tracker.hpp"
+#include "serve/residency_tracker.hpp"
 #include "serve/serving_engine.hpp"
 #include "serve/trace.hpp"
 
@@ -195,8 +197,9 @@ int main(int argc, char** argv) {
               kv_bounded.kv_deferrals, kv_bounded.mean_decode_batch,
               fifo.mean_decode_batch);
 
-  // --- 3. Chunked vs monolithic prefill ----------------------------------
-  std::printf("\n--- chunked vs monolithic prefill (long-prefill trace) ---\n");
+  // --- 3. Prefill planners: monolithic vs chunked vs weight-resident -----
+  std::printf("\n--- prefill planners: resident vs re-fetch vs monolithic "
+              "(long-prefill trace) ---\n");
   serve::TraceConfig long_prefill = trace_cfg;
   long_prefill.requests = 12;
   long_prefill.arrival_rate_per_s = 16.0;
@@ -204,27 +207,95 @@ int main(int argc, char** argv) {
   long_prefill.crops = 3;
   long_prefill.min_output_tokens = 8;
   long_prefill.max_output_tokens = 48;
-  std::printf("trace: %zu requests, %zu prompt tokens, %zu crops each\n\n",
+  std::printf("trace: %zu requests, %zu prompt tokens, %zu crops each\n",
               long_prefill.requests, long_prefill.input_tokens,
               long_prefill.crops);
+
+  // Residency budget: two requests' full LLM layer-group sets can stay
+  // pinned at once (the rest fall back to per-chunk re-fetch). Like the
+  // KV budget, this oversubscribes the physical TCDM — it models the
+  // near-memory / enlarged-scratchpad design point, and the printed
+  // multiple keeps that honest.
+  const model::MllmConfig sphinx = model::sphinx_tiny();
+  const Bytes layer_group = serve::llm_layer_group_bytes(sphinx, chip8);
+  const Bytes full_set = layer_group * sphinx.llm.layers;
+  const Bytes resid_budget = 2 * full_set;
+  const double resid_oversub =
+      static_cast<double>(resid_budget) /
+      static_cast<double>(serve::chip_weight_residency_capacity(chip8));
+  std::printf("residency budget: %.2f GiB = 2 full layer-group sets "
+              "(%zu layers x %.1f MiB; %.0fx the physical CC TCDM)\n\n",
+              static_cast<double>(resid_budget) / (1024.0 * 1024.0 * 1024.0),
+              sphinx.llm.layers,
+              static_cast<double>(layer_group) / (1024.0 * 1024.0),
+              resid_oversub);
 
   const auto mono = replay(long_prefill, continuous_config(true));
   const auto chunked =
       replay(long_prefill,
              continuous_config(true).prefill_planner(
                  std::make_shared<serve::ChunkedPrefill>(128)));
-  std::printf("  %-28s max CC queue delay %8.1f ms  p99 %8.1f ms  "
-              "(%zu CC jobs)\n",
-              "monolithic prefill", mono.max_cc_queue_delay_ms,
-              mono.p99_latency_ms, mono.prefill_jobs);
-  std::printf("  %-28s max CC queue delay %8.1f ms  p99 %8.1f ms  "
-              "(%zu CC jobs)\n",
-              "chunked prefill (128 tok)", chunked.max_cc_queue_delay_ms,
-              chunked.p99_latency_ms, chunked.prefill_jobs);
+  const auto resident =
+      replay(long_prefill,
+             continuous_config(true)
+                 .prefill_planner(
+                     std::make_shared<serve::ResidentChunkedPrefill>(128))
+                 .weight_residency_bytes(resid_budget));
+  const auto chained =
+      replay(long_prefill,
+             continuous_config(true)
+                 .prefill_planner(std::make_shared<serve::ResidentChunkedPrefill>(
+                     128, /*chain_lane_affinity=*/true))
+                 .weight_residency_bytes(resid_budget));
+
+  auto print_planner = [](const char* label, const serve::ServingResult& r) {
+    std::printf("  %-28s CC weight fetch %7.1f GiB  makespan %8.1f ms  "
+                "max CC queue delay %7.1f ms  (%zu CC jobs)\n",
+                label,
+                static_cast<double>(r.cc_weight_fetch_bytes) /
+                    (1024.0 * 1024.0 * 1024.0),
+                r.makespan_ms, r.max_cc_queue_delay_ms, r.prefill_jobs);
+  };
+  print_planner("monolithic prefill", mono);
+  print_planner("chunked prefill (128 tok)", chunked);
+  print_planner("resident-chunked (128 tok)", resident);
+  print_planner("resident + lane chaining", chained);
+  std::printf("\n  residency: %zu pins, %zu fallbacks, peak pinned %.2f GiB, "
+              "%.1f GiB weight DMA avoided\n",
+              resident.weight_pins, resident.weight_pin_fallbacks,
+              static_cast<double>(resident.peak_pinned_bytes) /
+                  (1024.0 * 1024.0 * 1024.0),
+              static_cast<double>(resident.cc_weight_bytes_saved) /
+                  (1024.0 * 1024.0 * 1024.0));
+  std::printf("  + chaining: %zu pins, %zu fallbacks, %.1f GiB avoided\n",
+              chained.weight_pins, chained.weight_pin_fallbacks,
+              static_cast<double>(chained.cc_weight_bytes_saved) /
+                  (1024.0 * 1024.0 * 1024.0));
+
   const bool chunk_wins =
       chunked.max_cc_queue_delay_ms < mono.max_cc_queue_delay_ms;
   std::printf("\nchunked prefill reduces worst-case CC-lane queueing: %s\n",
               chunk_wins ? "yes" : "NO");
+  const bool resident_wins =
+      resident.cc_weight_fetch_bytes < chunked.cc_weight_fetch_bytes &&
+      resident.makespan <= chunked.makespan;
+  std::printf("resident chaining cuts CC weight traffic at equal chunk size "
+              "without makespan cost: %s\n",
+              resident_wins ? "yes" : "NO");
+  // Lane chaining exists to shorten pin hold times: it must convert
+  // that into strictly more pinned traffic than plain residency.
+  const bool chaining_wins =
+      chained.cc_weight_fetch_bytes < resident.cc_weight_fetch_bytes &&
+      chained.weight_pins > resident.weight_pins;
+  std::printf("lane chaining pins more requests and fetches less than plain "
+              "residency: %s\n",
+              chaining_wins ? "yes" : "NO");
+  std::printf("remaining makespan gap to monolithic: %+.1f %% (chunked was "
+              "%+.1f %%)\n",
+              100.0 * (resident.makespan_ms - mono.makespan_ms) /
+                  mono.makespan_ms,
+              100.0 * (chunked.makespan_ms - mono.makespan_ms) /
+                  mono.makespan_ms);
 
   // --- 4. Fidelity sweep --------------------------------------------------
   std::printf("\n--- fidelity sweep (burst/block coarsening) ---\n");
@@ -251,7 +322,8 @@ int main(int argc, char** argv) {
                 100.0 * (results_ms[i] - reference_ms) / reference_ms);
   }
 
-  const bool ok = beats && slo_wins && chunk_wins;
+  const bool ok =
+      beats && slo_wins && chunk_wins && resident_wins && chaining_wins;
   std::printf("\nall self-checks passed: %s\n", ok ? "yes" : "NO");
   return ok ? 0 : 1;
 }

@@ -36,20 +36,30 @@ const PhaseScheduler::LaneState& PhaseScheduler::state(Lane lane) const {
 
 void PhaseScheduler::submit(Lane lane, std::vector<GemmWork> ops,
                             std::function<void()> done,
-                            std::function<void()> started) {
+                            std::function<void()> started,
+                            std::uint64_t affinity) {
   submit(lane, std::make_shared<const std::vector<GemmWork>>(std::move(ops)),
-         std::move(done), std::move(started));
+         std::move(done), std::move(started), affinity);
 }
 
 void PhaseScheduler::submit(Lane lane, OpsRef ops, std::function<void()> done,
-                            std::function<void()> started) {
+                            std::function<void()> started,
+                            std::uint64_t affinity) {
   if (!ops || ops->empty()) {
     throw std::invalid_argument("PhaseScheduler::submit: empty op list");
   }
   LaneState& s = state(lane);
   s.queue.push_back(Job{std::move(ops), std::move(done), std::move(started),
-                        sim().now()});
+                        sim().now(), affinity});
   if (!s.busy) dispatch_next(s);
+}
+
+void PhaseScheduler::set_affinity_chaining(Lane lane, bool enabled) {
+  state(lane).chain_affinity = enabled;
+}
+
+bool PhaseScheduler::affinity_chaining(Lane lane) const {
+  return state(lane).chain_affinity;
 }
 
 bool PhaseScheduler::idle(Lane lane) const {
@@ -78,8 +88,22 @@ const std::vector<ClusterTimingModel*>& PhaseScheduler::lane_clusters(
 void PhaseScheduler::dispatch_next(LaneState& lane) {
   EDGEMM_ASSERT(!lane.busy);
   if (lane.queue.empty()) return;
-  Job job = std::move(lane.queue.front());
-  lane.queue.pop_front();
+  // Affinity chaining: prefer the earliest queued job continuing the
+  // previous job's affinity group (its on-chip state — pinned weights —
+  // is still hot); strict FIFO otherwise and whenever nothing matches.
+  auto pick = lane.queue.begin();
+  if (lane.chain_affinity && lane.last_affinity != 0) {
+    for (auto it = lane.queue.begin(); it != lane.queue.end(); ++it) {
+      if (it->affinity == lane.last_affinity) {
+        pick = it;
+        break;
+      }
+    }
+  }
+  if (pick != lane.queue.begin()) ++lane.stats.affinity_chained;
+  Job job = std::move(*pick);
+  lane.queue.erase(pick);
+  lane.last_affinity = job.affinity;
   lane.busy = true;
   ++lane.stats.dispatched;
   const Cycle waited = sim().now() - job.submitted;

@@ -29,7 +29,8 @@ enum class Lane : std::uint8_t {
 
 const char* to_string(Lane lane);
 
-/// Dispatches jobs onto the chip's cluster sets with per-lane FIFO order.
+/// Dispatches jobs onto the chip's cluster sets in per-lane FIFO order
+/// by default (see set_affinity_chaining for the opt-in exception).
 ///
 /// A job is one ChipTimingModel::run_on call: its ops are tensor-partitioned
 /// across the lane's clusters and the job retires when every shard has.
@@ -50,12 +51,27 @@ class PhaseScheduler {
 
   /// Enqueues `ops` as one job on `lane`. Throws std::invalid_argument
   /// for an empty op list (an empty job has no retirement event).
+  /// `affinity` is an opaque non-zero key (0 = none) grouping jobs that
+  /// share on-chip state — e.g. prefill chunks of one request riding a
+  /// weight pin; it only affects dispatch order when affinity chaining
+  /// is enabled on the lane.
   void submit(Lane lane, std::vector<GemmWork> ops, std::function<void()> done,
-              std::function<void()> started = {});
+              std::function<void()> started = {}, std::uint64_t affinity = 0);
 
   /// Same, without copying: the job shares ownership of `ops`.
   void submit(Lane lane, OpsRef ops, std::function<void()> done,
-              std::function<void()> started = {});
+              std::function<void()> started = {}, std::uint64_t affinity = 0);
+
+  /// Affinity chaining (default off, preserving strict FIFO): when
+  /// enabled, dispatch prefers the earliest queued job whose affinity
+  /// matches the lane's last dispatched job, falling back to the queue
+  /// head. Chained chunks of a weight-resident prefill then run
+  /// back-to-back where their weights are pinned, shortening the window
+  /// a pin is held (and competing pins fall back to re-fetch). Bounded
+  /// un-fairness: a chain is at most one request's remaining chunks, and
+  /// a lane with no matching job always takes the FIFO head.
+  void set_affinity_chaining(Lane lane, bool enabled);
+  bool affinity_chaining(Lane lane) const;
 
   /// True when no job is running or queued on `lane`.
   bool idle(Lane lane) const;
@@ -74,6 +90,9 @@ class PhaseScheduler {
     std::size_t dispatched = 0;
     Cycle max_queue_wait = 0;
     Cycle total_queue_wait = 0;
+    /// Jobs dispatched ahead of the FIFO head because their affinity
+    /// matched the previous job (0 unless chaining is enabled).
+    std::size_t affinity_chained = 0;
 
     double mean_queue_wait() const {
       return dispatched > 0
@@ -96,11 +115,14 @@ class PhaseScheduler {
     std::function<void()> done;
     std::function<void()> started;
     Cycle submitted = 0;
+    std::uint64_t affinity = 0;
   };
   struct LaneState {
     std::vector<ClusterTimingModel*> clusters;
     std::deque<Job> queue;
     bool busy = false;
+    bool chain_affinity = false;
+    std::uint64_t last_affinity = 0;
     LaneStats stats;
   };
 

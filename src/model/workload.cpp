@@ -17,38 +17,43 @@ using core::GemmWork;
 void append_layer_ops(std::vector<GemmWork>& ops, const TransformerShape& s,
                       std::size_t m_weights, std::size_t m_attn,
                       std::span<const std::size_t> contexts, Phase phase,
-                      bool mark_ffn_prunable) {
+                      bool mark_ffn_prunable, bool weights_resident = false) {
   const std::size_t d = s.d_model;
   const std::size_t kv = s.kv_dim();
 
   // Fused QKV projection.
-  ops.push_back({m_weights, d, d + 2 * kv, phase, false, 0, false});
+  ops.push_back({m_weights, d, d + 2 * kv, phase, weights_resident, 0, false});
   // Attention score and value contractions stream the KV cache (BF16)
-  // rather than weights.
+  // rather than weights — per-request context, never resident.
   for (const std::size_t context : contexts) {
     ops.push_back({m_attn, kv, context, phase, false, 2, false});
     ops.push_back({m_attn, context, kv, phase, false, 2, false});
   }
   // Output projection.
-  ops.push_back({m_weights, d, d, phase, false, 0, false});
+  ops.push_back({m_weights, d, d, phase, weights_resident, 0, false});
   // MLP. Gated blocks have up + gate + down (Eq. 1); classic blocks have
   // up + down. Decode-phase FFN rows are what the activation-aware
   // pruner drops (§IV-A).
   if (s.gated_mlp) {
-    ops.push_back({m_weights, d, s.d_ffn, phase, false, 0, mark_ffn_prunable});  // up
-    ops.push_back({m_weights, d, s.d_ffn, phase, false, 0, mark_ffn_prunable});  // gate
+    ops.push_back({m_weights, d, s.d_ffn, phase, weights_resident, 0,
+                   mark_ffn_prunable});  // up
+    ops.push_back({m_weights, d, s.d_ffn, phase, weights_resident, 0,
+                   mark_ffn_prunable});  // gate
   } else {
-    ops.push_back({m_weights, d, s.d_ffn, phase, false, 0, mark_ffn_prunable});  // up
+    ops.push_back({m_weights, d, s.d_ffn, phase, weights_resident, 0,
+                   mark_ffn_prunable});  // up
   }
-  ops.push_back({m_weights, s.d_ffn, d, phase, false, 0, mark_ffn_prunable});  // down
+  ops.push_back({m_weights, s.d_ffn, d, phase, weights_resident, 0,
+                 mark_ffn_prunable});  // down
 }
 
 /// The single-request form: `m` tokens attending `context` positions.
 void append_layer_ops(std::vector<GemmWork>& ops, const TransformerShape& s,
                       std::size_t m, std::size_t context, Phase phase,
-                      bool mark_ffn_prunable) {
+                      bool mark_ffn_prunable, bool weights_resident = false) {
   const std::size_t contexts[] = {context};
-  append_layer_ops(ops, s, m, m, contexts, phase, mark_ffn_prunable);
+  append_layer_ops(ops, s, m, m, contexts, phase, mark_ffn_prunable,
+                   weights_resident);
 }
 
 }  // namespace
@@ -82,7 +87,8 @@ std::vector<core::GemmWork> build_encoder_ops(const MllmConfig& model,
 std::vector<core::GemmWork> build_prefill_chunk(const MllmConfig& model,
                                                 std::size_t start,
                                                 std::size_t tokens,
-                                                std::size_t prompt_tokens) {
+                                                std::size_t prompt_tokens,
+                                                std::size_t resident_layers) {
   if (tokens == 0) {
     throw std::invalid_argument("build_prefill_chunk: tokens must be > 0");
   }
@@ -90,12 +96,22 @@ std::vector<core::GemmWork> build_prefill_chunk(const MllmConfig& model,
     throw std::invalid_argument(
         "build_prefill_chunk: chunk exceeds the prompt");
   }
+  if (resident_layers > model.llm.layers) {
+    throw std::invalid_argument(
+        "build_prefill_chunk: resident_layers exceeds the LLM layer count");
+  }
   std::vector<GemmWork> ops;
   for (std::size_t layer = 0; layer < model.llm.layers; ++layer) {
     append_layer_ops(ops, model.llm, tokens, prompt_tokens, Phase::kPrefill,
-                     false);
+                     false, /*weights_resident=*/layer < resident_layers);
   }
   return ops;
+}
+
+std::size_t llm_layer_weight_elems(const MllmConfig& model) {
+  // QKV + O + MLP rectangles of one layer, exactly the override-0 ops
+  // append_layer_ops emits — which is also the layer's parameter count.
+  return model.llm.attn_params_per_layer() + model.llm.ffn_params_per_layer();
 }
 
 std::size_t kv_bytes_per_token(const MllmConfig& model) {

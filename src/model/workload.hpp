@@ -61,12 +61,32 @@ std::vector<core::GemmWork> build_encoder_ops(const MllmConfig& model,
 /// prompt length models EXACTLY the monolithic op totals — planners
 /// differ only in how the work is sliced into lane jobs (and in the
 /// per-chunk weight re-fetch). Chunk (0, prompt_tokens, prompt_tokens)
-/// IS the monolithic prefill. Throws std::invalid_argument for zero
-/// tokens or start + tokens > prompt_tokens.
+/// IS the monolithic prefill.
+///
+/// `resident_layers` is the weight-resident chunk-chaining seam: the
+/// weight-bearing ops (QKV/O/MLP) of the first `resident_layers` LLM
+/// layers are emitted with GemmWork::weights_resident set, zeroing
+/// their weight-stream rectangle — those layer groups are pinned
+/// on-chip by an earlier chunk of the same request (see
+/// serve::WeightResidencyTracker). KV-stream attention ops always keep
+/// their traffic: the KV cache is per-request context, not weights, and
+/// is never pinned. 0 (the default) re-fetches everything, byte-
+/// identical to the PR 2 behavior.
+///
+/// Throws std::invalid_argument for zero tokens, start + tokens >
+/// prompt_tokens, or resident_layers > the model's LLM layer count.
 std::vector<core::GemmWork> build_prefill_chunk(const MllmConfig& model,
                                                 std::size_t start,
                                                 std::size_t tokens,
-                                                std::size_t prompt_tokens);
+                                                std::size_t prompt_tokens,
+                                                std::size_t resident_layers = 0);
+
+/// Weight elements (summed k x n rectangles of the QKV/O/MLP
+/// projections, KV streams excluded) of ONE LLM layer — the layer-group
+/// granularity weight residency pins at. Multiply by the fetching
+/// cluster's weight element size (ChipConfig::cc_elem_bytes on the CC
+/// lane) for bytes.
+std::size_t llm_layer_weight_elems(const MllmConfig& model);
 
 /// Bytes one generated token appends to a request's KV cache: K and V
 /// rows of kv_dim across all LLM layers, stored BF16 (the same element

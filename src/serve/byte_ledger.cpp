@@ -1,0 +1,35 @@
+#include "serve/byte_ledger.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace edgemm::serve {
+
+ByteLedger::ByteLedger(Bytes capacity, const char* what)
+    : capacity_(capacity), what_(what) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument(std::string(what_) +
+                                ": capacity must be > 0");
+  }
+}
+
+bool ByteLedger::try_acquire(RequestId id, Bytes bytes) {
+  if (held_.contains(id)) {
+    throw std::logic_error(std::string(what_) + ": duplicate hold");
+  }
+  if (bytes > available()) return false;
+  held_.emplace(id, bytes);
+  held_bytes_ += bytes;
+  return true;
+}
+
+void ByteLedger::release(RequestId id) {
+  const auto it = held_.find(id);
+  if (it == held_.end()) {
+    throw std::logic_error(std::string(what_) + ": releasing unknown hold");
+  }
+  held_bytes_ -= it->second;
+  held_.erase(it);
+}
+
+}  // namespace edgemm::serve

@@ -148,6 +148,11 @@ EngineConfig& EngineConfig::kv_capacity_bytes(Bytes bytes) {
   return *this;
 }
 
+EngineConfig& EngineConfig::weight_residency_bytes(Bytes bytes) {
+  weight_residency_bytes_ = bytes;
+  return *this;
+}
+
 void EngineConfig::validate() const {
   if (!scheduler_ || !planner_ || !batcher_) {
     throw std::invalid_argument("EngineConfig: missing policy");
@@ -155,6 +160,11 @@ void EngineConfig::validate() const {
   if (!(prune_keep_fraction_ > 0.0) || prune_keep_fraction_ > 1.0) {
     throw std::invalid_argument(
         "EngineConfig: prune_keep_fraction must be in (0, 1]");
+  }
+  if (weight_residency_bytes_ > 0 && !planner_->chains_weight_residency()) {
+    throw std::invalid_argument(
+        "EngineConfig: weight_residency_bytes set but the PrefillPlanner "
+        "does not chain weight residency (use ResidentChunkedPrefill)");
   }
 }
 

@@ -91,6 +91,15 @@ class EngineConfig {
   /// single request's KV cache, so a meaningful budget must be chosen
   /// explicitly (see chip_kv_capacity's oversubscription parameter).
   EngineConfig& kv_capacity_bytes(Bytes bytes);
+  /// Byte budget for weight-resident chunk chaining (the
+  /// WeightResidencyTracker's capacity); 0 (default) disables residency
+  /// — a residency-capable planner then degrades to per-chunk re-fetch,
+  /// byte-for-byte the ChunkedPrefill behavior. Requires a planner with
+  /// chains_weight_residency() (the engine validates against the chip's
+  /// scratchpad at construction: the budget must stay within
+  /// kMaxWeightResidencyOversubscription x the CC TCDM; see
+  /// chip_weight_residency_capacity for sizing).
+  EngineConfig& weight_residency_bytes(Bytes bytes);
 
   // --- Getters ------------------------------------------------------------
   const SchedulerPolicy& scheduler() const { return *scheduler_; }
@@ -104,6 +113,7 @@ class EngineConfig {
     return task_proxy_;
   }
   Bytes kv_capacity() const { return kv_capacity_bytes_; }
+  Bytes weight_residency() const { return weight_residency_bytes_; }
 
   /// Re-checks the composed whole (policies present, fractions sane).
   /// The engine calls this once at construction; throws
@@ -120,6 +130,7 @@ class EngineConfig {
   double prune_keep_fraction_ = 1.0;
   std::optional<TaskProxyPruningOptions> task_proxy_;
   Bytes kv_capacity_bytes_ = 0;
+  Bytes weight_residency_bytes_ = 0;
 };
 
 }  // namespace edgemm::serve

@@ -21,32 +21,17 @@ Bytes chip_kv_capacity(const core::ChipConfig& config, double oversubscription) 
   return static_cast<Bytes>(std::llround(base * oversubscription));
 }
 
-KvCapacityTracker::KvCapacityTracker(Bytes capacity) : capacity_(capacity) {
-  if (capacity_ == 0) {
-    throw std::invalid_argument("KvCapacityTracker: capacity must be > 0");
-  }
-}
+KvCapacityTracker::KvCapacityTracker(Bytes capacity)
+    : ledger_(capacity, "KvCapacityTracker") {}
 
 bool KvCapacityTracker::try_reserve(RequestId id, Bytes bytes) {
-  if (held_.contains(id)) {
-    throw std::logic_error("KvCapacityTracker: duplicate reservation");
-  }
-  if (bytes > available()) {
+  if (!ledger_.try_acquire(id, bytes)) {
     ++deferrals_;
     return false;
   }
-  held_.emplace(id, bytes);
-  reserved_ += bytes;
   return true;
 }
 
-void KvCapacityTracker::release(RequestId id) {
-  const auto it = held_.find(id);
-  if (it == held_.end()) {
-    throw std::logic_error("KvCapacityTracker: releasing unknown reservation");
-  }
-  reserved_ -= it->second;
-  held_.erase(it);
-}
+void KvCapacityTracker::release(RequestId id) { ledger_.release(id); }
 
 }  // namespace edgemm::serve

@@ -16,10 +16,10 @@
 #define EDGEMM_SERVE_KV_TRACKER_HPP
 
 #include <cstddef>
-#include <unordered_map>
 
 #include "core/config.hpp"
 #include "model/mllm_config.hpp"
+#include "serve/byte_ledger.hpp"
 #include "serve/request.hpp"
 
 namespace edgemm::serve {
@@ -35,17 +35,18 @@ Bytes chip_kv_capacity(const core::ChipConfig& config,
 /// the unit KV budgets should be sized in).
 Bytes kv_footprint_bytes(const Request& r, const model::MllmConfig& model);
 
-/// Reserve/release ledger over a fixed byte capacity. Reservations are
-/// keyed by request id; the tracker never overcommits.
+/// Reserve/release ledger over a fixed byte capacity (a ByteLedger plus
+/// the deferral counter). Reservations are keyed by request id; the
+/// tracker never overcommits.
 class KvCapacityTracker {
  public:
   /// Throws std::invalid_argument for a zero capacity.
   explicit KvCapacityTracker(Bytes capacity);
 
-  Bytes capacity() const { return capacity_; }
-  Bytes reserved() const { return reserved_; }
-  Bytes available() const { return capacity_ - reserved_; }
-  std::size_t holders() const { return held_.size(); }
+  Bytes capacity() const { return ledger_.capacity(); }
+  Bytes reserved() const { return ledger_.held(); }
+  Bytes available() const { return ledger_.available(); }
+  std::size_t holders() const { return ledger_.holders(); }
   /// Failed try_reserve calls so far (each one is a deferred join).
   std::size_t deferrals() const { return deferrals_; }
 
@@ -58,10 +59,8 @@ class KvCapacityTracker {
   void release(RequestId id);
 
  private:
-  Bytes capacity_;
-  Bytes reserved_ = 0;
+  ByteLedger ledger_;
   std::size_t deferrals_ = 0;
-  std::unordered_map<RequestId, Bytes> held_;
 };
 
 }  // namespace edgemm::serve

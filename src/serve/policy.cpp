@@ -36,6 +36,11 @@ std::vector<std::size_t> ChunkedPrefill::plan(const Request& r) const {
   return chunks;
 }
 
+ResidentChunkedPrefill::ResidentChunkedPrefill(std::size_t max_chunk_tokens,
+                                               bool chain_lane_affinity)
+    : ChunkedPrefill(max_chunk_tokens),
+      chain_lane_affinity_(chain_lane_affinity) {}
+
 void FifoBatch::order_joiners(std::vector<std::size_t>&,
                               const std::vector<RequestRecord>&) const {}
 

@@ -52,14 +52,24 @@ struct AdmissionContext {
 class SchedulerPolicy {
  public:
   virtual ~SchedulerPolicy() = default;
+
+  /// @return Stable human-readable policy name (bench/docs labels).
   virtual const char* name() const = 0;
 
-  /// Judges the queue head `r` under engine state `ctx`.
+  /// Judges the queue head.
+  /// @param r    The candidate request (always the arrival-ordered head).
+  /// @param ctx  Engine-state snapshot with online backlog/service
+  ///             estimates (see AdmissionContext).
+  /// @return kAdmit to start its prefill now, kDefer to re-judge at the
+  ///         next pump, kReject to drop it permanently.
   virtual AdmissionVerdict admit(const Request& r,
                                  const AdmissionContext& ctx) const = 0;
 
-  /// How many of `ready` prefilled requests may join a decode batch
-  /// already holding `active` requests.
+  /// Sizes the next decode join.
+  /// @param active  Requests already decoding in the current batch.
+  /// @param ready   Prefilled requests waiting to join.
+  /// @return How many of `ready` may join at this step boundary (the
+  ///         engine may join fewer when the KV budget defers some).
   virtual std::size_t decode_join_count(std::size_t active,
                                         std::size_t ready) const = 0;
 };
@@ -72,13 +82,33 @@ class SchedulerPolicy {
 class PrefillPlanner {
  public:
   virtual ~PrefillPlanner() = default;
+
+  /// @return Stable human-readable planner name (bench/docs labels).
   virtual const char* name() const = 0;
 
-  /// Chunk sizes in prefill tokens. Must be non-empty, all-positive and
-  /// sum to r.input_tokens (the engine validates and throws
-  /// std::logic_error otherwise). The first chunk additionally carries
-  /// the encoder + projector ops.
+  /// Cuts one request's prefill into CC-lane jobs.
+  /// @param r  The admitted request.
+  /// @return Chunk sizes in prefill tokens. Must be non-empty,
+  ///         all-positive and sum to r.input_tokens (the engine
+  ///         validates and throws std::logic_error otherwise). The
+  ///         first chunk additionally carries the encoder + projector
+  ///         ops.
   virtual std::vector<std::size_t> plan(const Request& r) const = 0;
+
+  /// @return true when the engine should route this planner's chunks
+  ///         through the WeightResidencyTracker: the first chunk that
+  ///         fetches a layer group pins it (budget permitting) and
+  ///         later chunks of the same request skip that group's weight
+  ///         DMA. Requires EngineConfig::weight_residency_bytes > 0 to
+  ///         take effect. Default: false (every chunk re-fetches).
+  virtual bool chains_weight_residency() const { return false; }
+
+  /// @return true when chained chunks should additionally prefer
+  ///         lane-affinity dispatch (PhaseScheduler affinity chaining):
+  ///         a pinned request's chunks run back-to-back, shortening pin
+  ///         hold time at the cost of some head-of-line blocking for
+  ///         co-tenants. Only consulted when residency is active.
+  virtual bool prefers_lane_affinity() const { return false; }
 };
 
 /// The PR-1 behavior: the whole prefill as one CC-lane job.
@@ -89,8 +119,9 @@ class MonolithicPrefill final : public PrefillPlanner {
 };
 
 /// Equal chunks of at most `max_chunk_tokens` (last chunk takes the
-/// remainder).
-class ChunkedPrefill final : public PrefillPlanner {
+/// remainder). Honest trade-off: every chunk re-fetches the full layer
+/// weights (see ResidentChunkedPrefill for the pinned variant).
+class ChunkedPrefill : public PrefillPlanner {
  public:
   /// Throws std::invalid_argument for a zero chunk size.
   explicit ChunkedPrefill(std::size_t max_chunk_tokens);
@@ -102,6 +133,32 @@ class ChunkedPrefill final : public PrefillPlanner {
   std::size_t max_chunk_tokens_;
 };
 
+/// Weight-resident chunk chaining: the same chunk slicing as
+/// ChunkedPrefill, but the engine pins each request's layer-group
+/// weights on-chip (WeightResidencyTracker, budget =
+/// EngineConfig::weight_residency_bytes) when its first chunk fetches
+/// them, so subsequent chunks pay only activation + KV traffic for the
+/// pinned layers. A pin that would overflow the budget falls back to
+/// re-fetching (never stalls); the pin is evicted when the request's
+/// prefill retires. With a zero residency budget this planner is
+/// byte-for-byte identical to ChunkedPrefill.
+class ResidentChunkedPrefill final : public ChunkedPrefill {
+ public:
+  /// @param max_chunk_tokens     Chunk size (throws std::invalid_argument
+  ///                             when zero, as ChunkedPrefill).
+  /// @param chain_lane_affinity  Also enable PhaseScheduler affinity
+  ///                             chaining on the CC lane (see
+  ///                             prefers_lane_affinity).
+  explicit ResidentChunkedPrefill(std::size_t max_chunk_tokens,
+                                  bool chain_lane_affinity = false);
+  const char* name() const override { return "resident-chunked"; }
+  bool chains_weight_residency() const override { return true; }
+  bool prefers_lane_affinity() const override { return chain_lane_affinity_; }
+
+ private:
+  bool chain_lane_affinity_;
+};
+
 /// Orders the decode-ready list before each decode step: the engine
 /// joins requests front-first, so the policy decides who enters the
 /// batch when slots (or KV capacity) are scarce. `ready` holds indices
@@ -110,7 +167,14 @@ class ChunkedPrefill final : public PrefillPlanner {
 class BatchPolicy {
  public:
   virtual ~BatchPolicy() = default;
+
+  /// @return Stable human-readable policy name (bench/docs labels).
   virtual const char* name() const = 0;
+
+  /// Reorders the decode-ready list in place before a join.
+  /// @param ready    Indices into `records`, in prefill-completion
+  ///                 (FIFO) order; may be permuted but not resized.
+  /// @param records  The engine's per-request records (read-only).
   virtual void order_joiners(std::vector<std::size_t>& ready,
                              const std::vector<RequestRecord>& records) const = 0;
 };

@@ -39,6 +39,10 @@ struct RequestRecord {
   Cycle finish = 0;         ///< last output token retired
   std::size_t tokens_generated = 0;
   std::size_t prefill_chunks = 0;  ///< CC-lane jobs the planner cut prefill into
+  /// LLM layer groups this request held pinned on-chip during its
+  /// chunked prefill (0 = no pin: planner without residency, zero
+  /// budget, or the pin fell back under contention).
+  std::size_t weight_pinned_layers = 0;
   /// Fraction of prunable FFN rows kept during this request's decode
   /// (global EngineConfig constant, or per-model from the task proxy).
   double prune_keep_fraction = 1.0;

@@ -1,0 +1,62 @@
+#include "serve/residency_tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "model/workload.hpp"
+
+namespace edgemm::serve {
+
+Bytes chip_weight_residency_capacity(const core::ChipConfig& config,
+                                     double oversubscription) {
+  if (!(oversubscription > 0.0)) {
+    throw std::invalid_argument(
+        "chip_weight_residency_capacity: oversubscription must be > 0");
+  }
+  const double base = static_cast<double>(config.total_cc_clusters()) *
+                      static_cast<double>(config.cc_cluster_tcdm_bytes);
+  return static_cast<Bytes>(std::llround(base * oversubscription));
+}
+
+Bytes llm_layer_group_bytes(const model::MllmConfig& model,
+                            const core::ChipConfig& config) {
+  return static_cast<Bytes>(model::llm_layer_weight_elems(model)) *
+         config.cc_elem_bytes;
+}
+
+WeightResidencyTracker::WeightResidencyTracker(Bytes capacity)
+    : ledger_(capacity, "WeightResidencyTracker") {}
+
+bool WeightResidencyTracker::try_pin(RequestId id, Bytes bytes) {
+  if (!ledger_.try_acquire(id, bytes)) {
+    ++fallbacks_;
+    return false;
+  }
+  peak_pinned_ = std::max(peak_pinned_, ledger_.held());
+  ++pins_;
+  return true;
+}
+
+std::size_t WeightResidencyTracker::try_pin_layers(RequestId id,
+                                                   Bytes bytes_per_layer,
+                                                   std::size_t max_layers) {
+  if (bytes_per_layer == 0 || max_layers == 0) {
+    throw std::invalid_argument(
+        "WeightResidencyTracker: layer group size and count must be > 0");
+  }
+  const std::size_t fit =
+      std::min<std::size_t>(max_layers, available() / bytes_per_layer);
+  if (fit == 0) {
+    ++fallbacks_;
+    return 0;
+  }
+  // Cannot fail: `fit` layer groups fit the available budget by
+  // construction (and the duplicate-pin check throws, not returns).
+  try_pin(id, static_cast<Bytes>(fit) * bytes_per_layer);
+  return fit;
+}
+
+void WeightResidencyTracker::release(RequestId id) { ledger_.release(id); }
+
+}  // namespace edgemm::serve

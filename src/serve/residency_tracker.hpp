@@ -1,0 +1,109 @@
+// Weight-residency accounting for chunked prefill (the ROADMAP item
+// "weight-resident chunk chaining").
+//
+// PR 2's ChunkedPrefill is honest about its cost: every chunk re-fetches
+// the full layer weights, multiplying CC weight traffic by the chunk
+// count. EdgeMM's premise — and the reason CHIME / SLIM push weights
+// toward near-memory or scratchpad residency — is that edge DRAM
+// bandwidth is the scarce resource, so a layer group pinned on-chip
+// across consecutive chunks of the SAME request recovers most of the
+// monolithic-prefill traffic while keeping chunking's interactivity.
+//
+// This tracker is the byte ledger behind that: a request acquires a pin
+// covering as many whole layer groups as fit the remaining budget when
+// its first chunk fetches them; later chunks mark those layers'
+// weight ops `weights_resident` (zero weight DMA, see
+// core::GemmWork::weights_resident) and the pin is released when the
+// request's prefill retires. A competing pin that would overflow the
+// budget is NEVER allowed to stall the lane: the acquisition fails, the
+// request simply keeps re-fetching (the PR 2 behavior), and the failure
+// is counted as a fallback.
+//
+// The natural budget unit is the CC-side TCDM of the chip
+// (chip_weight_residency_capacity below, from
+// ChipConfig::cc_cluster_tcdm_bytes). As with the KV tracker, the
+// Fig. 10 chip's physical scratchpad (512 KiB total) is far below one
+// LLM layer group, so meaningful budgets are expressed as an
+// oversubscription multiple of it — the tracker then models the
+// near-memory / enlarged-scratchpad design point the related work
+// targets, not the taped-out SRAM.
+#ifndef EDGEMM_SERVE_RESIDENCY_TRACKER_HPP
+#define EDGEMM_SERVE_RESIDENCY_TRACKER_HPP
+
+#include <cstddef>
+
+#include "core/config.hpp"
+#include "model/mllm_config.hpp"
+#include "serve/byte_ledger.hpp"
+#include "serve/request.hpp"
+
+namespace edgemm::serve {
+
+/// Sanity ceiling on the residency oversubscription a serving engine
+/// accepts: budgets above kMaxWeightResidencyOversubscription x the
+/// physical CC TCDM are rejected at engine construction (they would
+/// model a "scratchpad" larger than any near-memory design point and
+/// usually indicate a bytes-vs-MiB unit slip).
+inline constexpr double kMaxWeightResidencyOversubscription = 65536.0;
+
+/// CC-side weight-residency budget of `config`: oversubscription x total
+/// CC clusters x per-cluster TCDM bytes. Throws std::invalid_argument
+/// for a non-positive oversubscription.
+Bytes chip_weight_residency_capacity(const core::ChipConfig& config,
+                                     double oversubscription = 1.0);
+
+/// Bytes of ONE of `model`'s LLM layer groups as fetched on the CC lane
+/// — the granularity pins are carved at and the unit residency budgets
+/// should be sized in (model::llm_layer_weight_elems x the CC weight
+/// element size).
+Bytes llm_layer_group_bytes(const model::MllmConfig& model,
+                            const core::ChipConfig& config);
+
+/// Pin/release ledger over a fixed byte capacity (a ByteLedger plus the
+/// pin/fallback/peak counters). Pins are keyed by request id; the
+/// tracker never overcommits and never blocks — a pin that does not fit
+/// fails immediately (the caller falls back to re-fetching weights).
+class WeightResidencyTracker {
+ public:
+  /// Throws std::invalid_argument for a zero capacity.
+  explicit WeightResidencyTracker(Bytes capacity);
+
+  Bytes capacity() const { return ledger_.capacity(); }
+  Bytes pinned() const { return ledger_.held(); }
+  Bytes available() const { return ledger_.available(); }
+  std::size_t holders() const { return ledger_.holders(); }
+  /// Successful pin acquisitions so far.
+  std::size_t pins() const { return pins_; }
+  /// Failed acquisitions so far (each one is a chunk tail that keeps
+  /// re-fetching weights instead of riding a pin).
+  std::size_t fallbacks() const { return fallbacks_; }
+  /// High-water mark of simultaneously pinned bytes.
+  Bytes peak_pinned() const { return peak_pinned_; }
+
+  /// Pins `bytes` for `id`. Filling the budget to exactly capacity
+  /// succeeds; one byte over fails (and counts a fallback). Throws
+  /// std::logic_error when `id` already holds a pin.
+  bool try_pin(RequestId id, Bytes bytes);
+
+  /// Pins as many whole layer groups of `bytes_per_layer` as fit, up to
+  /// `max_layers`; returns the number pinned (0 = fallback, counted).
+  /// Partial residency is the point: a budget worth three layer groups
+  /// still saves three layers' worth of re-fetches per chunk. Throws
+  /// std::invalid_argument for zero bytes_per_layer or max_layers.
+  std::size_t try_pin_layers(RequestId id, Bytes bytes_per_layer,
+                             std::size_t max_layers);
+
+  /// Releases `id`'s pin (eviction on prefill completion); throws
+  /// std::logic_error if absent.
+  void release(RequestId id);
+
+ private:
+  ByteLedger ledger_;
+  Bytes peak_pinned_ = 0;
+  std::size_t pins_ = 0;
+  std::size_t fallbacks_ = 0;
+};
+
+}  // namespace edgemm::serve
+
+#endif  // EDGEMM_SERVE_RESIDENCY_TRACKER_HPP

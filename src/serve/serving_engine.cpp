@@ -40,9 +40,27 @@ ServingEngine::ServingEngine(const core::ChipConfig& config,
   if (engine_config_.kv_capacity() > 0) {
     kv_.emplace(engine_config_.kv_capacity());
   }
+  if (engine_config_.weight_residency() > 0) {
+    // EngineConfig::validate() already guaranteed a residency-capable
+    // planner; here the budget meets the chip: it must stay within the
+    // modeled oversubscription of the physical CC scratchpad.
+    if (engine_config_.weight_residency() >
+        chip_weight_residency_capacity(config_,
+                                       kMaxWeightResidencyOversubscription)) {
+      throw std::invalid_argument(
+          "ServingEngine: weight_residency_bytes exceeds "
+          "kMaxWeightResidencyOversubscription x the chip's CC TCDM "
+          "(size budgets with chip_weight_residency_capacity)");
+    }
+    residency_.emplace(engine_config_.weight_residency());
+    if (engine_config_.prefill_planner().prefers_lane_affinity()) {
+      scheduler_.set_affinity_chaining(Lane::kCcStage, true);
+    }
+  }
 
   // Decode keep fraction per model: the task-proxy derivation when
-  // enabled (§IV-A accuracy model), else the global constant.
+  // enabled (§IV-A accuracy model), else the global constant. Layer
+  // group bytes feed the residency pin granularity.
   for (const model::MllmConfig& m : models_) {
     if (engine_config_.task_proxy_pruning()) {
       keep_fraction_.push_back(
@@ -50,6 +68,7 @@ ServingEngine::ServingEngine(const core::ChipConfig& config,
     } else {
       keep_fraction_.push_back(engine_config_.prune_keep_fraction());
     }
+    layer_weight_bytes_.push_back(llm_layer_group_bytes(m, config_));
   }
 
   // Probe the decode traffic decomposition of every model once, on an
@@ -208,6 +227,15 @@ ServingResult ServingEngine::run(std::vector<Request> requests) {
   result.max_cc_queue_delay_ms = cycles_to_ms(
       scheduler_.lane_stats(Lane::kCcStage).max_queue_wait, config_.clock_hz);
   result.kv_deferrals = kv_ ? kv_->deferrals() : 0;
+  result.cc_weight_fetch_bytes = cc_weight_fetched_;
+  result.cc_weight_bytes_saved = cc_weight_saved_;
+  if (residency_) {
+    EDGEMM_ASSERT_MSG(residency_->holders() == 0,
+                      "ServingEngine: weight pins leaked past the replay");
+    result.weight_pins = residency_->pins();
+    result.weight_pin_fallbacks = residency_->fallbacks();
+    result.peak_pinned_bytes = residency_->peak_pinned();
+  }
   return result;
 }
 
@@ -222,7 +250,6 @@ ServingEngine::PrefillPlan& ServingEngine::plan_for(std::size_t index) {
   if (it != plans_.end()) return it->second;
 
   const Request& r = records_[index].request;
-  const model::MllmConfig& m = models_[r.model];
   const std::vector<std::size_t> chunk_tokens =
       engine_config_.prefill_planner().plan(r);
   std::size_t planned = 0;
@@ -236,23 +263,62 @@ ServingEngine::PrefillPlan& ServingEngine::plan_for(std::size_t index) {
   }
 
   PrefillPlan plan;
-  std::size_t start = 0;
+  plan.chunk_tokens = chunk_tokens;
   for (std::size_t c = 0; c < chunk_tokens.size(); ++c) {
-    // The first chunk carries the encoder + projector ops in front of
-    // its prefill slice.
-    std::vector<GemmWork> ops =
-        c == 0 ? model::build_encoder_ops(m, r.crops) : std::vector<GemmWork>{};
-    const auto chunk =
-        model::build_prefill_chunk(m, start, chunk_tokens[c], r.input_tokens);
-    ops.insert(ops.end(), chunk.begin(), chunk.end());
-    ops = model::aggregate_ops(ops);
+    std::vector<GemmWork> ops = build_chunk_ops(r, plan, c);
     const Bytes bytes = cc_job_bytes(ops);
     plan.jobs.push_back(std::move(ops));
     plan.job_bytes.push_back(bytes);
     plan.total_bytes += bytes;
-    start += chunk_tokens[c];
   }
   return plans_.emplace(index, std::move(plan)).first->second;
+}
+
+std::vector<GemmWork> ServingEngine::build_chunk_ops(const Request& r,
+                                                     const PrefillPlan& plan,
+                                                     std::size_t chunk) const {
+  const model::MllmConfig& m = models_[r.model];
+  std::size_t start = 0;
+  for (std::size_t c = 0; c < chunk; ++c) start += plan.chunk_tokens[c];
+  // The first chunk carries the encoder + projector ops in front of its
+  // prefill slice (and always fetches — it is what fills the pin).
+  std::vector<GemmWork> ops =
+      chunk == 0 ? model::build_encoder_ops(m, r.crops) : std::vector<GemmWork>{};
+  const std::size_t resident =
+      plan.resident_layers > 0 && chunk >= plan.first_resident_chunk
+          ? plan.resident_layers
+          : 0;
+  const auto body = model::build_prefill_chunk(
+      m, start, plan.chunk_tokens[chunk], r.input_tokens, resident);
+  ops.insert(ops.end(), body.begin(), body.end());
+  return model::aggregate_ops(ops);
+}
+
+bool ServingEngine::maybe_pin_weights(std::size_t index,
+                                      std::size_t first_resident_chunk) {
+  if (!residency_) return false;
+  PrefillPlan& plan = plans_.at(index);
+  if (plan.resident_layers > 0) return false;  // already riding a pin
+  if (first_resident_chunk >= plan.jobs.size()) return false;  // no tail left
+  const Request& r = records_[index].request;
+  const std::size_t pinned = residency_->try_pin_layers(
+      r.id, layer_weight_bytes_[r.model], models_[r.model].llm.layers);
+  if (pinned == 0) return false;  // budget contended: keep re-fetching
+  plan.resident_layers = pinned;
+  plan.first_resident_chunk = first_resident_chunk;
+  plan.pinned_bytes = static_cast<Bytes>(pinned) * layer_weight_bytes_[r.model];
+  records_[index].weight_pinned_layers = pinned;
+  // Rebuild the unsubmitted tail: pinned layer groups drop their weight
+  // stream, so the jobs (and the CC backlog accounting) shrink.
+  for (std::size_t c = first_resident_chunk; c < plan.jobs.size(); ++c) {
+    std::vector<GemmWork> ops = build_chunk_ops(r, plan, c);
+    const Bytes bytes = cc_job_bytes(ops);
+    plan.total_bytes -= plan.job_bytes[c];
+    plan.total_bytes += bytes;
+    plan.jobs[c] = std::move(ops);
+    plan.job_bytes[c] = bytes;
+  }
+  return true;
 }
 
 AdmissionContext ServingEngine::admission_context(std::size_t index) {
@@ -298,6 +364,10 @@ void ServingEngine::pump_admission() {
     rec.prune_keep_fraction = keep_fraction_[r.model];
     PrefillPlan& plan = plan_for(index);
     rec.prefill_chunks = plan.jobs.size();
+    // Weight-resident chunk chaining: try to pin this request's layer
+    // groups before its first chunk fetches them — chunks 1.. then skip
+    // the pinned groups' weight DMA. A failed pin just re-fetches.
+    maybe_pin_weights(index, /*first_resident_chunk=*/1);
     cc_pending_bytes_ += static_cast<double>(plan.total_bytes);
     submit_next_chunk(index);
   }
@@ -307,6 +377,34 @@ void ServingEngine::submit_next_chunk(std::size_t index) {
   PrefillPlan& plan = plans_.at(index);
   const std::size_t chunk = plan.next++;
   const bool first = chunk == 0;
+  // Late pin: budget freed since admission (a competitor's prefill
+  // retired) can still cover this request's remaining chunks — this
+  // chunk fetches, the tail rides the pin. The admission attempt covers
+  // chunk 0, so only re-try from chunk 1 on.
+  if (chunk > 0 && residency_ && plan.resident_layers == 0) {
+    const Bytes before = plan.total_bytes;
+    if (maybe_pin_weights(index, chunk + 1)) {
+      cc_pending_bytes_ -= static_cast<double>(before - plan.total_bytes);
+    }
+  }
+  // Weight-traffic ledger (KV-stream ops carry context, not weights,
+  // and are excluded): resident ops are the DMA residency avoided.
+  for (const GemmWork& op : plan.jobs[chunk]) {
+    if (op.weight_elem_bytes_override != 0) continue;
+    const Bytes bytes =
+        static_cast<Bytes>(op.k) * op.n * config_.cc_elem_bytes;
+    if (op.weights_resident) {
+      cc_weight_saved_ += bytes;
+    } else {
+      cc_weight_fetched_ += bytes;
+    }
+  }
+  // Only a request actually holding a pin gets an affinity key: chaining
+  // an unpinned request's chunks would re-introduce head-of-line
+  // blocking without saving a byte. (Inert unless the planner enabled
+  // lane chaining; the +1 keeps request id 0 distinct from "none".)
+  const std::uint64_t affinity =
+      plan.resident_layers > 0 ? records_[index].request.id + 1 : 0;
   scheduler_.submit(
       Lane::kCcStage, std::move(plan.jobs[chunk]),
       [this, index] { on_chunk_done(index); },
@@ -314,7 +412,8 @@ void ServingEngine::submit_next_chunk(std::size_t index) {
         const Cycle now = scheduler_.sim().now();
         plans_.at(index).chunk_started = now;
         if (first) records_[index].prefill_start = now;
-      });
+      },
+      affinity);
 }
 
 void ServingEngine::on_chunk_done(std::size_t index) {
@@ -333,9 +432,15 @@ void ServingEngine::on_chunk_done(std::size_t index) {
   if (plan.next < plan.jobs.size()) {
     // Chain the next chunk: it queues BEHIND any job another request
     // submitted meanwhile — exactly the interleaving that bounds
-    // CC-lane head-of-line blocking.
+    // CC-lane head-of-line blocking (unless lane-affinity chaining is
+    // on, which trades some of that bound for shorter pin hold times).
     submit_next_chunk(index);
     return;
+  }
+  // Eviction: the prefill retired, its layer groups are no longer
+  // streamed — free the pin for competing requests.
+  if (residency_ && plan.pinned_bytes > 0) {
+    residency_->release(records_[index].request.id);
   }
   plans_.erase(index);
   on_prefill_done(index);

@@ -36,6 +36,7 @@
 #include "serve/kv_tracker.hpp"
 #include "serve/request.hpp"
 #include "serve/request_queue.hpp"
+#include "serve/residency_tracker.hpp"
 
 namespace edgemm::serve {
 
@@ -66,6 +67,16 @@ struct ServingResult {
   /// chunked prefill bounds.
   double max_cc_queue_delay_ms = 0.0;
   std::size_t kv_deferrals = 0;   ///< decode joins deferred for KV capacity
+  // --- Weight-resident chunk chaining --------------------------------------
+  /// Weight bytes the CC-lane prefill jobs actually DMAed (KV streams
+  /// excluded). ChunkedPrefill multiplies this by ~the chunk count;
+  /// residency claws it back toward the MonolithicPrefill floor.
+  Bytes cc_weight_fetch_bytes = 0;
+  /// Weight bytes residency zeroed (ops that rode a pinned layer group).
+  Bytes cc_weight_bytes_saved = 0;
+  std::size_t weight_pins = 0;           ///< successful pin acquisitions
+  std::size_t weight_pin_fallbacks = 0;  ///< failed acquisitions (re-fetch)
+  Bytes peak_pinned_bytes = 0;           ///< residency high-water mark
 };
 
 /// Drives the heterogeneous chip through a request trace.
@@ -110,6 +121,12 @@ class ServingEngine {
     return kv_ ? &*kv_ : nullptr;
   }
 
+  /// Weight-residency ledger; nullptr when EngineConfig left it disabled
+  /// (zero budget, or a planner without chains_weight_residency()).
+  const WeightResidencyTracker* residency_tracker() const {
+    return residency_ ? &*residency_ : nullptr;
+  }
+
   /// Decode keep fraction the engine uses for `model_index` (the global
   /// EngineConfig constant, or the task-proxy derivation per model).
   double keep_fraction(std::size_t model_index) const {
@@ -119,19 +136,29 @@ class ServingEngine {
  private:
   /// One admitted request's remaining prefill jobs (built once, consumed
   /// chunk by chunk; also cached for deferred queue heads so repeated
-  /// admission judgments don't rebuild op lists).
+  /// admission judgments don't rebuild op lists). When a weight pin is
+  /// acquired, jobs from first_resident_chunk on are rebuilt with the
+  /// pinned layer groups' weight ops marked resident.
   struct PrefillPlan {
+    std::vector<std::size_t> chunk_tokens;
     std::vector<std::vector<core::GemmWork>> jobs;
     std::vector<Bytes> job_bytes;
     Bytes total_bytes = 0;
     std::size_t next = 0;
     Cycle chunk_started = 0;
+    std::size_t resident_layers = 0;      ///< layer groups pinned (0 = none)
+    std::size_t first_resident_chunk = 0; ///< chunks >= this ride the pin
+    Bytes pinned_bytes = 0;
   };
 
   void on_arrival(std::size_t index);
   void pump_admission();
   AdmissionContext admission_context(std::size_t index);
   PrefillPlan& plan_for(std::size_t index);
+  std::vector<core::GemmWork> build_chunk_ops(const Request& r,
+                                              const PrefillPlan& plan,
+                                              std::size_t chunk) const;
+  bool maybe_pin_weights(std::size_t index, std::size_t first_resident_chunk);
   void submit_next_chunk(std::size_t index);
   void on_chunk_done(std::size_t index);
   void on_prefill_done(std::size_t index);
@@ -148,6 +175,7 @@ class ServingEngine {
   core::PhaseScheduler scheduler_;
   core::BandwidthManager manager_;
   std::optional<KvCapacityTracker> kv_;
+  std::optional<WeightResidencyTracker> residency_;
 
   RequestQueue queue_;
   std::vector<RequestRecord> records_;
@@ -164,6 +192,9 @@ class ServingEngine {
   std::vector<double> decode_request_bytes_;
   std::vector<double> decode_kv_slope_;
   std::vector<double> keep_fraction_;       ///< decode keep fraction per model
+  /// Bytes of one LLM layer group on the CC lane per model — the
+  /// granularity weight pins are carved at.
+  std::vector<Bytes> layer_weight_bytes_;
 
   CompletionCallback on_complete_;
   bool ran_ = false;
@@ -172,6 +203,8 @@ class ServingEngine {
   std::size_t rejected_ = 0;
   std::size_t inflight_ = 0;
   double cc_pending_bytes_ = 0.0;
+  Bytes cc_weight_fetched_ = 0;  ///< weight DMA issued by submitted CC jobs
+  Bytes cc_weight_saved_ = 0;    ///< weight DMA avoided via residency
   std::size_t decode_steps_ = 0;
   std::size_t batch_occupancy_sum_ = 0;
   std::size_t peak_queue_depth_ = 0;

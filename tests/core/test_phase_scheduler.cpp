@@ -131,6 +131,59 @@ TEST(PhaseScheduler, ChainedMultiJobPrefillInterleavesWithOtherSubmitters) {
   EXPECT_EQ(sched.dispatched(Lane::kCcStage), 4u);
 }
 
+TEST(PhaseScheduler, AffinityChainingPrefersTheSameAffinityJob) {
+  // A's chunks carry affinity 1 and are re-submitted as each retires;
+  // B's single job (affinity 2) is queued first. With chaining enabled
+  // the lane keeps picking A's next chunk over the earlier-queued B —
+  // the pinned-weights fast path — and B runs when A's chain is done.
+  ChipTimingModel chip(small_cfg(), ChipComposition::kHeterogeneous);
+  PhaseScheduler sched(chip);
+  sched.set_affinity_chaining(Lane::kCcStage, true);
+  EXPECT_TRUE(sched.affinity_chaining(Lane::kCcStage));
+  std::vector<std::string> order;
+  std::function<void(int)> submit_chunk = [&](int chunk) {
+    sched.submit(
+        Lane::kCcStage, cc_job(),
+        [&, chunk] {
+          order.push_back("A" + std::to_string(chunk));
+          if (chunk < 3) submit_chunk(chunk + 1);
+        },
+        {}, /*affinity=*/1);
+  };
+  submit_chunk(1);
+  sched.submit(
+      Lane::kCcStage, cc_job(), [&] { order.push_back("B"); }, {},
+      /*affinity=*/2);
+  chip.simulator().run();
+  EXPECT_EQ(order, (std::vector<std::string>{"A1", "A2", "A3", "B"}));
+  // A2 and A3 each jumped the queued B.
+  EXPECT_EQ(sched.lane_stats(Lane::kCcStage).affinity_chained, 2u);
+}
+
+TEST(PhaseScheduler, AffinityIsInertWithoutChaining) {
+  // Same submission pattern, chaining off (the default): strict FIFO —
+  // B slips between A's chunks exactly as in the chunked-prefill test.
+  ChipTimingModel chip(small_cfg(), ChipComposition::kHeterogeneous);
+  PhaseScheduler sched(chip);
+  std::vector<std::string> order;
+  std::function<void(int)> submit_chunk = [&](int chunk) {
+    sched.submit(
+        Lane::kCcStage, cc_job(),
+        [&, chunk] {
+          order.push_back("A" + std::to_string(chunk));
+          if (chunk < 3) submit_chunk(chunk + 1);
+        },
+        {}, /*affinity=*/1);
+  };
+  submit_chunk(1);
+  sched.submit(
+      Lane::kCcStage, cc_job(), [&] { order.push_back("B"); }, {},
+      /*affinity=*/2);
+  chip.simulator().run();
+  EXPECT_EQ(order, (std::vector<std::string>{"A1", "B", "A2", "A3"}));
+  EXPECT_EQ(sched.lane_stats(Lane::kCcStage).affinity_chained, 0u);
+}
+
 TEST(PhaseScheduler, RejectsEmptyJobs) {
   ChipTimingModel chip(small_cfg(), ChipComposition::kHeterogeneous);
   PhaseScheduler sched(chip);

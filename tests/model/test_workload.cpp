@@ -186,6 +186,41 @@ TEST(Workload, PrefillChunksCoverExactlyTheMonolithicWork) {
                std::invalid_argument);
 }
 
+TEST(Workload, ResidentLayersZeroTheWeightStreamOfPinnedLayersOnly) {
+  const auto& llm = sphinx_tiny().llm;
+  const std::size_t resident = 5;
+  const auto ops = build_prefill_chunk(sphinx_tiny(), 128, 64, 300, resident);
+  // 7 weight ops per gated layer plus 2 KV-stream ops.
+  const std::size_t ops_per_layer = ops.size() / llm.layers;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const std::size_t layer = i / ops_per_layer;
+    if (ops[i].weight_elem_bytes_override != 0) {
+      // KV streams are per-request context, never resident.
+      EXPECT_FALSE(ops[i].weights_resident);
+    } else {
+      EXPECT_EQ(ops[i].weights_resident, layer < resident);
+    }
+  }
+  // The default is byte-identical to the PR 2 behavior.
+  const auto refetch = build_prefill_chunk(sphinx_tiny(), 128, 64, 300);
+  for (const auto& op : refetch) EXPECT_FALSE(op.weights_resident);
+  EXPECT_THROW(
+      build_prefill_chunk(sphinx_tiny(), 0, 64, 300, llm.layers + 1),
+      std::invalid_argument);
+}
+
+TEST(Workload, LlmLayerWeightElemsMatchTheChunkWeightRectangles) {
+  // The layer-group granularity weight residency pins at must equal the
+  // summed k x n rectangles of the override-0 ops one layer emits.
+  const auto m = sphinx_tiny();
+  const auto ops = build_prefill_chunk(m, 0, 1, 1);
+  std::size_t weight_elems = 0;
+  for (const auto& op : ops) {
+    if (op.weight_elem_bytes_override == 0) weight_elems += op.k * op.n;
+  }
+  EXPECT_EQ(llm_layer_weight_elems(m) * m.llm.layers, weight_elems);
+}
+
 TEST(Workload, EncoderOpsMatchPhaseWorkloadEncoder) {
   for (const std::size_t crops : {1u, 3u}) {
     const auto reference =

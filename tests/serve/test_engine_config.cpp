@@ -19,7 +19,35 @@ TEST(EngineConfig, DefaultsReproducePr1Composition) {
   EXPECT_TRUE(config.manage_bandwidth());
   EXPECT_DOUBLE_EQ(config.prune_keep_fraction(), 1.0);
   EXPECT_EQ(config.kv_capacity(), 0u);  // accounting off
+  EXPECT_EQ(config.weight_residency(), 0u);  // residency off
   EXPECT_FALSE(config.task_proxy_pruning().has_value());
+}
+
+TEST(EngineConfig, WeightResidencyRequiresAResidencyCapablePlanner) {
+  // The budget composes with ResidentChunkedPrefill ...
+  const EngineConfig resident =
+      EngineConfig()
+          .prefill_planner(std::make_shared<ResidentChunkedPrefill>(64))
+          .weight_residency_bytes(1 << 20);
+  EXPECT_NO_THROW(resident.validate());
+  EXPECT_STREQ(resident.prefill_planner().name(), "resident-chunked");
+  EXPECT_TRUE(resident.prefill_planner().chains_weight_residency());
+  EXPECT_FALSE(resident.prefill_planner().prefers_lane_affinity());
+  EXPECT_EQ(resident.weight_residency(), Bytes{1 << 20});
+  // ... but a budget on a planner that re-fetches every chunk is a
+  // composition error caught by validate().
+  const EngineConfig miswired =
+      EngineConfig()
+          .prefill_planner(std::make_shared<ChunkedPrefill>(64))
+          .weight_residency_bytes(1 << 20);
+  EXPECT_THROW(miswired.validate(), std::invalid_argument);
+  // Zero budget disables residency for any planner (the determinism
+  // fallback), and the lane-affinity variant carries its flag.
+  EXPECT_NO_THROW(EngineConfig()
+                      .prefill_planner(std::make_shared<ChunkedPrefill>(64))
+                      .validate());
+  const ResidentChunkedPrefill chained(64, /*chain_lane_affinity=*/true);
+  EXPECT_TRUE(chained.prefers_lane_affinity());
 }
 
 TEST(EngineConfig, BuilderComposesPolicies) {

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Markdown link checker for README.md + docs/ (stdlib only).
+
+Verifies that every relative link target in the given markdown files (or
+every .md file under given directories) exists on disk, and that
+intra-document anchors (#heading) resolve to a heading in the target
+file. External links (http/https/mailto) are not fetched — CI must stay
+offline-deterministic.
+
+Usage: tools/check_markdown_links.py README.md docs [more files/dirs...]
+Exit status: 0 when every link resolves, 1 otherwise (failures listed).
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — target captured up to the closing paren; images and
+# reference-style definitions share the same inline form we care about.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE_RE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+INLINE_CODE_RE = re.compile(r"`[^`\n]*`")
+
+
+def strip_code(text: str) -> str:
+    """Blank out fenced blocks and inline code: `ops[i](ctx)` in an
+    example is not a link, and headings inside fences are not anchors."""
+    return INLINE_CODE_RE.sub("", FENCE_RE.sub("", text))
+
+
+def heading_anchor(heading: str) -> str:
+    """GitHub-style anchor: lowercase, drop punctuation, spaces->dashes."""
+    anchor = heading.strip().lower()
+    anchor = re.sub(r"[^\w\- ]", "", anchor)
+    return anchor.replace(" ", "-")
+
+
+def collect_files(args):
+    files = []
+    for arg in args:
+        if os.path.isdir(arg):
+            for root, _dirs, names in os.walk(arg):
+                files.extend(
+                    os.path.join(root, n) for n in names if n.endswith(".md"))
+        else:
+            files.append(arg)
+    return sorted(set(files))
+
+
+def anchors_of(path: str) -> set:
+    with open(path, encoding="utf-8") as fh:
+        text = strip_code(fh.read())
+    anchors = set()
+    counts = {}
+    for heading in HEADING_RE.findall(text):
+        base = heading_anchor(heading)
+        # GitHub dedupes repeated headings with -1, -2, ... suffixes.
+        n = counts.get(base, 0)
+        counts[base] = n + 1
+        anchors.add(base if n == 0 else f"{base}-{n}")
+    return anchors
+
+
+def check(files):
+    failures = []
+    for path in files:
+        base = os.path.dirname(path)
+        with open(path, encoding="utf-8") as fh:
+            text = strip_code(fh.read())
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target, _, anchor = target.partition("#")
+            resolved = os.path.normpath(os.path.join(base, target)) if target else path
+            if not os.path.exists(resolved):
+                failures.append(f"{path}: broken link -> {target}")
+                continue
+            if anchor and resolved.endswith(".md"):
+                if heading_anchor(anchor) not in anchors_of(resolved):
+                    failures.append(f"{path}: missing anchor -> {target}#{anchor}")
+    return failures
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if not args:
+        print(__doc__)
+        return 2
+    files = collect_files(args)
+    missing = [f for f in files if not os.path.exists(f)]
+    if missing:
+        for f in missing:
+            print(f"no such file: {f}")
+        return 1
+    failures = check(files)
+    for failure in failures:
+        print(failure)
+    print(f"checked {len(files)} markdown files: "
+          f"{'OK' if not failures else f'{len(failures)} broken link(s)'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
