@@ -11,7 +11,13 @@
 //   3. prefill planners on a long-prefill trace: monolithic vs chunked
 //      vs weight-resident chunk chaining (CC weight traffic, makespan,
 //      worst-case CC-lane queueing delay, pin/fallback accounting).
-//   4. fidelity sweep — makespan drift across burst/block coarsening
+//      Pinned to the PR 3 per-request pin mode so its headline stays the
+//      baseline §4 is measured against.
+//   4. shared vs per-request weight pins on the same multi-request
+//      same-model trace: one refcounted pin per model charges the budget
+//      once, riders skip weight DMA on every chunk (fallbacks, CC weight
+//      fetch, peak pinned bytes).
+//   5. fidelity sweep — makespan drift across burst/block coarsening
 //      factors (8x/4x/2x/1x).
 #include <cstdio>
 #include <cstring>
@@ -230,6 +236,10 @@ int main(int argc, char** argv) {
               static_cast<double>(layer_group) / (1024.0 * 1024.0),
               resid_oversub);
 
+  // This section keeps the PR 3 PER-REQUEST pins (share_weight_pins
+  // off): every request charges its own layer-group bytes, so at most
+  // two of the 12 hold pins at once and the rest fall back. §4 below
+  // replays the same trace with the shared-pin fix.
   const auto mono = replay(long_prefill, continuous_config(true));
   const auto chunked =
       replay(long_prefill,
@@ -240,13 +250,15 @@ int main(int argc, char** argv) {
              continuous_config(true)
                  .prefill_planner(
                      std::make_shared<serve::ResidentChunkedPrefill>(128))
-                 .weight_residency_bytes(resid_budget));
+                 .weight_residency_bytes(resid_budget)
+                 .share_weight_pins(false));
   const auto chained =
       replay(long_prefill,
              continuous_config(true)
                  .prefill_planner(std::make_shared<serve::ResidentChunkedPrefill>(
                      128, /*chain_lane_affinity=*/true))
-                 .weight_residency_bytes(resid_budget));
+                 .weight_residency_bytes(resid_budget)
+                 .share_weight_pins(false));
 
   auto print_planner = [](const char* label, const serve::ServingResult& r) {
     std::printf("  %-28s CC weight fetch %7.1f GiB  makespan %8.1f ms  "
@@ -297,7 +309,70 @@ int main(int argc, char** argv) {
               100.0 * (chunked.makespan_ms - mono.makespan_ms) /
                   mono.makespan_ms);
 
-  // --- 4. Fidelity sweep --------------------------------------------------
+  // --- 4. Shared vs per-request weight pins -------------------------------
+  // The same 12-request same-model trace: all in-flight requests serve
+  // SPHINX-Tiny, so per-request pins duplicate the identical layer-group
+  // bytes and halve the effective residency capacity. One refcounted pin
+  // per model charges the budget once; every later request rides it for
+  // free and skips the pinned layers' weight DMA on ALL its chunks.
+  std::printf("\n--- shared vs per-request weight pins (same trace, "
+              "multi-request same-model) ---\n\n");
+  const auto shared =
+      replay(long_prefill,
+             continuous_config(true)
+                 .prefill_planner(
+                     std::make_shared<serve::ResidentChunkedPrefill>(128))
+                 .weight_residency_bytes(resid_budget));  // sharing defaults on
+  const auto shared_chained =
+      replay(long_prefill,
+             continuous_config(true)
+                 .prefill_planner(std::make_shared<serve::ResidentChunkedPrefill>(
+                     128, /*chain_lane_affinity=*/true))
+                 .weight_residency_bytes(resid_budget));
+
+  auto print_pins = [](const char* label, const serve::ServingResult& r) {
+    std::printf("  %-28s CC weight fetch %7.1f GiB  makespan %8.1f ms  "
+                "%3zu pins %3zu rides %3zu fallbacks  peak %.2f GiB\n",
+                label,
+                static_cast<double>(r.cc_weight_fetch_bytes) /
+                    (1024.0 * 1024.0 * 1024.0),
+                r.makespan_ms, r.weight_pins, r.weight_shared_attaches,
+                r.weight_pin_fallbacks,
+                static_cast<double>(r.peak_pinned_bytes) /
+                    (1024.0 * 1024.0 * 1024.0));
+  };
+  print_pins("per-request pins", resident);
+  print_pins("shared (refcounted) pins", shared);
+  print_pins("per-request + chaining", chained);
+  print_pins("shared + chaining", shared_chained);
+
+  // The bugfix gates: sharing must strictly cut both the fallbacks (no
+  // same-model request is ever turned away by its own model's bytes) and
+  // the CC weight traffic, while charging the budget at most one
+  // layer-group set at a time (the trace serves a single model).
+  const bool sharing_wins =
+      shared.cc_weight_fetch_bytes < resident.cc_weight_fetch_bytes &&
+      shared.weight_pin_fallbacks < resident.weight_pin_fallbacks;
+  std::printf("\nshared pins fetch strictly less and fall back strictly less "
+              "than per-request: %s\n",
+              sharing_wins ? "yes" : "NO");
+  const bool charged_once = shared.peak_pinned_bytes <= full_set &&
+                            shared.weight_shared_attaches > 0;
+  std::printf("budget charged once per model (peak <= one layer-group set, "
+              "riders attach free): %s\n",
+              charged_once ? "yes" : "NO");
+  std::printf("weight DMA avoided: %.1f GiB shared vs %.1f GiB per-request "
+              "(%.1f / %.1f GiB with chaining)\n",
+              static_cast<double>(shared.cc_weight_bytes_saved) /
+                  (1024.0 * 1024.0 * 1024.0),
+              static_cast<double>(resident.cc_weight_bytes_saved) /
+                  (1024.0 * 1024.0 * 1024.0),
+              static_cast<double>(shared_chained.cc_weight_bytes_saved) /
+                  (1024.0 * 1024.0 * 1024.0),
+              static_cast<double>(chained.cc_weight_bytes_saved) /
+                  (1024.0 * 1024.0 * 1024.0));
+
+  // --- 5. Fidelity sweep --------------------------------------------------
   std::printf("\n--- fidelity sweep (burst/block coarsening) ---\n");
   serve::TraceConfig sweep_cfg = trace_cfg;
   sweep_cfg.requests = 6;
@@ -322,8 +397,8 @@ int main(int argc, char** argv) {
                 100.0 * (results_ms[i] - reference_ms) / reference_ms);
   }
 
-  const bool ok =
-      beats && slo_wins && chunk_wins && resident_wins && chaining_wins;
+  const bool ok = beats && slo_wins && chunk_wins && resident_wins &&
+                  chaining_wins && sharing_wins && charged_once;
   std::printf("\nall self-checks passed: %s\n", ok ? "yes" : "NO");
   return ok ? 0 : 1;
 }

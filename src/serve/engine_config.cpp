@@ -153,6 +153,11 @@ EngineConfig& EngineConfig::weight_residency_bytes(Bytes bytes) {
   return *this;
 }
 
+EngineConfig& EngineConfig::share_weight_pins(bool enabled) {
+  share_weight_pins_ = enabled;
+  return *this;
+}
+
 void EngineConfig::validate() const {
   if (!scheduler_ || !planner_ || !batcher_) {
     throw std::invalid_argument("EngineConfig: missing policy");

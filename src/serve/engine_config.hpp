@@ -100,6 +100,18 @@ class EngineConfig {
   /// kMaxWeightResidencyOversubscription x the CC TCDM; see
   /// chip_weight_residency_capacity for sizing).
   EngineConfig& weight_residency_bytes(Bytes bytes);
+  /// Share one refcounted weight pin per MODEL across its in-flight
+  /// requests (default: true). A model's layer-group weights are the
+  /// same bytes whichever request streams them, so the first attaching
+  /// request fetches and charges the budget and later same-model
+  /// requests ride the pin for free — their chunks skip the pinned
+  /// layers' weight DMA immediately — until the last attached request's
+  /// prefill retires. false restores the PR 3 per-request pins (every
+  /// request charges the full layer-group bytes; kept for the bench
+  /// baseline and A/B comparisons). No effect unless weight residency
+  /// is active; with at most one in-flight request per model the two
+  /// modes replay identically.
+  EngineConfig& share_weight_pins(bool enabled);
 
   // --- Getters ------------------------------------------------------------
   const SchedulerPolicy& scheduler() const { return *scheduler_; }
@@ -114,6 +126,7 @@ class EngineConfig {
   }
   Bytes kv_capacity() const { return kv_capacity_bytes_; }
   Bytes weight_residency() const { return weight_residency_bytes_; }
+  bool share_weight_pins() const { return share_weight_pins_; }
 
   /// Re-checks the composed whole (policies present, fractions sane).
   /// The engine calls this once at construction; throws
@@ -131,6 +144,7 @@ class EngineConfig {
   std::optional<TaskProxyPruningOptions> task_proxy_;
   Bytes kv_capacity_bytes_ = 0;
   Bytes weight_residency_bytes_ = 0;
+  bool share_weight_pins_ = true;
 };
 
 }  // namespace edgemm::serve

@@ -98,9 +98,12 @@ class PrefillPlanner {
   /// @return true when the engine should route this planner's chunks
   ///         through the WeightResidencyTracker: the first chunk that
   ///         fetches a layer group pins it (budget permitting) and
-  ///         later chunks of the same request skip that group's weight
-  ///         DMA. Requires EngineConfig::weight_residency_bytes > 0 to
-  ///         take effect. Default: false (every chunk re-fetches).
+  ///         later chunks skip that group's weight DMA. Pins are
+  ///         refcounted per MODEL by default — concurrent same-model
+  ///         requests ride one pin and the budget is charged once (see
+  ///         EngineConfig::share_weight_pins). Requires
+  ///         EngineConfig::weight_residency_bytes > 0 to take effect.
+  ///         Default: false (every chunk re-fetches).
   virtual bool chains_weight_residency() const { return false; }
 
   /// @return true when chained chunks should additionally prefer
@@ -134,12 +137,15 @@ class ChunkedPrefill : public PrefillPlanner {
 };
 
 /// Weight-resident chunk chaining: the same chunk slicing as
-/// ChunkedPrefill, but the engine pins each request's layer-group
-/// weights on-chip (WeightResidencyTracker, budget =
-/// EngineConfig::weight_residency_bytes) when its first chunk fetches
+/// ChunkedPrefill, but the engine pins layer-group weights on-chip
+/// (WeightResidencyTracker, budget =
+/// EngineConfig::weight_residency_bytes) when the first chunk fetches
 /// them, so subsequent chunks pay only activation + KV traffic for the
-/// pinned layers. A pin that would overflow the budget falls back to
-/// re-fetching (never stalls); the pin is evicted when the request's
+/// pinned layers. Pins are shared per model (refcounted) by default:
+/// concurrent requests of the same model charge the budget once and the
+/// later ones skip the pinned layers' weight DMA on ALL their chunks. A
+/// pin that would overflow the budget falls back to re-fetching (never
+/// stalls); the bytes are evicted when the last attached request's
 /// prefill retires. With a zero residency budget this planner is
 /// byte-for-byte identical to ChunkedPrefill.
 class ResidentChunkedPrefill final : public ChunkedPrefill {

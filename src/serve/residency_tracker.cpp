@@ -28,6 +28,48 @@ Bytes llm_layer_group_bytes(const model::MllmConfig& model,
 WeightResidencyTracker::WeightResidencyTracker(Bytes capacity)
     : ledger_(capacity, "WeightResidencyTracker") {}
 
+WeightResidencyTracker::AttachResult WeightResidencyTracker::attach_layers(
+    PinKey key, Bytes bytes_per_layer, std::size_t max_layers) {
+  if (bytes_per_layer == 0 || max_layers == 0) {
+    throw std::invalid_argument(
+        "WeightResidencyTracker: layer group size and count must be > 0");
+  }
+  const auto it = pins_by_key_.find(key);
+  if (it != pins_by_key_.end()) {
+    // The weights are already on chip under this key: ride them. The
+    // budget is charged once per pin, not once per attached request.
+    ++it->second.refs;
+    ++shared_attaches_;
+    return {it->second.layers, /*shared=*/true};
+  }
+  const std::size_t fit = try_pin_layers(key, bytes_per_layer, max_layers);
+  if (fit == 0) return {0, false};  // fallback counted by try_pin_layers
+  pins_by_key_.emplace(key, Pin{fit, 1});
+  return {fit, /*shared=*/false};
+}
+
+void WeightResidencyTracker::detach(PinKey key) {
+  const auto it = pins_by_key_.find(key);
+  if (it == pins_by_key_.end()) {
+    throw std::logic_error(
+        "WeightResidencyTracker: detach from a key holding no attached pin");
+  }
+  if (--it->second.refs == 0) {
+    ledger_.release(key);
+    pins_by_key_.erase(it);
+  }
+}
+
+std::size_t WeightResidencyTracker::refcount(PinKey key) const {
+  const auto it = pins_by_key_.find(key);
+  return it == pins_by_key_.end() ? 0 : it->second.refs;
+}
+
+std::size_t WeightResidencyTracker::resident_layers(PinKey key) const {
+  const auto it = pins_by_key_.find(key);
+  return it == pins_by_key_.end() ? 0 : it->second.layers;
+}
+
 bool WeightResidencyTracker::try_pin(RequestId id, Bytes bytes) {
   if (!ledger_.try_acquire(id, bytes)) {
     ++fallbacks_;

@@ -9,15 +9,24 @@
 // across consecutive chunks of the SAME request recovers most of the
 // monolithic-prefill traffic while keeping chunking's interactivity.
 //
-// This tracker is the byte ledger behind that: a request acquires a pin
-// covering as many whole layer groups as fit the remaining budget when
-// its first chunk fetches them; later chunks mark those layers'
-// weight ops `weights_resident` (zero weight DMA, see
-// core::GemmWork::weights_resident) and the pin is released when the
-// request's prefill retires. A competing pin that would overflow the
-// budget is NEVER allowed to stall the lane: the acquisition fails, the
-// request simply keeps re-fetching (the PR 2 behavior), and the failure
-// is counted as a fallback.
+// This tracker is the byte ledger behind that: a pin covering as many
+// whole layer groups as fit the remaining budget is acquired when the
+// first chunk fetches them; later chunks mark those layers' weight ops
+// `weights_resident` (zero weight DMA, see
+// core::GemmWork::weights_resident). A competing pin that would
+// overflow the budget is NEVER allowed to stall the lane: the
+// acquisition fails, the request simply keeps re-fetching (the PR 2
+// behavior), and the failure is counted as a fallback.
+//
+// Pins are REFCOUNTED and model-scoped (PR 4): the weights of a model's
+// layer groups are the same bytes no matter which request streams them,
+// so two in-flight requests serving the same model share ONE pin — the
+// first attach fetches and charges the budget, later attaches under the
+// same key ride for free (shared_attaches counter), and the bytes are
+// released only when the LAST attached request detaches. The PR 3
+// per-request behavior (every request charges the full bytes) is
+// recovered by simply keying attaches by request id instead of model
+// id, which makes every attach a fresh pin.
 //
 // The natural budget unit is the CC-side TCDM of the chip
 // (chip_weight_residency_capacity below, from
@@ -31,6 +40,8 @@
 #define EDGEMM_SERVE_RESIDENCY_TRACKER_HPP
 
 #include <cstddef>
+#include <cstdint>
+#include <unordered_map>
 
 #include "core/config.hpp"
 #include "model/mllm_config.hpp"
@@ -59,12 +70,31 @@ Bytes chip_weight_residency_capacity(const core::ChipConfig& config,
 Bytes llm_layer_group_bytes(const model::MllmConfig& model,
                             const core::ChipConfig& config);
 
+/// Key a weight pin is held under. The serving engine uses the MODEL
+/// index in shared mode — every in-flight request of a model attaches
+/// to one refcounted pin — and the request id in the legacy per-request
+/// mode, where keys are unique so every attach charges a fresh pin. A
+/// key must stay on one API: either the refcounted attach/detach pair
+/// or the low-level try_pin/release pair, never both.
+using PinKey = std::uint64_t;
+
 /// Pin/release ledger over a fixed byte capacity (a ByteLedger plus the
-/// pin/fallback/peak counters). Pins are keyed by request id; the
-/// tracker never overcommits and never blocks — a pin that does not fit
-/// fails immediately (the caller falls back to re-fetching weights).
+/// pin/fallback/peak counters and a refcount per pin). The tracker
+/// never overcommits and never blocks — a pin that does not fit fails
+/// immediately (the caller falls back to re-fetching weights).
 class WeightResidencyTracker {
  public:
+  /// Outcome of one attach_layers call.
+  struct AttachResult {
+    /// Layer groups resident under the pin the caller attached to
+    /// (0 = no pin: the budget could not fit a single group).
+    std::size_t layers = 0;
+    /// True when the attach rode an EXISTING pin: the bytes were already
+    /// charged by an earlier attach, so the caller's next chunk can skip
+    /// the pinned layers' weight DMA immediately (no fill fetch needed).
+    bool shared = false;
+  };
+
   /// Throws std::invalid_argument for a zero capacity.
   explicit WeightResidencyTracker(Bytes capacity);
 
@@ -77,9 +107,37 @@ class WeightResidencyTracker {
   /// Failed acquisitions so far (each one is a chunk tail that keeps
   /// re-fetching weights instead of riding a pin).
   std::size_t fallbacks() const { return fallbacks_; }
+  /// Attaches that rode an existing pin instead of charging the budget
+  /// (the multi-tenant win: every one is a whole prefill's weight DMA
+  /// shared instead of duplicated).
+  std::size_t shared_attaches() const { return shared_attaches_; }
   /// High-water mark of simultaneously pinned bytes.
   Bytes peak_pinned() const { return peak_pinned_; }
 
+  /// Refcounted attach under `key`. If `key` already holds a pin, the
+  /// refcount is incremented and the existing pin is returned with
+  /// `shared = true` — no bytes charged, no fetch needed. Otherwise pins
+  /// as many whole layer groups of `bytes_per_layer` as fit, up to
+  /// `max_layers` (partial residency is the point: a budget worth three
+  /// layer groups still saves three layers' worth of re-fetches per
+  /// chunk); a budget that cannot fit one group returns layers = 0, is
+  /// counted as a fallback and holds NOTHING (detach would throw).
+  /// Throws std::invalid_argument for zero bytes_per_layer or
+  /// max_layers.
+  AttachResult attach_layers(PinKey key, Bytes bytes_per_layer,
+                             std::size_t max_layers);
+
+  /// Detaches one holder from `key`'s pin; the bytes are released
+  /// (eviction) only when the refcount reaches zero. Throws
+  /// std::logic_error when `key` holds no attached pin.
+  void detach(PinKey key);
+
+  /// Requests currently attached to `key`'s pin (0 = no pin).
+  std::size_t refcount(PinKey key) const;
+  /// Layer groups resident under `key`'s pin (0 = no pin).
+  std::size_t resident_layers(PinKey key) const;
+
+  // --- Low-level non-refcounted core (attach_layers builds on these) ----
   /// Pins `bytes` for `id`. Filling the budget to exactly capacity
   /// succeeds; one byte over fails (and counts a fallback). Throws
   /// std::logic_error when `id` already holds a pin.
@@ -87,21 +145,27 @@ class WeightResidencyTracker {
 
   /// Pins as many whole layer groups of `bytes_per_layer` as fit, up to
   /// `max_layers`; returns the number pinned (0 = fallback, counted).
-  /// Partial residency is the point: a budget worth three layer groups
-  /// still saves three layers' worth of re-fetches per chunk. Throws
-  /// std::invalid_argument for zero bytes_per_layer or max_layers.
+  /// Throws std::invalid_argument for zero bytes_per_layer or max_layers.
   std::size_t try_pin_layers(RequestId id, Bytes bytes_per_layer,
                              std::size_t max_layers);
 
-  /// Releases `id`'s pin (eviction on prefill completion); throws
-  /// std::logic_error if absent.
+  /// Releases `id`'s pin; throws std::logic_error if absent.
   void release(RequestId id);
 
  private:
+  /// One refcounted pin (attach_layers/detach bookkeeping on top of the
+  /// ledger entry held under the same key).
+  struct Pin {
+    std::size_t layers = 0;
+    std::size_t refs = 0;
+  };
+
   ByteLedger ledger_;
+  std::unordered_map<PinKey, Pin> pins_by_key_;
   Bytes peak_pinned_ = 0;
   std::size_t pins_ = 0;
   std::size_t fallbacks_ = 0;
+  std::size_t shared_attaches_ = 0;
 };
 
 }  // namespace edgemm::serve

@@ -102,17 +102,19 @@ ServingEngine::ServingEngine(const core::ChipConfig& config,
     decode_shared_bytes_.push_back(batch1_near - per_request_near);
   }
 
-  // Seed the policy estimators analytically; they converge onto the
-  // measured values as chunks retire and decode steps complete.
-  cc_bytes_per_cycle_est_ = std::max(config_.dram.bytes_per_cycle * 0.5, 1e-6);
-  double worst_step = 1.0;
+  // Seed the per-model policy estimators analytically; each converges
+  // onto its own model's measured values as that model's chunks retire
+  // and decode steps it took part in complete.
+  cc_bytes_per_cycle_est_.assign(
+      models_.size(), std::max(config_.dram.bytes_per_cycle * 0.5, 1e-6));
+  decode_step_cycles_est_.reserve(models_.size());
   for (std::size_t i = 0; i < models_.size(); ++i) {
     const double step_bytes = decode_shared_bytes_[i] +
                               decode_request_bytes_[i] +
                               decode_kv_slope_[i] * 512.0;
-    worst_step = std::max(worst_step, step_bytes / cc_bytes_per_cycle_est_);
+    decode_step_cycles_est_.push_back(
+        std::max(1.0, step_bytes / cc_bytes_per_cycle_est_[i]));
   }
-  decode_step_cycles_est_ = worst_step;
 }
 
 ServingEngine::ServingEngine(const core::ChipConfig& config,
@@ -230,10 +232,14 @@ ServingResult ServingEngine::run(std::vector<Request> requests) {
   result.cc_weight_fetch_bytes = cc_weight_fetched_;
   result.cc_weight_bytes_saved = cc_weight_saved_;
   if (residency_) {
-    EDGEMM_ASSERT_MSG(residency_->holders() == 0,
+    // Every attach detached on some exit path (prefill retirement,
+    // rejection, any future early-drop): a drained trace may not leave a
+    // single holder or byte behind.
+    EDGEMM_ASSERT_MSG(residency_->holders() == 0 && residency_->pinned() == 0,
                       "ServingEngine: weight pins leaked past the replay");
     result.weight_pins = residency_->pins();
     result.weight_pin_fallbacks = residency_->fallbacks();
+    result.weight_shared_attaches = residency_->shared_attaches();
     result.peak_pinned_bytes = residency_->peak_pinned();
   }
   return result;
@@ -295,22 +301,37 @@ std::vector<GemmWork> ServingEngine::build_chunk_ops(const Request& r,
 }
 
 bool ServingEngine::maybe_pin_weights(std::size_t index,
-                                      std::size_t first_resident_chunk) {
+                                      std::size_t next_chunk) {
   if (!residency_) return false;
   PrefillPlan& plan = plans_.at(index);
-  if (plan.resident_layers > 0) return false;  // already riding a pin
-  if (first_resident_chunk >= plan.jobs.size()) return false;  // no tail left
+  if (plan.pin_attached) return false;  // already riding a pin
   const Request& r = records_[index].request;
-  const std::size_t pinned = residency_->try_pin_layers(
-      r.id, layer_weight_bytes_[r.model], models_[r.model].llm.layers);
-  if (pinned == 0) return false;  // budget contended: keep re-fetching
-  plan.resident_layers = pinned;
-  plan.first_resident_chunk = first_resident_chunk;
-  plan.pinned_bytes = static_cast<Bytes>(pinned) * layer_weight_bytes_[r.model];
-  records_[index].weight_pinned_layers = pinned;
+  // Shared mode keys the pin by MODEL: all in-flight requests of the
+  // model refcount one pin and the budget is charged once. Per-request
+  // mode keys by request id — unique per request, so every attach is a
+  // fresh pin (the PR 3 behavior).
+  const PinKey key = engine_config_.share_weight_pins()
+                         ? static_cast<PinKey>(r.model)
+                         : static_cast<PinKey>(r.id);
+  // A brand-new pin is filled by next_chunk's fetch, so only the chunks
+  // AFTER it ride it — and pinning is pointless with no tail left. An
+  // attach to an existing pin finds the weights already on chip and
+  // starts saving on next_chunk itself.
+  const bool rides_existing = residency_->refcount(key) > 0;
+  const std::size_t first_resident =
+      rides_existing ? next_chunk : next_chunk + 1;
+  if (first_resident >= plan.jobs.size()) return false;
+  const auto attach = residency_->attach_layers(
+      key, layer_weight_bytes_[r.model], models_[r.model].llm.layers);
+  if (attach.layers == 0) return false;  // budget contended: keep re-fetching
+  plan.pin_attached = true;
+  plan.pin_key = key;
+  plan.resident_layers = attach.layers;
+  plan.first_resident_chunk = first_resident;
+  records_[index].weight_pinned_layers = attach.layers;
   // Rebuild the unsubmitted tail: pinned layer groups drop their weight
   // stream, so the jobs (and the CC backlog accounting) shrink.
-  for (std::size_t c = first_resident_chunk; c < plan.jobs.size(); ++c) {
+  for (std::size_t c = first_resident; c < plan.jobs.size(); ++c) {
     std::vector<GemmWork> ops = build_chunk_ops(r, plan, c);
     const Bytes bytes = cc_job_bytes(ops);
     plan.total_bytes -= plan.job_bytes[c];
@@ -321,20 +342,34 @@ bool ServingEngine::maybe_pin_weights(std::size_t index,
   return true;
 }
 
+void ServingEngine::drop_plan(std::size_t index) {
+  // The single exit point for prefill plans: EVERY path a request leaves
+  // the prefill stage through (retirement, rejection of a judged-and-
+  // planned queue head, any future preemption) funnels through here, so
+  // an attached pin can never outlive its request.
+  const auto it = plans_.find(index);
+  if (it == plans_.end()) return;
+  if (it->second.pin_attached) residency_->detach(it->second.pin_key);
+  plans_.erase(it);
+}
+
 AdmissionContext ServingEngine::admission_context(std::size_t index) {
   const Request& r = records_[index].request;
+  // The candidate is judged against ITS model's estimators: a heavy
+  // co-tenant's slow decode steps never inflate a light model's
+  // estimated_service (the multi-model-zoo SLO fix).
+  const double cc_est = cc_bytes_per_cycle_est_[r.model];
   AdmissionContext ctx;
   ctx.now = scheduler_.sim().now();
   ctx.inflight = inflight_;
   ctx.active_batch = active_.size();
   ctx.queue_depth = queue_.size();
-  ctx.estimated_queue_delay = static_cast<Cycle>(
-      std::max(cc_pending_bytes_, 0.0) / cc_bytes_per_cycle_est_);
+  ctx.estimated_queue_delay =
+      static_cast<Cycle>(std::max(cc_pending_bytes_, 0.0) / cc_est);
   const PrefillPlan& plan = plan_for(index);
-  const double prefill_cycles =
-      static_cast<double>(plan.total_bytes) / cc_bytes_per_cycle_est_;
-  const double decode_cycles =
-      static_cast<double>(r.output_tokens) * decode_step_cycles_est_;
+  const double prefill_cycles = static_cast<double>(plan.total_bytes) / cc_est;
+  const double decode_cycles = static_cast<double>(r.output_tokens) *
+                               decode_step_cycles_est_[r.model];
   ctx.estimated_service = static_cast<Cycle>(prefill_cycles + decode_cycles);
   return ctx;
 }
@@ -355,7 +390,7 @@ void ServingEngine::pump_admission() {
     if (verdict == AdmissionVerdict::kReject) {
       rec.rejected = true;
       ++rejected_;
-      plans_.erase(index);
+      drop_plan(index);
       continue;
     }
 
@@ -364,10 +399,11 @@ void ServingEngine::pump_admission() {
     rec.prune_keep_fraction = keep_fraction_[r.model];
     PrefillPlan& plan = plan_for(index);
     rec.prefill_chunks = plan.jobs.size();
-    // Weight-resident chunk chaining: try to pin this request's layer
-    // groups before its first chunk fetches them — chunks 1.. then skip
-    // the pinned groups' weight DMA. A failed pin just re-fetches.
-    maybe_pin_weights(index, /*first_resident_chunk=*/1);
+    // Weight-resident chunk chaining: attach to the model's shared pin
+    // (its weights are already on chip — every chunk rides), or pin the
+    // layer groups fresh before chunk 0 fetches them so chunks 1.. skip
+    // their weight DMA. A failed pin just re-fetches.
+    maybe_pin_weights(index, /*next_chunk=*/0);
     cc_pending_bytes_ += static_cast<double>(plan.total_bytes);
     submit_next_chunk(index);
   }
@@ -378,12 +414,14 @@ void ServingEngine::submit_next_chunk(std::size_t index) {
   const std::size_t chunk = plan.next++;
   const bool first = chunk == 0;
   // Late pin: budget freed since admission (a competitor's prefill
-  // retired) can still cover this request's remaining chunks — this
-  // chunk fetches, the tail rides the pin. The admission attempt covers
-  // chunk 0, so only re-try from chunk 1 on.
-  if (chunk > 0 && residency_ && plan.resident_layers == 0) {
+  // retired), or a same-model pin appearing, can still cover this
+  // request's remaining chunks — a fresh pin is filled by this chunk's
+  // fetch and the tail rides it; an attach to an existing pin rides from
+  // this chunk on. The admission attempt covers chunk 0, so only re-try
+  // from chunk 1 on.
+  if (chunk > 0 && residency_ && !plan.pin_attached) {
     const Bytes before = plan.total_bytes;
-    if (maybe_pin_weights(index, chunk + 1)) {
+    if (maybe_pin_weights(index, chunk)) {
       cc_pending_bytes_ -= static_cast<double>(before - plan.total_bytes);
     }
   }
@@ -399,12 +437,15 @@ void ServingEngine::submit_next_chunk(std::size_t index) {
       cc_weight_fetched_ += bytes;
     }
   }
-  // Only a request actually holding a pin gets an affinity key: chaining
-  // an unpinned request's chunks would re-introduce head-of-line
-  // blocking without saving a byte. (Inert unless the planner enabled
-  // lane chaining; the +1 keeps request id 0 distinct from "none".)
+  // Only a request actually holding a pin (fresh or shared) gets an
+  // affinity key: chaining an unpinned request's chunks would
+  // re-introduce head-of-line blocking without saving a byte. Keyed per
+  // REQUEST even when the pin is shared — chaining all of a model's
+  // riders back-to-back would serialize the lane. (Inert unless the
+  // planner enabled lane chaining; the +1 keeps request id 0 distinct
+  // from "none".)
   const std::uint64_t affinity =
-      plan.resident_layers > 0 ? records_[index].request.id + 1 : 0;
+      plan.pin_attached ? records_[index].request.id + 1 : 0;
   scheduler_.submit(
       Lane::kCcStage, std::move(plan.jobs[chunk]),
       [this, index] { on_chunk_done(index); },
@@ -422,12 +463,13 @@ void ServingEngine::on_chunk_done(std::size_t index) {
   const Cycle now = scheduler_.sim().now();
   const Bytes bytes = plan.job_bytes[chunk];
   cc_pending_bytes_ -= static_cast<double>(bytes);
-  // Fold the measured chunk throughput into the CC-lane estimator.
+  // Fold the measured chunk throughput into the chunk's own model's
+  // CC-lane estimator.
   if (now > plan.chunk_started && bytes > 0) {
     const double observed = static_cast<double>(bytes) /
                             static_cast<double>(now - plan.chunk_started);
-    cc_bytes_per_cycle_est_ = (1.0 - kEstimatorGain) * cc_bytes_per_cycle_est_ +
-                              kEstimatorGain * observed;
+    double& est = cc_bytes_per_cycle_est_[records_[index].request.model];
+    est = (1.0 - kEstimatorGain) * est + kEstimatorGain * observed;
   }
   if (plan.next < plan.jobs.size()) {
     // Chain the next chunk: it queues BEHIND any job another request
@@ -437,12 +479,10 @@ void ServingEngine::on_chunk_done(std::size_t index) {
     submit_next_chunk(index);
     return;
   }
-  // Eviction: the prefill retired, its layer groups are no longer
-  // streamed — free the pin for competing requests.
-  if (residency_ && plan.pinned_bytes > 0) {
-    residency_->release(records_[index].request.id);
-  }
-  plans_.erase(index);
+  // The prefill retired: detach from the pin. Under sharing the bytes
+  // stay on chip until the LAST attached request of the model retires
+  // (eviction happens at refcount zero inside the tracker).
+  drop_plan(index);
   on_prefill_done(index);
 }
 
@@ -509,9 +549,21 @@ void ServingEngine::start_decode_step() {
 void ServingEngine::on_decode_step_done() {
   const Cycle now = scheduler_.sim().now();
   if (now > step_started_) {
-    decode_step_cycles_est_ =
-        (1.0 - kEstimatorGain) * decode_step_cycles_est_ +
-        kEstimatorGain * static_cast<double>(now - step_started_);
+    // Fold the measured step duration into every model that took part in
+    // the step (active_ still holds the step's batch here). A model that
+    // sat the step out keeps its estimator untouched — co-tenant steps
+    // say nothing about ITS decode cost.
+    std::vector<bool> present(models_.size(), false);
+    for (const std::size_t index : active_) {
+      present[records_[index].request.model] = true;
+    }
+    const double observed = static_cast<double>(now - step_started_);
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+      if (!present[m]) continue;
+      decode_step_cycles_est_[m] =
+          (1.0 - kEstimatorGain) * decode_step_cycles_est_[m] +
+          kEstimatorGain * observed;
+    }
   }
   std::vector<std::size_t> still_active;
   still_active.reserve(active_.size());

@@ -74,8 +74,12 @@ struct ServingResult {
   Bytes cc_weight_fetch_bytes = 0;
   /// Weight bytes residency zeroed (ops that rode a pinned layer group).
   Bytes cc_weight_bytes_saved = 0;
-  std::size_t weight_pins = 0;           ///< successful pin acquisitions
+  std::size_t weight_pins = 0;           ///< budget-charging pin acquisitions
   std::size_t weight_pin_fallbacks = 0;  ///< failed acquisitions (re-fetch)
+  /// Attaches that rode another request's pin of the same model instead
+  /// of charging the budget again (share_weight_pins; 0 in per-request
+  /// mode, where every attach is a fresh pin).
+  std::size_t weight_shared_attaches = 0;
   Bytes peak_pinned_bytes = 0;           ///< residency high-water mark
 };
 
@@ -137,7 +141,7 @@ class ServingEngine {
   /// One admitted request's remaining prefill jobs (built once, consumed
   /// chunk by chunk; also cached for deferred queue heads so repeated
   /// admission judgments don't rebuild op lists). When a weight pin is
-  /// acquired, jobs from first_resident_chunk on are rebuilt with the
+  /// attached, jobs from first_resident_chunk on are rebuilt with the
   /// pinned layer groups' weight ops marked resident.
   struct PrefillPlan {
     std::vector<std::size_t> chunk_tokens;
@@ -148,17 +152,21 @@ class ServingEngine {
     Cycle chunk_started = 0;
     std::size_t resident_layers = 0;      ///< layer groups pinned (0 = none)
     std::size_t first_resident_chunk = 0; ///< chunks >= this ride the pin
-    Bytes pinned_bytes = 0;
+    /// This request holds one refcount on pin_key's pin and MUST detach
+    /// exactly once when its plan is dropped (see drop_plan).
+    bool pin_attached = false;
+    PinKey pin_key = 0;
   };
 
   void on_arrival(std::size_t index);
   void pump_admission();
   AdmissionContext admission_context(std::size_t index);
   PrefillPlan& plan_for(std::size_t index);
+  void drop_plan(std::size_t index);
   std::vector<core::GemmWork> build_chunk_ops(const Request& r,
                                               const PrefillPlan& plan,
                                               std::size_t chunk) const;
-  bool maybe_pin_weights(std::size_t index, std::size_t first_resident_chunk);
+  bool maybe_pin_weights(std::size_t index, std::size_t next_chunk);
   void submit_next_chunk(std::size_t index);
   void on_chunk_done(std::size_t index);
   void on_prefill_done(std::size_t index);
@@ -210,10 +218,15 @@ class ServingEngine {
   std::size_t peak_queue_depth_ = 0;
   std::size_t rebalances_ = 0;
   Cycle step_started_ = 0;
-  /// Online estimators feeding AdmissionContext (EWMA over measured
-  /// chunk throughput / decode-step duration; seeded analytically).
-  double cc_bytes_per_cycle_est_ = 1.0;
-  double decode_step_cycles_est_ = 1.0;
+  /// Online estimators feeding AdmissionContext, PER MODEL so a heavy
+  /// co-tenant's measurements never inflate a light model's
+  /// estimated_service into spurious SLO rejections (EWMA over measured
+  /// chunk throughput / decode-step duration; seeded analytically; a
+  /// model's estimator only folds in chunks and decode steps that model
+  /// took part in). With a single served model the sequences are
+  /// byte-identical to the former engine-global scalars.
+  std::vector<double> cc_bytes_per_cycle_est_;
+  std::vector<double> decode_step_cycles_est_;
 };
 
 /// Result + records of a one-shot replay (replay_trace below).

@@ -1,5 +1,7 @@
 #include "serve/serving_engine.hpp"
 
+#include <algorithm>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -315,6 +317,76 @@ TEST(ServingEngine, TaskProxyPruningDerivesPerModelKeepFractions) {
   for (const RequestRecord& rec : engine.records()) {
     EXPECT_DOUBLE_EQ(rec.prune_keep_fraction, keep);
   }
+}
+
+/// Test-only scheduler that records the FIRST estimated_service each
+/// request is judged with (then admits everything). Not a real policy —
+/// the out-pointer makes it impure on purpose.
+class ServiceEstimateProbe final : public SchedulerPolicy {
+ public:
+  explicit ServiceEstimateProbe(std::map<RequestId, Cycle>* out) : out_(out) {}
+  const char* name() const override { return "service-estimate-probe"; }
+  AdmissionVerdict admit(const Request& r,
+                         const AdmissionContext& ctx) const override {
+    out_->emplace(r.id, ctx.estimated_service);
+    return AdmissionVerdict::kAdmit;
+  }
+  std::size_t decode_join_count(std::size_t,
+                                std::size_t ready) const override {
+    return ready;
+  }
+
+ private:
+  std::map<RequestId, Cycle>* out_;
+};
+
+TEST(ServingEngine, PerModelEstimatorsIsolateLightModelFromHeavyCoTenant) {
+  // The admission EWMAs are per model: a heavy co-tenant's measured
+  // chunks and decode steps must not move a light model's
+  // estimated_service. A light request judged after the heavy traffic
+  // drained gets EXACTLY the estimate it would get in an engine that
+  // never served the heavy model (engine-global estimators would have
+  // folded the heavy measurements into it, inflating the estimate into
+  // spurious SLO rejections).
+  model::MllmConfig heavy = tiny_model();
+  heavy.name = "heavy-mllm";
+  heavy.llm.d_ffn = 4096;
+  heavy.llm.layers = 4;
+  const std::vector<model::MllmConfig> zoo = {tiny_model(), heavy};
+  const Request h0 = req(0, 0, 16, 128, 1);
+  const Request h1 = req(1, 0, 12, 128, 1);
+
+  // Probe replay: when has the heavy traffic fully drained?
+  ServingEngine drain_probe(small_cfg(), zoo, fast_config());
+  drain_probe.run({h0, h1});
+  Cycle drained = 0;
+  for (const RequestRecord& rec : drain_probe.records()) {
+    drained = std::max(drained, rec.finish);
+  }
+  const Request light = req(2, drained + 10'000, 8, 64, 0);
+
+  std::map<RequestId, Cycle> mixed_estimates;
+  ServingEngine mixed(small_cfg(), zoo,
+                      EngineConfig()
+                          .scheduler(std::make_shared<ServiceEstimateProbe>(
+                              &mixed_estimates))
+                          .manage_bandwidth(false));
+  mixed.run({h0, h1, light});
+
+  std::map<RequestId, Cycle> alone_estimates;
+  ServingEngine alone(small_cfg(), zoo,
+                      EngineConfig()
+                          .scheduler(std::make_shared<ServiceEstimateProbe>(
+                              &alone_estimates))
+                          .manage_bandwidth(false));
+  alone.run({light});
+
+  ASSERT_TRUE(mixed_estimates.count(light.id));
+  ASSERT_TRUE(alone_estimates.count(light.id));
+  EXPECT_EQ(mixed_estimates.at(light.id), alone_estimates.at(light.id));
+  // The heavy model really is heavier: its own estimate dwarfs the
+  // light one (so the equality above is not vacuous).
+  EXPECT_GT(mixed_estimates.at(h0.id), mixed_estimates.at(light.id));
 }
 
 // The deprecated ServingOptions shim must keep compiling and behave

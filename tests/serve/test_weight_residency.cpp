@@ -102,6 +102,36 @@ TEST(WeightResidencyTracker, PinsWholeLayerGroupsPartially) {
   EXPECT_THROW(tracker.try_pin_layers(3, 300, 0), std::invalid_argument);
 }
 
+TEST(WeightResidencyTracker, PartialPinPathUpdatesPeakAndPinCounters) {
+  // peak_pinned_ must track the PARTIAL-pin path too, not just pins that
+  // take whole budget-sized bites.
+  WeightResidencyTracker tracker(1000);
+  EXPECT_EQ(tracker.try_pin_layers(1, 300, 2), 2u);  // capped by max_layers
+  EXPECT_EQ(tracker.pinned(), 600u);
+  EXPECT_EQ(tracker.peak_pinned(), 600u);
+  EXPECT_EQ(tracker.pins(), 1u);
+  EXPECT_EQ(tracker.try_pin_layers(2, 300, 8), 1u);  // capped by the budget
+  EXPECT_EQ(tracker.pinned(), 900u);
+  EXPECT_EQ(tracker.peak_pinned(), 900u);
+  EXPECT_EQ(tracker.pins(), 2u);
+  tracker.release(1);
+  EXPECT_EQ(tracker.pinned(), 300u);
+  EXPECT_EQ(tracker.peak_pinned(), 900u);  // high-water mark survives
+}
+
+TEST(WeightResidencyTracker, ZeroLayerPartialResultCountsExactlyOneFallback) {
+  // A budget that cannot fit one layer group is ONE fallback — not one
+  // per candidate layer, and not a pin with zero layers.
+  WeightResidencyTracker tracker(100);
+  EXPECT_EQ(tracker.try_pin_layers(1, 300, 8), 0u);
+  EXPECT_EQ(tracker.fallbacks(), 1u);
+  EXPECT_EQ(tracker.pins(), 0u);
+  EXPECT_EQ(tracker.holders(), 0u);
+  EXPECT_EQ(tracker.peak_pinned(), 0u);
+  EXPECT_EQ(tracker.try_pin_layers(2, 101, 1), 0u);
+  EXPECT_EQ(tracker.fallbacks(), 2u);  // exactly one more
+}
+
 TEST(WeightResidencyCapacity, ScalesWithTcdmAndOversubscription) {
   const core::ChipConfig cfg = small_cfg();
   const Bytes base = chip_weight_residency_capacity(cfg);
@@ -147,6 +177,9 @@ TEST(ResidentChunkedPrefillEngine, CapacityZeroReproducesChunkedByteForByte) {
 }
 
 TEST(ResidentChunkedPrefillEngine, FundedBudgetStrictlyCutsWeightTraffic) {
+  // Per-request pins (share_weight_pins(false)): the PR 3 baseline this
+  // suite anchors — each request charges and rides its own pin. The
+  // shared-pin accounting lives in test_shared_pins.cpp.
   const core::ChipConfig cfg = small_cfg();
   const std::vector<Request> trace = {req(0, 0, 4, 192), req(1, 100, 4, 192)};
   const Bytes budget = 2 * full_weight_set(tiny_model(), cfg);
@@ -156,7 +189,8 @@ TEST(ResidentChunkedPrefillEngine, FundedBudgetStrictlyCutsWeightTraffic) {
   const auto resident = replay_trace(
       cfg, {tiny_model()},
       fast_config(std::make_shared<ResidentChunkedPrefill>(48))
-          .weight_residency_bytes(budget),
+          .weight_residency_bytes(budget)
+          .share_weight_pins(false),
       trace);
 
   EXPECT_LT(resident.result.cc_weight_fetch_bytes,
@@ -181,14 +215,17 @@ TEST(ResidentChunkedPrefillEngine, FundedBudgetStrictlyCutsWeightTraffic) {
 
 TEST(ResidentChunkedPrefillEngine, ContentionFallsBackAndNeverStalls) {
   const core::ChipConfig cfg = small_cfg();
-  // Budget for ONE request's layer groups; two requests prefill
-  // concurrently — the loser re-fetches every chunk but still completes.
+  // Budget for ONE request's layer groups under PER-REQUEST pins; two
+  // requests prefill concurrently — the loser re-fetches every chunk but
+  // still completes. (With shared pins this exact contention vanishes:
+  // the second request rides the first's pin; see test_shared_pins.cpp.)
   const Bytes budget = full_weight_set(tiny_model(), cfg);
   const std::vector<Request> trace = {req(0, 0, 4, 192), req(1, 0, 4, 192)};
   const auto outcome = replay_trace(
       cfg, {tiny_model()},
       fast_config(std::make_shared<ResidentChunkedPrefill>(48))
-          .weight_residency_bytes(budget),
+          .weight_residency_bytes(budget)
+          .share_weight_pins(false),
       trace);
 
   EXPECT_EQ(outcome.result.completed, 2u);
