@@ -13,6 +13,11 @@ ByteLedger::ByteLedger(Bytes capacity, const char* what)
   }
 }
 
+Bytes ByteLedger::held_by(RequestId id) const {
+  const auto it = held_.find(id);
+  return it == held_.end() ? 0 : it->second;
+}
+
 bool ByteLedger::try_acquire(RequestId id, Bytes bytes) {
   if (held_.contains(id)) {
     throw std::logic_error(std::string(what_) + ": duplicate hold");

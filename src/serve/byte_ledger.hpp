@@ -28,6 +28,9 @@ class ByteLedger {
   Bytes available() const { return capacity_ - held_bytes_; }
   std::size_t holders() const { return held_.size(); }
 
+  /// Bytes held under `id` (0 when `id` holds nothing).
+  Bytes held_by(RequestId id) const;
+
   /// Acquires `bytes` for `id`; false when it does not fit. Throws
   /// std::logic_error when `id` already holds an acquisition.
   bool try_acquire(RequestId id, Bytes bytes);

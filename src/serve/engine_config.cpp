@@ -66,7 +66,8 @@ double derive_keep_fraction(const model::MllmConfig& model,
 EngineConfig::EngineConfig()
     : scheduler_(std::make_shared<ConcurrencyPolicy>(AdmissionLimits{})),
       planner_(std::make_shared<MonolithicPrefill>()),
-      batcher_(std::make_shared<FifoBatch>()) {}
+      batcher_(std::make_shared<FifoBatch>()),
+      placement_(std::make_shared<KeepCurrentPlacement>()) {}
 
 EngineConfig EngineConfig::from_legacy(const ServingOptions& options) {
   EngineConfig config;
@@ -158,8 +159,22 @@ EngineConfig& EngineConfig::share_weight_pins(bool enabled) {
   return *this;
 }
 
+EngineConfig& EngineConfig::placement_policy(
+    std::shared_ptr<const PlacementPolicy> policy) {
+  if (!policy) {
+    throw std::invalid_argument("EngineConfig: null PlacementPolicy");
+  }
+  placement_ = std::move(policy);
+  return *this;
+}
+
+EngineConfig& EngineConfig::rider_fill_barrier(bool enabled) {
+  rider_fill_barrier_ = enabled;
+  return *this;
+}
+
 void EngineConfig::validate() const {
-  if (!scheduler_ || !planner_ || !batcher_) {
+  if (!scheduler_ || !planner_ || !batcher_ || !placement_) {
     throw std::invalid_argument("EngineConfig: missing policy");
   }
   if (!(prune_keep_fraction_ > 0.0) || prune_keep_fraction_ > 1.0) {

@@ -112,6 +112,23 @@ class EngineConfig {
   /// is active; with at most one in-flight request per model the two
   /// modes replay identically.
   EngineConfig& share_weight_pins(bool enabled);
+  /// Residency-aware model placement: which models' pins to hold,
+  /// acquire or evict against the shared budget (see PlacementPolicy).
+  /// Default KeepCurrentPlacement — first-come pinning, eviction at
+  /// refcount zero — which reproduces the placement-oblivious engine
+  /// bit-for-bit. Only consulted when weight residency is active and
+  /// share_weight_pins is on (per-request pin keys are never reused, so
+  /// there is nothing to place). Throws std::invalid_argument on null.
+  EngineConfig& placement_policy(std::shared_ptr<const PlacementPolicy> policy);
+  /// Honest shared-pin fill timing (default: true): a fresh pin's bytes
+  /// only count as on-chip once the owner's fill chunk retires, so a
+  /// rider chunk dispatched before that re-fetches the not-yet-landed
+  /// layer groups (ledgered as ServingResult::rider_refetch_bytes).
+  /// false restores the PR 4 fill-timing-optimistic model — riders skip
+  /// weight DMA the moment they attach — kept for A/B comparisons and
+  /// the bench baselines. No effect without shared weight pins (a pin's
+  /// owner is always ordered after its own fill).
+  EngineConfig& rider_fill_barrier(bool enabled);
 
   // --- Getters ------------------------------------------------------------
   const SchedulerPolicy& scheduler() const { return *scheduler_; }
@@ -127,6 +144,8 @@ class EngineConfig {
   Bytes kv_capacity() const { return kv_capacity_bytes_; }
   Bytes weight_residency() const { return weight_residency_bytes_; }
   bool share_weight_pins() const { return share_weight_pins_; }
+  const PlacementPolicy& placement() const { return *placement_; }
+  bool rider_fill_barrier() const { return rider_fill_barrier_; }
 
   /// Re-checks the composed whole (policies present, fractions sane).
   /// The engine calls this once at construction; throws
@@ -137,6 +156,7 @@ class EngineConfig {
   std::shared_ptr<const SchedulerPolicy> scheduler_;
   std::shared_ptr<const PrefillPlanner> planner_;
   std::shared_ptr<const BatchPolicy> batcher_;
+  std::shared_ptr<const PlacementPolicy> placement_;
   bool manage_bandwidth_ = true;
   core::BandwidthPolicy bandwidth_{};
   Cycle rebalance_interval_ = 0;
@@ -145,6 +165,7 @@ class EngineConfig {
   Bytes kv_capacity_bytes_ = 0;
   Bytes weight_residency_bytes_ = 0;
   bool share_weight_pins_ = true;
+  bool rider_fill_barrier_ = true;
 };
 
 }  // namespace edgemm::serve

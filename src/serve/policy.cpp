@@ -57,4 +57,139 @@ void ShortestRemainingFirst::order_joiners(
                    });
 }
 
+// --- Placement policies -----------------------------------------------------
+
+namespace {
+
+/// Model indices ordered hottest-first: live demand desc, ties to the
+/// lower index (pure determinism — residency deliberately does NOT
+/// break ties, or a small resident model could squat the budget slot a
+/// big equal-demand model needs).
+std::vector<std::size_t> by_demand_desc(const PlacementContext& ctx) {
+  std::vector<std::size_t> order(ctx.models.size());
+  for (std::size_t m = 0; m < order.size(); ++m) order[m] = m;
+  std::stable_sort(order.begin(), order.end(),
+                   [&ctx](std::size_t a, std::size_t b) {
+                     const ModelDemand& da = ctx.models[a];
+                     const ModelDemand& db = ctx.models[b];
+                     if (da.live_demand() != db.live_demand()) {
+                       return da.live_demand() > db.live_demand();
+                     }
+                     return a < b;
+                   });
+  return order;
+}
+
+/// Idle resident models ordered coldest-first (live demand asc; within
+/// equal demand the LARGEST pin goes first — one eviction covers the
+/// need and the other idle models stay resident; ties to the lower
+/// index), cut off once the freed bytes cover `bytes_needed`.
+std::vector<std::size_t> coldest_idle_victims(
+    Bytes bytes_needed, const PlacementContext& ctx,
+    const std::vector<std::size_t>& excluded) {
+  std::vector<std::size_t> idle;
+  for (std::size_t m = 0; m < ctx.models.size(); ++m) {
+    if (!ctx.models[m].idle_resident) continue;
+    if (std::find(excluded.begin(), excluded.end(), m) != excluded.end()) {
+      continue;
+    }
+    idle.push_back(m);
+  }
+  std::stable_sort(idle.begin(), idle.end(),
+                   [&ctx](std::size_t a, std::size_t b) {
+                     const std::size_t da = ctx.models[a].live_demand();
+                     const std::size_t db = ctx.models[b].live_demand();
+                     if (da != db) return da < db;
+                     if (ctx.models[a].pinned_bytes !=
+                         ctx.models[b].pinned_bytes) {
+                       return ctx.models[a].pinned_bytes >
+                              ctx.models[b].pinned_bytes;
+                     }
+                     return a < b;
+                   });
+  std::vector<std::size_t> victims;
+  Bytes freed = 0;
+  for (const std::size_t m : idle) {
+    if (freed >= bytes_needed) break;
+    victims.push_back(m);
+    freed += ctx.models[m].pinned_bytes;
+  }
+  return victims;
+}
+
+}  // namespace
+
+bool KeepCurrentPlacement::may_acquire(std::size_t,
+                                       const PlacementContext&) const {
+  return true;
+}
+
+bool KeepCurrentPlacement::retain_idle(std::size_t,
+                                       const PlacementContext&) const {
+  return false;
+}
+
+std::vector<std::size_t> KeepCurrentPlacement::evict_victims(
+    std::size_t, Bytes, const PlacementContext&) const {
+  return {};
+}
+
+std::vector<std::size_t> DemandWeightedPlacement::target_set(
+    const PlacementContext& ctx) const {
+  // Greedy knapsack over hottest-first full sets. Zero-demand models
+  // only stay in the set while already resident (keeping them warm is
+  // free); they are the first to fall out once a demanded model wants
+  // the bytes, because the greedy pass sees the demanded model first.
+  std::vector<std::size_t> target;
+  Bytes remaining = ctx.capacity;
+  for (const std::size_t m : by_demand_desc(ctx)) {
+    const ModelDemand& d = ctx.models[m];
+    if (d.live_demand() == 0 && d.resident_layers == 0) continue;
+    const Bytes set = d.full_set_bytes();
+    if (set == 0 || set > remaining) continue;
+    target.push_back(m);
+    remaining -= set;
+  }
+  return target;
+}
+
+bool DemandWeightedPlacement::may_acquire(std::size_t model,
+                                          const PlacementContext& ctx) const {
+  const auto target = target_set(ctx);
+  return std::find(target.begin(), target.end(), model) != target.end();
+}
+
+bool DemandWeightedPlacement::retain_idle(std::size_t model,
+                                          const PlacementContext& ctx) const {
+  // Same judgment at detach time: a model still in the target set keeps
+  // its bytes warm, one that fell out of it is evicted on the spot.
+  return may_acquire(model, ctx);
+}
+
+std::vector<std::size_t> DemandWeightedPlacement::evict_victims(
+    std::size_t model, Bytes bytes_needed, const PlacementContext& ctx) const {
+  const auto target = target_set(ctx);
+  if (std::find(target.begin(), target.end(), model) == target.end()) {
+    return {};
+  }
+  return coldest_idle_victims(bytes_needed, ctx, target);
+}
+
+bool EvictIdleOnPressure::may_acquire(std::size_t,
+                                      const PlacementContext&) const {
+  return true;
+}
+
+bool EvictIdleOnPressure::retain_idle(std::size_t,
+                                      const PlacementContext&) const {
+  return true;
+}
+
+std::vector<std::size_t> EvictIdleOnPressure::evict_victims(
+    std::size_t model, Bytes bytes_needed, const PlacementContext& ctx) const {
+  // Never evict the asker's own idle pin out from under it — it would
+  // ride that pin warm instead of re-pinning.
+  return coldest_idle_victims(bytes_needed, ctx, {model});
+}
+
 }  // namespace edgemm::serve

@@ -2,10 +2,11 @@
 //
 // The engine is a policy-driven orchestrator: WHAT to admit is decided
 // by a SchedulerPolicy, HOW a request's prefill is cut into CC-lane jobs
-// by a PrefillPlanner, and WHICH prefilled requests join the next decode
-// step (and in what order) by a BatchPolicy. Concrete policies live in
-// admission.hpp (scheduler side) and below (planner / batcher side); new
-// ones only need to implement one of these interfaces and be handed to
+// by a PrefillPlanner, WHICH prefilled requests join the next decode
+// step (and in what order) by a BatchPolicy, and WHICH models' weights
+// deserve the shared residency budget by a PlacementPolicy. Concrete
+// policies live in admission.hpp (scheduler side) and below; new ones
+// only need to implement one of these interfaces and be handed to
 // EngineConfig.
 #ifndef EDGEMM_SERVE_POLICY_HPP
 #define EDGEMM_SERVE_POLICY_HPP
@@ -14,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/types.hpp"
 #include "serve/request.hpp"
 
 namespace edgemm::serve {
@@ -201,6 +203,140 @@ class ShortestRemainingFirst final : public BatchPolicy {
   const char* name() const override { return "shortest-remaining-first"; }
   void order_joiners(std::vector<std::size_t>& ready,
                      const std::vector<RequestRecord>& records) const override;
+};
+
+/// Per-model demand signals the engine maintains anyway, snapshotted for
+/// PlacementPolicy judgments. All deterministic; the estimates are the
+/// same per-model EWMAs AdmissionContext is built from.
+struct ModelDemand {
+  std::size_t queued = 0;    ///< requests of this model waiting in the queue
+  std::size_t inflight = 0;  ///< admitted but unfinished requests
+  /// Requests currently attached to this model's weight pin (riders
+  /// included); 0 for an idle kept-warm pin and for no pin at all.
+  std::size_t pin_refcount = 0;
+  std::size_t resident_layers = 0;  ///< layer groups on chip (idle included)
+  bool idle_resident = false;       ///< resident with refcount 0 (evictable)
+  Bytes pinned_bytes = 0;           ///< bytes this model holds of the budget
+  Bytes layer_group_bytes = 0;      ///< pin granularity of this model
+  std::size_t total_layers = 0;     ///< LLM layers (full set = total x group)
+  double cc_bytes_per_cycle_est = 0.0;  ///< per-model CC throughput EWMA
+  double decode_step_cycles_est = 0.0;  ///< per-model decode-step EWMA
+
+  /// Live requests that could want this model's weights near compute.
+  std::size_t live_demand() const { return queued + inflight; }
+  /// Bytes of the model's FULL layer-group set (the pin's fill target).
+  Bytes full_set_bytes() const {
+    return layer_group_bytes * static_cast<Bytes>(total_layers);
+  }
+};
+
+/// Engine snapshot handed to every PlacementPolicy judgment: the shared
+/// residency budget plus one ModelDemand per served model (indexed like
+/// the engine's model list).
+struct PlacementContext {
+  Bytes capacity = 0;           ///< the WeightResidencyTracker budget
+  Bytes pinned_bytes = 0;       ///< held right now (live + idle pins)
+  Bytes idle_pinned_bytes = 0;  ///< reclaimable without touching live pins
+  std::vector<ModelDemand> models;
+};
+
+/// Decides which models' layer-group pins to hold, acquire or evict
+/// against the shared residency budget in multi-model serving. The
+/// engine consults it at three seams: before charging the budget with a
+/// FRESH pin (may_acquire — riders on an existing pin are always
+/// allowed, sharing is free), when a pin's LAST rider detaches
+/// (retain_idle — keep the bytes warm for the model's next request, or
+/// evict now), and when an allowed acquisition does not fit the
+/// remaining budget (evict_victims — which idle pins to reclaim).
+/// Implementations must be deterministic pure functions of their
+/// construction parameters and arguments. Only consulted in shared-pin
+/// mode with weight residency active; KeepCurrentPlacement reproduces
+/// the placement-oblivious PR 4 engine bit-for-bit.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// @return Stable human-readable policy name (bench/docs labels).
+  virtual const char* name() const = 0;
+
+  /// May `model` charge the budget with a fresh pin now?
+  /// @param model  Index into ctx.models of the model asking to pin.
+  /// @param ctx    Demand + budget snapshot.
+  /// @return false to deny (the request keeps re-fetching; counted as
+  ///         placement_denials), true to let the attach proceed.
+  virtual bool may_acquire(std::size_t model,
+                           const PlacementContext& ctx) const = 0;
+
+  /// Keep `model`'s bytes resident (an idle, warm pin) when its last
+  /// attached request detaches? false = evict immediately (the PR 4
+  /// behavior).
+  virtual bool retain_idle(std::size_t model,
+                           const PlacementContext& ctx) const = 0;
+
+  /// Idle models whose pins should be evicted so `model` can fit
+  /// `bytes_needed` more bytes, in eviction order. Only idle_resident
+  /// models are evictable — the engine ignores any other entry — and
+  /// eviction stops as soon as the freed bytes cover the need.
+  virtual std::vector<std::size_t> evict_victims(
+      std::size_t model, Bytes bytes_needed,
+      const PlacementContext& ctx) const = 0;
+};
+
+/// The placement-oblivious baseline (default): every model may pin
+/// first-come-first-served, nothing is kept warm, nothing is evicted.
+/// Composed with the fill barrier off this reproduces the PR 4 engine
+/// bit-for-bit (tested).
+class KeepCurrentPlacement final : public PlacementPolicy {
+ public:
+  const char* name() const override { return "keep-current"; }
+  bool may_acquire(std::size_t model,
+                   const PlacementContext& ctx) const override;
+  bool retain_idle(std::size_t model,
+                   const PlacementContext& ctx) const override;
+  std::vector<std::size_t> evict_victims(
+      std::size_t model, Bytes bytes_needed,
+      const PlacementContext& ctx) const override;
+};
+
+/// Demand-weighted resident set: ranks models by live demand
+/// (queued + inflight, ties to the lower index) and greedily grants
+/// full layer-group sets from the top until the budget runs out
+/// (zero-demand models only stay ranked while already resident —
+/// keeping them warm is free until a demanded model wants the bytes).
+/// A model outside that target set may not acquire and is not kept
+/// warm; an in-set model under budget pressure evicts idle out-of-set
+/// pins (coldest first).
+class DemandWeightedPlacement final : public PlacementPolicy {
+ public:
+  const char* name() const override { return "demand-weighted"; }
+  bool may_acquire(std::size_t model,
+                   const PlacementContext& ctx) const override;
+  bool retain_idle(std::size_t model,
+                   const PlacementContext& ctx) const override;
+  std::vector<std::size_t> evict_victims(
+      std::size_t model, Bytes bytes_needed,
+      const PlacementContext& ctx) const override;
+
+  /// The models the budget should hold, in grant order (exposed for
+  /// tests and observability; deterministic).
+  std::vector<std::size_t> target_set(const PlacementContext& ctx) const;
+};
+
+/// Optimistic keep-warm: everyone may pin and every pin is kept warm at
+/// idle; idle pins are evicted (coldest demand first, ties to the lower
+/// index) only when a fresh acquisition actually needs the room. The
+/// greedy middle ground: maximal reuse while the budget is slack,
+/// demand-ordered reclamation under pressure.
+class EvictIdleOnPressure final : public PlacementPolicy {
+ public:
+  const char* name() const override { return "evict-idle"; }
+  bool may_acquire(std::size_t model,
+                   const PlacementContext& ctx) const override;
+  bool retain_idle(std::size_t model,
+                   const PlacementContext& ctx) const override;
+  std::vector<std::size_t> evict_victims(
+      std::size_t model, Bytes bytes_needed,
+      const PlacementContext& ctx) const override;
 };
 
 }  // namespace edgemm::serve

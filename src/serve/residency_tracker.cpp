@@ -37,27 +37,91 @@ WeightResidencyTracker::AttachResult WeightResidencyTracker::attach_layers(
   const auto it = pins_by_key_.find(key);
   if (it != pins_by_key_.end()) {
     // The weights are already on chip under this key: ride them. The
-    // budget is charged once per pin, not once per attached request.
+    // budget is charged once per pin, not once per attached request. A
+    // zero refcount means the pin was kept warm by a keep_resident
+    // detach — reviving it is the keep-warm win (no fill fetch at all).
+    const bool warm = it->second.refs == 0;
     ++it->second.refs;
-    ++shared_attaches_;
-    return {it->second.layers, /*shared=*/true};
+    if (warm) {
+      ++warm_attaches_;
+    } else {
+      ++shared_attaches_;
+    }
+    return {it->second.layers, /*shared=*/true, warm};
   }
   const std::size_t fit = try_pin_layers(key, bytes_per_layer, max_layers);
-  if (fit == 0) return {0, false};  // fallback counted by try_pin_layers
-  pins_by_key_.emplace(key, Pin{fit, 1});
-  return {fit, /*shared=*/false};
+  if (fit == 0) return {0, false, false};  // fallback counted by try_pin_layers
+  pins_by_key_.emplace(key, Pin{fit, 1, /*filled=*/false});
+  return {fit, /*shared=*/false, /*warm=*/false};
 }
 
-void WeightResidencyTracker::detach(PinKey key) {
+void WeightResidencyTracker::detach(PinKey key, bool keep_resident) {
   const auto it = pins_by_key_.find(key);
-  if (it == pins_by_key_.end()) {
+  if (it == pins_by_key_.end() || it->second.refs == 0) {
     throw std::logic_error(
         "WeightResidencyTracker: detach from a key holding no attached pin");
   }
-  if (--it->second.refs == 0) {
+  if (--it->second.refs == 0 && !keep_resident) {
     ledger_.release(key);
     pins_by_key_.erase(it);
   }
+}
+
+void WeightResidencyTracker::mark_filled(PinKey key) {
+  const auto it = pins_by_key_.find(key);
+  if (it == pins_by_key_.end()) {
+    throw std::logic_error("WeightResidencyTracker: mark_filled without a pin");
+  }
+  it->second.filled = true;
+}
+
+bool WeightResidencyTracker::filled(PinKey key) const {
+  const auto it = pins_by_key_.find(key);
+  return it != pins_by_key_.end() && it->second.filled;
+}
+
+void WeightResidencyTracker::evict_idle(PinKey key) {
+  const auto it = pins_by_key_.find(key);
+  if (it == pins_by_key_.end()) {
+    throw std::logic_error("WeightResidencyTracker: evicting a missing pin");
+  }
+  if (it->second.refs > 0) {
+    throw std::logic_error(
+        "WeightResidencyTracker: evicting a pin with live holders");
+  }
+  ledger_.release(key);
+  pins_by_key_.erase(it);
+  ++idle_evictions_;
+}
+
+std::size_t WeightResidencyTracker::evict_all_idle() {
+  std::size_t evicted = 0;
+  for (auto it = pins_by_key_.begin(); it != pins_by_key_.end();) {
+    if (it->second.refs == 0) {
+      ledger_.release(it->first);
+      it = pins_by_key_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+std::size_t WeightResidencyTracker::idle_pins() const {
+  std::size_t idle = 0;
+  for (const auto& [key, pin] : pins_by_key_) {
+    if (pin.refs == 0) ++idle;
+  }
+  return idle;
+}
+
+Bytes WeightResidencyTracker::idle_pinned_bytes() const {
+  Bytes bytes = 0;
+  for (const auto& [key, pin] : pins_by_key_) {
+    if (pin.refs == 0) bytes += ledger_.held_by(key);
+  }
+  return bytes;
 }
 
 std::size_t WeightResidencyTracker::refcount(PinKey key) const {

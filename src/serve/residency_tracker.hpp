@@ -28,6 +28,21 @@
 // recovered by simply keying attaches by request id instead of model
 // id, which makes every attach a fresh pin.
 //
+// Two PR 5 extensions make the pins placement- and timing-aware:
+//   - FILL BARRIER: a fresh pin starts UNFILLED — its bytes are only on
+//     chip once the owner's fill chunk retires (mark_filled). A rider
+//     whose chunk dispatches before that must re-fetch the not-yet-
+//     landed groups; the engine checks filled() at submit time and
+//     accounts the re-fetch (ServingResult::rider_refetch_bytes),
+//     bounding PR 4's fill-timing optimism.
+//   - KEEP-WARM / EVICT-IDLE: detach(key, keep_resident = true) keeps a
+//     pin's bytes resident after its refcount hits zero (an IDLE pin) so
+//     the model's next request attaches warm (warm_attaches) with no
+//     fill fetch and no barrier. Idle pins are reclaimed explicitly
+//     (evict_idle / evict_all_idle, idle_evictions counter) — which
+//     models to keep warm or evict is a PlacementPolicy decision, not
+//     the tracker's.
+//
 // The natural budget unit is the CC-side TCDM of the chip
 // (chip_weight_residency_capacity below, from
 // ChipConfig::cc_cluster_tcdm_bytes). As with the KV tracker, the
@@ -91,8 +106,14 @@ class WeightResidencyTracker {
     std::size_t layers = 0;
     /// True when the attach rode an EXISTING pin: the bytes were already
     /// charged by an earlier attach, so the caller's next chunk can skip
-    /// the pinned layers' weight DMA immediately (no fill fetch needed).
+    /// the pinned layers' weight DMA immediately (no fill fetch needed —
+    /// though an unfilled pin's rider still re-fetches until the fill
+    /// lands when the engine enforces the fill barrier).
     bool shared = false;
+    /// True when the attach revived an IDLE pin (refcount was zero but
+    /// the bytes were kept resident by a keep-warm detach): the weights
+    /// are on chip AND filled, so every chunk rides barrier-free.
+    bool warm = false;
   };
 
   /// Throws std::invalid_argument for a zero capacity.
@@ -107,12 +128,22 @@ class WeightResidencyTracker {
   /// Failed acquisitions so far (each one is a chunk tail that keeps
   /// re-fetching weights instead of riding a pin).
   std::size_t fallbacks() const { return fallbacks_; }
-  /// Attaches that rode an existing pin instead of charging the budget
-  /// (the multi-tenant win: every one is a whole prefill's weight DMA
-  /// shared instead of duplicated).
+  /// Attaches that rode an existing LIVE pin (refcount > 0) instead of
+  /// charging the budget (the multi-tenant win: every one is a whole
+  /// prefill's weight DMA shared instead of duplicated).
   std::size_t shared_attaches() const { return shared_attaches_; }
+  /// Attaches that revived an idle (kept-warm) pin: refcount 0 -> 1 with
+  /// the bytes already resident and filled.
+  std::size_t warm_attaches() const { return warm_attaches_; }
+  /// Idle pins reclaimed via evict_idle (placement-policy evictions;
+  /// excludes the end-of-replay evict_all_idle flush).
+  std::size_t idle_evictions() const { return idle_evictions_; }
   /// High-water mark of simultaneously pinned bytes.
   Bytes peak_pinned() const { return peak_pinned_; }
+  /// Pins currently resident with a zero refcount (kept warm).
+  std::size_t idle_pins() const;
+  /// Bytes held by idle pins — reclaimable without touching any live pin.
+  Bytes idle_pinned_bytes() const;
 
   /// Refcounted attach under `key`. If `key` already holds a pin, the
   /// refcount is incremented and the existing pin is returned with
@@ -127,14 +158,37 @@ class WeightResidencyTracker {
   AttachResult attach_layers(PinKey key, Bytes bytes_per_layer,
                              std::size_t max_layers);
 
-  /// Detaches one holder from `key`'s pin; the bytes are released
-  /// (eviction) only when the refcount reaches zero. Throws
-  /// std::logic_error when `key` holds no attached pin.
-  void detach(PinKey key);
+  /// Detaches one holder from `key`'s pin. When the refcount reaches
+  /// zero the bytes are released (evicted) — unless `keep_resident` is
+  /// true, in which case the pin stays on chip as an IDLE pin (zero
+  /// refcount, bytes still charged, fill state preserved) for the next
+  /// same-key attach to revive warm. Throws std::logic_error when `key`
+  /// holds no attached pin.
+  void detach(PinKey key, bool keep_resident = false);
 
-  /// Requests currently attached to `key`'s pin (0 = no pin).
+  /// Marks `key`'s pin as filled: its owner's fill fetch has retired and
+  /// the bytes are genuinely on chip, so riders stop re-fetching. Throws
+  /// std::logic_error when `key` holds no pin.
+  void mark_filled(PinKey key);
+
+  /// True when `key`'s pin exists and its fill has landed. False for an
+  /// unfilled pin AND for no pin at all (nothing to ride either way).
+  bool filled(PinKey key) const;
+
+  /// Evicts `key`'s IDLE pin (refcount zero, kept warm): the bytes are
+  /// released and idle_evictions is counted. Throws std::logic_error
+  /// when `key` holds no pin or the pin still has holders.
+  void evict_idle(PinKey key);
+
+  /// Evicts every idle pin (end-of-replay flush); returns the count.
+  /// NOT counted in idle_evictions — it is bookkeeping, not placement.
+  std::size_t evict_all_idle();
+
+  /// Requests currently attached to `key`'s pin (0 = no pin — note an
+  /// idle kept-warm pin also reports 0; see resident_layers).
   std::size_t refcount(PinKey key) const;
-  /// Layer groups resident under `key`'s pin (0 = no pin).
+  /// Layer groups resident under `key`'s pin, idle pins included
+  /// (0 = no pin).
   std::size_t resident_layers(PinKey key) const;
 
   // --- Low-level non-refcounted core (attach_layers builds on these) ----
@@ -154,10 +208,14 @@ class WeightResidencyTracker {
 
  private:
   /// One refcounted pin (attach_layers/detach bookkeeping on top of the
-  /// ledger entry held under the same key).
+  /// ledger entry held under the same key). refs == 0 with the entry
+  /// still present = an idle kept-warm pin.
   struct Pin {
     std::size_t layers = 0;
     std::size_t refs = 0;
+    /// False until the owner's fill fetch retires (mark_filled); riders
+    /// of an unfilled pin re-fetch under the engine's fill barrier.
+    bool filled = false;
   };
 
   ByteLedger ledger_;
@@ -166,6 +224,8 @@ class WeightResidencyTracker {
   std::size_t pins_ = 0;
   std::size_t fallbacks_ = 0;
   std::size_t shared_attaches_ = 0;
+  std::size_t warm_attaches_ = 0;
+  std::size_t idle_evictions_ = 0;
 };
 
 }  // namespace edgemm::serve

@@ -102,6 +102,9 @@ ServingEngine::ServingEngine(const core::ChipConfig& config,
     decode_shared_bytes_.push_back(batch1_near - per_request_near);
   }
 
+  queued_per_model_.assign(models_.size(), 0);
+  inflight_per_model_.assign(models_.size(), 0);
+
   // Seed the per-model policy estimators analytically; each converges
   // onto its own model's measured values as that model's chunks retire
   // and decode steps it took part in complete.
@@ -231,15 +234,22 @@ ServingResult ServingEngine::run(std::vector<Request> requests) {
   result.kv_deferrals = kv_ ? kv_->deferrals() : 0;
   result.cc_weight_fetch_bytes = cc_weight_fetched_;
   result.cc_weight_bytes_saved = cc_weight_saved_;
+  result.rider_refetch_bytes = rider_refetch_bytes_;
+  result.placement_denials = placement_denials_;
   if (residency_) {
-    // Every attach detached on some exit path (prefill retirement,
-    // rejection, any future early-drop): a drained trace may not leave a
-    // single holder or byte behind.
+    // Pins kept warm by the placement policy legitimately outlive their
+    // last rider; flush them now that the trace is drained, THEN assert
+    // no LIVE attach leaked past the replay (every attach must have
+    // detached on some exit path — prefill retirement, rejection, any
+    // future early-drop).
+    result.placement_evictions = residency_->idle_evictions();
+    residency_->evict_all_idle();
     EDGEMM_ASSERT_MSG(residency_->holders() == 0 && residency_->pinned() == 0,
                       "ServingEngine: weight pins leaked past the replay");
     result.weight_pins = residency_->pins();
     result.weight_pin_fallbacks = residency_->fallbacks();
     result.weight_shared_attaches = residency_->shared_attaches();
+    result.weight_warm_attaches = residency_->warm_attaches();
     result.peak_pinned_bytes = residency_->peak_pinned();
   }
   return result;
@@ -247,6 +257,7 @@ ServingResult ServingEngine::run(std::vector<Request> requests) {
 
 void ServingEngine::on_arrival(std::size_t index) {
   queue_.push(records_[index].request);
+  ++queued_per_model_[records_[index].request.model];
   peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
   pump_admission();
 }
@@ -282,7 +293,8 @@ ServingEngine::PrefillPlan& ServingEngine::plan_for(std::size_t index) {
 
 std::vector<GemmWork> ServingEngine::build_chunk_ops(const Request& r,
                                                      const PrefillPlan& plan,
-                                                     std::size_t chunk) const {
+                                                     std::size_t chunk,
+                                                     bool barrier_refetch) const {
   const model::MllmConfig& m = models_[r.model];
   std::size_t start = 0;
   for (std::size_t c = 0; c < chunk; ++c) start += plan.chunk_tokens[c];
@@ -290,14 +302,42 @@ std::vector<GemmWork> ServingEngine::build_chunk_ops(const Request& r,
   // prefill slice (and always fetches — it is what fills the pin).
   std::vector<GemmWork> ops =
       chunk == 0 ? model::build_encoder_ops(m, r.crops) : std::vector<GemmWork>{};
+  // barrier_refetch builds the chunk as if no pin were held: a rider
+  // dispatched before the pin's fill landed must stream the weights.
   const std::size_t resident =
-      plan.resident_layers > 0 && chunk >= plan.first_resident_chunk
+      !barrier_refetch && plan.resident_layers > 0 &&
+              chunk >= plan.first_resident_chunk
           ? plan.resident_layers
           : 0;
   const auto body = model::build_prefill_chunk(
       m, start, plan.chunk_tokens[chunk], r.input_tokens, resident);
   ops.insert(ops.end(), body.begin(), body.end());
   return model::aggregate_ops(ops);
+}
+
+PlacementContext ServingEngine::placement_context() const {
+  PlacementContext ctx;
+  ctx.capacity = residency_->capacity();
+  ctx.pinned_bytes = residency_->pinned();
+  ctx.idle_pinned_bytes = residency_->idle_pinned_bytes();
+  ctx.models.reserve(models_.size());
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    ModelDemand d;
+    d.queued = queued_per_model_[m];
+    d.inflight = inflight_per_model_[m];
+    const PinKey key = static_cast<PinKey>(m);
+    d.pin_refcount = residency_->refcount(key);
+    d.resident_layers = residency_->resident_layers(key);
+    d.idle_resident = d.resident_layers > 0 && d.pin_refcount == 0;
+    d.pinned_bytes =
+        static_cast<Bytes>(d.resident_layers) * layer_weight_bytes_[m];
+    d.layer_group_bytes = layer_weight_bytes_[m];
+    d.total_layers = models_[m].llm.layers;
+    d.cc_bytes_per_cycle_est = cc_bytes_per_cycle_est_[m];
+    d.decode_step_cycles_est = decode_step_cycles_est_[m];
+    ctx.models.push_back(d);
+  }
+  return ctx;
 }
 
 bool ServingEngine::maybe_pin_weights(std::size_t index,
@@ -310,22 +350,53 @@ bool ServingEngine::maybe_pin_weights(std::size_t index,
   // model refcount one pin and the budget is charged once. Per-request
   // mode keys by request id — unique per request, so every attach is a
   // fresh pin (the PR 3 behavior).
-  const PinKey key = engine_config_.share_weight_pins()
-                         ? static_cast<PinKey>(r.model)
-                         : static_cast<PinKey>(r.id);
+  const bool shared_mode = engine_config_.share_weight_pins();
+  const PinKey key =
+      shared_mode ? static_cast<PinKey>(r.model) : static_cast<PinKey>(r.id);
   // A brand-new pin is filled by next_chunk's fetch, so only the chunks
   // AFTER it ride it — and pinning is pointless with no tail left. An
-  // attach to an existing pin finds the weights already on chip and
-  // starts saving on next_chunk itself.
-  const bool rides_existing = residency_->refcount(key) > 0;
+  // attach to an existing pin — live, or kept warm by the placement
+  // policy — finds the weights already on chip and starts saving on
+  // next_chunk itself.
+  const bool rides_existing = residency_->resident_layers(key) > 0;
   const std::size_t first_resident =
       rides_existing ? next_chunk : next_chunk + 1;
   if (first_resident >= plan.jobs.size()) return false;
+  if (!rides_existing && shared_mode) {
+    // Residency-aware placement guards every budget-charging attach
+    // (riders are never guarded: sharing resident bytes is free). A
+    // denied model keeps re-fetching; an allowed one under budget
+    // pressure may first reclaim idle kept-warm pins of colder models.
+    const PlacementContext ctx = placement_context();
+    if (!engine_config_.placement().may_acquire(r.model, ctx)) {
+      // One count per denied REQUEST, not per retry: the late-pin seam
+      // re-asks at every remaining chunk.
+      if (!plan.placement_denied) {
+        plan.placement_denied = true;
+        ++placement_denials_;
+      }
+      return false;
+    }
+    const Bytes full_set = ctx.models[r.model].full_set_bytes();
+    if (residency_->available() < full_set) {
+      const Bytes needed = full_set - residency_->available();
+      for (const std::size_t victim :
+           engine_config_.placement().evict_victims(r.model, needed, ctx)) {
+        // Only idle pins are evictable; live riders are never torn down.
+        if (victim < models_.size() && victim != r.model &&
+            ctx.models[victim].idle_resident) {
+          residency_->evict_idle(static_cast<PinKey>(victim));
+        }
+      }
+    }
+  }
   const auto attach = residency_->attach_layers(
       key, layer_weight_bytes_[r.model], models_[r.model].llm.layers);
   if (attach.layers == 0) return false;  // budget contended: keep re-fetching
   plan.pin_attached = true;
   plan.pin_key = key;
+  plan.pin_owner = !attach.shared;
+  if (plan.pin_owner) plan.fill_chunk = next_chunk;
   plan.resident_layers = attach.layers;
   plan.first_resident_chunk = first_resident;
   records_[index].weight_pinned_layers = attach.layers;
@@ -349,7 +420,20 @@ void ServingEngine::drop_plan(std::size_t index) {
   // an attached pin can never outlive its request.
   const auto it = plans_.find(index);
   if (it == plans_.end()) return;
-  if (it->second.pin_attached) residency_->detach(it->second.pin_key);
+  if (it->second.pin_attached) {
+    bool keep_resident = false;
+    if (engine_config_.share_weight_pins() &&
+        residency_->refcount(it->second.pin_key) == 1) {
+      // Last rider detaching: the placement policy decides whether the
+      // model's bytes stay on chip as an idle (warm) pin — free rides
+      // for its next request — or leave now. Out-of-favor idle pins are
+      // reclaimed later by evict_victims when a hotter model needs the
+      // room. Per-request keys are never reused, so nothing to retain.
+      keep_resident = engine_config_.placement().retain_idle(
+          records_[index].request.model, placement_context());
+    }
+    residency_->detach(it->second.pin_key, keep_resident);
+  }
   plans_.erase(it);
 }
 
@@ -386,6 +470,7 @@ void ServingEngine::pump_admission() {
     }
     if (verdict == AdmissionVerdict::kDefer) break;
     const Request r = queue_.pop();
+    --queued_per_model_[r.model];
     RequestRecord& rec = records_[index];
     if (verdict == AdmissionVerdict::kReject) {
       rec.rejected = true;
@@ -395,6 +480,7 @@ void ServingEngine::pump_admission() {
     }
 
     ++inflight_;
+    ++inflight_per_model_[r.model];
     rec.admitted = sim.now();
     rec.prune_keep_fraction = keep_fraction_[r.model];
     PrefillPlan& plan = plan_for(index);
@@ -423,6 +509,33 @@ void ServingEngine::submit_next_chunk(std::size_t index) {
     const Bytes before = plan.total_bytes;
     if (maybe_pin_weights(index, chunk)) {
       cc_pending_bytes_ -= static_cast<double>(before - plan.total_bytes);
+    }
+  }
+  // Fill barrier: a rider chunk dispatched before the pin owner's fill
+  // fetch retired would skip DMA for bytes that are not on chip yet.
+  // With the barrier on it re-fetches the not-yet-landed groups instead
+  // (this chunk only — the rider's later chunks ride normally once the
+  // fill lands). Pin owners are exempt by construction: their chunks
+  // after the fill chunk are ordered behind it on the same request.
+  if (engine_config_.rider_fill_barrier() && residency_ &&
+      plan.pin_attached && !plan.pin_owner &&
+      chunk >= plan.first_resident_chunk &&
+      !residency_->filled(plan.pin_key)) {
+    Bytes refetch = 0;
+    for (const GemmWork& op : plan.jobs[chunk]) {
+      if (op.weights_resident && op.weight_elem_bytes_override == 0) {
+        refetch += static_cast<Bytes>(op.k) * op.n * config_.cc_elem_bytes;
+      }
+    }
+    if (refetch > 0) {
+      rider_refetch_bytes_ += refetch;
+      std::vector<GemmWork> ops = build_chunk_ops(
+          records_[index].request, plan, chunk, /*barrier_refetch=*/true);
+      const Bytes bytes = cc_job_bytes(ops);
+      cc_pending_bytes_ += static_cast<double>(bytes - plan.job_bytes[chunk]);
+      plan.total_bytes += bytes - plan.job_bytes[chunk];
+      plan.jobs[chunk] = std::move(ops);
+      plan.job_bytes[chunk] = bytes;
     }
   }
   // Weight-traffic ledger (KV-stream ops carry context, not weights,
@@ -463,6 +576,11 @@ void ServingEngine::on_chunk_done(std::size_t index) {
   const Cycle now = scheduler_.sim().now();
   const Bytes bytes = plan.job_bytes[chunk];
   cc_pending_bytes_ -= static_cast<double>(bytes);
+  // The owner's fill fetch just retired: the pinned bytes are genuinely
+  // on chip now, so riders stop re-fetching (fill barrier lifts).
+  if (plan.pin_attached && plan.pin_owner && chunk == plan.fill_chunk) {
+    residency_->mark_filled(plan.pin_key);
+  }
   // Fold the measured chunk throughput into the chunk's own model's
   // CC-lane estimator.
   if (now > plan.chunk_started && bytes > 0) {
@@ -552,17 +670,25 @@ void ServingEngine::on_decode_step_done() {
     // Fold the measured step duration into every model that took part in
     // the step (active_ still holds the step's batch here). A model that
     // sat the step out keeps its estimator untouched — co-tenant steps
-    // say nothing about ITS decode cost.
-    std::vector<bool> present(models_.size(), false);
+    // say nothing about ITS decode cost. A MIXED step's duration is
+    // attributed per model by its token share of the step (each active
+    // request generates one token): charging every present model the
+    // full duration would double-count the co-tenants' work and inflate
+    // every estimator in a zoo. Single-model steps attribute the full
+    // duration — byte-identical to the pre-attribution estimator.
+    std::vector<std::size_t> step_tokens(models_.size(), 0);
     for (const std::size_t index : active_) {
-      present[records_[index].request.model] = true;
+      ++step_tokens[records_[index].request.model];
     }
     const double observed = static_cast<double>(now - step_started_);
+    const double total_tokens = static_cast<double>(active_.size());
     for (std::size_t m = 0; m < models_.size(); ++m) {
-      if (!present[m]) continue;
+      if (step_tokens[m] == 0) continue;
+      const double share =
+          observed * static_cast<double>(step_tokens[m]) / total_tokens;
       decode_step_cycles_est_[m] =
           (1.0 - kEstimatorGain) * decode_step_cycles_est_[m] +
-          kEstimatorGain * observed;
+          kEstimatorGain * share;
     }
   }
   std::vector<std::size_t> still_active;
@@ -576,6 +702,7 @@ void ServingEngine::on_decode_step_done() {
       rec.done = true;
       ++completed_;
       --inflight_;
+      --inflight_per_model_[rec.request.model];
       if (kv_) kv_->release(rec.request.id);
       if (on_complete_) on_complete_(rec);
     } else {

@@ -12,7 +12,11 @@
 //     head-of-line blocking);
 //   - a BatchPolicy orders the prefilled requests joining the decode
 //     batch at each step boundary, subject to the KvCapacityTracker's
-//     byte budget (joins that would overflow are deferred).
+//     byte budget (joins that would overflow are deferred);
+//   - a PlacementPolicy decides which models' weight pins to hold,
+//     acquire or evict against the shared residency budget (multi-model
+//     zoos: keep-warm idle pins, demand-weighted resident sets), with a
+//     per-pin fill barrier keeping rider timing honest.
 // A request that finishes prefill joins the decode batch at the next
 // step boundary — it does not wait for the batch to drain (continuous
 // batching). The §IV-B BandwidthManager rebalances the CC:MC DMA budget
@@ -81,6 +85,23 @@ struct ServingResult {
   /// mode, where every attach is a fresh pin).
   std::size_t weight_shared_attaches = 0;
   Bytes peak_pinned_bytes = 0;           ///< residency high-water mark
+  // --- Residency-aware model placement + fill barrier ----------------------
+  /// Attaches that revived an idle kept-warm pin (a placement policy
+  /// retained the model's bytes past its last rider): the whole prefill
+  /// rides with no fill fetch and no barrier.
+  std::size_t weight_warm_attaches = 0;
+  /// Idle pins the placement policy evicted to make room for a hotter
+  /// model's acquisition (or dropped at detach by retain_idle = false
+  /// never counts — only evict_victims pressure evictions do).
+  std::size_t placement_evictions = 0;
+  /// Requests whose fresh-pin acquisition the placement policy denied
+  /// at least once (the request keeps re-fetching; riders are never
+  /// denied; retries of the same request are not re-counted).
+  std::size_t placement_denials = 0;
+  /// Weight bytes riders re-fetched because they dispatched before the
+  /// pin owner's fill chunk retired (rider_fill_barrier; bounds the PR 4
+  /// fill-timing optimism — 0 with the barrier off).
+  Bytes rider_refetch_bytes = 0;
 };
 
 /// Drives the heterogeneous chip through a request trace.
@@ -156,6 +177,14 @@ class ServingEngine {
     /// exactly once when its plan is dropped (see drop_plan).
     bool pin_attached = false;
     PinKey pin_key = 0;
+    /// This request's fresh attach created the pin: its fill_chunk fetch
+    /// is what lands the bytes on chip (mark_filled at its retirement).
+    /// Riders of the pin re-fetch until then under the fill barrier.
+    bool pin_owner = false;
+    std::size_t fill_chunk = 0;           ///< valid when pin_owner
+    /// Already counted toward placement_denials: a request re-asks at
+    /// every chunk, but each denied REQUEST is counted once.
+    bool placement_denied = false;
   };
 
   void on_arrival(std::size_t index);
@@ -165,7 +194,9 @@ class ServingEngine {
   void drop_plan(std::size_t index);
   std::vector<core::GemmWork> build_chunk_ops(const Request& r,
                                               const PrefillPlan& plan,
-                                              std::size_t chunk) const;
+                                              std::size_t chunk,
+                                              bool barrier_refetch = false) const;
+  PlacementContext placement_context() const;
   bool maybe_pin_weights(std::size_t index, std::size_t next_chunk);
   void submit_next_chunk(std::size_t index);
   void on_chunk_done(std::size_t index);
@@ -210,9 +241,15 @@ class ServingEngine {
   std::size_t completed_ = 0;
   std::size_t rejected_ = 0;
   std::size_t inflight_ = 0;
+  /// Per-model demand counts feeding PlacementContext (queued tracks the
+  /// arrival queue, inflight the admitted-but-unfinished requests).
+  std::vector<std::size_t> queued_per_model_;
+  std::vector<std::size_t> inflight_per_model_;
+  std::size_t placement_denials_ = 0;
   double cc_pending_bytes_ = 0.0;
   Bytes cc_weight_fetched_ = 0;  ///< weight DMA issued by submitted CC jobs
   Bytes cc_weight_saved_ = 0;    ///< weight DMA avoided via residency
+  Bytes rider_refetch_bytes_ = 0;  ///< barrier re-fetches (subset of fetched)
   std::size_t decode_steps_ = 0;
   std::size_t batch_occupancy_sum_ = 0;
   std::size_t peak_queue_depth_ = 0;

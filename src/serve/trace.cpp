@@ -28,6 +28,18 @@ std::vector<Request> poisson_trace(const TraceConfig& config) {
   if (config.slo_per_token_ms < 0.0) {
     throw std::invalid_argument("poisson_trace: slo_per_token_ms must be >= 0");
   }
+  double weight_sum = 0.0;
+  for (const double w : config.model_weights) {
+    if (w < 0.0) {
+      throw std::invalid_argument(
+          "poisson_trace: model_weights must be non-negative");
+    }
+    weight_sum += w;
+  }
+  if (!config.model_weights.empty() && weight_sum <= 0.0) {
+    throw std::invalid_argument(
+        "poisson_trace: model_weights must have a positive sum");
+  }
 
   Rng rng(config.seed);
   const double cycles_per_second = config.clock_hz;
@@ -48,6 +60,21 @@ std::vector<Request> poisson_trace(const TraceConfig& config) {
     r.id = i;
     r.arrival = static_cast<Cycle>(arrival_s * cycles_per_second);
     r.model = config.model;
+    if (!config.model_weights.empty()) {
+      // Zoo mix: inverse-CDF draw over the weight vector. The draw sits
+      // AFTER the arrival draw and before the output draw, so an empty
+      // vector consumes no randomness and replays pre-zoo traces
+      // byte-identically.
+      double u = rng.uniform() * weight_sum;
+      r.model = config.model_weights.size() - 1;
+      for (std::size_t m = 0; m < config.model_weights.size(); ++m) {
+        u -= config.model_weights[m];
+        if (u < 0.0) {
+          r.model = m;
+          break;
+        }
+      }
+    }
     r.input_tokens = config.input_tokens;
     r.crops = config.crops;
     r.output_tokens = static_cast<std::size_t>(

@@ -19,6 +19,12 @@ struct TraceConfig {
   double arrival_rate_per_s = 8.0;
   double clock_hz = kChipClockHz;
   std::size_t model = 0;
+  /// Multi-model zoo mix: when non-empty, each request's model index is
+  /// drawn from this weight vector (index = model, weight proportional
+  /// to traffic share; weights need not sum to 1) and `model` above is
+  /// ignored. Empty (default) keeps every request on `model`, and the
+  /// generated trace is byte-identical to the pre-zoo generator.
+  std::vector<double> model_weights{};
   std::size_t input_tokens = 300;
   std::size_t crops = 1;
   /// Output lengths drawn uniformly from [min, max] (inclusive).
@@ -40,8 +46,9 @@ struct TraceConfig {
 /// output lengths, and optional SLO deadlines, ids 0..n-1 in arrival
 /// order. With burst = 1 and deadlines off, a given seed reproduces the
 /// PR-1 traces exactly. Throws std::invalid_argument for a non-positive
-/// rate, zero request/token/burst counts, min > max output tokens, or a
-/// negative per-token SLO.
+/// rate, zero request/token/burst counts, min > max output tokens, a
+/// negative per-token SLO, or a model_weights vector with a negative
+/// entry or a non-positive sum.
 std::vector<Request> poisson_trace(const TraceConfig& config);
 
 }  // namespace edgemm::serve

@@ -21,6 +21,25 @@ TEST(EngineConfig, DefaultsReproducePr1Composition) {
   EXPECT_EQ(config.kv_capacity(), 0u);  // accounting off
   EXPECT_EQ(config.weight_residency(), 0u);  // residency off
   EXPECT_FALSE(config.task_proxy_pruning().has_value());
+  // PR 5 residency-placement defaults: the placement-oblivious baseline
+  // with HONEST fill timing (the barrier defaults on — only the bench
+  // baselines switch it off to reproduce the PR 4 optimistic numbers).
+  EXPECT_STREQ(config.placement().name(), "keep-current");
+  EXPECT_TRUE(config.rider_fill_barrier());
+  EXPECT_TRUE(config.share_weight_pins());
+}
+
+TEST(EngineConfig, PlacementAndBarrierKnobsCompose) {
+  const EngineConfig config =
+      EngineConfig()
+          .prefill_planner(std::make_shared<ResidentChunkedPrefill>(64))
+          .weight_residency_bytes(1 << 24)
+          .placement_policy(std::make_shared<DemandWeightedPlacement>())
+          .rider_fill_barrier(false);
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_STREQ(config.placement().name(), "demand-weighted");
+  EXPECT_FALSE(config.rider_fill_barrier());
+  EXPECT_STREQ(EvictIdleOnPressure{}.name(), "evict-idle");
 }
 
 TEST(EngineConfig, WeightResidencyRequiresAResidencyCapablePlanner) {
@@ -75,6 +94,7 @@ TEST(EngineConfig, SettersValidateEagerly) {
   EXPECT_THROW(config.scheduler(nullptr), std::invalid_argument);
   EXPECT_THROW(config.prefill_planner(nullptr), std::invalid_argument);
   EXPECT_THROW(config.batch_policy(nullptr), std::invalid_argument);
+  EXPECT_THROW(config.placement_policy(nullptr), std::invalid_argument);
   EXPECT_THROW(config.prune_keep_fraction(0.0), std::invalid_argument);
   EXPECT_THROW(config.prune_keep_fraction(-0.5), std::invalid_argument);
   EXPECT_THROW(config.prune_keep_fraction(1.5), std::invalid_argument);

@@ -137,10 +137,14 @@ TEST(SharedPinEngine, SameModelRequestsChargeBudgetOnce) {
   const std::vector<Request> trace = {req(0, 0, 4, 192), req(1, 100, 4, 192)};
   const auto chunked = replay_trace(
       cfg, {m}, fast_config(std::make_shared<ChunkedPrefill>(48)), trace);
+  // Fill barrier off: this test locks the PR 4 fill-timing-OPTIMISTIC
+  // accounting (the rider saves on every chunk from the instant it
+  // attaches); test_placement.cpp covers the barrier-on honest variant.
   const auto shared = replay_trace(
       cfg, {m},
       fast_config(std::make_shared<ResidentChunkedPrefill>(48))
-          .weight_residency_bytes(budget),  // share_weight_pins defaults on
+          .weight_residency_bytes(budget)  // share_weight_pins defaults on
+          .rider_fill_barrier(false),
       trace);
 
   EXPECT_EQ(shared.result.completed, 2u);

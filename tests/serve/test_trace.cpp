@@ -75,6 +75,49 @@ TEST(PoissonTrace, ValidatesConfig) {
   cfg = TraceConfig{};
   cfg.crops = 0;
   EXPECT_THROW(poisson_trace(cfg), std::invalid_argument);
+  cfg = TraceConfig{};
+  cfg.model_weights = {1.0, -0.5};
+  EXPECT_THROW(poisson_trace(cfg), std::invalid_argument);
+  cfg = TraceConfig{};
+  cfg.model_weights = {0.0, 0.0};
+  EXPECT_THROW(poisson_trace(cfg), std::invalid_argument);
+}
+
+TEST(PoissonTrace, EmptyModelWeightsReplayPreZooTracesByteIdentically) {
+  // The zoo draw sits between the arrival and output draws, so an empty
+  // weight vector consumes no randomness: traces generated before the
+  // knob existed reproduce exactly.
+  TraceConfig cfg;
+  cfg.requests = 64;
+  cfg.model = 2;
+  const auto plain = poisson_trace(cfg);
+  TraceConfig with_field = cfg;
+  with_field.model_weights = {};
+  const auto again = poisson_trace(with_field);
+  ASSERT_EQ(plain.size(), again.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].arrival, again[i].arrival);
+    EXPECT_EQ(plain[i].output_tokens, again[i].output_tokens);
+    EXPECT_EQ(plain[i].model, 2u);
+  }
+}
+
+TEST(PoissonTrace, ModelWeightsDrawTheZooMixDeterministically) {
+  TraceConfig cfg;
+  cfg.requests = 600;
+  cfg.model_weights = {3.0, 0.0, 1.0};
+  const auto a = poisson_trace(cfg);
+  const auto b = poisson_trace(cfg);
+  std::size_t counts[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].model, b[i].model);  // same seed, same zoo
+    ASSERT_LT(a[i].model, 3u);
+    ++counts[a[i].model];
+  }
+  // A zero weight never draws; the 3:1 mix lands loosely around 3:1.
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_GT(counts[0], 2 * counts[2]);
+  EXPECT_GT(counts[2], 0u);
 }
 
 }  // namespace

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Docs-drift guard: EngineConfig knobs named in docs must exist (stdlib only).
+
+The serving docs reference engine knobs as `EngineConfig::<knob>` (and
+`ServingResult.<counter>` / `ServingResult::<counter>`). When a knob is
+renamed or removed, prose silently rots — this guard fails CI instead.
+Every knob referenced anywhere in the given markdown files/dirs must
+appear as an identifier in the corresponding header:
+
+  EngineConfig::<name>  -> src/serve/engine_config.hpp
+  ServingResult::<name> -> src/serve/serving_engine.hpp
+
+Offline and dependency-free by design, like check_markdown_links.py.
+
+Usage: tools/check_docs_drift.py README.md docs [more files/dirs...]
+Exit status: 0 when every referenced knob exists, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+# `EngineConfig::knob` or `ServingResult::counter` (also matched with a
+# dot, as prose sometimes writes `ServingResult.rider_refetch_bytes`).
+REF_RE = re.compile(r"\b(EngineConfig|ServingResult)(?:::|\.)(\w+)")
+
+HEADERS = {
+    "EngineConfig": "src/serve/engine_config.hpp",
+    "ServingResult": "src/serve/serving_engine.hpp",
+}
+
+
+def repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def collect_files(args):
+    files = []
+    for arg in args:
+        if os.path.isdir(arg):
+            for root, _dirs, names in os.walk(arg):
+                files.extend(
+                    os.path.join(root, n) for n in names if n.endswith(".md"))
+        else:
+            files.append(arg)
+    return sorted(set(files))
+
+
+def header_identifiers(path: str) -> set:
+    """Identifiers declared in the header, with // comments stripped
+    first — a knob renamed in code but still mentioned in a comment must
+    not keep the old doc reference alive."""
+    with open(path, encoding="utf-8") as fh:
+        code = re.sub(r"//[^\n]*", "", fh.read())
+    return set(re.findall(r"\b\w+\b", code))
+
+
+def check(files):
+    identifiers = {
+        owner: header_identifiers(os.path.join(repo_root(), header))
+        for owner, header in HEADERS.items()
+    }
+    failures = []
+    for path in files:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        for owner, name in REF_RE.findall(text):
+            if name not in identifiers[owner]:
+                failures.append(
+                    f"{path}: {owner}::{name} is not declared in "
+                    f"{HEADERS[owner]} (renamed or removed knob?)")
+    return failures
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if not args:
+        print(__doc__)
+        return 2
+    files = collect_files(args)
+    missing = [f for f in files if not os.path.exists(f)]
+    if missing:
+        for f in missing:
+            print(f"no such file: {f}")
+        return 1
+    failures = check(files)
+    for failure in failures:
+        print(failure)
+    print(f"checked {len(files)} markdown files against "
+          f"{', '.join(sorted(HEADERS.values()))}: "
+          f"{'OK' if not failures else f'{len(failures)} drifted reference(s)'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
