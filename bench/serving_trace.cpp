@@ -1,6 +1,11 @@
 // Serving-trace bench: replays deterministic request traces on the
 // heterogeneous chip through the policy-driven ServingEngine.
 //
+// Every section's replay grid runs through serve::run_sweep — the
+// thread-parallel sweep harness — which returns outcomes in case order,
+// byte-identical to a sequential run regardless of worker count (§7
+// gates exactly that), so the printed numbers do not depend on the host.
+//
 // Sections:
 //   1. headline — the PR-1 reproduction (sequential vs continuous
 //      batching vs + bandwidth management) via default-policy
@@ -24,9 +29,20 @@
 //      one shared budget, with the rider fill barrier on so the savings
 //      are fill-timing-honest (and a barrier-off row pricing the PR 4
 //      optimism).
+//   7. fast/detailed execution tiers — every §1–§6 case re-replayed on
+//      the fast tier (ReplayMode::kFast): per-case makespan drift gated
+//      under 1%, completion counts equal, single-replay and policy-sweep
+//      speedups gated, and worker-count byte-identity of the parallel
+//      sweep. Emits BENCH_serving_trace.json.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_common.hpp"
 #include "core/config.hpp"
@@ -35,6 +51,7 @@
 #include "serve/kv_tracker.hpp"
 #include "serve/residency_tracker.hpp"
 #include "serve/serving_engine.hpp"
+#include "serve/sweep.hpp"
 #include "serve/trace.hpp"
 
 namespace {
@@ -55,21 +72,48 @@ core::ChipConfig coarsened_chip(double factor) {
   return cfg;
 }
 
-serve::ServingResult replay(const serve::TraceConfig& trace_cfg,
-                            serve::EngineConfig config,
-                            double coarsening = 8.0) {
-  return serve::replay_trace(coarsened_chip(coarsening),
-                             {model::sphinx_tiny()}, std::move(config),
-                             serve::poisson_trace(trace_cfg))
-      .result;
-}
-
 serve::EngineConfig continuous_config(bool manage_bandwidth) {
   return serve::EngineConfig()
       .scheduler(std::make_shared<serve::ConcurrencyPolicy>(
           serve::AdmissionLimits{8, 16}))
       .manage_bandwidth(manage_bandwidth);
 }
+
+std::size_t default_workers(std::size_t cases) {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return std::min(cases, std::max<std::size_t>(hw, 1));
+}
+
+/// One section's grid priced by the sweep harness. Outcomes arrive in
+/// case order whatever the worker count, so the section prints exactly
+/// the sequential numbers.
+struct SectionRun {
+  std::vector<serve::SweepOutcome> outcomes;
+  double wall_ms = 0.0;
+  std::size_t workers = 1;
+};
+
+SectionRun run_section(const std::vector<serve::SweepCase>& cases) {
+  using clock = std::chrono::steady_clock;
+  serve::SweepOptions opts;
+  opts.workers = default_workers(cases.size());
+  const auto t0 = clock::now();
+  SectionRun run;
+  run.outcomes = serve::run_sweep(cases, opts);
+  run.wall_ms =
+      std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+  run.workers = opts.workers;
+  return run;
+}
+
+/// One §1–§6 case queued for the §7 fast-tier re-replay: the same
+/// SweepCase with the engine flipped to ReplayMode::kFast, next to the
+/// detailed result it must reproduce.
+struct FidelityCase {
+  serve::SweepCase fast_case;
+  serve::ServingResult detailed;
+  double detailed_wall_ms = 0.0;
+};
 
 void print_result(const char* label, const serve::ServingResult& r) {
   std::printf("  %-28s %4zu req  p50 %8.1f ms  p95 %8.1f ms  p99 %8.1f ms\n",
@@ -88,13 +132,22 @@ void print_slo_result(const char* label, const serve::ServingResult& r) {
               100.0 * r.slo_attainment);
 }
 
+void print_section_wall(const SectionRun& run) {
+  std::printf("  [section wall %.1f ms, %zu cases, %zu worker%s]\n",
+              run.wall_ms, run.outcomes.size(), run.workers,
+              run.workers == 1 ? "" : "s");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // --fast: skip the expensive 1x/2x fidelity points (CI smoke mode).
+  // --json=PATH: where to write the BENCH artifact (default: cwd).
   bool fast = false;
+  std::string json_path = "BENCH_serving_trace.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
   }
 
   bench::print_header(
@@ -102,6 +155,47 @@ int main(int argc, char** argv) {
       "continuous batching amortizes weight traffic and overlaps prefill "
       "with decode; scheduling policies trade tail latency, SLO "
       "attainment and lane blocking on top");
+
+  std::vector<FidelityCase> fidelity;
+  // Tags cases for §7 and the JSON: copies each case with the engine
+  // flipped to the fast tier, keyed to its just-computed detailed result.
+  auto track = [&fidelity](const std::vector<serve::SweepCase>& cases,
+                           const SectionRun& run) {
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      FidelityCase f;
+      f.fast_case = cases[i];
+      f.fast_case.engine.replay_mode(core::ReplayMode::kFast);
+      f.detailed = run.outcomes[i].result;
+      f.detailed_wall_ms = run.outcomes[i].wall_ms;
+      fidelity.push_back(std::move(f));
+    }
+  };
+
+  bench::JsonWriter json;
+  json.begin_object();
+  json.field("bench", "serving_trace");
+  json.field("mode", fast ? "fast" : "full");
+  json.field("hardware_threads",
+             static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  json.begin_array("sections");
+  auto json_section = [&json](const char* name,
+                              const std::vector<serve::SweepCase>& cases,
+                              const SectionRun& run) {
+    json.begin_object();
+    json.field("name", name);
+    json.field("wall_ms", run.wall_ms);
+    json.field("workers", run.workers);
+    json.begin_array("cases");
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      json.begin_object();
+      json.field("label", cases[i].label);
+      json.field("makespan_ms", run.outcomes[i].result.makespan_ms);
+      json.field("wall_ms", run.outcomes[i].wall_ms);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  };
 
   // --- 1. Headline: the PR-1 reproduction --------------------------------
   serve::TraceConfig trace_cfg;
@@ -118,20 +212,32 @@ int main(int argc, char** argv) {
               trace_cfg.min_output_tokens, trace_cfg.max_output_tokens,
               static_cast<unsigned long long>(trace_cfg.seed));
 
-  const auto sequential =
-      replay(trace_cfg,
-             serve::EngineConfig()
-                 .scheduler(std::make_shared<serve::ConcurrencyPolicy>(
-                     serve::AdmissionLimits{1, 1}))
-                 .manage_bandwidth(false));
+  const core::ChipConfig chip8 = coarsened_chip(8.0);
+  const std::vector<model::MllmConfig> sphinx_models = {model::sphinx_tiny()};
+  const auto headline_trace = serve::poisson_trace(trace_cfg);
+
+  const std::vector<serve::SweepCase> s1_cases = {
+      {"s1 sequential", chip8, sphinx_models,
+       serve::EngineConfig()
+           .scheduler(std::make_shared<serve::ConcurrencyPolicy>(
+               serve::AdmissionLimits{1, 1}))
+           .manage_bandwidth(false),
+       headline_trace},
+      {"s1 continuous equal-bw", chip8, sphinx_models, continuous_config(false),
+       headline_trace},
+      {"s1 continuous bw-mgmt", chip8, sphinx_models, continuous_config(true),
+       headline_trace},
+  };
+  const SectionRun s1 = run_section(s1_cases);
+  track(s1_cases, s1);
+  json_section("headline", s1_cases, s1);
+  const auto& sequential = s1.outcomes[0].result;
+  const auto& unmanaged = s1.outcomes[1].result;
+  const auto& continuous = s1.outcomes[2].result;
   print_result("sequential (batch=1)", sequential);
   std::printf("\n");
-
-  const auto unmanaged = replay(trace_cfg, continuous_config(false));
   print_result("continuous, equal BW", unmanaged);
   std::printf("\n");
-
-  const auto continuous = replay(trace_cfg, continuous_config(true));
   print_result("continuous + BW mgmt", continuous);
 
   std::printf("\nmakespan speedup over sequential: %.2fx (continuous), "
@@ -141,6 +247,7 @@ int main(int argc, char** argv) {
   const bool beats = continuous.makespan < sequential.makespan;
   std::printf("continuous batching beats sequential on makespan: %s\n",
               beats ? "yes" : "NO");
+  print_section_wall(s1);
 
   // --- 2. Policy comparison on a bursty SLO trace ------------------------
   std::printf("\n--- policy comparison (bursty trace, SLO deadlines) ---\n");
@@ -165,18 +272,42 @@ int main(int argc, char** argv) {
         .manage_bandwidth(true);
   };
   const serve::AdmissionLimits limits{8, 16};
-  const auto fifo = replay(
-      bursty, policy_config(std::make_shared<serve::ConcurrencyPolicy>(limits),
-                            std::make_shared<serve::FifoBatch>()));
+  // KV-capacity row rides the same grid: a tight budget (~4 full KV
+  // caches) forces deferred joins and shrinks the batch.
+  serve::Request worst_case;
+  worst_case.input_tokens = bursty.input_tokens;
+  worst_case.output_tokens = bursty.max_output_tokens;
+  const Bytes kv_budget =
+      4 * serve::kv_footprint_bytes(worst_case, model::sphinx_tiny());
+  const auto bursty_trace = serve::poisson_trace(bursty);
+  const std::vector<serve::SweepCase> s2_cases = {
+      {"s2 fifo", chip8, sphinx_models,
+       policy_config(std::make_shared<serve::ConcurrencyPolicy>(limits),
+                     std::make_shared<serve::FifoBatch>()),
+       bursty_trace},
+      {"s2 srf", chip8, sphinx_models,
+       policy_config(std::make_shared<serve::ConcurrencyPolicy>(limits),
+                     std::make_shared<serve::ShortestRemainingFirst>()),
+       bursty_trace},
+      {"s2 slo-aware", chip8, sphinx_models,
+       policy_config(std::make_shared<serve::SloAwarePolicy>(limits),
+                     std::make_shared<serve::FifoBatch>()),
+       bursty_trace},
+      {"s2 kv-bounded", chip8, sphinx_models,
+       policy_config(std::make_shared<serve::ConcurrencyPolicy>(limits),
+                     std::make_shared<serve::FifoBatch>())
+           .kv_capacity_bytes(kv_budget),
+       bursty_trace},
+  };
+  const SectionRun s2 = run_section(s2_cases);
+  track(s2_cases, s2);
+  json_section("policy", s2_cases, s2);
+  const auto& fifo = s2.outcomes[0].result;
+  const auto& srf = s2.outcomes[1].result;
+  const auto& slo = s2.outcomes[2].result;
+  const auto& kv_bounded = s2.outcomes[3].result;
   print_slo_result("FIFO", fifo);
-  const auto srf = replay(
-      bursty,
-      policy_config(std::make_shared<serve::ConcurrencyPolicy>(limits),
-                    std::make_shared<serve::ShortestRemainingFirst>()));
   print_slo_result("shortest-remaining-first", srf);
-  const auto slo = replay(
-      bursty, policy_config(std::make_shared<serve::SloAwarePolicy>(limits),
-                            std::make_shared<serve::FifoBatch>()));
   print_slo_result("SLO-aware admission", slo);
 
   // Note p99 covers served requests only, and SLO-aware admission sheds
@@ -188,25 +319,14 @@ int main(int argc, char** argv) {
   std::printf("\nSLO-aware improves served p99 without losing attainment: %s\n",
               slo_wins ? "yes" : "NO");
 
-  // KV-capacity accounting on the same bursty trace: a tight budget
-  // (~4 full KV caches) forces deferred joins and shrinks the batch.
-  const core::ChipConfig chip8 = coarsened_chip(8.0);
-  serve::Request worst_case;
-  worst_case.input_tokens = bursty.input_tokens;
-  worst_case.output_tokens = bursty.max_output_tokens;
-  const Bytes kv_budget =
-      4 * serve::kv_footprint_bytes(worst_case, model::sphinx_tiny());
   const double oversub = static_cast<double>(kv_budget) /
                          static_cast<double>(serve::chip_kv_capacity(chip8));
-  const auto kv_bounded = replay(
-      bursty, policy_config(std::make_shared<serve::ConcurrencyPolicy>(limits),
-                            std::make_shared<serve::FifoBatch>())
-                  .kv_capacity_bytes(kv_budget));
   std::printf("\nKV budget %.1f MiB (%.0fx the on-chip CIM capacity): "
               "%zu deferred joins, mean batch %.2f (vs %.2f unbounded)\n",
               static_cast<double>(kv_budget) / (1024.0 * 1024.0), oversub,
               kv_bounded.kv_deferrals, kv_bounded.mean_decode_batch,
               fifo.mean_decode_batch);
+  print_section_wall(s2);
 
   // --- 3. Prefill planners: monolithic vs chunked vs weight-resident -----
   std::printf("\n--- prefill planners: resident vs re-fetch vs monolithic "
@@ -245,25 +365,34 @@ int main(int argc, char** argv) {
   // off): every request charges its own layer-group bytes, so at most
   // two of the 12 hold pins at once and the rest fall back. §4 below
   // replays the same trace with the shared-pin fix.
-  const auto mono = replay(long_prefill, continuous_config(true));
-  const auto chunked =
-      replay(long_prefill,
-             continuous_config(true).prefill_planner(
-                 std::make_shared<serve::ChunkedPrefill>(128)));
-  const auto resident =
-      replay(long_prefill,
-             continuous_config(true)
-                 .prefill_planner(
-                     std::make_shared<serve::ResidentChunkedPrefill>(128))
-                 .weight_residency_bytes(resid_budget)
-                 .share_weight_pins(false));
-  const auto chained =
-      replay(long_prefill,
-             continuous_config(true)
-                 .prefill_planner(std::make_shared<serve::ResidentChunkedPrefill>(
-                     128, /*chain_lane_affinity=*/true))
-                 .weight_residency_bytes(resid_budget)
-                 .share_weight_pins(false));
+  const auto prefill_trace = serve::poisson_trace(long_prefill);
+  const std::vector<serve::SweepCase> s3_cases = {
+      {"s3 mono", chip8, sphinx_models, continuous_config(true), prefill_trace},
+      {"s3 chunked", chip8, sphinx_models,
+       continuous_config(true).prefill_planner(
+           std::make_shared<serve::ChunkedPrefill>(128)),
+       prefill_trace},
+      {"s3 resident", chip8, sphinx_models,
+       continuous_config(true)
+           .prefill_planner(std::make_shared<serve::ResidentChunkedPrefill>(128))
+           .weight_residency_bytes(resid_budget)
+           .share_weight_pins(false),
+       prefill_trace},
+      {"s3 chained", chip8, sphinx_models,
+       continuous_config(true)
+           .prefill_planner(std::make_shared<serve::ResidentChunkedPrefill>(
+               128, /*chain_lane_affinity=*/true))
+           .weight_residency_bytes(resid_budget)
+           .share_weight_pins(false),
+       prefill_trace},
+  };
+  const SectionRun s3 = run_section(s3_cases);
+  track(s3_cases, s3);
+  json_section("planners", s3_cases, s3);
+  const auto& mono = s3.outcomes[0].result;
+  const auto& chunked = s3.outcomes[1].result;
+  const auto& resident = s3.outcomes[2].result;
+  const auto& chained = s3.outcomes[3].result;
 
   auto print_planner = [](const char* label, const serve::ServingResult& r) {
     std::printf("  %-28s CC weight fetch %7.1f GiB  makespan %8.1f ms  "
@@ -313,6 +442,7 @@ int main(int argc, char** argv) {
                   mono.makespan_ms,
               100.0 * (chunked.makespan_ms - mono.makespan_ms) /
                   mono.makespan_ms);
+  print_section_wall(s3);
 
   // --- 4. Shared vs per-request weight pins -------------------------------
   // The same 12-request same-model trace: all in-flight requests serve
@@ -325,20 +455,26 @@ int main(int argc, char** argv) {
   // Pinned to the PR 4 composition — fill barrier OFF (the fill-timing-
   // optimistic accounting this section's headline was measured with);
   // §6 replays shared pins with the barrier on and prices the optimism.
-  const auto shared =
-      replay(long_prefill,
-             continuous_config(true)
-                 .prefill_planner(
-                     std::make_shared<serve::ResidentChunkedPrefill>(128))
-                 .weight_residency_bytes(resid_budget)  // sharing defaults on
-                 .rider_fill_barrier(false));
-  const auto shared_chained =
-      replay(long_prefill,
-             continuous_config(true)
-                 .prefill_planner(std::make_shared<serve::ResidentChunkedPrefill>(
-                     128, /*chain_lane_affinity=*/true))
-                 .weight_residency_bytes(resid_budget)
-                 .rider_fill_barrier(false));
+  const std::vector<serve::SweepCase> s4_cases = {
+      {"s4 shared", chip8, sphinx_models,
+       continuous_config(true)
+           .prefill_planner(std::make_shared<serve::ResidentChunkedPrefill>(128))
+           .weight_residency_bytes(resid_budget)  // sharing defaults on
+           .rider_fill_barrier(false),
+       prefill_trace},
+      {"s4 shared-chained", chip8, sphinx_models,
+       continuous_config(true)
+           .prefill_planner(std::make_shared<serve::ResidentChunkedPrefill>(
+               128, /*chain_lane_affinity=*/true))
+           .weight_residency_bytes(resid_budget)
+           .rider_fill_barrier(false),
+       prefill_trace},
+  };
+  const SectionRun s4 = run_section(s4_cases);
+  track(s4_cases, s4);
+  json_section("shared_pins", s4_cases, s4);
+  const auto& shared = s4.outcomes[0].result;
+  const auto& shared_chained = s4.outcomes[1].result;
 
   auto print_pins = [](const char* label, const serve::ServingResult& r) {
     std::printf("  %-28s CC weight fetch %7.1f GiB  makespan %8.1f ms  "
@@ -381,6 +517,7 @@ int main(int argc, char** argv) {
                   (1024.0 * 1024.0 * 1024.0),
               static_cast<double>(chained.cc_weight_bytes_saved) /
                   (1024.0 * 1024.0 * 1024.0));
+  print_section_wall(s4);
 
   // --- 5. Fidelity sweep --------------------------------------------------
   std::printf("\n--- fidelity sweep (burst/block coarsening) ---\n");
@@ -393,19 +530,25 @@ int main(int argc, char** argv) {
               sweep_cfg.requests,
               fast ? "; --fast skips the 2x/1x points" : "");
   const double factors[] = {8.0, 4.0, 2.0, 1.0};
-  double reference_ms = 0.0;  // finest factor actually run
-  double results_ms[4] = {0, 0, 0, 0};
-  int points = fast ? 2 : 4;
+  const char* factor_labels[] = {"s5 8x", "s5 4x", "s5 2x", "s5 1x"};
+  const int points = fast ? 2 : 4;
+  const auto coarsen_trace = serve::poisson_trace(sweep_cfg);
+  std::vector<serve::SweepCase> s5_cases;
   for (int i = 0; i < points; ++i) {
-    const auto r = replay(sweep_cfg, continuous_config(true), factors[i]);
-    results_ms[i] = r.makespan_ms;
-    reference_ms = r.makespan_ms;
+    s5_cases.push_back({factor_labels[i], coarsened_chip(factors[i]),
+                        sphinx_models, continuous_config(true), coarsen_trace});
   }
+  const SectionRun s5 = run_section(s5_cases);
+  track(s5_cases, s5);
+  json_section("coarsening", s5_cases, s5);
+  const double reference_ms = s5.outcomes.back().result.makespan_ms;
   for (int i = 0; i < points; ++i) {
+    const double ms = s5.outcomes[i].result.makespan_ms;
     std::printf("  %.0fx coarsening: makespan %8.1f ms  drift vs %s %+.2f %%\n",
-                factors[i], results_ms[i], fast ? "4x" : "1x",
-                100.0 * (results_ms[i] - reference_ms) / reference_ms);
+                factors[i], ms, fast ? "4x" : "1x",
+                100.0 * (ms - reference_ms) / reference_ms);
   }
+  print_section_wall(s5);
 
   // --- 6. Multi-model zoo: residency-aware placement + fill barrier -------
   // Three zoo models share one residency budget that cannot hold all of
@@ -454,27 +597,36 @@ int main(int argc, char** argv) {
               static_cast<double>(zoo_sets[1]) / (1024.0 * 1024.0 * 1024.0),
               static_cast<double>(zoo_sets[2]) / (1024.0 * 1024.0 * 1024.0));
 
-  auto zoo_replay = [&](std::shared_ptr<const serve::PlacementPolicy> placement,
+  auto zoo_config = [&](std::shared_ptr<const serve::PlacementPolicy> placement,
                         bool barrier) {
-    return serve::replay_trace(
-               chip8, zoo,
-               continuous_config(true)
-                   .prefill_planner(
-                       std::make_shared<serve::ResidentChunkedPrefill>(128))
-                   .weight_residency_bytes(zoo_budget)
-                   .placement_policy(std::move(placement))
-                   .rider_fill_barrier(barrier),
-               serve::poisson_trace(zoo_cfg))
-        .result;
+    return continuous_config(true)
+        .prefill_planner(std::make_shared<serve::ResidentChunkedPrefill>(128))
+        .weight_residency_bytes(zoo_budget)
+        .placement_policy(std::move(placement))
+        .rider_fill_barrier(barrier);
   };
-  const auto zoo_optimistic =
-      zoo_replay(std::make_shared<serve::KeepCurrentPlacement>(), false);
-  const auto zoo_keep =
-      zoo_replay(std::make_shared<serve::KeepCurrentPlacement>(), true);
-  const auto zoo_demand =
-      zoo_replay(std::make_shared<serve::DemandWeightedPlacement>(), true);
-  const auto zoo_evict =
-      zoo_replay(std::make_shared<serve::EvictIdleOnPressure>(), true);
+  const auto zoo_trace = serve::poisson_trace(zoo_cfg);
+  const std::vector<serve::SweepCase> s6_cases = {
+      {"s6 keep-current barrier-off", chip8, zoo,
+       zoo_config(std::make_shared<serve::KeepCurrentPlacement>(), false),
+       zoo_trace},
+      {"s6 keep-current", chip8, zoo,
+       zoo_config(std::make_shared<serve::KeepCurrentPlacement>(), true),
+       zoo_trace},
+      {"s6 demand-weighted", chip8, zoo,
+       zoo_config(std::make_shared<serve::DemandWeightedPlacement>(), true),
+       zoo_trace},
+      {"s6 evict-idle", chip8, zoo,
+       zoo_config(std::make_shared<serve::EvictIdleOnPressure>(), true),
+       zoo_trace},
+  };
+  const SectionRun s6 = run_section(s6_cases);
+  track(s6_cases, s6);
+  json_section("zoo", s6_cases, s6);
+  const auto& zoo_optimistic = s6.outcomes[0].result;
+  const auto& zoo_keep = s6.outcomes[1].result;
+  const auto& zoo_demand = s6.outcomes[2].result;
+  const auto& zoo_evict = s6.outcomes[3].result;
 
   auto print_zoo = [](const char* label, const serve::ServingResult& r) {
     std::printf("  %-28s CC weight fetch %7.1f GiB  makespan %8.1f ms\n",
@@ -518,10 +670,168 @@ int main(int argc, char** argv) {
   std::printf("evict-idle keeps pins warm and reclaims them under "
               "pressure: %s\n",
               eviction_exercised ? "yes" : "NO");
+  print_section_wall(s6);
+
+  // --- 7. Fast/detailed execution tiers -----------------------------------
+  // Every §1–§6 case re-replayed on the fast tier: same chip, same trace,
+  // same policies — only the memory-time integrator differs
+  // (ReplayMode::kFast prices each op batch analytically instead of
+  // walking its DMA bursts event-by-event). The gates demand the fast
+  // tier earn its keep: per-case makespan drift under 1% with identical
+  // completion counts, order-of-magnitude single-replay speedup, and a
+  // parallel sweep that is byte-identical whatever the worker count.
+  std::printf("\n--- fast/detailed execution tiers (ReplayMode::kFast) ---\n\n");
+  std::vector<serve::SweepCase> fast_cases;
+  fast_cases.reserve(fidelity.size());
+  for (const FidelityCase& f : fidelity) fast_cases.push_back(f.fast_case);
+
+  using clock = std::chrono::steady_clock;
+  const auto fast_t0 = clock::now();
+  const auto fast_seq = serve::run_sweep(fast_cases, {/*workers=*/1});
+  const double fast_seq_wall_ms =
+      std::chrono::duration<double, std::milli>(clock::now() - fast_t0).count();
+
+  bool fidelity_ok = true;
+  double worst_drift = 0.0;
+  double det_total_wall = 0.0;
+  double fast_total_wall = 0.0;
+  double s2_det_wall = 0.0;
+  double s2_fast_wall = 0.0;
+  double zoo_speedup = 0.0;
+  json.end_array();  // sections
+  json.begin_array("fidelity");
+  for (std::size_t i = 0; i < fidelity.size(); ++i) {
+    const FidelityCase& f = fidelity[i];
+    const serve::ServingResult& d = f.detailed;
+    const serve::ServingResult& r = fast_seq[i].result;
+    const double drift =
+        100.0 * (r.makespan_ms - d.makespan_ms) / d.makespan_ms;
+    const bool counts_equal =
+        r.completed == d.completed && r.rejected == d.rejected;
+    const double speedup =
+        f.detailed_wall_ms / std::max(fast_seq[i].wall_ms, 1e-9);
+    const bool case_ok = std::fabs(drift) < 1.0 && counts_equal;
+    fidelity_ok = fidelity_ok && case_ok;
+    if (std::fabs(drift) > std::fabs(worst_drift)) worst_drift = drift;
+    det_total_wall += f.detailed_wall_ms;
+    fast_total_wall += fast_seq[i].wall_ms;
+    if (f.fast_case.label.rfind("s2 ", 0) == 0) {
+      s2_det_wall += f.detailed_wall_ms;
+      s2_fast_wall += fast_seq[i].wall_ms;
+    }
+    if (f.fast_case.label == "s6 demand-weighted") zoo_speedup = speedup;
+    std::printf("  %-28s det %9.1f ms  fast %9.1f ms  drift %+5.2f %%  "
+                "speedup %6.1fx%s\n",
+                f.fast_case.label.c_str(), d.makespan_ms, r.makespan_ms, drift,
+                speedup, case_ok ? "" : "  <-- FAIL");
+    json.begin_object();
+    json.field("label", f.fast_case.label);
+    json.field("detailed_makespan_ms", d.makespan_ms);
+    json.field("fast_makespan_ms", r.makespan_ms);
+    json.field("drift_pct", drift);
+    json.field("detailed_wall_ms", f.detailed_wall_ms);
+    json.field("fast_wall_ms", fast_seq[i].wall_ms);
+    json.field("speedup", speedup);
+    json.field("counts_equal", counts_equal);
+    json.end_object();
+  }
+  json.end_array();
+
+  std::printf("\nfast tier drifts under 1%% on every section "
+              "(worst %+.2f %%, counts equal): %s\n",
+              worst_drift, fidelity_ok ? "yes" : "NO");
+  const bool zoo_speedup_ok = zoo_speedup >= 10.0;
+  std::printf("single-replay speedup on the §6 zoo trace >= 10x: %.1fx  %s\n",
+              zoo_speedup, zoo_speedup_ok ? "yes" : "NO");
+  const double s2_sweep_speedup = s2_det_wall / std::max(s2_fast_wall, 1e-9);
+  const bool s2_speedup_ok = s2_sweep_speedup >= 5.0;
+  std::printf("fast-tier speedup on the §2 policy sweep >= 5x: %.1fx  %s\n",
+              s2_sweep_speedup, s2_speedup_ok ? "yes" : "NO");
+  std::printf("aggregate: detailed %.1f ms -> fast %.1f ms over %zu cases "
+              "(%.0fx)\n",
+              det_total_wall, fast_total_wall, fidelity.size(),
+              det_total_wall / std::max(fast_total_wall, 1e-9));
+
+  // Worker-count byte-identity: the whole fast grid under 2 and 8 workers
+  // must deposit outcomes identical to the sequential run — result order
+  // and every field, floats included. Unconditional (threads oversubscribe
+  // harmlessly on small hosts); only the THROUGHPUT gate needs real cores.
+  const auto par2_t0 = clock::now();
+  const auto fast_par2 = serve::run_sweep(fast_cases, {/*workers=*/2});
+  const double fast_par2_wall_ms =
+      std::chrono::duration<double, std::milli>(clock::now() - par2_t0).count();
+  const auto par8_t0 = clock::now();
+  const auto fast_par8 = serve::run_sweep(fast_cases, {/*workers=*/8});
+  const double fast_par8_wall_ms =
+      std::chrono::duration<double, std::milli>(clock::now() - par8_t0).count();
+  bool identity_ok = fast_par2.size() == fast_seq.size() &&
+                     fast_par8.size() == fast_seq.size();
+  for (std::size_t i = 0; identity_ok && i < fast_seq.size(); ++i) {
+    identity_ok = serve::outcomes_identical(fast_seq[i], fast_par2[i]) &&
+                  serve::outcomes_identical(fast_seq[i], fast_par8[i]);
+  }
+  std::printf("parallel sweep byte-identical to sequential (1/2/8 workers, "
+              "%zu cases): %s\n",
+              fast_cases.size(), identity_ok ? "yes" : "NO");
+
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const double sweep_throughput =
+      fast_seq_wall_ms / std::max(fast_par8_wall_ms, 1e-9);
+  bool throughput_ok = true;
+  if (hw >= 8) {
+    throughput_ok = sweep_throughput >= 4.0;
+    std::printf("sweep throughput at 8 workers >= 4x sequential: %.1fx  %s\n",
+                sweep_throughput, throughput_ok ? "yes" : "NO");
+  } else {
+    std::printf("sweep throughput at 8 workers: %.1fx (gate skipped: %zu "
+                "hardware thread%s)\n",
+                sweep_throughput, hw, hw == 1 ? "" : "s");
+  }
+
+  json.begin_object("fast_sweep");
+  json.field("cases", fast_cases.size());
+  json.field("sequential_wall_ms", fast_seq_wall_ms);
+  json.field("workers2_wall_ms", fast_par2_wall_ms);
+  json.field("workers8_wall_ms", fast_par8_wall_ms);
+  json.field("throughput_8_workers", sweep_throughput);
+  json.field("throughput_gated", hw >= 8);
+  json.field("identity_1_2_8", identity_ok);
+  json.field("zoo_single_replay_speedup", zoo_speedup);
+  json.field("policy_sweep_speedup", s2_sweep_speedup);
+  json.field("worst_drift_pct", worst_drift);
+  json.end_object();
 
   const bool ok = beats && slo_wins && chunk_wins && resident_wins &&
                   chaining_wins && sharing_wins && charged_once &&
-                  placement_wins && barrier_honest && eviction_exercised;
+                  placement_wins && barrier_honest && eviction_exercised &&
+                  fidelity_ok && zoo_speedup_ok && s2_speedup_ok &&
+                  identity_ok && throughput_ok;
+
+  json.begin_object("self_checks");
+  json.field("continuous_beats_sequential", beats);
+  json.field("slo_wins", slo_wins);
+  json.field("chunk_wins", chunk_wins);
+  json.field("resident_wins", resident_wins);
+  json.field("chaining_wins", chaining_wins);
+  json.field("sharing_wins", sharing_wins);
+  json.field("charged_once", charged_once);
+  json.field("placement_wins", placement_wins);
+  json.field("barrier_honest", barrier_honest);
+  json.field("eviction_exercised", eviction_exercised);
+  json.field("fidelity_ok", fidelity_ok);
+  json.field("zoo_speedup_ok", zoo_speedup_ok);
+  json.field("policy_sweep_speedup_ok", s2_speedup_ok);
+  json.field("sweep_identity_ok", identity_ok);
+  json.field("all_passed", ok);
+  json.end_object();
+  json.end_object();
+  if (json.write(json_path)) {
+    std::printf("\nBENCH artifact written: %s\n", json_path.c_str());
+  } else {
+    std::printf("\nBENCH artifact NOT written (cannot open %s)\n",
+                json_path.c_str());
+  }
+
   std::printf("\nall self-checks passed: %s\n", ok ? "yes" : "NO");
   return ok ? 0 : 1;
 }

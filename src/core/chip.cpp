@@ -17,8 +17,10 @@ const char* to_string(ChipComposition composition) {
   return "?";
 }
 
-ChipTimingModel::ChipTimingModel(const ChipConfig& config, ChipComposition composition)
-    : config_(config), composition_(composition), dram_(sim_, config.dram) {
+ChipTimingModel::ChipTimingModel(const ChipConfig& config, ChipComposition composition,
+                                 ReplayMode mode)
+    : config_(config), composition_(composition), mode_(mode),
+      dram_(sim_, config.dram) {
   config_.validate();
   const std::size_t clusters_per_group =
       config.cc_clusters_per_group + config.mc_clusters_per_group;
@@ -63,6 +65,17 @@ ChipTimingModel::ChipTimingModel(const ChipConfig& config, ChipComposition compo
           add_cluster(ClusterKind::kBaselineSimd, g, c);
           break;
       }
+    }
+  }
+
+  if (mode_ == ReplayMode::kFast) {
+    fast_ = std::make_unique<FastMemoryModel>(sim_, dram_, config_);
+    for (const auto& cluster : clusters_) {
+      fast_->register_cluster(*cluster);
+      // Budget changes (BandwidthManager rebalances) re-price the active
+      // streams; the model coalesces the per-cluster calls of one tick.
+      cluster->dma().set_budget_listener(
+          [fast = fast_.get()] { fast->budgets_changed(); });
     }
   }
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/fast_replay.hpp"
 #include "core/timing.hpp"
 #include "mem/dram.hpp"
 #include "sim/simulator.hpp"
@@ -36,10 +37,18 @@ const char* to_string(ChipComposition composition);
 /// shared DRAM arbitrates the resulting traffic.
 class ChipTimingModel {
  public:
-  ChipTimingModel(const ChipConfig& config, ChipComposition composition);
+  /// `mode` selects the execution tier: kDetailed walks every DMA burst
+  /// through the event-driven memory hierarchy, kFast prices batches
+  /// with the closed-form FastMemoryModel. Everything above the chip
+  /// (PhaseScheduler, ServingEngine, policies) runs unmodified either way.
+  ChipTimingModel(const ChipConfig& config, ChipComposition composition,
+                  ReplayMode mode = ReplayMode::kDetailed);
 
   const ChipConfig& config() const { return config_; }
   ChipComposition composition() const { return composition_; }
+  ReplayMode replay_mode() const { return mode_; }
+  /// The fast tier's integrator; nullptr in kDetailed mode.
+  const FastMemoryModel* fast_model() const { return fast_.get(); }
 
   sim::Simulator& simulator() { return sim_; }
   mem::DramController& dram() { return dram_; }
@@ -80,11 +89,13 @@ class ChipTimingModel {
  private:
   ChipConfig config_;
   ChipComposition composition_;
+  ReplayMode mode_;
   sim::Simulator sim_;
   mem::DramController dram_;
   std::unique_ptr<mem::ResourceServer> system_xbar_;
   std::vector<std::unique_ptr<mem::ResourceServer>> group_xbars_;
   std::vector<std::unique_ptr<ClusterTimingModel>> clusters_;
+  std::unique_ptr<FastMemoryModel> fast_;  ///< present only in kFast mode
 };
 
 }  // namespace edgemm::core

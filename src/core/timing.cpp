@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "coproc/cim_macro.hpp"
 #include "coproc/systolic_array.hpp"
+#include "core/fast_replay.hpp"
 
 namespace edgemm::core {
 
@@ -132,6 +133,14 @@ void ClusterTimingModel::run_ops(const std::vector<GemmWork>& ops,
     });
     return;
   }
+  if (fast_ != nullptr) {
+    // Fast tier: price the batch analytically instead of walking its
+    // blocks through the event-driven DMA plane. ops_executed stays a
+    // submit-time counter on both tiers.
+    stats_.ops_executed += ops.size();
+    fast_->submit(*this, ops, std::move(done));
+    return;
+  }
   const Bytes block_limit = block_bytes();
   for (std::size_t oi = 0; oi < ops.size(); ++oi) {
     const GemmWork& work = ops[oi];
@@ -166,6 +175,11 @@ void ClusterTimingModel::run_ops(const std::vector<GemmWork>& ops,
     ++stats_.ops_executed;
   }
   maybe_issue_dma();
+}
+
+bool ClusterTimingModel::idle() const {
+  if (fast_ != nullptr) return fast_->idle(*this);
+  return blocks_.empty() && inflight_dma_ == 0 && !compute_busy_;
 }
 
 void ClusterTimingModel::maybe_issue_dma() {

@@ -21,6 +21,8 @@
 
 namespace edgemm::core {
 
+class FastMemoryModel;  // fast replay tier (core/fast_replay.hpp)
+
 /// Flavours of cluster the timing plane can instantiate. The baseline
 /// SIMD flavour models the unextended Snitch cluster of Fig. 11.
 enum class ClusterKind : std::uint8_t {
@@ -95,8 +97,13 @@ class ClusterTimingModel {
   /// the new ops queue behind it.
   void run_ops(const std::vector<GemmWork>& ops, std::function<void()> done);
 
+  /// Routes subsequent run_ops batches through the fast replay tier
+  /// instead of the event-driven DMA plane. Wired once by
+  /// FastMemoryModel::register_cluster at chip construction.
+  void attach_fast_model(FastMemoryModel* fast) { fast_ = fast; }
+
   /// True when no blocks are queued or in flight.
-  bool idle() const { return blocks_.empty() && inflight_dma_ == 0 && !compute_busy_; }
+  bool idle() const;
 
   mem::DmaEngine& dma() { return dma_; }
   const ClusterStats& stats() const { return stats_; }
@@ -115,6 +122,9 @@ class ClusterTimingModel {
   void maybe_start_compute();
   void finish_block(Block block);
 
+  friend class FastMemoryModel;  // injects batch totals into stats_
+
+  FastMemoryModel* fast_ = nullptr;
   sim::Simulator& sim_;
   const ChipConfig& config_;
   ClusterKind kind_;

@@ -50,8 +50,17 @@ class DmaEngine {
   void transfer(Bytes bytes, Done done);
 
   /// Sets the per-interval byte budget B. Unlimited by default.
-  void set_budget(Bytes budget) { budget_ = budget; }
+  void set_budget(Bytes budget) {
+    budget_ = budget;
+    if (budget_listener_) budget_listener_();
+  }
   Bytes budget() const { return budget_; }
+
+  /// Observer invoked after every set_budget call — the fast replay tier
+  /// re-prices its streams when the bandwidth manager moves budgets.
+  void set_budget_listener(std::function<void()> listener) {
+    budget_listener_ = std::move(listener);
+  }
 
   static constexpr Bytes kUnlimited = std::numeric_limits<Bytes>::max();
 
@@ -92,6 +101,7 @@ class DmaEngine {
   std::size_t inflight_ = 0;
   std::deque<Burst> deferred_;
   bool wakeup_scheduled_ = false;
+  std::function<void()> budget_listener_;
 };
 
 }  // namespace edgemm::mem

@@ -51,6 +51,14 @@ class ResourceServer {
   /// Cycles during which the channel was occupied.
   Cycle busy_cycles() const { return busy_cycles_; }
 
+  /// Accounts service performed outside the event-driven channel — the
+  /// fast replay tier prices transfers analytically but still reports
+  /// them here so bytes_served()/utilization() stay meaningful.
+  void record_external_service(Bytes bytes, Cycle busy) {
+    bytes_served_ += bytes;
+    busy_cycles_ += busy;
+  }
+
   /// Requests currently queued across all ports (excluding in-flight).
   std::size_t queued_requests() const;
 

@@ -173,6 +173,21 @@ EngineConfig& EngineConfig::rider_fill_barrier(bool enabled) {
   return *this;
 }
 
+EngineConfig& EngineConfig::replay_mode(core::ReplayMode mode) {
+  replay_mode_ = mode;
+  return *this;
+}
+
+EngineConfig& EngineConfig::deadline_ordered_queue(bool enabled) {
+  deadline_ordered_queue_ = enabled;
+  return *this;
+}
+
+EngineConfig& EngineConfig::lane_chain_limit(std::size_t limit) {
+  lane_chain_limit_ = limit;
+  return *this;
+}
+
 void EngineConfig::validate() const {
   if (!scheduler_ || !planner_ || !batcher_ || !placement_) {
     throw std::invalid_argument("EngineConfig: missing policy");

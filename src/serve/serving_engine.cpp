@@ -30,9 +30,12 @@ ServingEngine::ServingEngine(const core::ChipConfig& config,
     : config_(config),
       models_(std::move(models)),
       engine_config_(std::move(engine_config)),
-      chip_(config_, core::ChipComposition::kHeterogeneous),
+      chip_(config_, core::ChipComposition::kHeterogeneous,
+            engine_config_.replay_mode()),
       scheduler_(chip_),
-      manager_(config_, engine_config_.bandwidth_policy()) {
+      manager_(config_, engine_config_.bandwidth_policy()),
+      queue_(engine_config_.deadline_ordered_queue() ? QueueOrder::kDeadline
+                                                     : QueueOrder::kArrival) {
   engine_config_.validate();
   if (models_.empty()) {
     throw std::invalid_argument("ServingEngine: no models to serve");
@@ -54,7 +57,8 @@ ServingEngine::ServingEngine(const core::ChipConfig& config,
     }
     residency_.emplace(engine_config_.weight_residency());
     if (engine_config_.prefill_planner().prefers_lane_affinity()) {
-      scheduler_.set_affinity_chaining(Lane::kCcStage, true);
+      scheduler_.set_affinity_chaining(Lane::kCcStage, true,
+                                       engine_config_.lane_chain_limit());
     }
   }
 

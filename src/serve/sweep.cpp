@@ -1,0 +1,179 @@
+#include "serve/sweep.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace edgemm::serve {
+
+namespace {
+
+/// Bounded MPMC ring buffer of case indices (mt_circular_queue shape:
+/// mutex + two condvars + head/tail over a fixed store). The sweep
+/// pushes every index up front and closes the queue; workers pop until
+/// empty-and-closed.
+class IndexQueue {
+ public:
+  explicit IndexQueue(std::size_t capacity)
+      : store_(capacity > 0 ? capacity : 1) {}
+
+  void push(std::size_t value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return size_ < store_.size(); });
+    store_[(head_ + size_) % store_.size()] = value;
+    ++size_;
+    not_empty_.notify_one();
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+  }
+
+  /// False once the queue is drained and closed.
+  bool pop(std::size_t& value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return size_ > 0 || closed_; });
+    if (size_ == 0) return false;
+    value = store_[head_];
+    head_ = (head_ + 1) % store_.size();
+    --size_;
+    not_full_.notify_one();
+    return true;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<std::size_t> store_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+/// Replays cases[index] into outcomes[index] / errors[index]. Outcome
+/// slots are fixed by case index, so thread scheduling cannot reorder or
+/// perturb the results.
+void run_case(const std::vector<SweepCase>& cases, std::size_t index,
+              std::vector<SweepOutcome>& outcomes,
+              std::vector<std::exception_ptr>& errors) {
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    const SweepCase& c = cases[index];
+    ReplayOutcome replay = replay_trace(c.chip, c.models, c.engine, c.requests);
+    outcomes[index].label = c.label;
+    outcomes[index].result = replay.result;
+    outcomes[index].records = std::move(replay.records);
+  } catch (...) {
+    errors[index] = std::current_exception();
+  }
+  outcomes[index].wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+}
+
+}  // namespace
+
+std::vector<SweepOutcome> run_sweep(const std::vector<SweepCase>& cases,
+                                    const SweepOptions& options) {
+  if (cases.empty()) {
+    throw std::invalid_argument("run_sweep: empty case list");
+  }
+  std::vector<SweepOutcome> outcomes(cases.size());
+  std::vector<std::exception_ptr> errors(cases.size());
+
+  if (options.workers <= 1) {
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      run_case(cases, i, outcomes, errors);
+    }
+  } else {
+    IndexQueue queue(cases.size());
+    std::vector<std::thread> pool;
+    pool.reserve(options.workers);
+    for (std::size_t w = 0; w < options.workers; ++w) {
+      pool.emplace_back([&] {
+        std::size_t index = 0;
+        while (queue.pop(index)) run_case(cases, index, outcomes, errors);
+      });
+    }
+    for (std::size_t i = 0; i < cases.size(); ++i) queue.push(i);
+    queue.close();
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Deterministic error surface too: always the lowest failing index.
+  for (std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return outcomes;
+}
+
+bool results_identical(const ServingResult& a, const ServingResult& b) {
+  return a.completed == b.completed && a.rejected == b.rejected &&
+         a.makespan == b.makespan && a.makespan_ms == b.makespan_ms &&
+         a.p50_latency_ms == b.p50_latency_ms &&
+         a.p95_latency_ms == b.p95_latency_ms &&
+         a.p99_latency_ms == b.p99_latency_ms &&
+         a.mean_latency_ms == b.mean_latency_ms &&
+         a.tokens_per_second == b.tokens_per_second &&
+         a.dram_utilization == b.dram_utilization &&
+         a.mean_decode_batch == b.mean_decode_batch &&
+         a.decode_steps == b.decode_steps &&
+         a.peak_queue_depth == b.peak_queue_depth &&
+         a.rebalances == b.rebalances && a.with_deadline == b.with_deadline &&
+         a.slo_attained == b.slo_attained &&
+         a.slo_attainment == b.slo_attainment &&
+         a.prefill_jobs == b.prefill_jobs &&
+         a.max_cc_queue_delay_ms == b.max_cc_queue_delay_ms &&
+         a.kv_deferrals == b.kv_deferrals &&
+         a.cc_weight_fetch_bytes == b.cc_weight_fetch_bytes &&
+         a.cc_weight_bytes_saved == b.cc_weight_bytes_saved &&
+         a.weight_pins == b.weight_pins &&
+         a.weight_pin_fallbacks == b.weight_pin_fallbacks &&
+         a.weight_shared_attaches == b.weight_shared_attaches &&
+         a.peak_pinned_bytes == b.peak_pinned_bytes &&
+         a.weight_warm_attaches == b.weight_warm_attaches &&
+         a.placement_evictions == b.placement_evictions &&
+         a.placement_denials == b.placement_denials &&
+         a.rider_refetch_bytes == b.rider_refetch_bytes;
+}
+
+namespace {
+
+bool records_identical(const RequestRecord& a, const RequestRecord& b) {
+  return a.request.id == b.request.id && a.request.arrival == b.request.arrival &&
+         a.request.model == b.request.model &&
+         a.request.input_tokens == b.request.input_tokens &&
+         a.request.output_tokens == b.request.output_tokens &&
+         a.request.crops == b.request.crops &&
+         a.request.deadline == b.request.deadline &&
+         a.admitted == b.admitted && a.prefill_start == b.prefill_start &&
+         a.prefill_end == b.prefill_end && a.first_token == b.first_token &&
+         a.finish == b.finish && a.tokens_generated == b.tokens_generated &&
+         a.prefill_chunks == b.prefill_chunks &&
+         a.weight_pinned_layers == b.weight_pinned_layers &&
+         a.prune_keep_fraction == b.prune_keep_fraction && a.done == b.done &&
+         a.rejected == b.rejected;
+}
+
+}  // namespace
+
+bool outcomes_identical(const SweepOutcome& a, const SweepOutcome& b) {
+  if (a.label != b.label || !results_identical(a.result, b.result) ||
+      a.records.size() != b.records.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    if (!records_identical(a.records[i], b.records[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace edgemm::serve

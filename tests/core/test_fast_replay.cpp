@@ -1,0 +1,177 @@
+#include "core/fast_replay.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/chip.hpp"
+#include "core/phase_scheduler.hpp"
+
+namespace edgemm::core {
+namespace {
+
+ChipConfig small_cfg() {
+  ChipConfig cfg = default_chip_config();
+  cfg.groups = 1;
+  return cfg;
+}
+
+/// Runs `jobs` back-to-back on the CC lane of a fresh chip in `mode` and
+/// returns the retirement cycle of the last job.
+Cycle run_cc_jobs(ReplayMode mode, const std::vector<std::vector<GemmWork>>& jobs) {
+  ChipTimingModel chip(small_cfg(), ChipComposition::kHeterogeneous, mode);
+  PhaseScheduler sched(chip);
+  Cycle last = 0;
+  for (const auto& ops : jobs) {
+    sched.submit(Lane::kCcStage, ops, [&] { last = sched.sim().now(); });
+  }
+  chip.simulator().run();
+  return last;
+}
+
+double drift(Cycle detailed, Cycle fast) {
+  return std::abs(static_cast<double>(fast) - static_cast<double>(detailed)) /
+         static_cast<double>(detailed);
+}
+
+TEST(ReplayMode, ToStringCoversBothTiers) {
+  EXPECT_STREQ(to_string(ReplayMode::kDetailed), "detailed");
+  EXPECT_STREQ(to_string(ReplayMode::kFast), "fast");
+}
+
+TEST(FastReplay, DetailedChipCarriesNoFastModel) {
+  ChipTimingModel chip(small_cfg(), ChipComposition::kHeterogeneous);
+  EXPECT_EQ(chip.replay_mode(), ReplayMode::kDetailed);
+  EXPECT_EQ(chip.fast_model(), nullptr);
+}
+
+TEST(FastReplay, FastChipExposesItsIntegrator) {
+  ChipTimingModel chip(small_cfg(), ChipComposition::kHeterogeneous,
+                       ReplayMode::kFast);
+  EXPECT_EQ(chip.replay_mode(), ReplayMode::kFast);
+  ASSERT_NE(chip.fast_model(), nullptr);
+  EXPECT_EQ(chip.fast_model()->streams_completed(), 0u);
+}
+
+TEST(FastReplay, MemoryBoundJobWithinOnePercentOfDetailed) {
+  const std::vector<std::vector<GemmWork>> jobs = {
+      {{64, 1024, 1024, Phase::kPrefill, false, 0, false}}};
+  const Cycle detailed = run_cc_jobs(ReplayMode::kDetailed, jobs);
+  const Cycle fast = run_cc_jobs(ReplayMode::kFast, jobs);
+  ASSERT_GT(detailed, 0u);
+  EXPECT_LT(drift(detailed, fast), 0.01);
+}
+
+TEST(FastReplay, ComputeBoundJobWithinOnePercentOfDetailed) {
+  // Tall-m GEMM: datapath cycles dominate the weight fetch.
+  const std::vector<std::vector<GemmWork>> jobs = {
+      {{2048, 256, 256, Phase::kPrefill, false, 0, false}}};
+  const Cycle detailed = run_cc_jobs(ReplayMode::kDetailed, jobs);
+  const Cycle fast = run_cc_jobs(ReplayMode::kFast, jobs);
+  ASSERT_GT(detailed, 0u);
+  EXPECT_LT(drift(detailed, fast), 0.01);
+}
+
+TEST(FastReplay, MixedRegimeBatchWithinOnePercentOfDetailed) {
+  // Alternating compute-bound and memory-bound ops in ONE batch: the
+  // serial-chain pricing must capture the per-op DMA/compute
+  // serialization a lumped max(dma, compute) bound misses.
+  std::vector<GemmWork> batch;
+  for (int i = 0; i < 6; ++i) {
+    batch.push_back({2048, 128, 128, Phase::kPrefill, false, 0, false});
+    batch.push_back({8, 1024, 1024, Phase::kPrefill, false, 0, false});
+  }
+  const Cycle detailed = run_cc_jobs(ReplayMode::kDetailed, {batch});
+  const Cycle fast = run_cc_jobs(ReplayMode::kFast, {batch});
+  ASSERT_GT(detailed, 0u);
+  EXPECT_LT(drift(detailed, fast), 0.01);
+}
+
+TEST(FastReplay, ResidentWeightBatchesWithinOnePercentOfDetailed) {
+  // Weight-resident ops DMA only activations; mixed with streaming ops
+  // they exercise the zero-heavy end of the chain pricing.
+  std::vector<GemmWork> batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back({128, 512, 512, Phase::kPrefill, true, 0, false});
+    batch.push_back({128, 512, 512, Phase::kPrefill, false, 0, false});
+  }
+  const Cycle detailed = run_cc_jobs(ReplayMode::kDetailed, {batch});
+  const Cycle fast = run_cc_jobs(ReplayMode::kFast, {batch});
+  ASSERT_GT(detailed, 0u);
+  EXPECT_LT(drift(detailed, fast), 0.01);
+}
+
+TEST(FastReplay, BackToBackJobsWithinOnePercentOfDetailed) {
+  // FIFO job sequencing on one lane: each batch's DMA starts when the
+  // previous batch's last block lands, so makespan accumulates the
+  // per-batch tails correctly.
+  std::vector<std::vector<GemmWork>> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back({{128, 512, 512, Phase::kPrefill, false, 0, false}});
+  }
+  const Cycle detailed = run_cc_jobs(ReplayMode::kDetailed, jobs);
+  const Cycle fast = run_cc_jobs(ReplayMode::kFast, jobs);
+  ASSERT_GT(detailed, 0u);
+  EXPECT_LT(drift(detailed, fast), 0.01);
+}
+
+TEST(FastReplay, FastTierIsDeterministicAcrossRuns) {
+  std::vector<std::vector<GemmWork>> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back({{256 + 64 * i, 512, 512, Phase::kPrefill, false, 0, false}});
+  }
+  const Cycle first = run_cc_jobs(ReplayMode::kFast, jobs);
+  const Cycle second = run_cc_jobs(ReplayMode::kFast, jobs);
+  EXPECT_EQ(first, second);
+}
+
+TEST(FastReplay, StatsLedgersMatchDetailedExactly) {
+  // The fast tier injects the SAME integer totals run_ops accumulates:
+  // bytes, effective compute, flops and op counts agree bit-for-bit.
+  const std::vector<GemmWork> ops = {
+      {64, 1024, 1024, Phase::kPrefill, false, 0, false},
+      {128, 512, 512, Phase::kPrefill, true, 0, false}};
+
+  ChipTimingModel det(small_cfg(), ChipComposition::kHeterogeneous);
+  PhaseScheduler det_sched(det);
+  det_sched.submit(Lane::kCcStage, ops, [] {});
+  det.simulator().run();
+
+  ChipTimingModel fst(small_cfg(), ChipComposition::kHeterogeneous,
+                      ReplayMode::kFast);
+  PhaseScheduler fst_sched(fst);
+  fst_sched.submit(Lane::kCcStage, ops, [] {});
+  fst.simulator().run();
+
+  const auto det_cc = det.clusters(ClusterKind::kComputeCentric);
+  const auto fst_cc = fst.clusters(ClusterKind::kComputeCentric);
+  ASSERT_EQ(det_cc.size(), fst_cc.size());
+  for (std::size_t i = 0; i < det_cc.size(); ++i) {
+    EXPECT_EQ(det_cc[i]->stats().dma_bytes, fst_cc[i]->stats().dma_bytes);
+    EXPECT_EQ(det_cc[i]->stats().compute_cycles,
+              fst_cc[i]->stats().compute_cycles);
+    EXPECT_EQ(det_cc[i]->stats().flops, fst_cc[i]->stats().flops);
+    EXPECT_EQ(det_cc[i]->stats().ops_executed, fst_cc[i]->stats().ops_executed);
+  }
+  EXPECT_GT(fst.fast_model()->streams_completed(), 0u);
+}
+
+TEST(FastReplay, IdleTracksOutstandingStreams) {
+  ChipTimingModel chip(small_cfg(), ChipComposition::kHeterogeneous,
+                       ReplayMode::kFast);
+  auto cc = chip.clusters(ClusterKind::kComputeCentric);
+  ASSERT_FALSE(cc.empty());
+  EXPECT_TRUE(cc[0]->idle());
+  bool done = false;
+  chip.run_on(cc, {{64, 512, 512, Phase::kPrefill, false, 0, false}},
+              [&] { done = true; });
+  EXPECT_FALSE(cc[0]->idle());
+  chip.simulator().run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(cc[0]->idle());
+}
+
+}  // namespace
+}  // namespace edgemm::core

@@ -27,6 +27,22 @@ TEST(EngineConfig, DefaultsReproducePr1Composition) {
   EXPECT_STREQ(config.placement().name(), "keep-current");
   EXPECT_TRUE(config.rider_fill_barrier());
   EXPECT_TRUE(config.share_weight_pins());
+  // PR 6 defaults: detailed tier, arrival-ordered queue, unbounded chains
+  // — all three knobs off keeps the engine byte-identical to PR 5.
+  EXPECT_EQ(config.replay_mode(), core::ReplayMode::kDetailed);
+  EXPECT_FALSE(config.deadline_ordered_queue());
+  EXPECT_EQ(config.lane_chain_limit(), 0u);
+}
+
+TEST(EngineConfig, ReplayAndQueueKnobsCompose) {
+  const EngineConfig config = EngineConfig()
+                                  .replay_mode(core::ReplayMode::kFast)
+                                  .deadline_ordered_queue(true)
+                                  .lane_chain_limit(3);
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_EQ(config.replay_mode(), core::ReplayMode::kFast);
+  EXPECT_TRUE(config.deadline_ordered_queue());
+  EXPECT_EQ(config.lane_chain_limit(), 3u);
 }
 
 TEST(EngineConfig, PlacementAndBarrierKnobsCompose) {

@@ -9,6 +9,8 @@ appear as an identifier in the corresponding header:
 
   EngineConfig::<name>  -> src/serve/engine_config.hpp
   ServingResult::<name> -> src/serve/serving_engine.hpp
+  ReplayMode::<name>    -> src/core/fast_replay.hpp
+  SweepCase / SweepOptions / SweepOutcome::<name> -> src/serve/sweep.hpp
 
 Offline and dependency-free by design, like check_markdown_links.py.
 
@@ -22,11 +24,17 @@ import sys
 
 # `EngineConfig::knob` or `ServingResult::counter` (also matched with a
 # dot, as prose sometimes writes `ServingResult.rider_refetch_bytes`).
-REF_RE = re.compile(r"\b(EngineConfig|ServingResult)(?:::|\.)(\w+)")
+REF_RE = re.compile(
+    r"\b(EngineConfig|ServingResult|ReplayMode|SweepCase|SweepOptions"
+    r"|SweepOutcome)(?:::|\.)(\w+)")
 
 HEADERS = {
     "EngineConfig": "src/serve/engine_config.hpp",
     "ServingResult": "src/serve/serving_engine.hpp",
+    "ReplayMode": "src/core/fast_replay.hpp",
+    "SweepCase": "src/serve/sweep.hpp",
+    "SweepOptions": "src/serve/sweep.hpp",
+    "SweepOutcome": "src/serve/sweep.hpp",
 }
 
 
