@@ -34,6 +34,11 @@
 //      under 1%, completion counts equal, single-replay and policy-sweep
 //      speedups gated, and worker-count byte-identity of the parallel
 //      sweep. Emits BENCH_serving_trace.json.
+//   8. cluster — the §6 zoo scenario sharded across {1,2,4,8} chips via
+//      run_cluster: a 1-chip replica cluster gated bit-identical to the
+//      single-engine §6 replay, near-linear replica tokens/s scaling at
+//      fixed traffic, and a disaggregated prefill/decode split whose KV
+//      migration bytes are exactly conserved on the chip-to-chip link.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -48,6 +53,7 @@
 #include "core/config.hpp"
 #include "model/mllm_config.hpp"
 #include "model/workload.hpp"
+#include "serve/cluster/cluster_engine.hpp"
 #include "serve/kv_tracker.hpp"
 #include "serve/residency_tracker.hpp"
 #include "serve/serving_engine.hpp"
@@ -563,27 +569,14 @@ int main(int argc, char** argv) {
   // — so the savings are fill-timing-honest; the barrier-off row prices
   // exactly the optimism PR 4's numbers carried.
   std::printf("\n--- multi-model zoo: placement policies x fill barrier ---\n");
-  serve::TraceConfig zoo_cfg = trace_cfg;
-  zoo_cfg.requests = 20;
-  zoo_cfg.arrival_rate_per_s = 2.0;
-  zoo_cfg.burst = 2;  // paired arrivals with ~1 s gaps: riders exist AND
-                      // pins go idle between bursts (the keep-warm seam)
-  zoo_cfg.input_tokens = 900;
-  zoo_cfg.crops = 2;
-  zoo_cfg.min_output_tokens = 8;
-  zoo_cfg.max_output_tokens = 48;
-  zoo_cfg.model_weights = {4.0, 1.0, 1.0};
-  const std::vector<model::MllmConfig> zoo = {
-      model::sphinx_tiny(), model::deepseek_vl(), model::karmavlm()};
-  Bytes zoo_sets[3];
-  for (std::size_t m = 0; m < zoo.size(); ++m) {
-    zoo_sets[m] = serve::llm_layer_group_bytes(zoo[m], chip8) *
-                  zoo[m].llm.layers;
-  }
-  // The two big sets fit together; the third does not also fit, so the
-  // placement policies must decide who loses residency — and the burst
-  // gaps decide how much a keep-warm pin is worth.
-  const Bytes zoo_budget = zoo_sets[0] + zoo_sets[1];
+  // The Table I zoo scenario lives in bench_common.hpp so §8 shards the
+  // exact same models/trace/budget across the cluster.
+  const bench::ZooScenario zoo_scenario =
+      bench::make_zoo_scenario(trace_cfg, chip8);
+  const serve::TraceConfig& zoo_cfg = zoo_scenario.trace;
+  const std::vector<model::MllmConfig>& zoo = zoo_scenario.models;
+  const std::vector<Bytes>& zoo_sets = zoo_scenario.set_bytes;
+  const Bytes zoo_budget = zoo_scenario.residency_budget;
   std::printf("zoo: %s / %s / %s, traffic mix 4:1:1\n",
               zoo[0].name.c_str(), zoo[1].name.c_str(), zoo[2].name.c_str());
   std::printf("trace: %zu requests in bursts of %zu, Poisson %.1f req/s, "
@@ -801,11 +794,174 @@ int main(int argc, char** argv) {
   json.field("worst_drift_pct", worst_drift);
   json.end_object();
 
+  // --- 8. Cluster: replica scaling + disaggregated prefill/decode ---------
+  // The §6 zoo scenario sharded across a multi-chip cluster. Three gates:
+  // (a) a 1-chip replica cluster IS the single engine — the §6
+  // demand-weighted replay reproduced bit-for-bit through run_cluster;
+  // (b) replica tokens/s scales near-linearly at fixed zoo traffic
+  // (>= 3x from 1 -> 4 chips); (c) the disaggregated split ships real KV
+  // over the chip-to-chip link with the byte ledger exactly conserved.
+  std::printf("\n--- cluster: replica scaling + disaggregated "
+              "prefill/decode (zoo traffic) ---\n\n");
+
+  const serve::SweepCase& s6_demand_case = s6_cases[2];  // "s6 demand-weighted"
+  const serve::ClusterOutcome one_chip = serve::run_cluster(
+      chip8, zoo, s6_demand_case.engine, serve::ClusterConfig{}, zoo_trace);
+  const auto& s6_demand = s6.outcomes[2];
+  bool cluster_identity_ok =
+      one_chip.result.per_chip.size() == 1 &&
+      serve::results_identical(one_chip.result.per_chip[0], s6_demand.result) &&
+      one_chip.result.completed == s6_demand.result.completed &&
+      one_chip.result.makespan == s6_demand.result.makespan &&
+      one_chip.result.p99_latency_ms == s6_demand.result.p99_latency_ms &&
+      one_chip.result.tokens_per_second == s6_demand.result.tokens_per_second &&
+      one_chip.records.size() == s6_demand.records.size();
+  for (std::size_t i = 0; cluster_identity_ok && i < one_chip.records.size();
+       ++i) {
+    cluster_identity_ok =
+        serve::record_identical(one_chip.records[i], s6_demand.records[i]);
+  }
+  std::printf("  1-chip cluster bit-identical to the single-engine §6 "
+              "replay (result + all records): %s\n",
+              cluster_identity_ok ? "yes" : "NO");
+
+  // Denser zoo traffic for the scaling rows (fast tier): one chip is
+  // saturated, so added chips convert to throughput until the fixed
+  // arrival window caps the win. Routing is model-affinity — the router
+  // reads the same per-model demand the placement policy does, so each
+  // model's weight pins stay warm on its home chips.
+  serve::TraceConfig dense_cfg = zoo_scenario.trace;
+  dense_cfg.requests = 96;
+  dense_cfg.arrival_rate_per_s = 24.0;
+  const auto dense_trace = serve::poisson_trace(dense_cfg);
+  serve::EngineConfig cluster_engine_cfg = s6_demand_case.engine;
+  cluster_engine_cfg.replay_mode(core::ReplayMode::kFast);
+  std::printf("\n  scaling trace: %zu requests in bursts of %zu, Poisson "
+              "%.1f req/s, mix 4:1:1 (fast tier, model-affinity routing)\n",
+              dense_cfg.requests, dense_cfg.burst,
+              dense_cfg.arrival_rate_per_s);
+
+  const std::size_t chip_counts[] = {1, 2, 4, 8};
+  std::vector<serve::ClusterOutcome> scaling;
+  for (const std::size_t chips : chip_counts) {
+    serve::ClusterConfig replica_cfg;
+    replica_cfg.chips(chips)
+        .router(std::make_shared<serve::ModelAffinityRouter>())
+        .workers(default_workers(chips));
+    scaling.push_back(serve::run_cluster(chip8, zoo, cluster_engine_cfg,
+                                         replica_cfg, dense_trace));
+  }
+  const double tps_1chip = scaling[0].result.tokens_per_second;
+  bool replica_scaling_ok = true;
+  for (std::size_t k = 0; k < scaling.size(); ++k) {
+    const serve::ClusterResult& r = scaling[k].result;
+    replica_scaling_ok = replica_scaling_ok && r.completed == dense_cfg.requests;
+    std::printf("  %zu chip%s  %3zu done  makespan %9.1f ms  p99 %9.1f ms  "
+                "%8.1f tok/s  (%.2fx)\n",
+                r.chips, r.chips == 1 ? " " : "s", r.completed, r.makespan_ms,
+                r.p99_latency_ms, r.tokens_per_second,
+                r.tokens_per_second / tps_1chip);
+  }
+  const double scaling_1_to_4 =
+      scaling[2].result.tokens_per_second / tps_1chip;
+  replica_scaling_ok = replica_scaling_ok && scaling_1_to_4 >= 3.0;
+  std::printf("\nreplica tokens/s scales >= 3x from 1 to 4 chips "
+              "(all requests served): %.2fx  %s\n",
+              scaling_1_to_4, replica_scaling_ok ? "yes" : "NO");
+
+  // Round-robin at 4 chips for comparison: model-blind sharding spreads
+  // every model over every chip, so each chip's residency budget thrashes
+  // across the zoo (reported, not gated — the win is traffic).
+  serve::ClusterConfig rr_cfg;
+  rr_cfg.chips(4).workers(default_workers(4));
+  const serve::ClusterOutcome round_robin = serve::run_cluster(
+      chip8, zoo, cluster_engine_cfg, rr_cfg, dense_trace);
+  std::printf("model-affinity @ 4 chips: CC weight fetch %.1f GiB, %zu pins "
+              "(round-robin: %.1f GiB, %zu pins, %.1f tok/s)\n",
+              static_cast<double>(scaling[2].result.cc_weight_fetch_bytes) /
+                  (1024.0 * 1024.0 * 1024.0),
+              scaling[2].result.weight_pins,
+              static_cast<double>(round_robin.result.cc_weight_fetch_bytes) /
+                  (1024.0 * 1024.0 * 1024.0),
+              round_robin.result.weight_pins,
+              round_robin.result.tokens_per_second);
+
+  // Disaggregated split: 2 prefill chips stream KV to 2 decode chips.
+  serve::ClusterConfig disagg_cfg;
+  disagg_cfg.chips(4)
+      .mode(serve::ClusterMode::kDisaggregated)
+      .prefill_chips(2)
+      .router(std::make_shared<serve::LeastLoadedRouter>())
+      .workers(default_workers(4));
+  const serve::ClusterOutcome disagg = serve::run_cluster(
+      chip8, zoo, cluster_engine_cfg, disagg_cfg, dense_trace);
+  const serve::ClusterResult& dis = disagg.result;
+  std::printf("\ndisaggregated 2 prefill + 2 decode: %zu done  "
+              "p99 %9.1f ms  %8.1f tok/s\n",
+              dis.completed, dis.p99_latency_ms, dis.tokens_per_second);
+  std::printf("  KV migration: %zu transfers, %.1f MiB sent, %.1f MiB "
+              "landed, %zu B in flight at drain\n",
+              dis.kv_transfers,
+              static_cast<double>(dis.kv_bytes_sent) / (1024.0 * 1024.0),
+              static_cast<double>(dis.kv_migration_bytes) / (1024.0 * 1024.0),
+              static_cast<std::size_t>(dis.kv_bytes_in_flight));
+  std::printf("  link: occupancy %4.1f %%, worst KV queue wait %.2f ms\n",
+              100.0 * dis.link_occupancy, dis.max_link_queue_ms);
+  const bool kv_conservation_ok =
+      dis.kv_transfers > 0 && dis.kv_migration_bytes > 0 &&
+      dis.kv_bytes_in_flight == 0 &&
+      dis.kv_bytes_sent == dis.kv_migration_bytes + dis.kv_bytes_in_flight;
+  std::printf("KV ledger exactly conserved (sent == landed + in-flight, "
+              "drained to 0): %s\n",
+              kv_conservation_ok ? "yes" : "NO");
+
+  json.begin_object("cluster");
+  json.field("identity_1chip", cluster_identity_ok);
+  json.begin_array("replica_scaling");
+  for (const serve::ClusterOutcome& o : scaling) {
+    const serve::ClusterResult& r = o.result;
+    json.begin_object();
+    json.field("chips", r.chips);
+    json.field("completed", r.completed);
+    json.field("makespan_ms", r.makespan_ms);
+    json.field("p99_latency_ms", r.p99_latency_ms);
+    json.field("tokens_per_second", r.tokens_per_second);
+    json.field("speedup_vs_1chip", r.tokens_per_second / tps_1chip);
+    json.end_object();
+  }
+  json.end_array();
+  json.field("scaling_1_to_4", scaling_1_to_4);
+  json.begin_object("routing_4chips");
+  json.field("affinity_cc_weight_fetch_bytes",
+             static_cast<std::size_t>(scaling[2].result.cc_weight_fetch_bytes));
+  json.field("round_robin_cc_weight_fetch_bytes",
+             static_cast<std::size_t>(round_robin.result.cc_weight_fetch_bytes));
+  json.field("round_robin_tokens_per_second",
+             round_robin.result.tokens_per_second);
+  json.end_object();
+  json.begin_object("disaggregated");
+  json.field("chips", dis.chips);
+  json.field("prefill_chips", static_cast<std::size_t>(2));
+  json.field("completed", dis.completed);
+  json.field("p99_latency_ms", dis.p99_latency_ms);
+  json.field("tokens_per_second", dis.tokens_per_second);
+  json.field("kv_transfers", dis.kv_transfers);
+  json.field("kv_bytes_sent", static_cast<std::size_t>(dis.kv_bytes_sent));
+  json.field("kv_migration_bytes",
+             static_cast<std::size_t>(dis.kv_migration_bytes));
+  json.field("kv_bytes_in_flight",
+             static_cast<std::size_t>(dis.kv_bytes_in_flight));
+  json.field("link_occupancy", dis.link_occupancy);
+  json.field("max_link_queue_ms", dis.max_link_queue_ms);
+  json.end_object();
+  json.end_object();
+
   const bool ok = beats && slo_wins && chunk_wins && resident_wins &&
                   chaining_wins && sharing_wins && charged_once &&
                   placement_wins && barrier_honest && eviction_exercised &&
                   fidelity_ok && zoo_speedup_ok && s2_speedup_ok &&
-                  identity_ok && throughput_ok;
+                  identity_ok && throughput_ok && cluster_identity_ok &&
+                  replica_scaling_ok && kv_conservation_ok;
 
   json.begin_object("self_checks");
   json.field("continuous_beats_sequential", beats);
@@ -822,6 +978,9 @@ int main(int argc, char** argv) {
   json.field("zoo_speedup_ok", zoo_speedup_ok);
   json.field("policy_sweep_speedup_ok", s2_speedup_ok);
   json.field("sweep_identity_ok", identity_ok);
+  json.field("cluster_identity_ok", cluster_identity_ok);
+  json.field("replica_scaling_ok", replica_scaling_ok);
+  json.field("kv_conservation_ok", kv_conservation_ok);
   json.field("all_passed", ok);
   json.end_object();
   json.end_object();

@@ -38,6 +38,8 @@ void ChipConfig::validate() const {
   require(cc_cluster_tcdm_bytes > 0, "CC TCDM must be non-empty");
   require(cc_elem_bytes > 0 && mc_elem_bytes > 0, "element sizes must be non-zero");
   require(dram.bytes_per_cycle > 0.0, "DRAM bandwidth must be positive");
+  require(chip_link_bytes_per_cycle > 0.0,
+          "chip-to-chip link bandwidth must be positive");
   require(dma.burst_bytes > 0, "DMA burst size must be non-zero");
   require(clock_hz > 0.0, "clock must be positive");
 }

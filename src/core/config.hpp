@@ -57,6 +57,15 @@ struct ChipConfig {
   double system_xbar_bytes_per_cycle = 256.0;
   Cycle system_xbar_latency = 4;
 
+  // --- Chip-to-chip interconnect (multi-chip clusters) --------------------
+  /// Serialized board-level link joining this chip to its cluster peers
+  /// (serve/cluster): in disaggregated serving, finished KV caches
+  /// migrate from prefill to decode chips across it (mem::ChipLink).
+  /// Far narrower than the on-chip crossbars — a quarter of one DRAM
+  /// channel — with board-level head latency per transfer.
+  double chip_link_bytes_per_cycle = 12.8;  ///< ~12.8 GB/s at 1 GHz
+  Cycle chip_link_latency = 500;            ///< per-transfer head latency
+
   /// Timing-plane fidelity knob: multiplies the double-buffer block size
   /// used to discretize DMA/compute overlap. 1 = architectural blocks
   /// (highest fidelity); larger values coarsen event granularity for

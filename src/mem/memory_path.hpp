@@ -4,6 +4,11 @@
 // Every hop is a bandwidth-limited ResourceServer with its own port for
 // the requester; a burst occupies the hops in order, pipelining across
 // bursts.
+//
+// ChipLink below extends the same bandwidth/latency vocabulary off-chip:
+// a serialized chip-to-chip channel (multi-chip serving clusters) priced
+// analytically rather than event-by-event, with exact byte-conservation
+// counters so migrated KV bytes can join the serving byte ledger.
 #ifndef EDGEMM_MEM_MEMORY_PATH_HPP
 #define EDGEMM_MEM_MEMORY_PATH_HPP
 
@@ -46,6 +51,76 @@ class MemoryPath {
                     std::function<void()> done) const;
 
   std::vector<Hop> hops_;
+};
+
+/// One serialized chip-to-chip channel (board-level SerDes between two
+/// simulated EdgeMM chips). Unlike the event-driven hops above it is
+/// priced analytically — transfers are submitted with absolute ready
+/// cycles and the link returns absolute arrival cycles — because the
+/// two endpoint chips live in SEPARATE simulators (one per
+/// ServingEngine) and only exchange finished timestamps.
+///
+/// Timing: the wire serializes (one transfer occupies it for
+/// ceil(bytes / bandwidth) cycles, FIFO in submission order), while the
+/// head latency pipelines (pure propagation):
+///   start_i   = max(ready_i, wire_free_i)
+///   arrival_i = start_i + latency + ceil(bytes_i / bandwidth)
+///
+/// The byte ledger is conservation-exact at every probe cycle t:
+///   bytes_sent_by(t) == bytes_landed_by(t) + bytes_in_flight_at(t)
+/// where a transfer's bytes are "sent" at its start cycle and "landed"
+/// at its arrival cycle — the invariant the cluster tests gate on.
+class ChipLink {
+ public:
+  /// Throws std::invalid_argument for a non-positive bandwidth.
+  ChipLink(double bytes_per_cycle, Cycle latency);
+
+  /// One completed transfer (exposed for tests and the occupancy stats).
+  struct Transfer {
+    Cycle ready = 0;    ///< submission cycle (payload finished upstream)
+    Cycle start = 0;    ///< entered the wire (bytes count as sent)
+    Cycle arrival = 0;  ///< landed on the far chip
+    Bytes bytes = 0;
+  };
+
+  /// Submits one transfer that is ready at `ready`; returns its arrival
+  /// cycle. Transfers MUST be submitted in deterministic order — the
+  /// wire serves them FIFO in submission order (ties in ready time do
+  /// not reorder). Zero-byte transfers are rejected
+  /// (std::invalid_argument): nothing to conserve.
+  Cycle transfer(Bytes bytes, Cycle ready);
+
+  double bytes_per_cycle() const { return bytes_per_cycle_; }
+  Cycle latency() const { return latency_; }
+  const std::vector<Transfer>& transfers() const { return transfers_; }
+
+  /// Total bytes that have entered the wire over the link's lifetime.
+  Bytes bytes_sent() const { return bytes_sent_; }
+  /// Bytes whose transfer started at or before `now`.
+  Bytes bytes_sent_by(Cycle now) const;
+  /// Bytes whose transfer arrived at or before `now`.
+  Bytes bytes_landed_by(Cycle now) const;
+  /// Bytes on the wire at `now`: sent_by(now) - landed_by(now).
+  Bytes bytes_in_flight_at(Cycle now) const;
+
+  /// Cycles the wire spent serializing payload (sum of transfer
+  /// durations, head latency excluded — it pipelines).
+  Cycle busy_cycles() const { return busy_cycles_; }
+  /// Arrival cycle of the last transfer (0 with no transfers).
+  Cycle last_arrival() const { return last_arrival_; }
+  /// Worst queueing delay a transfer saw behind the serialized wire
+  /// (start - ready, maximized over transfers).
+  Cycle max_queue_wait() const { return max_queue_wait_; }
+
+ private:
+  double bytes_per_cycle_;
+  Cycle latency_;
+  Cycle wire_free_ = 0;  ///< cycle the wire finishes its current payload
+  std::vector<Transfer> transfers_;
+  Bytes bytes_sent_ = 0;
+  Cycle busy_cycles_ = 0;
+  Cycle last_arrival_ = 0;
+  Cycle max_queue_wait_ = 0;
 };
 
 }  // namespace edgemm::mem

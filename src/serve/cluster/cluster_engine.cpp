@@ -1,0 +1,354 @@
+#include "serve/cluster/cluster_engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/statistics.hpp"
+#include "common/units.hpp"
+#include "mem/memory_path.hpp"
+#include "model/workload.hpp"
+#include "serve/sweep.hpp"
+
+namespace edgemm::serve {
+
+namespace {
+
+/// Routes the requests picked out by `order` across `chips` chips via
+/// `router`, maintaining the per-chip load state in routing order.
+/// Returns each chip's original-trace indices, in routed order.
+std::vector<std::vector<std::size_t>> route_requests(
+    const std::vector<Request>& requests, const std::vector<std::size_t>& order,
+    std::size_t chips, std::size_t models, const RouterPolicy& router) {
+  RouterContext ctx;
+  ctx.chips.assign(chips, ChipLoad{});
+  for (ChipLoad& load : ctx.chips) load.per_model.assign(models, 0);
+  std::vector<std::vector<std::size_t>> assigned(chips);
+  for (const std::size_t i : order) {
+    const Request& r = requests[i];
+    const std::size_t c = router.route(r, ctx);
+    if (c >= chips) {
+      throw std::logic_error(
+          "run_cluster: RouterPolicy routed a request out of chip range");
+    }
+    ChipLoad& load = ctx.chips[c];
+    ++load.assigned_requests;
+    load.estimated_cost += request_route_cost(r);
+    ++load.per_model[r.model];
+    assigned[c].push_back(i);
+  }
+  return assigned;
+}
+
+/// One tier's replay: ServingResult per chip (default for an empty chip
+/// — ServingEngine rejects empty traces, and an idle chip has nothing to
+/// price) plus each chip's records in its assigned order.
+struct TierOutcome {
+  std::vector<ServingResult> per_chip;
+  std::vector<std::vector<RequestRecord>> records;
+};
+
+/// Replays every non-empty chip of a tier through run_sweep (shards
+/// price in parallel; outcome order is fixed by case index, so the tier
+/// is byte-identical at any worker count). `arrivals`, when non-null,
+/// overrides each request's arrival cycle (the decode tier re-times
+/// requests to their KV link-arrival).
+TierOutcome replay_tier(const core::ChipConfig& chip,
+                        const std::vector<model::MllmConfig>& models,
+                        const EngineConfig& engine,
+                        const std::vector<Request>& requests,
+                        const std::vector<std::vector<std::size_t>>& assigned,
+                        const std::vector<Cycle>* arrivals,
+                        const char* label_prefix, std::size_t workers) {
+  std::vector<SweepCase> cases;
+  std::vector<std::size_t> case_chip;
+  for (std::size_t c = 0; c < assigned.size(); ++c) {
+    if (assigned[c].empty()) continue;
+    SweepCase sc;
+    sc.label = std::string(label_prefix) + std::to_string(c);
+    sc.chip = chip;
+    sc.models = models;
+    sc.engine = engine;
+    sc.requests.reserve(assigned[c].size());
+    for (const std::size_t i : assigned[c]) {
+      Request r = requests[i];
+      if (arrivals) r.arrival = (*arrivals)[i];
+      sc.requests.push_back(r);
+    }
+    case_chip.push_back(c);
+    cases.push_back(std::move(sc));
+  }
+  TierOutcome tier;
+  tier.per_chip.assign(assigned.size(), ServingResult{});
+  tier.records.resize(assigned.size());
+  if (cases.empty()) return tier;
+  auto outcomes = run_sweep(cases, SweepOptions{workers});
+  for (std::size_t k = 0; k < outcomes.size(); ++k) {
+    tier.per_chip[case_chip[k]] = outcomes[k].result;
+    tier.records[case_chip[k]] = std::move(outcomes[k].records);
+  }
+  return tier;
+}
+
+/// Recomputes the trace-level aggregates over the merged records with
+/// the EXACT formulas ServingEngine::run uses, so a 1-chip cluster's
+/// numbers are bit-identical to the single engine's.
+void aggregate_records(const std::vector<RequestRecord>& records,
+                       double clock_hz, ClusterResult& result) {
+  Cycle first_arrival = records.front().request.arrival;
+  Cycle last_finish = 0;
+  std::size_t total_tokens = 0;
+  std::vector<double> latencies_ms;
+  for (const RequestRecord& rec : records) {
+    first_arrival = std::min(first_arrival, rec.request.arrival);
+    if (rec.rejected) ++result.rejected;
+    if (rec.request.deadline > 0) {
+      ++result.with_deadline;
+      if (rec.deadline_met()) ++result.slo_attained;
+    }
+    if (!rec.done) continue;
+    ++result.completed;
+    last_finish = std::max(last_finish, rec.finish);
+    total_tokens += rec.tokens_generated;
+    latencies_ms.push_back(rec.latency_ms(clock_hz));
+  }
+  result.makespan =
+      last_finish > first_arrival ? last_finish - first_arrival : 0;
+  result.makespan_ms = cycles_to_ms(result.makespan, clock_hz);
+  result.p50_latency_ms = percentile(latencies_ms, 50.0);
+  result.p95_latency_ms = percentile(latencies_ms, 95.0);
+  result.p99_latency_ms = percentile(latencies_ms, 99.0);
+  double sum = 0.0;
+  for (const double v : latencies_ms) sum += v;
+  result.mean_latency_ms =
+      latencies_ms.empty() ? 0.0
+                           : sum / static_cast<double>(latencies_ms.size());
+  result.tokens_per_second =
+      static_cast<double>(total_tokens) /
+      cycles_to_seconds(std::max<Cycle>(result.makespan, 1), clock_hz);
+  result.slo_attainment =
+      result.with_deadline > 0
+          ? static_cast<double>(result.slo_attained) /
+                static_cast<double>(result.with_deadline)
+          : 1.0;
+}
+
+}  // namespace
+
+ClusterOutcome run_cluster(const core::ChipConfig& chip,
+                           const std::vector<model::MllmConfig>& models,
+                           const EngineConfig& engine,
+                           const ClusterConfig& cluster,
+                           std::vector<Request> requests) {
+  cluster.validate();
+  if (requests.empty()) {
+    throw std::invalid_argument("run_cluster: empty trace");
+  }
+  if (engine.phase() != EnginePhase::kFull) {
+    throw std::invalid_argument(
+        "run_cluster: the cluster owns the phase split — pass a kFull "
+        "EngineConfig and pick a ClusterMode instead");
+  }
+  for (const Request& r : requests) {
+    if (r.model >= models.size()) {
+      throw std::invalid_argument("run_cluster: model index out of range");
+    }
+  }
+
+  const std::size_t n = cluster.chips();
+  ClusterOutcome out;
+  out.result.mode = cluster.mode();
+  out.result.chips = n;
+  out.records.resize(requests.size());
+
+  std::vector<std::size_t> order(requests.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  std::optional<mem::ChipLink> link;
+  if (cluster.mode() == ClusterMode::kReplica) {
+    // --- Replica sharding: route, then replay every shard independently.
+    const auto assigned =
+        route_requests(requests, order, n, models.size(), cluster.router());
+    TierOutcome tier = replay_tier(chip, models, engine, requests, assigned,
+                                   nullptr, "chip", cluster.workers());
+    out.result.per_chip = std::move(tier.per_chip);
+    for (std::size_t c = 0; c < n; ++c) {
+      out.result.routed_per_chip.push_back(assigned[c].size());
+      for (std::size_t j = 0; j < assigned[c].size(); ++j) {
+        out.records[assigned[c][j]] = std::move(tier.records[c][j]);
+      }
+    }
+  } else {
+    // --- Disaggregated prefill/decode --------------------------------------
+    const std::size_t prefill_n = cluster.prefill_chips();
+    const std::size_t decode_n = n - prefill_n;
+    // Prefill tier: balance by the prefill-side cost alone (vision crops
+    // x prompt tokens — output length is the DECODE tier's problem).
+    std::vector<std::vector<std::size_t>> pre_assigned(prefill_n);
+    std::vector<double> pre_cost(prefill_n, 0.0);
+    for (const std::size_t i : order) {
+      std::size_t best = 0;
+      for (std::size_t p = 1; p < prefill_n; ++p) {
+        if (pre_cost[p] < pre_cost[best]) best = p;
+      }
+      pre_assigned[best].push_back(i);
+      pre_cost[best] += static_cast<double>(requests[i].input_tokens *
+                                            requests[i].crops);
+    }
+    EngineConfig prefill_engine = engine;
+    prefill_engine.phase(EnginePhase::kPrefillOnly);
+    TierOutcome pre_tier =
+        replay_tier(chip, models, prefill_engine, requests, pre_assigned,
+                    nullptr, "prefill", cluster.workers());
+
+    // Ship each finished KV cache over the shared chip-to-chip link in
+    // (prefill_end, id) order — the deterministic arrival order of the
+    // transfers at the serialized wire. A prefill-rejected request never
+    // ships and never decodes.
+    struct Shipment {
+      std::size_t index = 0;
+      Cycle ready = 0;
+      Bytes bytes = 0;
+    };
+    std::vector<Shipment> shipments;
+    for (std::size_t p = 0; p < prefill_n; ++p) {
+      for (std::size_t j = 0; j < pre_assigned[p].size(); ++j) {
+        const std::size_t i = pre_assigned[p][j];
+        out.records[i] = pre_tier.records[p][j];
+        if (!out.records[i].done) continue;
+        const Bytes bytes =
+            static_cast<Bytes>(requests[i].input_tokens) *
+            model::kv_bytes_per_token(models[requests[i].model]);
+        shipments.push_back(Shipment{i, out.records[i].prefill_end, bytes});
+      }
+    }
+    std::sort(shipments.begin(), shipments.end(),
+              [&requests](const Shipment& a, const Shipment& b) {
+                if (a.ready != b.ready) return a.ready < b.ready;
+                return requests[a.index].id < requests[b.index].id;
+              });
+    link.emplace(chip.chip_link_bytes_per_cycle, chip.chip_link_latency);
+    std::vector<Cycle> kv_arrival(requests.size(), 0);
+    std::vector<std::size_t> shipped_order;
+    shipped_order.reserve(shipments.size());
+    for (const Shipment& s : shipments) {
+      kv_arrival[s.index] = link->transfer(s.bytes, s.ready);
+      shipped_order.push_back(s.index);
+    }
+
+    // Decode tier: the RouterPolicy shards the shipped requests, each
+    // re-arriving at its KV's link-arrival cycle.
+    const auto dec_assigned = route_requests(requests, shipped_order, decode_n,
+                                             models.size(), cluster.router());
+    EngineConfig decode_engine = engine;
+    decode_engine.phase(EnginePhase::kDecodeOnly);
+    TierOutcome dec_tier =
+        replay_tier(chip, models, decode_engine, requests, dec_assigned,
+                    &kv_arrival, "decode", cluster.workers());
+
+    // Merge: prefill-side fields (admitted, prefill_*, pin stats) come
+    // from the prefill chip's record, decode-side fields from the decode
+    // chip's; the request itself keeps its ORIGINAL arrival, so latency
+    // spans the whole disaggregated path including the link.
+    for (std::size_t d = 0; d < decode_n; ++d) {
+      for (std::size_t j = 0; j < dec_assigned[d].size(); ++j) {
+        const std::size_t i = dec_assigned[d][j];
+        const RequestRecord& dec = dec_tier.records[d][j];
+        RequestRecord& rec = out.records[i];
+        rec.first_token = dec.first_token;
+        rec.finish = dec.finish;
+        rec.tokens_generated = dec.tokens_generated;
+        rec.done = dec.done;
+        rec.rejected = dec.rejected;
+      }
+    }
+    out.result.per_chip = std::move(pre_tier.per_chip);
+    out.result.per_chip.insert(out.result.per_chip.end(),
+                               dec_tier.per_chip.begin(),
+                               dec_tier.per_chip.end());
+    for (std::size_t p = 0; p < prefill_n; ++p) {
+      out.result.routed_per_chip.push_back(pre_assigned[p].size());
+    }
+    for (std::size_t d = 0; d < decode_n; ++d) {
+      out.result.routed_per_chip.push_back(dec_assigned[d].size());
+    }
+  }
+
+  aggregate_records(out.records, chip.clock_hz, out.result);
+  for (const ServingResult& r : out.result.per_chip) {
+    out.result.cc_weight_fetch_bytes += r.cc_weight_fetch_bytes;
+    out.result.cc_weight_bytes_saved += r.cc_weight_bytes_saved;
+    out.result.rider_refetch_bytes += r.rider_refetch_bytes;
+    out.result.weight_pins += r.weight_pins;
+    out.result.placement_denials += r.placement_denials;
+  }
+  if (link) {
+    // Probe the byte ledger at the cluster's drain point (the later of
+    // the last finish and the last link arrival): everything sent has
+    // landed, nothing is in flight — exact conservation.
+    Cycle probe = link->last_arrival();
+    for (const RequestRecord& rec : out.records) {
+      if (rec.done) probe = std::max(probe, rec.finish);
+    }
+    out.result.kv_transfers = link->transfers().size();
+    out.result.kv_bytes_sent = link->bytes_sent();
+    out.result.kv_migration_bytes = link->bytes_landed_by(probe);
+    out.result.kv_bytes_in_flight = link->bytes_in_flight_at(probe);
+    out.result.link_occupancy =
+        static_cast<double>(link->busy_cycles()) /
+        static_cast<double>(std::max<Cycle>(out.result.makespan, 1));
+    out.result.max_link_queue_ms =
+        cycles_to_ms(link->max_queue_wait(), chip.clock_hz);
+  }
+  return out;
+}
+
+bool cluster_results_identical(const ClusterResult& a, const ClusterResult& b) {
+  if (!(a.mode == b.mode && a.chips == b.chips && a.completed == b.completed &&
+        a.rejected == b.rejected && a.makespan == b.makespan &&
+        a.makespan_ms == b.makespan_ms &&
+        a.p50_latency_ms == b.p50_latency_ms &&
+        a.p95_latency_ms == b.p95_latency_ms &&
+        a.p99_latency_ms == b.p99_latency_ms &&
+        a.mean_latency_ms == b.mean_latency_ms &&
+        a.tokens_per_second == b.tokens_per_second &&
+        a.with_deadline == b.with_deadline &&
+        a.slo_attained == b.slo_attained &&
+        a.slo_attainment == b.slo_attainment &&
+        a.cc_weight_fetch_bytes == b.cc_weight_fetch_bytes &&
+        a.cc_weight_bytes_saved == b.cc_weight_bytes_saved &&
+        a.rider_refetch_bytes == b.rider_refetch_bytes &&
+        a.weight_pins == b.weight_pins &&
+        a.placement_denials == b.placement_denials &&
+        a.kv_transfers == b.kv_transfers &&
+        a.kv_bytes_sent == b.kv_bytes_sent &&
+        a.kv_migration_bytes == b.kv_migration_bytes &&
+        a.kv_bytes_in_flight == b.kv_bytes_in_flight &&
+        a.link_occupancy == b.link_occupancy &&
+        a.max_link_queue_ms == b.max_link_queue_ms &&
+        a.routed_per_chip == b.routed_per_chip &&
+        a.per_chip.size() == b.per_chip.size())) {
+    return false;
+  }
+  for (std::size_t c = 0; c < a.per_chip.size(); ++c) {
+    if (!results_identical(a.per_chip[c], b.per_chip[c])) return false;
+  }
+  return true;
+}
+
+bool cluster_outcomes_identical(const ClusterOutcome& a,
+                                const ClusterOutcome& b) {
+  if (!cluster_results_identical(a.result, b.result) ||
+      a.records.size() != b.records.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    if (!record_identical(a.records[i], b.records[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace edgemm::serve

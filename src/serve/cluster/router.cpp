@@ -1,0 +1,78 @@
+#include "serve/cluster/router.hpp"
+
+#include <stdexcept>
+
+namespace edgemm::serve {
+
+namespace {
+
+/// Chip with the lowest accumulated cost, ties to the lower index.
+std::size_t least_loaded(const RouterContext& ctx) {
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < ctx.chips.size(); ++c) {
+    if (ctx.chips[c].estimated_cost < ctx.chips[best].estimated_cost) best = c;
+  }
+  return best;
+}
+
+void require_chips(const RouterContext& ctx) {
+  if (ctx.chips.empty()) {
+    throw std::invalid_argument("RouterPolicy: empty cluster context");
+  }
+}
+
+}  // namespace
+
+double request_route_cost(const Request& r) {
+  return static_cast<double>(r.input_tokens * r.crops + r.output_tokens);
+}
+
+std::size_t RoundRobinRouter::route(const Request&,
+                                    const RouterContext& ctx) const {
+  require_chips(ctx);
+  std::size_t assigned = 0;
+  for (const ChipLoad& load : ctx.chips) assigned += load.assigned_requests;
+  return assigned % ctx.chips.size();
+}
+
+std::size_t LeastLoadedRouter::route(const Request&,
+                                     const RouterContext& ctx) const {
+  require_chips(ctx);
+  return least_loaded(ctx);
+}
+
+ModelAffinityRouter::ModelAffinityRouter(double spill_factor)
+    : spill_factor_(spill_factor) {
+  if (!(spill_factor_ >= 0.0)) {
+    throw std::invalid_argument(
+        "ModelAffinityRouter: spill_factor must be non-negative");
+  }
+}
+
+std::size_t ModelAffinityRouter::route(const Request& r,
+                                       const RouterContext& ctx) const {
+  require_chips(ctx);
+  // Home = the chip with the most of this model's requests so far (ties
+  // to the lower index; zero everywhere = the model is homeless).
+  std::size_t home = 0;
+  std::size_t home_count = 0;
+  for (std::size_t c = 0; c < ctx.chips.size(); ++c) {
+    const ChipLoad& load = ctx.chips[c];
+    const std::size_t count =
+        r.model < load.per_model.size() ? load.per_model[r.model] : 0;
+    if (count > home_count) {
+      home = c;
+      home_count = count;
+    }
+  }
+  const std::size_t cheapest = least_loaded(ctx);
+  if (home_count == 0) return cheapest;
+  // Affinity holds while the home chip's backlog stays within
+  // spill_factor request-costs of the cluster's cheapest chip.
+  const double gap = ctx.chips[home].estimated_cost -
+                     ctx.chips[cheapest].estimated_cost;
+  if (gap > spill_factor_ * request_route_cost(r)) return cheapest;
+  return home;
+}
+
+}  // namespace edgemm::serve

@@ -188,6 +188,34 @@ EngineConfig& EngineConfig::lane_chain_limit(std::size_t limit) {
   return *this;
 }
 
+EngineConfig& EngineConfig::phase(EnginePhase phase) {
+  phase_ = phase;
+  return *this;
+}
+
+EngineConfig& EngineConfig::per_group_fill_landing(bool enabled) {
+  per_group_fill_landing_ = enabled;
+  return *this;
+}
+
+EngineConfig& EngineConfig::demand_decay_tau_s(double seconds) {
+  if (!(seconds > 0.0)) {
+    throw std::invalid_argument(
+        "EngineConfig: demand_decay_tau_s must be positive");
+  }
+  demand_decay_tau_s_ = seconds;
+  return *this;
+}
+
+const char* to_string(EnginePhase phase) {
+  switch (phase) {
+    case EnginePhase::kFull: return "full";
+    case EnginePhase::kPrefillOnly: return "prefill-only";
+    case EnginePhase::kDecodeOnly: return "decode-only";
+  }
+  return "?";
+}
+
 void EngineConfig::validate() const {
   if (!scheduler_ || !planner_ || !batcher_ || !placement_) {
     throw std::invalid_argument("EngineConfig: missing policy");

@@ -64,6 +64,21 @@ struct ServingOptions {
   Cycle rebalance_interval = 0;
 };
 
+/// Which serving stages this engine executes (disaggregated clusters).
+/// kFull is the single-chip default; the split phases are how a
+/// ClusterEngine turns one chip into a dedicated prefill or decode tier:
+/// a kPrefillOnly engine retires each request when its prefill ends (the
+/// finished KV is the product, streamed to a decode chip), a kDecodeOnly
+/// engine treats each request's arrival as "its KV just landed" and goes
+/// straight to the decode batch.
+enum class EnginePhase : std::uint8_t {
+  kFull,         ///< prefill + decode on this chip (the single-chip engine)
+  kPrefillOnly,  ///< encoder + prefill only; retires at prefill end
+  kDecodeOnly,   ///< decode only; prefill is assumed done elsewhere
+};
+
+const char* to_string(EnginePhase phase);
+
 /// Policy composition + engine knobs for one trace replay.
 class EngineConfig {
  public:
@@ -148,6 +163,29 @@ class EngineConfig {
   /// 0 (default) = unbounded, reproducing the PR 3 chaining bit-for-bit.
   /// Only meaningful when the planner prefers lane affinity.
   EngineConfig& lane_chain_limit(std::size_t limit);
+  /// Serving stage split for disaggregated clusters (default kFull: the
+  /// single-chip engine, byte-identical to every prior PR). kPrefillOnly
+  /// retires each request at prefill end — zero tokens generated, the
+  /// finished KV is the product; kDecodeOnly skips prefill entirely and
+  /// treats each arrival as its KV landing on this chip. Set by
+  /// ClusterEngine; composable with any policy set.
+  EngineConfig& phase(EnginePhase phase);
+  /// Per-layer-group fill landing for the rider fill barrier (default:
+  /// false = the PR 5 pin-granular barrier, byte-identical). When on, a
+  /// chunk that fetches not-yet-landed pinned groups LANDS them at its
+  /// retirement — the owner's fill chunk and rider re-fetches alike — so
+  /// a later rider re-fetches only the groups still in flight instead of
+  /// the whole pinned set. Tightens rider_refetch_bytes; no effect with
+  /// the barrier off or without shared pins.
+  EngineConfig& per_group_fill_landing(bool enabled);
+  /// Time constant (seconds of simulated time) of the per-model demand
+  /// EWMA the engine maintains for placement policies
+  /// (ModelDemand::demand_decayed): the signal relaxes toward the live
+  /// queued+inflight count with e^(-dt/tau). Smaller = more reactive,
+  /// larger = longer memory of past bursts. Default 1.0 s (about one
+  /// zoo-trace burst gap); must be positive. The EWMA is maintained
+  /// regardless — this only tunes it; policies opt in by reading it.
+  EngineConfig& demand_decay_tau_s(double seconds);
 
   // --- Getters ------------------------------------------------------------
   const SchedulerPolicy& scheduler() const { return *scheduler_; }
@@ -168,6 +206,9 @@ class EngineConfig {
   core::ReplayMode replay_mode() const { return replay_mode_; }
   bool deadline_ordered_queue() const { return deadline_ordered_queue_; }
   std::size_t lane_chain_limit() const { return lane_chain_limit_; }
+  EnginePhase phase() const { return phase_; }
+  bool per_group_fill_landing() const { return per_group_fill_landing_; }
+  double demand_decay_tau_s() const { return demand_decay_tau_s_; }
 
   /// Re-checks the composed whole (policies present, fractions sane).
   /// The engine calls this once at construction; throws
@@ -191,6 +232,9 @@ class EngineConfig {
   core::ReplayMode replay_mode_ = core::ReplayMode::kDetailed;
   bool deadline_ordered_queue_ = false;
   std::size_t lane_chain_limit_ = 0;
+  EnginePhase phase_ = EnginePhase::kFull;
+  bool per_group_fill_landing_ = false;
+  double demand_decay_tau_s_ = 1.0;
 };
 
 }  // namespace edgemm::serve

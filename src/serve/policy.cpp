@@ -59,26 +59,14 @@ void ShortestRemainingFirst::order_joiners(
 
 // --- Placement policies -----------------------------------------------------
 
-namespace {
-
-/// Model indices ordered hottest-first: live demand desc, ties to the
-/// lower index (pure determinism — residency deliberately does NOT
-/// break ties, or a small resident model could squat the budget slot a
-/// big equal-demand model needs).
-std::vector<std::size_t> by_demand_desc(const PlacementContext& ctx) {
-  std::vector<std::size_t> order(ctx.models.size());
-  for (std::size_t m = 0; m < order.size(); ++m) order[m] = m;
-  std::stable_sort(order.begin(), order.end(),
-                   [&ctx](std::size_t a, std::size_t b) {
-                     const ModelDemand& da = ctx.models[a];
-                     const ModelDemand& db = ctx.models[b];
-                     if (da.live_demand() != db.live_demand()) {
-                       return da.live_demand() > db.live_demand();
-                     }
-                     return a < b;
-                   });
-  return order;
+std::size_t PlacementPolicy::acquire_target_layers(
+    std::size_t model, const PlacementContext& ctx) const {
+  // Whole-set default: policies that never grant partial sets keep the
+  // PR 4/5 behavior of pinning as many of the model's groups as fit.
+  return ctx.models[model].total_layers;
 }
+
+namespace {
 
 /// Idle resident models ordered coldest-first (live demand asc; within
 /// equal demand the LARGEST pin goes first — one eviction covers the
@@ -134,22 +122,69 @@ std::vector<std::size_t> KeepCurrentPlacement::evict_victims(
   return {};
 }
 
+DemandWeightedPlacement::DemandWeightedPlacement(
+    const DemandWeightedOptions& options)
+    : options_(options) {}
+
+double DemandWeightedPlacement::ranked_demand(const ModelDemand& d) const {
+  const double live = static_cast<double>(d.live_demand());
+  if (!options_.decayed_demand) return live;
+  const double decayed =
+      d.demand_decayed < kDecayedDemandFloor ? 0.0 : d.demand_decayed;
+  return std::max(live, decayed);
+}
+
+std::vector<DemandWeightedPlacement::Grant>
+DemandWeightedPlacement::target_grants(const PlacementContext& ctx) const {
+  // Model indices ordered hottest-first: ranked demand desc, ties to the
+  // lower index (pure determinism — residency deliberately does NOT
+  // break ties, or a small resident model could squat the budget slot a
+  // big equal-demand model needs).
+  std::vector<std::size_t> order(ctx.models.size());
+  for (std::size_t m = 0; m < order.size(); ++m) order[m] = m;
+  std::stable_sort(order.begin(), order.end(),
+                   [this, &ctx](std::size_t a, std::size_t b) {
+                     const double da = ranked_demand(ctx.models[a]);
+                     const double db = ranked_demand(ctx.models[b]);
+                     if (da != db) return da > db;
+                     return a < b;
+                   });
+  // Greedy knapsack over hottest-first sets. Zero-demand models only
+  // stay in the set while already resident (keeping them warm is free);
+  // they are the first to fall out once a demanded model wants the
+  // bytes, because the greedy pass sees the demanded model first. With
+  // fractional sets a model takes the groups that fit instead of
+  // standing aside whole, so the budget never idles while a hot model
+  // begs.
+  std::vector<Grant> grants;
+  Bytes remaining = ctx.capacity;
+  for (const std::size_t m : order) {
+    const ModelDemand& d = ctx.models[m];
+    if (ranked_demand(d) == 0.0 && d.resident_layers == 0) continue;
+    const Bytes set = d.full_set_bytes();
+    if (set == 0) continue;
+    if (options_.fractional_sets) {
+      const auto fit = std::min<std::size_t>(
+          d.total_layers,
+          static_cast<std::size_t>(remaining / d.layer_group_bytes));
+      if (fit == 0) continue;
+      grants.push_back(Grant{m, fit});
+      remaining -= static_cast<Bytes>(fit) * d.layer_group_bytes;
+    } else {
+      if (set > remaining) continue;
+      grants.push_back(Grant{m, d.total_layers});
+      remaining -= set;
+    }
+  }
+  return grants;
+}
+
 std::vector<std::size_t> DemandWeightedPlacement::target_set(
     const PlacementContext& ctx) const {
-  // Greedy knapsack over hottest-first full sets. Zero-demand models
-  // only stay in the set while already resident (keeping them warm is
-  // free); they are the first to fall out once a demanded model wants
-  // the bytes, because the greedy pass sees the demanded model first.
+  const auto grants = target_grants(ctx);
   std::vector<std::size_t> target;
-  Bytes remaining = ctx.capacity;
-  for (const std::size_t m : by_demand_desc(ctx)) {
-    const ModelDemand& d = ctx.models[m];
-    if (d.live_demand() == 0 && d.resident_layers == 0) continue;
-    const Bytes set = d.full_set_bytes();
-    if (set == 0 || set > remaining) continue;
-    target.push_back(m);
-    remaining -= set;
-  }
+  target.reserve(grants.size());
+  for (const Grant& g : grants) target.push_back(g.model);
   return target;
 }
 
@@ -157,6 +192,14 @@ bool DemandWeightedPlacement::may_acquire(std::size_t model,
                                           const PlacementContext& ctx) const {
   const auto target = target_set(ctx);
   return std::find(target.begin(), target.end(), model) != target.end();
+}
+
+std::size_t DemandWeightedPlacement::acquire_target_layers(
+    std::size_t model, const PlacementContext& ctx) const {
+  for (const Grant& g : target_grants(ctx)) {
+    if (g.model == model) return g.layers;
+  }
+  return 0;
 }
 
 bool DemandWeightedPlacement::retain_idle(std::size_t model,

@@ -167,13 +167,28 @@ class WeightResidencyTracker {
   void detach(PinKey key, bool keep_resident = false);
 
   /// Marks `key`'s pin as filled: its owner's fill fetch has retired and
-  /// the bytes are genuinely on chip, so riders stop re-fetching. Throws
-  /// std::logic_error when `key` holds no pin.
+  /// the bytes are genuinely on chip, so riders stop re-fetching (all
+  /// layers count as landed). Throws std::logic_error when `key` holds
+  /// no pin.
   void mark_filled(PinKey key);
 
   /// True when `key`'s pin exists and its fill has landed. False for an
   /// unfilled pin AND for no pin at all (nothing to ride either way).
   bool filled(PinKey key) const;
+
+  /// Per-group fill landing: records that the pin's first `up_to` layer
+  /// groups are genuinely on chip (a chunk that fetched them retired —
+  /// the owner's fill chunk or a rider's own re-fetch, whichever lands
+  /// first). Landing is monotone (up_to below the current mark is a
+  /// no-op) and clamped to the pin's layer count; landing every group
+  /// marks the pin filled. Throws std::logic_error when `key` holds no
+  /// pin.
+  void mark_landed(PinKey key, std::size_t up_to);
+
+  /// Layer groups of `key`'s pin whose fill has landed (0 = no pin; a
+  /// filled pin reports its full layer count). Riders under the
+  /// per-group fill barrier re-fetch only the groups above this mark.
+  std::size_t landed_layers(PinKey key) const;
 
   /// Evicts `key`'s IDLE pin (refcount zero, kept warm): the bytes are
   /// released and idle_evictions is counted. Throws std::logic_error
@@ -216,6 +231,8 @@ class WeightResidencyTracker {
     /// False until the owner's fill fetch retires (mark_filled); riders
     /// of an unfilled pin re-fetch under the engine's fill barrier.
     bool filled = false;
+    /// Layer groups already landed (mark_landed); layers once filled.
+    std::size_t landed = 0;
   };
 
   ByteLedger ledger_;

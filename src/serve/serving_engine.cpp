@@ -108,6 +108,7 @@ ServingEngine::ServingEngine(const core::ChipConfig& config,
 
   queued_per_model_.assign(models_.size(), 0);
   inflight_per_model_.assign(models_.size(), 0);
+  demand_decayed_.assign(models_.size(), 0.0);
 
   // Seed the per-model policy estimators analytically; each converges
   // onto its own model's measured values as that model's chunks retire
@@ -259,7 +260,26 @@ ServingResult ServingEngine::run(std::vector<Request> requests) {
   return result;
 }
 
+void ServingEngine::refresh_decayed_demand() {
+  // Relax every model's EWMA toward its live demand over the elapsed sim
+  // time, BEFORE the caller mutates the live counts — the decayed signal
+  // remembers what demand looked like across the gap, not after it.
+  const Cycle now = scheduler_.sim().now();
+  if (now == demand_decayed_at_) return;
+  const double tau = engine_config_.demand_decay_tau_s() *
+                     static_cast<double>(config_.clock_hz);
+  const double alpha =
+      std::exp(-static_cast<double>(now - demand_decayed_at_) / tau);
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    const double live =
+        static_cast<double>(queued_per_model_[m] + inflight_per_model_[m]);
+    demand_decayed_[m] = live + (demand_decayed_[m] - live) * alpha;
+  }
+  demand_decayed_at_ = now;
+}
+
 void ServingEngine::on_arrival(std::size_t index) {
+  refresh_decayed_demand();
   queue_.push(records_[index].request);
   ++queued_per_model_[records_[index].request.model];
   peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
@@ -295,10 +315,9 @@ ServingEngine::PrefillPlan& ServingEngine::plan_for(std::size_t index) {
   return plans_.emplace(index, std::move(plan)).first->second;
 }
 
-std::vector<GemmWork> ServingEngine::build_chunk_ops(const Request& r,
-                                                     const PrefillPlan& plan,
-                                                     std::size_t chunk,
-                                                     bool barrier_refetch) const {
+std::vector<GemmWork> ServingEngine::build_chunk_ops(
+    const Request& r, const PrefillPlan& plan, std::size_t chunk,
+    std::size_t resident_cap) const {
   const model::MllmConfig& m = models_[r.model];
   std::size_t start = 0;
   for (std::size_t c = 0; c < chunk; ++c) start += plan.chunk_tokens[c];
@@ -306,12 +325,12 @@ std::vector<GemmWork> ServingEngine::build_chunk_ops(const Request& r,
   // prefill slice (and always fetches — it is what fills the pin).
   std::vector<GemmWork> ops =
       chunk == 0 ? model::build_encoder_ops(m, r.crops) : std::vector<GemmWork>{};
-  // barrier_refetch builds the chunk as if no pin were held: a rider
-  // dispatched before the pin's fill landed must stream the weights.
+  // resident_cap below the pinned layer count builds a barrier re-fetch:
+  // a rider dispatched before the pin's fill landed streams the weights
+  // of every not-yet-landed group itself (cap 0 = the whole pin).
   const std::size_t resident =
-      !barrier_refetch && plan.resident_layers > 0 &&
-              chunk >= plan.first_resident_chunk
-          ? plan.resident_layers
+      plan.resident_layers > 0 && chunk >= plan.first_resident_chunk
+          ? std::min(plan.resident_layers, resident_cap)
           : 0;
   const auto body = model::build_prefill_chunk(
       m, start, plan.chunk_tokens[chunk], r.input_tokens, resident);
@@ -337,6 +356,7 @@ PlacementContext ServingEngine::placement_context() const {
         static_cast<Bytes>(d.resident_layers) * layer_weight_bytes_[m];
     d.layer_group_bytes = layer_weight_bytes_[m];
     d.total_layers = models_[m].llm.layers;
+    d.demand_decayed = demand_decayed_[m];
     d.cc_bytes_per_cycle_est = cc_bytes_per_cycle_est_[m];
     d.decode_step_cycles_est = decode_step_cycles_est_[m];
     ctx.models.push_back(d);
@@ -366,11 +386,13 @@ bool ServingEngine::maybe_pin_weights(std::size_t index,
   const std::size_t first_resident =
       rides_existing ? next_chunk : next_chunk + 1;
   if (first_resident >= plan.jobs.size()) return false;
+  std::size_t max_attach = models_[r.model].llm.layers;
   if (!rides_existing && shared_mode) {
     // Residency-aware placement guards every budget-charging attach
     // (riders are never guarded: sharing resident bytes is free). A
     // denied model keeps re-fetching; an allowed one under budget
     // pressure may first reclaim idle kept-warm pins of colder models.
+    refresh_decayed_demand();
     const PlacementContext ctx = placement_context();
     if (!engine_config_.placement().may_acquire(r.model, ctx)) {
       // One count per denied REQUEST, not per retry: the late-pin seam
@@ -381,9 +403,23 @@ bool ServingEngine::maybe_pin_weights(std::size_t index,
       }
       return false;
     }
-    const Bytes full_set = ctx.models[r.model].full_set_bytes();
-    if (residency_->available() < full_set) {
-      const Bytes needed = full_set - residency_->available();
+    // The policy also sizes the grant: whole-set policies ask for every
+    // layer group, fractional placement grants the k hottest groups that
+    // fit and leaves the rest of the budget to colder models.
+    max_attach = std::min(
+        engine_config_.placement().acquire_target_layers(r.model, ctx),
+        models_[r.model].llm.layers);
+    if (max_attach == 0) {
+      if (!plan.placement_denied) {
+        plan.placement_denied = true;
+        ++placement_denials_;
+      }
+      return false;
+    }
+    const Bytes want =
+        static_cast<Bytes>(max_attach) * layer_weight_bytes_[r.model];
+    if (residency_->available() < want) {
+      const Bytes needed = want - residency_->available();
       for (const std::size_t victim :
            engine_config_.placement().evict_victims(r.model, needed, ctx)) {
         // Only idle pins are evictable; live riders are never torn down.
@@ -395,7 +431,7 @@ bool ServingEngine::maybe_pin_weights(std::size_t index,
     }
   }
   const auto attach = residency_->attach_layers(
-      key, layer_weight_bytes_[r.model], models_[r.model].llm.layers);
+      key, layer_weight_bytes_[r.model], max_attach);
   if (attach.layers == 0) return false;  // budget contended: keep re-fetching
   plan.pin_attached = true;
   plan.pin_key = key;
@@ -433,6 +469,7 @@ void ServingEngine::drop_plan(std::size_t index) {
       // for its next request — or leave now. Out-of-favor idle pins are
       // reclaimed later by evict_victims when a hotter model needs the
       // room. Per-request keys are never reused, so nothing to retain.
+      refresh_decayed_demand();
       keep_resident = engine_config_.placement().retain_idle(
           records_[index].request.model, placement_context());
     }
@@ -454,16 +491,26 @@ AdmissionContext ServingEngine::admission_context(std::size_t index) {
   ctx.queue_depth = queue_.size();
   ctx.estimated_queue_delay =
       static_cast<Cycle>(std::max(cc_pending_bytes_, 0.0) / cc_est);
-  const PrefillPlan& plan = plan_for(index);
-  const double prefill_cycles = static_cast<double>(plan.total_bytes) / cc_est;
-  const double decode_cycles = static_cast<double>(r.output_tokens) *
-                               decode_step_cycles_est_[r.model];
+  // A phase-split engine only does the work its tier owns, so the SLO
+  // judgment only charges that share: a decode chip never plans (or
+  // pays for) a prefill, a prefill chip retires at prefill end.
+  double prefill_cycles = 0.0;
+  if (engine_config_.phase() != EnginePhase::kDecodeOnly) {
+    const PrefillPlan& plan = plan_for(index);
+    prefill_cycles = static_cast<double>(plan.total_bytes) / cc_est;
+  }
+  double decode_cycles = 0.0;
+  if (engine_config_.phase() != EnginePhase::kPrefillOnly) {
+    decode_cycles = static_cast<double>(r.output_tokens) *
+                    decode_step_cycles_est_[r.model];
+  }
   ctx.estimated_service = static_cast<Cycle>(prefill_cycles + decode_cycles);
   return ctx;
 }
 
 void ServingEngine::pump_admission() {
   sim::Simulator& sim = scheduler_.sim();
+  refresh_decayed_demand();
   while (queue_.ready(sim.now())) {
     const std::size_t index = index_.at(queue_.front().id);
     AdmissionVerdict verdict = engine_config_.scheduler().admit(
@@ -487,6 +534,14 @@ void ServingEngine::pump_admission() {
     ++inflight_per_model_[r.model];
     rec.admitted = sim.now();
     rec.prune_keep_fraction = keep_fraction_[r.model];
+    if (engine_config_.phase() == EnginePhase::kDecodeOnly) {
+      // Disaggregated decode tier: the KV cache arrived finished from a
+      // prefill chip (the request's arrival IS the KV landing), so the
+      // request joins the decode batch with no CC-lane work at all.
+      rec.prefill_start = sim.now();
+      on_prefill_done(index);
+      continue;
+    }
     PrefillPlan& plan = plan_for(index);
     rec.prefill_chunks = plan.jobs.size();
     // Weight-resident chunk chaining: attach to the model's shared pin
@@ -525,21 +580,44 @@ void ServingEngine::submit_next_chunk(std::size_t index) {
       plan.pin_attached && !plan.pin_owner &&
       chunk >= plan.first_resident_chunk &&
       !residency_->filled(plan.pin_key)) {
-    Bytes refetch = 0;
-    for (const GemmWork& op : plan.jobs[chunk]) {
-      if (op.weights_resident && op.weight_elem_bytes_override == 0) {
-        refetch += static_cast<Bytes>(op.k) * op.n * config_.cc_elem_bytes;
+    // Pin-granular barrier: the rider re-fetches the WHOLE pin until the
+    // owner's fill retires (resident cap 0). Per-group landing caps the
+    // re-fetch at the groups whose fill has not landed yet — and the
+    // rider's own re-fetch lands them when this chunk retires, so later
+    // rider chunks (of any request) stop re-fetching without waiting for
+    // the owner. Under the serial-FIFO CC lane the cap never bites (the
+    // owner's fill is enqueued before any rider can attach, so it
+    // retires — marking the pin filled — before any re-fetch retires);
+    // it is a correctness bound for schedulers that can retire a rider's
+    // re-fetch inside the fill window.
+    const std::size_t landed = engine_config_.per_group_fill_landing()
+                                   ? residency_->landed_layers(plan.pin_key)
+                                   : 0;
+    const auto resident_weight_bytes = [this](const std::vector<GemmWork>& ops) {
+      Bytes total = 0;
+      for (const GemmWork& op : ops) {
+        if (op.weights_resident && op.weight_elem_bytes_override == 0) {
+          total += static_cast<Bytes>(op.k) * op.n * config_.cc_elem_bytes;
+        }
       }
-    }
-    if (refetch > 0) {
-      rider_refetch_bytes_ += refetch;
+      return total;
+    };
+    const Bytes pinned_resident = resident_weight_bytes(plan.jobs[chunk]);
+    if (pinned_resident > 0 && landed < plan.resident_layers) {
       std::vector<GemmWork> ops = build_chunk_ops(
-          records_[index].request, plan, chunk, /*barrier_refetch=*/true);
-      const Bytes bytes = cc_job_bytes(ops);
-      cc_pending_bytes_ += static_cast<double>(bytes - plan.job_bytes[chunk]);
-      plan.total_bytes += bytes - plan.job_bytes[chunk];
-      plan.jobs[chunk] = std::move(ops);
-      plan.job_bytes[chunk] = bytes;
+          records_[index].request, plan, chunk, /*resident_cap=*/landed);
+      const Bytes refetch = pinned_resident - resident_weight_bytes(ops);
+      if (refetch > 0) {
+        rider_refetch_bytes_ += refetch;
+        const Bytes bytes = cc_job_bytes(ops);
+        cc_pending_bytes_ += static_cast<double>(bytes - plan.job_bytes[chunk]);
+        plan.total_bytes += bytes - plan.job_bytes[chunk];
+        plan.jobs[chunk] = std::move(ops);
+        plan.job_bytes[chunk] = bytes;
+        if (engine_config_.per_group_fill_landing()) {
+          plan.lands_to = plan.resident_layers;
+        }
+      }
     }
   }
   // Weight-traffic ledger (KV-stream ops carry context, not weights,
@@ -585,6 +663,12 @@ void ServingEngine::on_chunk_done(std::size_t index) {
   if (plan.pin_attached && plan.pin_owner && chunk == plan.fill_chunk) {
     residency_->mark_filled(plan.pin_key);
   }
+  // Per-group landing: a rider's barrier re-fetch just retired, so the
+  // groups it streamed are genuinely on chip — land them for everyone.
+  if (plan.pin_attached && plan.lands_to > 0) {
+    residency_->mark_landed(plan.pin_key, plan.lands_to);
+    plan.lands_to = 0;
+  }
   // Fold the measured chunk throughput into the chunk's own model's
   // CC-lane estimator.
   if (now > plan.chunk_started && bytes > 0) {
@@ -611,6 +695,20 @@ void ServingEngine::on_chunk_done(std::size_t index) {
 void ServingEngine::on_prefill_done(std::size_t index) {
   RequestRecord& rec = records_[index];
   rec.prefill_end = scheduler_.sim().now();
+  if (engine_config_.phase() == EnginePhase::kPrefillOnly) {
+    // Disaggregated prefill tier: this chip's job ends here — the KV
+    // cache ships to a decode chip, so the request retires with its
+    // finish at prefill end and zero tokens generated locally.
+    refresh_decayed_demand();
+    rec.finish = rec.prefill_end;
+    rec.done = true;
+    ++completed_;
+    --inflight_;
+    --inflight_per_model_[rec.request.model];
+    if (on_complete_) on_complete_(rec);
+    pump_admission();  // the retired prefill freed admission slots
+    return;
+  }
   decode_ready_.push_back(index);
   // Continuous batching: if the MC lane is mid-step, this request joins
   // at the next step boundary; only an idle lane needs a kick.
@@ -695,6 +793,7 @@ void ServingEngine::on_decode_step_done() {
           kEstimatorGain * share;
     }
   }
+  refresh_decayed_demand();
   std::vector<std::size_t> still_active;
   still_active.reserve(active_.size());
   for (const std::size_t index : active_) {

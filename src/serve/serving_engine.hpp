@@ -185,18 +185,32 @@ class ServingEngine {
     /// Already counted toward placement_denials: a request re-asks at
     /// every chunk, but each denied REQUEST is counted once.
     bool placement_denied = false;
+    /// Per-group fill landing: when this request's in-flight chunk
+    /// re-fetched the pin's not-yet-landed groups, its retirement lands
+    /// them (mark_landed up to this group count; 0 = nothing to land).
+    std::size_t lands_to = 0;
   };
+
+  /// build_chunk_ops resident_cap sentinel: no cap, ride the plan's full
+  /// pinned layer count.
+  static constexpr std::size_t kNoResidentCap =
+      static_cast<std::size_t>(-1);
 
   void on_arrival(std::size_t index);
   void pump_admission();
   AdmissionContext admission_context(std::size_t index);
   PrefillPlan& plan_for(std::size_t index);
   void drop_plan(std::size_t index);
-  std::vector<core::GemmWork> build_chunk_ops(const Request& r,
-                                              const PrefillPlan& plan,
-                                              std::size_t chunk,
-                                              bool barrier_refetch = false) const;
+  /// Builds one chunk's op list. `resident_cap` limits how many of the
+  /// plan's pinned layer groups count as on-chip: kNoResidentCap rides
+  /// them all, 0 re-fetches everything (the pin-granular barrier
+  /// refetch), a landed-group count in between re-fetches only the
+  /// groups whose fill has not landed yet (per-group fill landing).
+  std::vector<core::GemmWork> build_chunk_ops(
+      const Request& r, const PrefillPlan& plan, std::size_t chunk,
+      std::size_t resident_cap = kNoResidentCap) const;
   PlacementContext placement_context() const;
+  void refresh_decayed_demand();
   bool maybe_pin_weights(std::size_t index, std::size_t next_chunk);
   void submit_next_chunk(std::size_t index);
   void on_chunk_done(std::size_t index);
@@ -245,6 +259,13 @@ class ServingEngine {
   /// arrival queue, inflight the admitted-but-unfinished requests).
   std::vector<std::size_t> queued_per_model_;
   std::vector<std::size_t> inflight_per_model_;
+  /// Time-decayed per-model demand EWMA feeding
+  /// ModelDemand::demand_decayed: relaxes toward the live
+  /// queued + inflight count with e^(-dt / tau) between refreshes
+  /// (tau = EngineConfig::demand_decay_tau_s x the chip clock). Always
+  /// maintained — placement policies opt in to reading it.
+  std::vector<double> demand_decayed_;
+  Cycle demand_decayed_at_ = 0;  ///< sim time of the last EWMA refresh
   std::size_t placement_denials_ = 0;
   double cc_pending_bytes_ = 0.0;
   Bytes cc_weight_fetched_ = 0;  ///< weight DMA issued by submitted CC jobs

@@ -145,9 +145,7 @@ bool results_identical(const ServingResult& a, const ServingResult& b) {
          a.rider_refetch_bytes == b.rider_refetch_bytes;
 }
 
-namespace {
-
-bool records_identical(const RequestRecord& a, const RequestRecord& b) {
+bool record_identical(const RequestRecord& a, const RequestRecord& b) {
   return a.request.id == b.request.id && a.request.arrival == b.request.arrival &&
          a.request.model == b.request.model &&
          a.request.input_tokens == b.request.input_tokens &&
@@ -163,15 +161,13 @@ bool records_identical(const RequestRecord& a, const RequestRecord& b) {
          a.rejected == b.rejected;
 }
 
-}  // namespace
-
 bool outcomes_identical(const SweepOutcome& a, const SweepOutcome& b) {
   if (a.label != b.label || !results_identical(a.result, b.result) ||
       a.records.size() != b.records.size()) {
     return false;
   }
   for (std::size_t i = 0; i < a.records.size(); ++i) {
-    if (!records_identical(a.records[i], b.records[i])) return false;
+    if (!record_identical(a.records[i], b.records[i])) return false;
   }
   return true;
 }

@@ -1,0 +1,78 @@
+#include "mem/memory_path.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+
+namespace edgemm::mem {
+namespace {
+
+TEST(ChipLink, SingleTransferPaysLatencyPlusSerialization) {
+  ChipLink link(/*bytes_per_cycle=*/10.0, /*latency=*/100);
+  // 250 bytes at 10 B/cyc = 25 cycles on the wire, behind 100 latency.
+  EXPECT_EQ(link.transfer(250, /*ready=*/1000), 1000u + 100u + 25u);
+  EXPECT_EQ(link.busy_cycles(), 25u);
+  EXPECT_EQ(link.max_queue_wait(), 0u);
+}
+
+TEST(ChipLink, PartialCyclesRoundUp) {
+  ChipLink link(10.0, 0);
+  EXPECT_EQ(link.transfer(1, 0), 1u);    // ceil(1/10) = 1 cycle
+  EXPECT_EQ(link.transfer(11, 100), 102u);  // ceil(11/10) = 2 cycles
+}
+
+TEST(ChipLink, WireSerializesButLatencyPipelines) {
+  ChipLink link(10.0, 100);
+  // Both ready at 0: the second waits for the wire (10 cycles of
+  // payload), but its head latency overlaps the first's flight.
+  EXPECT_EQ(link.transfer(100, 0), 110u);
+  EXPECT_EQ(link.transfer(100, 0), 120u);
+  EXPECT_EQ(link.max_queue_wait(), 10u);
+  EXPECT_EQ(link.busy_cycles(), 20u);
+}
+
+TEST(ChipLink, IdleGapsDoNotAccrueOccupancy) {
+  ChipLink link(10.0, 50);
+  link.transfer(100, 0);      // wire busy [0, 10)
+  link.transfer(100, 1000);   // wire busy [1000, 1010)
+  EXPECT_EQ(link.busy_cycles(), 20u);
+  EXPECT_EQ(link.last_arrival(), 1060u);
+}
+
+TEST(ChipLink, ByteLedgerConservesAtEveryProbe) {
+  ChipLink link(10.0, 100);
+  link.transfer(200, 0);    // start 0, arrival 120
+  link.transfer(300, 10);   // start 20 (wire frees), arrival 150
+  link.transfer(100, 500);  // start 500, arrival 610
+  for (const Cycle probe : {0u, 19u, 20u, 119u, 120u, 149u, 150u, 499u, 609u,
+                            610u, 10000u}) {
+    EXPECT_EQ(link.bytes_sent_by(probe),
+              link.bytes_landed_by(probe) + link.bytes_in_flight_at(probe))
+        << "probe " << probe;
+  }
+  // Fully drained: everything sent has landed.
+  EXPECT_EQ(link.bytes_sent(), 600u);
+  EXPECT_EQ(link.bytes_landed_by(link.last_arrival()), 600u);
+  EXPECT_EQ(link.bytes_in_flight_at(link.last_arrival()), 0u);
+  // Mid-flight: the second transfer is on the wire at cycle 130.
+  EXPECT_EQ(link.bytes_in_flight_at(130), 300u);
+}
+
+TEST(ChipLink, RejectsZeroBytesAndBadBandwidth) {
+  ChipLink link(10.0, 0);
+  EXPECT_THROW(link.transfer(0, 0), std::invalid_argument);
+  EXPECT_THROW(ChipLink(0.0, 0), std::invalid_argument);
+  EXPECT_THROW(ChipLink(-1.0, 0), std::invalid_argument);
+}
+
+TEST(ChipLink, DefaultChipConfigCarriesLinkParameters) {
+  const core::ChipConfig cfg = core::default_chip_config();
+  EXPECT_GT(cfg.chip_link_bytes_per_cycle, 0.0);
+  ChipLink link(cfg.chip_link_bytes_per_cycle, cfg.chip_link_latency);
+  EXPECT_EQ(link.latency(), cfg.chip_link_latency);
+}
+
+}  // namespace
+}  // namespace edgemm::mem

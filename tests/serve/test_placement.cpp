@@ -228,6 +228,85 @@ TEST(PlacementPolicies, EvictIdleOrdersVictimsColdestAndLargestFirst) {
   EXPECT_TRUE(std::find(victims.begin(), victims.end(), 3u) == victims.end());
 }
 
+TEST(PlacementPolicies, FractionalSetsGrantThePartialFitWholeSetsDeny) {
+  // Model 0: demand 3, set 600 (150 x 4). Model 1: demand 1, set 400
+  // (100 x 4). Capacity 800: whole-set grants only model 0; fractional
+  // mode hands model 1 the 2 layer groups that still fit.
+  PlacementContext ctx;
+  ctx.capacity = 800;
+  ctx.models = {demand(2, 1, 0, 0, 150, 4), demand(1, 0, 0, 0, 100, 4)};
+
+  const DemandWeightedPlacement whole;
+  EXPECT_TRUE(whole.may_acquire(0, ctx));
+  EXPECT_FALSE(whole.may_acquire(1, ctx));
+  EXPECT_EQ(whole.acquire_target_layers(0, ctx), 4u);
+  EXPECT_EQ(whole.acquire_target_layers(1, ctx), 0u);
+
+  const DemandWeightedPlacement fractional(
+      DemandWeightedOptions{.fractional_sets = true});
+  const auto grants = fractional.target_grants(ctx);
+  ASSERT_EQ(grants.size(), 2u);
+  EXPECT_EQ(grants[0].model, 0u);
+  EXPECT_EQ(grants[0].layers, 4u);
+  EXPECT_EQ(grants[1].model, 1u);
+  EXPECT_EQ(grants[1].layers, 2u);  // 200 remaining / 100 per group
+  EXPECT_TRUE(fractional.may_acquire(1, ctx));
+  EXPECT_EQ(fractional.acquire_target_layers(1, ctx), 2u);
+
+  // Not even one group fits: the fractional grant degenerates to a
+  // denial, never a zero-layer pin.
+  ctx.capacity = 650;
+  EXPECT_FALSE(fractional.may_acquire(1, ctx));
+  EXPECT_EQ(fractional.acquire_target_layers(1, ctx), 0u);
+}
+
+TEST(PlacementPolicies, DecayedDemandKeepsABurstyModelRanked) {
+  // Model 0's queue just drained but its decayed signal is still hot;
+  // model 1 has one live request. Live-only ranking drops model 0 to
+  // unranked (not resident); the decayed option keeps it first.
+  PlacementContext ctx;
+  ctx.capacity = 1000;
+  ctx.models = {demand(0, 0, 0, 0, 100, 4), demand(0, 1, 0, 0, 100, 4)};
+  ctx.models[0].demand_decayed = 2.5;
+  ctx.models[1].demand_decayed = 1.0;
+
+  const DemandWeightedPlacement live_only;
+  EXPECT_EQ(live_only.target_set(ctx), (std::vector<std::size_t>{1}));
+
+  const DemandWeightedPlacement decayed(
+      DemandWeightedOptions{.decayed_demand = true});
+  EXPECT_EQ(decayed.target_set(ctx), (std::vector<std::size_t>{0, 1}));
+
+  // Below the floor the residue counts as zero — a long-idle model
+  // cannot squat on the budget via an infinitesimal tail.
+  ctx.models[0].demand_decayed = kDecayedDemandFloor / 2.0;
+  EXPECT_EQ(decayed.target_set(ctx), (std::vector<std::size_t>{1}));
+}
+
+TEST(FillBarrierTracker, PerGroupLandingIsMonotoneClampedAndCompletesFill) {
+  WeightResidencyTracker tracker(1000);
+  ASSERT_EQ(tracker.attach_layers(5, 250, 4).layers, 4u);
+  EXPECT_EQ(tracker.landed_layers(5), 0u);
+  tracker.mark_landed(5, 2);
+  EXPECT_EQ(tracker.landed_layers(5), 2u);
+  EXPECT_FALSE(tracker.filled(5));
+  tracker.mark_landed(5, 1);  // monotone: landings never roll back
+  EXPECT_EQ(tracker.landed_layers(5), 2u);
+  tracker.mark_landed(5, 99);  // clamped to the pin's layer count
+  EXPECT_EQ(tracker.landed_layers(5), 4u);
+  EXPECT_TRUE(tracker.filled(5));  // every group landed == filled
+
+  // mark_filled is the pin-granular shortcut: all groups land at once.
+  ASSERT_EQ(tracker.attach_layers(6, 250, 4).layers, 0u);  // budget full
+  tracker.detach(5);
+  ASSERT_EQ(tracker.attach_layers(6, 250, 4).layers, 4u);
+  tracker.mark_filled(6);
+  EXPECT_EQ(tracker.landed_layers(6), 4u);
+
+  EXPECT_EQ(tracker.landed_layers(99), 0u);  // no pin: nothing landed
+  EXPECT_THROW(tracker.mark_landed(99, 1), std::logic_error);
+}
+
 // --- Engine: fill-barrier edges ---------------------------------------------
 
 TEST(FillBarrierEngine, RiderBeforeFillRefetchesExactlyTheUnlandedBytes) {
@@ -524,6 +603,112 @@ TEST(PlacementEngine, EvictIdleReclaimsAWarmPinUnderPressure) {
   EXPECT_EQ(keep.records[1].weight_pinned_layers, b.llm.layers);
   // Either way the replay drains: no idle pin survives the flush.
   EXPECT_EQ(evict.result.completed, 2u);
+}
+
+TEST(FillBarrierEngine, PerGroupLandingIsBoundedByPinGranularAndConserves) {
+  // Per-group landing caps a rider's re-fetch at the groups whose fill
+  // has not landed yet, so it can never re-fetch MORE than pin-granular
+  // all-or-nothing. On the serial-FIFO CC lane the two coincide: the
+  // owner's fill is enqueued when the pin is created — before any rider
+  // can attach — so it retires (marking the pin filled) before any
+  // rider re-fetch can retire and land groups early. Per-group landing
+  // is therefore a tightening that only bites under schedulers that can
+  // retire a rider's re-fetch inside the fill window; here we pin down
+  // the bound, the conservation ledger, and outcome invariance across
+  // same-arrival and staggered shapes.
+  const core::ChipConfig cfg = small_cfg();
+  const model::MllmConfig m = tiny_model();
+  const Bytes budget = 2 * full_weight_set(m, cfg);
+  auto config = [&](bool barrier, bool per_group) {
+    return fast_config(std::make_shared<ResidentChunkedPrefill>(48))
+        .weight_residency_bytes(budget)
+        .rider_fill_barrier(barrier)
+        .per_group_fill_landing(per_group);
+  };
+  for (const Cycle stagger : {Cycle{0}, Cycle{20000}, Cycle{200000}}) {
+    const std::vector<Request> trace = {req(0, 0, 4, 192),
+                                        req(1, stagger, 4, 192),
+                                        req(2, 2 * stagger, 4, 192)};
+    const auto off = replay_trace(cfg, {m}, config(false, false), trace);
+    const auto pin_granular =
+        replay_trace(cfg, {m}, config(true, false), trace);
+    const auto per_group = replay_trace(cfg, {m}, config(true, true), trace);
+
+    EXPECT_LE(per_group.result.rider_refetch_bytes,
+              pin_granular.result.rider_refetch_bytes)
+        << "stagger " << stagger;
+    // Conservation holds in both accounting modes: the barrier only
+    // moves bytes from "saved" to "fetched" against the barrier-off
+    // optimum.
+    for (const auto* r : {&pin_granular.result, &per_group.result}) {
+      EXPECT_EQ(r->cc_weight_fetch_bytes,
+                off.result.cc_weight_fetch_bytes + r->rider_refetch_bytes)
+          << "stagger " << stagger;
+      EXPECT_EQ(off.result.cc_weight_bytes_saved,
+                r->cc_weight_bytes_saved + r->rider_refetch_bytes)
+          << "stagger " << stagger;
+    }
+    // Landing granularity changes WHEN bytes may move, never the pin
+    // topology or the outcome.
+    EXPECT_EQ(per_group.result.weight_pins, pin_granular.result.weight_pins);
+    EXPECT_EQ(per_group.result.completed, pin_granular.result.completed);
+    if (stagger == 0) {
+      // Same-arrival riders genuinely hit the barrier.
+      EXPECT_GT(per_group.result.rider_refetch_bytes, 0u);
+    }
+  }
+}
+
+TEST(PlacementEngine, FractionalPlacementPinsThePartialSetInsteadOfDenying) {
+  // Budget = ONE layer group of a 2-layer model: the whole-set policy
+  // denies the pin outright; fractional placement pins the one group
+  // that fits and still saves its re-fetches.
+  const core::ChipConfig cfg = small_cfg();
+  const model::MllmConfig m = tiny_model();
+  const Bytes one_group = llm_layer_group_bytes(m, cfg);
+  const std::vector<Request> trace = {req(0, 0, 4, 192)};
+  auto config = [&](DemandWeightedOptions options) {
+    return fast_config(std::make_shared<ResidentChunkedPrefill>(48))
+        .weight_residency_bytes(one_group)
+        .placement_policy(
+            std::make_shared<DemandWeightedPlacement>(options));
+  };
+  const auto whole = replay_trace(cfg, {m}, config({}), trace);
+  EXPECT_EQ(whole.result.weight_pins, 0u);
+  EXPECT_GE(whole.result.placement_denials, 1u);
+  EXPECT_EQ(whole.result.cc_weight_bytes_saved, 0u);
+
+  const auto fractional = replay_trace(
+      cfg, {m}, config({.fractional_sets = true}), trace);
+  EXPECT_EQ(fractional.result.weight_pins, 1u);
+  EXPECT_EQ(fractional.result.placement_denials, 0u);
+  EXPECT_GT(fractional.result.cc_weight_bytes_saved, 0u);
+  ASSERT_EQ(fractional.records.size(), 1u);
+  EXPECT_EQ(fractional.records[0].weight_pinned_layers, 1u);
+  EXPECT_EQ(fractional.result.completed, 1u);
+}
+
+TEST(PlacementEngine, DecayedDemandOptionsReplayTheTraceToCompletion) {
+  // Smoke the full decayed-demand composition end to end: EWMA refresh
+  // at every seam, fractional grants, barrier on.
+  const core::ChipConfig cfg = small_cfg();
+  const model::MllmConfig a = tiny_model("model-a");
+  const model::MllmConfig b = tiny_model("model-b");
+  EngineConfig config =
+      fast_config(std::make_shared<ResidentChunkedPrefill>(48))
+          .weight_residency_bytes(full_weight_set(a, cfg) +
+                                  llm_layer_group_bytes(b, cfg))
+          .placement_policy(std::make_shared<DemandWeightedPlacement>(
+              DemandWeightedOptions{.fractional_sets = true,
+                                    .decayed_demand = true}))
+          .rider_fill_barrier(true)
+          .demand_decay_tau_s(0.5);
+  const auto out = replay_trace(
+      cfg, {a, b}, config,
+      {req(0, 0, 4, 192, 0), req(1, 0, 4, 192, 1), req(2, 400000, 4, 192, 0),
+       req(3, 800000, 4, 144, 1)});
+  EXPECT_EQ(out.result.completed, 4u);
+  EXPECT_GT(out.result.weight_pins, 0u);
 }
 
 TEST(PlacementEngine, RetainedPinsAreFlushedBeforeTheDrainAssert) {

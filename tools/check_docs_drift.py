@@ -11,6 +11,10 @@ appear as an identifier in the corresponding header:
   ServingResult::<name> -> src/serve/serving_engine.hpp
   ReplayMode::<name>    -> src/core/fast_replay.hpp
   SweepCase / SweepOptions / SweepOutcome::<name> -> src/serve/sweep.hpp
+  ClusterConfig::<name> -> src/serve/cluster/cluster_config.hpp
+  ClusterResult / ClusterOutcome::<name> -> src/serve/cluster/cluster_engine.hpp
+  RouterPolicy::<name>  -> src/serve/cluster/router.hpp
+  ChipLink::<name>      -> src/mem/memory_path.hpp
 
 Offline and dependency-free by design, like check_markdown_links.py.
 
@@ -26,7 +30,8 @@ import sys
 # dot, as prose sometimes writes `ServingResult.rider_refetch_bytes`).
 REF_RE = re.compile(
     r"\b(EngineConfig|ServingResult|ReplayMode|SweepCase|SweepOptions"
-    r"|SweepOutcome)(?:::|\.)(\w+)")
+    r"|SweepOutcome|ClusterConfig|ClusterResult|ClusterOutcome"
+    r"|RouterPolicy|ChipLink)(?:::|\.)(\w+)")
 
 HEADERS = {
     "EngineConfig": "src/serve/engine_config.hpp",
@@ -35,6 +40,11 @@ HEADERS = {
     "SweepCase": "src/serve/sweep.hpp",
     "SweepOptions": "src/serve/sweep.hpp",
     "SweepOutcome": "src/serve/sweep.hpp",
+    "ClusterConfig": "src/serve/cluster/cluster_config.hpp",
+    "ClusterResult": "src/serve/cluster/cluster_engine.hpp",
+    "ClusterOutcome": "src/serve/cluster/cluster_engine.hpp",
+    "RouterPolicy": "src/serve/cluster/router.hpp",
+    "ChipLink": "src/mem/memory_path.hpp",
 }
 
 
