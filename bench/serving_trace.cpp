@@ -39,6 +39,13 @@
 //      single-engine §6 replay, near-linear replica tokens/s scaling at
 //      fixed traffic, and a disaggregated prefill/decode split whose KV
 //      migration bytes are exactly conserved on the chip-to-chip link.
+//   9. paged KV — whole-footprint reservation vs page-granular KV with
+//      CoW prefix sharing and DRAM swap at one equal byte budget:
+//      paged + prefix gated to sustain strictly more concurrent decodes
+//      (or equal throughput on fewer peak KV bytes), page ledgers gated
+//      exactly conserved, and a tight-budget row that completes the
+//      trace by paying DRAM re-fetches. §1–§8 replay with paged_kv off,
+//      so their numbers are untouched.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -956,12 +963,182 @@ int main(int argc, char** argv) {
   json.end_object();
   json.end_object();
 
+  // --- 9. Paged KV: prefix sharing + DRAM swap at equal budget ------------
+  // Four rows over ONE shared-prefix trace and ONE KV byte budget (fast
+  // tier). Whole-footprint reserves every request's final footprint up
+  // front; paged mode charges pages as tokens are generated, shares full
+  // prefix pages copy-on-write across a conversation group, and preempts
+  // cold requests to DRAM instead of deferring joins. The tight row
+  // halves the budget to price the swap churn. §1–§8 never see any of
+  // this: paged_kv defaults off, so their replays stay byte-identical.
+  std::printf("\n--- paged KV: CoW prefix sharing + DRAM swap "
+              "(equal byte budget) ---\n\n");
+  serve::TraceConfig paged_cfg;
+  paged_cfg.requests = 48;
+  paged_cfg.arrival_rate_per_s = 24.0;
+  paged_cfg.input_tokens = 300;
+  paged_cfg.min_output_tokens = 32;
+  paged_cfg.max_output_tokens = 128;
+  paged_cfg.prefix_groups = 4;
+  paged_cfg.prefix_tokens = 256;
+  paged_cfg.seed = 42;
+  const auto paged_trace = serve::poisson_trace(paged_cfg);
+  const Bytes kv_page =
+      16 * model::kv_bytes_per_token(sphinx_models[0]);
+  Bytes worst_footprint = 0;
+  for (const serve::Request& r : paged_trace) {
+    worst_footprint = std::max(
+        worst_footprint, serve::kv_footprint_bytes(r, sphinx_models[0]));
+  }
+  const Bytes equal_budget = 3 * worst_footprint;
+  const Bytes tight_budget = worst_footprint + worst_footprint / 2;
+  std::printf("  trace: %zu requests, %zu prefix groups x %zu shared "
+              "tokens; page %zu KiB, budget %.1f MiB (tight %.1f MiB)\n\n",
+              paged_cfg.requests, paged_cfg.prefix_groups,
+              paged_cfg.prefix_tokens, kv_page >> 10,
+              static_cast<double>(equal_budget) / (1024.0 * 1024.0),
+              static_cast<double>(tight_budget) / (1024.0 * 1024.0));
+  auto paged_base = [&] {
+    return continuous_config(false).replay_mode(core::ReplayMode::kFast);
+  };
+  const std::vector<serve::SweepCase> s9_cases = {
+      {"s9 whole-footprint", chip8, sphinx_models,
+       paged_base().kv_capacity_bytes(equal_budget), paged_trace},
+      {"s9 paged no-share", chip8, sphinx_models,
+       paged_base()
+           .kv_capacity_bytes(equal_budget)
+           .paged_kv(true)
+           .kv_page_bytes(kv_page)
+           .kv_prefix_sharing(false),
+       paged_trace},
+      {"s9 paged+prefix", chip8, sphinx_models,
+       paged_base()
+           .kv_capacity_bytes(equal_budget)
+           .paged_kv(true)
+           .kv_page_bytes(kv_page),
+       paged_trace},
+      {"s9 paged+prefix tight", chip8, sphinx_models,
+       paged_base()
+           .kv_capacity_bytes(tight_budget)
+           .paged_kv(true)
+           .kv_page_bytes(kv_page),
+       paged_trace},
+  };
+  const SectionRun s9 = run_section(s9_cases);
+  const auto& whole_kv = s9.outcomes[0].result;
+  const auto& paged_noshare = s9.outcomes[1].result;
+  const auto& paged_prefix = s9.outcomes[2].result;
+  const auto& paged_tight = s9.outcomes[3].result;
+  for (std::size_t i = 0; i < s9_cases.size(); ++i) {
+    const serve::ServingResult& r = s9.outcomes[i].result;
+    std::printf("  %-24s %3zu done  makespan %8.1f ms  %7.1f tok/s  "
+                "peak batch %zu  peak KV %5.1f MiB\n",
+                s9_cases[i].label.c_str(), r.completed, r.makespan_ms,
+                r.tokens_per_second, r.peak_decode_batch,
+                static_cast<double>(r.peak_kv_reserved_bytes) /
+                    (1024.0 * 1024.0));
+    if (r.kv_pages_allocated > 0) {
+      std::printf("  %-24s pages %zu alloc / %zu freed  shared attach %zu "
+                  "(saved %zu)  swap out %zu  refetch %.1f MiB\n",
+                  "", r.kv_pages_allocated, r.kv_pages_freed,
+                  r.kv_shared_attaches, r.kv_shared_pages_saved,
+                  r.kv_pages_swapped_out,
+                  static_cast<double>(r.kv_swap_refetch_bytes) /
+                      (1024.0 * 1024.0));
+    }
+  }
+
+  // Gate (a): at the SAME byte budget, paged + prefix sharing sustains
+  // strictly more concurrent decodes — or matches throughput on strictly
+  // fewer peak KV bytes.
+  const bool paged_concurrency_ok =
+      paged_prefix.peak_decode_batch > whole_kv.peak_decode_batch ||
+      (paged_prefix.tokens_per_second >= whole_kv.tokens_per_second &&
+       paged_prefix.peak_kv_reserved_bytes < whole_kv.peak_kv_reserved_bytes);
+  // Gate (b): every paged row drains its ledger exactly and serves the
+  // whole trace.
+  bool paged_conservation_ok = true;
+  for (std::size_t i = 1; i < s9.outcomes.size(); ++i) {
+    const serve::ServingResult& r = s9.outcomes[i].result;
+    paged_conservation_ok = paged_conservation_ok &&
+                            r.completed == paged_cfg.requests &&
+                            r.kv_pages_allocated > 0 &&
+                            r.kv_pages_allocated == r.kv_pages_freed;
+  }
+  // Gate (c): the sharing row actually shared (riders attached and pages
+  // were saved), and switching sharing off removes every attach.
+  const bool prefix_sharing_ok = paged_prefix.kv_shared_attaches > 0 &&
+                                 paged_prefix.kv_shared_pages_saved > 0 &&
+                                 paged_noshare.kv_shared_attaches == 0;
+  // Gate (d): the tight row survives on a fraction of the budget by
+  // actually paying DRAM re-fetches (swap exercised, nothing rejected).
+  const bool paged_swap_ok = paged_tight.kv_swap_refetch_bytes > 0 &&
+                             paged_tight.completed == paged_cfg.requests &&
+                             paged_tight.peak_kv_reserved_bytes <
+                                 whole_kv.peak_kv_reserved_bytes;
+  std::printf("\npaged+prefix sustains more concurrency at the same "
+              "budget (peak batch %zu vs %zu): %s\n",
+              paged_prefix.peak_decode_batch, whole_kv.peak_decode_batch,
+              paged_concurrency_ok ? "yes" : "NO");
+  std::printf("page ledger exactly conserved on every paged row "
+              "(alloc == freed > 0, all served): %s\n",
+              paged_conservation_ok ? "yes" : "NO");
+  std::printf("prefix sharing engaged (%zu attaches, %zu pages saved; 0 "
+              "with sharing off): %s\n",
+              paged_prefix.kv_shared_attaches,
+              paged_prefix.kv_shared_pages_saved,
+              prefix_sharing_ok ? "yes" : "NO");
+  std::printf("tight budget completes via DRAM swap (%.1f MiB re-fetched, "
+              "peak KV %.1f vs %.1f MiB): %s\n",
+              static_cast<double>(paged_tight.kv_swap_refetch_bytes) /
+                  (1024.0 * 1024.0),
+              static_cast<double>(paged_tight.peak_kv_reserved_bytes) /
+                  (1024.0 * 1024.0),
+              static_cast<double>(whole_kv.peak_kv_reserved_bytes) /
+                  (1024.0 * 1024.0),
+              paged_swap_ok ? "yes" : "NO");
+  print_section_wall(s9);
+
+  json.begin_object("paged_kv");
+  json.field("page_bytes", static_cast<std::size_t>(kv_page));
+  json.field("equal_budget_bytes", static_cast<std::size_t>(equal_budget));
+  json.field("tight_budget_bytes", static_cast<std::size_t>(tight_budget));
+  json.begin_array("cases");
+  for (std::size_t i = 0; i < s9_cases.size(); ++i) {
+    const serve::ServingResult& r = s9.outcomes[i].result;
+    json.begin_object();
+    json.field("label", s9_cases[i].label);
+    json.field("completed", r.completed);
+    json.field("makespan_ms", r.makespan_ms);
+    json.field("tokens_per_second", r.tokens_per_second);
+    json.field("peak_decode_batch", r.peak_decode_batch);
+    json.field("peak_kv_reserved_bytes",
+               static_cast<std::size_t>(r.peak_kv_reserved_bytes));
+    json.field("kv_deferrals", r.kv_deferrals);
+    json.field("kv_pages_allocated", r.kv_pages_allocated);
+    json.field("kv_pages_freed", r.kv_pages_freed);
+    json.field("kv_shared_attaches", r.kv_shared_attaches);
+    json.field("kv_shared_pages_saved", r.kv_shared_pages_saved);
+    json.field("kv_pages_swapped_out", r.kv_pages_swapped_out);
+    json.field("kv_swap_refetch_bytes",
+               static_cast<std::size_t>(r.kv_swap_refetch_bytes));
+    json.end_object();
+  }
+  json.end_array();
+  json.field("concurrency_ok", paged_concurrency_ok);
+  json.field("conservation_ok", paged_conservation_ok);
+  json.field("prefix_sharing_ok", prefix_sharing_ok);
+  json.field("swap_ok", paged_swap_ok);
+  json.end_object();
+
   const bool ok = beats && slo_wins && chunk_wins && resident_wins &&
                   chaining_wins && sharing_wins && charged_once &&
                   placement_wins && barrier_honest && eviction_exercised &&
                   fidelity_ok && zoo_speedup_ok && s2_speedup_ok &&
                   identity_ok && throughput_ok && cluster_identity_ok &&
-                  replica_scaling_ok && kv_conservation_ok;
+                  replica_scaling_ok && kv_conservation_ok &&
+                  paged_concurrency_ok && paged_conservation_ok &&
+                  prefix_sharing_ok && paged_swap_ok;
 
   json.begin_object("self_checks");
   json.field("continuous_beats_sequential", beats);
@@ -981,6 +1158,10 @@ int main(int argc, char** argv) {
   json.field("cluster_identity_ok", cluster_identity_ok);
   json.field("replica_scaling_ok", replica_scaling_ok);
   json.field("kv_conservation_ok", kv_conservation_ok);
+  json.field("paged_concurrency_ok", paged_concurrency_ok);
+  json.field("paged_conservation_ok", paged_conservation_ok);
+  json.field("prefix_sharing_ok", prefix_sharing_ok);
+  json.field("paged_swap_ok", paged_swap_ok);
   json.field("all_passed", ok);
   json.end_object();
   json.end_object();

@@ -67,7 +67,8 @@ EngineConfig::EngineConfig()
     : scheduler_(std::make_shared<ConcurrencyPolicy>(AdmissionLimits{})),
       planner_(std::make_shared<MonolithicPrefill>()),
       batcher_(std::make_shared<FifoBatch>()),
-      placement_(std::make_shared<KeepCurrentPlacement>()) {}
+      placement_(std::make_shared<KeepCurrentPlacement>()),
+      swap_policy_(std::make_shared<LruSwapPolicy>()) {}
 
 EngineConfig EngineConfig::from_legacy(const ServingOptions& options) {
   EngineConfig config;
@@ -149,6 +150,33 @@ EngineConfig& EngineConfig::kv_capacity_bytes(Bytes bytes) {
   return *this;
 }
 
+EngineConfig& EngineConfig::paged_kv(bool enabled) {
+  paged_kv_ = enabled;
+  return *this;
+}
+
+EngineConfig& EngineConfig::kv_page_bytes(Bytes bytes) {
+  if (bytes == 0) {
+    throw std::invalid_argument("EngineConfig: kv_page_bytes must be > 0");
+  }
+  kv_page_bytes_ = bytes;
+  return *this;
+}
+
+EngineConfig& EngineConfig::kv_prefix_sharing(bool enabled) {
+  kv_prefix_sharing_ = enabled;
+  return *this;
+}
+
+EngineConfig& EngineConfig::kv_swap_policy(
+    std::shared_ptr<const SwapPolicy> policy) {
+  if (!policy) {
+    throw std::invalid_argument("EngineConfig: null SwapPolicy");
+  }
+  swap_policy_ = std::move(policy);
+  return *this;
+}
+
 EngineConfig& EngineConfig::weight_residency_bytes(Bytes bytes) {
   weight_residency_bytes_ = bytes;
   return *this;
@@ -217,8 +245,14 @@ const char* to_string(EnginePhase phase) {
 }
 
 void EngineConfig::validate() const {
-  if (!scheduler_ || !planner_ || !batcher_ || !placement_) {
+  if (!scheduler_ || !planner_ || !batcher_ || !placement_ || !swap_policy_) {
     throw std::invalid_argument("EngineConfig: missing policy");
+  }
+  if (paged_kv_ && kv_capacity_bytes_ > 0 &&
+      kv_capacity_bytes_ < kv_page_bytes_) {
+    throw std::invalid_argument(
+        "EngineConfig: the KV budget must hold at least one kv_page_bytes "
+        "page under paged_kv");
   }
   if (!(prune_keep_fraction_ > 0.0) || prune_keep_fraction_ > 1.0) {
     throw std::invalid_argument(

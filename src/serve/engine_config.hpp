@@ -20,6 +20,7 @@
 #include "model/mllm_config.hpp"
 #include "pruning/task_proxy.hpp"
 #include "serve/admission.hpp"
+#include "serve/kv_pages.hpp"
 #include "serve/policy.hpp"
 
 namespace edgemm::serve {
@@ -107,6 +108,31 @@ class EngineConfig {
   /// single request's KV cache, so a meaningful budget must be chosen
   /// explicitly (see chip_kv_capacity's oversubscription parameter).
   EngineConfig& kv_capacity_bytes(Bytes bytes);
+  /// Page-granular KV accounting (default: false — the PR 2 whole-
+  /// footprint KvCapacityTracker, byte-identical to every prior PR).
+  /// When on (and a KV budget is set), the engine reserves only the
+  /// pages a request's PROMPT occupies at decode join and grows the
+  /// reservation one page per generated-token page boundary; when the
+  /// budget fills mid-decode it preempts SwapPolicy victims to DRAM and
+  /// refills them (see KvPageAllocator). No effect without
+  /// kv_capacity_bytes.
+  EngineConfig& paged_kv(bool enabled);
+  /// KV page size for paged_kv (default kDefaultKvPageBytes = 64 KiB).
+  /// Throws std::invalid_argument on zero; validate() requires the KV
+  /// budget to hold at least one page.
+  EngineConfig& kv_page_bytes(Bytes bytes);
+  /// Copy-on-write prefix sharing under paged_kv (default: true):
+  /// requests with the same (model, Request::prefix_id) share their
+  /// prefix's full pages under one refcounted run; each request CoW-
+  /// forks the partial boundary page privately at join (its first
+  /// divergent token writes there). false charges every request its
+  /// whole prompt privately — the A/B baseline. No effect on traces
+  /// without prefix ids.
+  EngineConfig& kv_prefix_sharing(bool enabled);
+  /// Victim selection for the paged-KV evict-to-DRAM swap tier (default
+  /// LruSwapPolicy: least-recent page-table touch, ties by id). Throws
+  /// std::invalid_argument on null. Only consulted under paged_kv.
+  EngineConfig& kv_swap_policy(std::shared_ptr<const SwapPolicy> policy);
   /// Byte budget for weight-resident chunk chaining (the
   /// WeightResidencyTracker's capacity); 0 (default) disables residency
   /// — a residency-capable planner then degrades to per-chunk re-fetch,
@@ -199,6 +225,10 @@ class EngineConfig {
     return task_proxy_;
   }
   Bytes kv_capacity() const { return kv_capacity_bytes_; }
+  bool paged_kv() const { return paged_kv_; }
+  Bytes kv_page_bytes() const { return kv_page_bytes_; }
+  bool kv_prefix_sharing() const { return kv_prefix_sharing_; }
+  const SwapPolicy& kv_swap_policy() const { return *swap_policy_; }
   Bytes weight_residency() const { return weight_residency_bytes_; }
   bool share_weight_pins() const { return share_weight_pins_; }
   const PlacementPolicy& placement() const { return *placement_; }
@@ -226,6 +256,10 @@ class EngineConfig {
   double prune_keep_fraction_ = 1.0;
   std::optional<TaskProxyPruningOptions> task_proxy_;
   Bytes kv_capacity_bytes_ = 0;
+  bool paged_kv_ = false;
+  Bytes kv_page_bytes_ = kDefaultKvPageBytes;
+  bool kv_prefix_sharing_ = true;
+  std::shared_ptr<const SwapPolicy> swap_policy_;
   Bytes weight_residency_bytes_ = 0;
   bool share_weight_pins_ = true;
   bool rider_fill_barrier_ = true;

@@ -1,5 +1,6 @@
 #include "serve/kv_tracker.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -29,6 +30,7 @@ bool KvCapacityTracker::try_reserve(RequestId id, Bytes bytes) {
     ++deferrals_;
     return false;
   }
+  peak_reserved_ = std::max(peak_reserved_, ledger_.held());
   return true;
 }
 

@@ -47,6 +47,12 @@ class KvCapacityTracker {
   Bytes reserved() const { return ledger_.held(); }
   Bytes available() const { return ledger_.available(); }
   std::size_t holders() const { return ledger_.holders(); }
+  /// True when `id` holds a reservation (a decode-only tier reserves at
+  /// admission — the KV hand-off — and the join finds it held).
+  bool holds(RequestId id) const { return ledger_.held_by(id) > 0; }
+  /// High-water mark of reserved() — what the whole-footprint mode peaks
+  /// at, against which paged mode's peak_resident_bytes compares.
+  Bytes peak_reserved() const { return peak_reserved_; }
   /// Failed try_reserve calls so far (each one is a deferred join).
   std::size_t deferrals() const { return deferrals_; }
 
@@ -60,6 +66,7 @@ class KvCapacityTracker {
 
  private:
   ByteLedger ledger_;
+  Bytes peak_reserved_ = 0;
   std::size_t deferrals_ = 0;
 };
 

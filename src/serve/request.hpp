@@ -27,6 +27,14 @@ struct Request {
   /// 0 = no deadline. SLO-aware schedulers may reject requests that
   /// cannot meet theirs.
   Cycle deadline = 0;
+  /// Shared-prefix conversation group: requests with the same
+  /// (model, prefix_id) share their first prefix_tokens prompt tokens
+  /// (a common system/image prompt), which the paged KV allocator
+  /// CoW-shares (EngineConfig::kv_prefix_sharing). 0 = no shared prefix.
+  std::size_t prefix_id = 0;
+  /// Leading prompt tokens shared with the group (<= input_tokens);
+  /// ignored when prefix_id is 0.
+  std::size_t prefix_tokens = 0;
 };
 
 /// Lifecycle timestamps the engine records per request (all in cycles).

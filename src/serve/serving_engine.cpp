@@ -41,7 +41,12 @@ ServingEngine::ServingEngine(const core::ChipConfig& config,
     throw std::invalid_argument("ServingEngine: no models to serve");
   }
   if (engine_config_.kv_capacity() > 0) {
-    kv_.emplace(engine_config_.kv_capacity());
+    if (engine_config_.paged_kv()) {
+      pages_.emplace(engine_config_.kv_capacity(),
+                     engine_config_.kv_page_bytes());
+    } else {
+      kv_.emplace(engine_config_.kv_capacity());
+    }
   }
   if (engine_config_.weight_residency() > 0) {
     // EngineConfig::validate() already guaranteed a residency-capable
@@ -163,12 +168,28 @@ ServingResult ServingEngine::run(std::vector<Request> requests) {
             "budget (it could never join a decode batch)");
       }
     }
+    if (pages_) {
+      if (r.prefix_tokens > r.input_tokens) {
+        throw std::invalid_argument(
+            "ServingEngine::run: prefix_tokens exceeds input_tokens");
+      }
+      if (kv_page_footprint(r, models_[r.model],
+                            engine_config_.kv_page_bytes(),
+                            engine_config_.kv_prefix_sharing()) >
+          pages_->total_pages()) {
+        throw std::invalid_argument(
+            "ServingEngine::run: request KV pages exceed the paged KV "
+            "budget (it could never grow to its last token)");
+      }
+    }
     if (!index_.emplace(r.id, records_.size()).second) {
       throw std::invalid_argument("ServingEngine::run: duplicate request id");
     }
     records_.push_back(RequestRecord{r});
   }
   total_ = records_.size();
+  if (pages_) kv_paging_.assign(total_, KvPagingState{});
+  if (kv_) kv_reserved_.assign(total_, 0);
 
   sim::Simulator& sim = scheduler_.sim();
   for (std::size_t i = 0; i < records_.size(); ++i) {
@@ -237,6 +258,28 @@ ServingResult ServingEngine::run(std::vector<Request> requests) {
   result.max_cc_queue_delay_ms = cycles_to_ms(
       scheduler_.lane_stats(Lane::kCcStage).max_queue_wait, config_.clock_hz);
   result.kv_deferrals = kv_ ? kv_->deferrals() : 0;
+  result.peak_decode_batch = peak_decode_batch_;
+  if (kv_) result.peak_kv_reserved_bytes = kv_->peak_reserved();
+  if (pages_) {
+    // Drained-engine invariant, the page analogue of the pin-drain
+    // assert below: every page allocated over the replay was freed —
+    // none resident, none stranded in DRAM, no preempted request still
+    // awaiting refill.
+    EDGEMM_ASSERT_MSG(pages_->holders() == 0 && pages_->resident_pages() == 0 &&
+                          pages_->swapped_pages() == 0 && kv_swapped_.empty(),
+                      "ServingEngine: KV pages leaked past the replay");
+    result.kv_deferrals = pages_->deferrals();
+    result.kv_pages_allocated = pages_->pages_allocated();
+    result.kv_pages_freed = pages_->pages_freed();
+    result.kv_shared_attaches = pages_->shared_attaches();
+    result.kv_shared_pages_saved = pages_->shared_pages_saved();
+    result.kv_cow_forks = kv_cow_forks_;
+    result.kv_pages_swapped_out = pages_->pages_swapped_out();
+    result.kv_pages_swapped_in = pages_->pages_swapped_in();
+    result.kv_swap_refetch_bytes = pages_->swap_refetch_bytes();
+    result.kv_swap_preemptions = pages_->preemptions();
+    result.peak_kv_reserved_bytes = pages_->peak_resident_bytes();
+  }
   result.cc_weight_fetch_bytes = cc_weight_fetched_;
   result.cc_weight_bytes_saved = cc_weight_saved_;
   result.rider_refetch_bytes = rider_refetch_bytes_;
@@ -515,11 +558,36 @@ void ServingEngine::pump_admission() {
     const std::size_t index = index_.at(queue_.front().id);
     AdmissionVerdict verdict = engine_config_.scheduler().admit(
         records_[index].request, admission_context(index));
+    // KV hand-off contract (disaggregated decode tier): the request's
+    // finished KV already crossed the chip link — rejecting it here
+    // would strand migrated bytes a prefill chip and the wire paid for.
+    // A decode tier therefore never rejects; backpressure is expressed
+    // by deferring until the hand-off reservation below fits.
+    if (engine_config_.phase() == EnginePhase::kDecodeOnly &&
+        verdict == AdmissionVerdict::kReject) {
+      verdict = AdmissionVerdict::kAdmit;
+    }
     // Progress guarantee: a policy may not starve an idle chip.
     if (verdict == AdmissionVerdict::kDefer && inflight_ == 0) {
       verdict = AdmissionVerdict::kAdmit;
     }
     if (verdict == AdmissionVerdict::kDefer) break;
+    if (verdict == AdmissionVerdict::kAdmit &&
+        engine_config_.phase() == EnginePhase::kDecodeOnly &&
+        (kv_ || pages_)) {
+      // Hand-off reservation: the migrated KV's bytes are charged the
+      // moment the decode tier accepts the request, so the decode batch
+      // can never turn it away later. If it does not fit yet, the whole
+      // admission defers until a retirement frees KV.
+      if (!kv_join_reserve(index)) {
+        if (inflight_ > 0) break;
+        // An idle decode chip holds no KV (only admitted requests hold
+        // any here), and per-request footprints were validated against
+        // the budget — an empty ledger must fit one request.
+        EDGEMM_ASSERT_MSG(
+            false, "ServingEngine: hand-off reservation failed on an idle chip");
+      }
+    }
     const Request r = queue_.pop();
     --queued_per_model_[r.model];
     RequestRecord& rec = records_[index];
@@ -715,7 +783,160 @@ void ServingEngine::on_prefill_done(std::size_t index) {
   if (scheduler_.idle(Lane::kMcDecode)) start_decode_step();
 }
 
+bool ServingEngine::kv_join_reserve(std::size_t index) {
+  const Request& r = records_[index].request;
+  if (pages_) {
+    KvPagingState& st = kv_paging_[index];
+    if (st.joined) return true;  // hand-off reservation made at admission
+    const Bytes page_bytes = engine_config_.kv_page_bytes();
+    st.tokens_per_page = kv_tokens_per_page(models_[r.model], page_bytes);
+    st.shared_pages =
+        engine_config_.kv_prefix_sharing()
+            ? kv_shared_prefix_pages(r, models_[r.model], page_bytes)
+            : 0;
+    st.prefix =
+        st.shared_pages > 0 ? kv_prefix_key(r.model, r.prefix_id) : 0;
+    // Only the PROMPT's pages are reserved at join — the tail grows one
+    // page per generated-token page boundary (grow_page_tables). This
+    // is where paged mode's concurrency headroom comes from: a legacy
+    // join charges (input + output) tokens up front.
+    const std::size_t private_tokens =
+        r.input_tokens - st.shared_pages * st.tokens_per_page;
+    const std::size_t private_pages =
+        (private_tokens + st.tokens_per_page - 1) / st.tokens_per_page;
+    if (!pages_->try_join(r.id, private_pages, st.prefix, st.shared_pages)) {
+      return false;
+    }
+    // The prefix's partial boundary page cannot be shared — the
+    // request's first divergent token writes into it — so it was copied
+    // into the private table above: a CoW fork.
+    if (st.shared_pages > 0 &&
+        r.prefix_tokens % st.tokens_per_page != 0) {
+      ++kv_cow_forks_;
+    }
+    st.joined = true;
+    st.swapped = false;
+    st.last_touch = scheduler_.sim().now();
+    return true;
+  }
+  if (kv_) {
+    if (kv_reserved_[index]) return true;  // hand-off reservation held
+    if (!kv_->try_reserve(r.id, kv_footprint_bytes(r, models_[r.model]))) {
+      return false;
+    }
+    kv_reserved_[index] = 1;
+    return true;
+  }
+  return true;
+}
+
+void ServingEngine::kv_release(std::size_t index) {
+  const RequestId id = records_[index].request.id;
+  if (pages_) {
+    pages_->release(id);
+    kv_paging_[index].joined = false;
+    return;
+  }
+  if (kv_) {
+    kv_->release(id);
+    kv_reserved_[index] = 0;
+  }
+}
+
+void ServingEngine::refill_swapped() {
+  // Strictly FIFO in preemption order: a preempted request must not be
+  // overtaken by a later, smaller one — swap is preempt-AND-REFILL, not
+  // a second deferral queue.
+  while (!kv_swapped_.empty()) {
+    const std::size_t index = kv_swapped_.front();
+    if (!pages_->try_swap_in(records_[index].request.id)) break;
+    KvPagingState& st = kv_paging_[index];
+    st.swapped = false;
+    st.last_touch = scheduler_.sim().now();
+    active_.push_back(index);
+    kv_swapped_.erase(kv_swapped_.begin());
+  }
+}
+
+void ServingEngine::preempt_to_dram(std::size_t active_pos) {
+  const std::size_t index = active_[active_pos];
+  pages_->swap_out(records_[index].request.id);
+  kv_paging_[index].swapped = true;
+  active_.erase(active_.begin() +
+                static_cast<std::ptrdiff_t>(active_pos));
+  kv_swapped_.push_back(index);
+}
+
+bool ServingEngine::preempt_victim(std::size_t& grower_pos) {
+  std::vector<SwapCandidate> candidates;
+  for (std::size_t j = 0; j < active_.size(); ++j) {
+    if (j == grower_pos) continue;
+    const RequestRecord& rec = records_[active_[j]];
+    const std::size_t resident = pages_->resident_pages_of(rec.request.id);
+    if (resident == 0) continue;  // nothing evictable (prefix-only table)
+    SwapCandidate c;
+    c.id = rec.request.id;
+    c.resident_pages = resident;
+    c.last_touch = kv_paging_[active_[j]].last_touch;
+    c.context_tokens = rec.request.input_tokens + rec.tokens_generated;
+    c.remaining_tokens = rec.request.output_tokens - rec.tokens_generated;
+    candidates.push_back(c);
+  }
+  if (candidates.empty()) return false;
+  const std::vector<RequestId> order =
+      engine_config_.kv_swap_policy().victim_order(candidates);
+  EDGEMM_ASSERT_MSG(!order.empty(),
+                    "ServingEngine: SwapPolicy returned no victim order");
+  const std::size_t victim_index = index_.at(order.front());
+  const auto it = std::find(active_.begin(), active_.end(), victim_index);
+  EDGEMM_ASSERT_MSG(it != active_.end(),
+                    "ServingEngine: SwapPolicy picked a non-candidate victim");
+  const std::size_t victim_pos =
+      static_cast<std::size_t>(it - active_.begin());
+  EDGEMM_ASSERT(victim_pos != grower_pos);
+  preempt_to_dram(victim_pos);
+  if (victim_pos < grower_pos) --grower_pos;
+  return true;
+}
+
+void ServingEngine::grow_page_tables() {
+  const Cycle now = scheduler_.sim().now();
+  std::size_t i = 0;
+  while (i < active_.size()) {
+    const std::size_t index = active_[i];
+    const Request& r = records_[index].request;
+    KvPagingState& st = kv_paging_[index];
+    // Pages the table must cover INCLUDING the token this step writes.
+    const std::size_t private_tokens = r.input_tokens +
+                                       records_[index].tokens_generated + 1 -
+                                       st.shared_pages * st.tokens_per_page;
+    const std::size_t needed =
+        (private_tokens + st.tokens_per_page - 1) / st.tokens_per_page;
+    bool grown = true;
+    while (pages_->resident_pages_of(r.id) < needed) {
+      if (pages_->try_append(r.id)) {
+        st.last_touch = now;
+        continue;
+      }
+      if (!preempt_victim(i)) {
+        grown = false;
+        break;
+      }
+    }
+    if (!grown) {
+      // Budget full and no victim left: preempt the grower itself — it
+      // sits this step out in DRAM and refills at a later boundary.
+      preempt_to_dram(i);
+      continue;  // i now addresses the next active entry
+    }
+    ++i;
+  }
+}
+
 void ServingEngine::start_decode_step() {
+  // Preempt-and-refill: restore swapped-out requests before admitting
+  // new joiners — they were already mid-decode when evicted.
+  if (pages_) refill_swapped();
   if (!decode_ready_.empty()) {
     engine_config_.batch_policy().order_joiners(decode_ready_, records_);
   }
@@ -725,9 +946,8 @@ void ServingEngine::start_decode_step() {
   for (auto it = decode_ready_.begin();
        it != decode_ready_.end() && joined < join;) {
     const std::size_t index = *it;
-    if (kv_) {
-      const Request& r = records_[index].request;
-      if (!kv_->try_reserve(r.id, kv_footprint_bytes(r, models_[r.model]))) {
+    if (kv_ || pages_) {
+      if (!kv_join_reserve(index)) {
         // Deferred join: stays decode-ready, retries next step boundary.
         ++it;
         continue;
@@ -737,6 +957,9 @@ void ServingEngine::start_decode_step() {
     it = decode_ready_.erase(it);
     ++joined;
   }
+  // Every active request writes one token this step — extend page tables
+  // first (may preempt victims to DRAM when the budget is full).
+  if (pages_) grow_page_tables();
   if (active_.empty()) return;  // MC lane drains until new prefills land
 
   // One continuous-batching step: per served model, batch the weight-
@@ -761,6 +984,7 @@ void ServingEngine::start_decode_step() {
 
   ++decode_steps_;
   batch_occupancy_sum_ += active_.size();
+  peak_decode_batch_ = std::max(peak_decode_batch_, active_.size());
   step_started_ = scheduler_.sim().now();
   scheduler_.submit(Lane::kMcDecode, std::move(step),
                     [this] { on_decode_step_done(); });
@@ -806,7 +1030,7 @@ void ServingEngine::on_decode_step_done() {
       ++completed_;
       --inflight_;
       --inflight_per_model_[rec.request.model];
-      if (kv_) kv_->release(rec.request.id);
+      kv_release(index);
       if (on_complete_) on_complete_(rec);
     } else {
       still_active.push_back(index);

@@ -37,6 +37,7 @@
 #include "core/phase_scheduler.hpp"
 #include "model/mllm_config.hpp"
 #include "serve/engine_config.hpp"
+#include "serve/kv_pages.hpp"
 #include "serve/kv_tracker.hpp"
 #include "serve/request.hpp"
 #include "serve/request_queue.hpp"
@@ -102,6 +103,31 @@ struct ServingResult {
   /// pin owner's fill chunk retired (rider_fill_barrier; bounds the PR 4
   /// fill-timing optimism — 0 with the barrier off).
   Bytes rider_refetch_bytes = 0;
+  // --- Paged KV cache (paged_kv; all zero in whole-footprint mode) --------
+  std::size_t kv_pages_allocated = 0;  ///< cumulative page allocations
+  /// == kv_pages_allocated once the trace drains (exact conservation).
+  std::size_t kv_pages_freed = 0;
+  /// Joins that rode an existing shared-prefix run instead of
+  /// allocating it again (kv_prefix_sharing).
+  std::size_t kv_shared_attaches = 0;
+  std::size_t kv_shared_pages_saved = 0;  ///< pages those attaches skipped
+  /// Partial boundary pages copied privately at join — the CoW fork of
+  /// the page where the shared prefix ends and private tokens begin.
+  std::size_t kv_cow_forks = 0;
+  std::size_t kv_pages_swapped_out = 0;  ///< pages evicted to DRAM
+  std::size_t kv_pages_swapped_in = 0;   ///< pages refilled from DRAM
+  /// DRAM re-fetch bytes the swap tier charged at refill.
+  Bytes kv_swap_refetch_bytes = 0;
+  /// Requests preempted wholesale to DRAM mid-decode (swap-outs).
+  std::size_t kv_swap_preemptions = 0;
+  /// High-water mark of the CIM KV budget actually reserved — whole-
+  /// footprint reservations (legacy) or resident pages (paged). The §9
+  /// equal-budget comparison: paged mode either batches MORE requests or
+  /// peaks LOWER here.
+  Bytes peak_kv_reserved_bytes = 0;
+  /// Largest decode batch any step ran — the sustained-concurrency
+  /// headline paged KV raises at equal budget.
+  std::size_t peak_decode_batch = 0;
 };
 
 /// Drives the heterogeneous chip through a request trace.
@@ -141,9 +167,16 @@ class ServingEngine {
 
   const core::ChipTimingModel& chip() const { return chip_; }
 
-  /// KV accounting ledger; nullptr when EngineConfig left it disabled.
+  /// KV accounting ledger; nullptr when EngineConfig left it disabled
+  /// (or replaced it with the page allocator via paged_kv).
   const KvCapacityTracker* kv_tracker() const {
     return kv_ ? &*kv_ : nullptr;
+  }
+
+  /// Page-granular KV allocator; nullptr unless paged_kv is on with a
+  /// KV budget set.
+  const KvPageAllocator* kv_pages() const {
+    return pages_ ? &*pages_ : nullptr;
   }
 
   /// Weight-residency ledger; nullptr when EngineConfig left it disabled
@@ -196,8 +229,39 @@ class ServingEngine {
   static constexpr std::size_t kNoResidentCap =
       static_cast<std::size_t>(-1);
 
+  /// Per-request paged-KV state (parallel to records_; only used when
+  /// pages_ is live). The allocator owns the page counts; this caches
+  /// the token->page math and the swap bookkeeping the engine needs at
+  /// step boundaries.
+  struct KvPagingState {
+    std::size_t tokens_per_page = 1;
+    KvPrefixKey prefix = 0;        ///< 0 = no shared run (or sharing off)
+    std::size_t shared_pages = 0;  ///< full prefix pages shared with the group
+    bool joined = false;           ///< holds pages (resident or swapped)
+    bool swapped = false;          ///< preempted to DRAM, awaiting refill
+    Cycle last_touch = 0;          ///< join / page-append / refill cycle
+  };
+
   void on_arrival(std::size_t index);
   void pump_admission();
+  /// Reserves `index`'s KV at decode join — or finds the reservation a
+  /// decode-only tier already made at admission (the KV hand-off).
+  /// False = deferred (stays decode-ready / queued).
+  bool kv_join_reserve(std::size_t index);
+  void kv_release(std::size_t index);
+  /// Paged mode, step start: refills preempted requests from DRAM in
+  /// strict preemption order (oldest first), re-joining them to active_.
+  void refill_swapped();
+  /// Paged mode, step start after joins: grows every active request's
+  /// page table to cover the token this step generates, preempting
+  /// SwapPolicy victims (or the grower itself, with no victim left) when
+  /// the budget is full.
+  void grow_page_tables();
+  /// Swaps out ONE SwapPolicy victim among active_ (excluding position
+  /// `grower_pos`, adjusted if the victim sat before it). False when no
+  /// active holds an evictable private page.
+  bool preempt_victim(std::size_t& grower_pos);
+  void preempt_to_dram(std::size_t active_pos);
   AdmissionContext admission_context(std::size_t index);
   PrefillPlan& plan_for(std::size_t index);
   void drop_plan(std::size_t index);
@@ -228,6 +292,7 @@ class ServingEngine {
   core::PhaseScheduler scheduler_;
   core::BandwidthManager manager_;
   std::optional<KvCapacityTracker> kv_;
+  std::optional<KvPageAllocator> pages_;
   std::optional<WeightResidencyTracker> residency_;
 
   RequestQueue queue_;
@@ -236,6 +301,13 @@ class ServingEngine {
   std::unordered_map<std::size_t, PrefillPlan> plans_;  ///< by record index
   std::vector<std::size_t> decode_ready_;   ///< prefilled, awaiting a slot
   std::vector<std::size_t> active_;         ///< current decode batch
+  /// Preempted-to-DRAM requests in preemption order (paged mode); they
+  /// sit out decode steps until refill_swapped restores their pages.
+  std::vector<std::size_t> kv_swapped_;
+  std::vector<KvPagingState> kv_paging_;    ///< by record index (paged mode)
+  /// Legacy-tracker reservation flags by record index: set at join (or
+  /// at admission on a decode-only tier), cleared at release.
+  std::vector<std::uint8_t> kv_reserved_;
   /// Per-token decode traffic model per served MllmConfig, probed at
   /// construction. One decode step of a batch with contexts c_i costs
   /// shared + sum_i (request + kv_slope * c_i): `shared` is the weight
@@ -273,6 +345,8 @@ class ServingEngine {
   Bytes rider_refetch_bytes_ = 0;  ///< barrier re-fetches (subset of fetched)
   std::size_t decode_steps_ = 0;
   std::size_t batch_occupancy_sum_ = 0;
+  std::size_t peak_decode_batch_ = 0;
+  std::size_t kv_cow_forks_ = 0;
   std::size_t peak_queue_depth_ = 0;
   std::size_t rebalances_ = 0;
   Cycle step_started_ = 0;

@@ -142,7 +142,18 @@ bool results_identical(const ServingResult& a, const ServingResult& b) {
          a.weight_warm_attaches == b.weight_warm_attaches &&
          a.placement_evictions == b.placement_evictions &&
          a.placement_denials == b.placement_denials &&
-         a.rider_refetch_bytes == b.rider_refetch_bytes;
+         a.rider_refetch_bytes == b.rider_refetch_bytes &&
+         a.kv_pages_allocated == b.kv_pages_allocated &&
+         a.kv_pages_freed == b.kv_pages_freed &&
+         a.kv_shared_attaches == b.kv_shared_attaches &&
+         a.kv_shared_pages_saved == b.kv_shared_pages_saved &&
+         a.kv_cow_forks == b.kv_cow_forks &&
+         a.kv_pages_swapped_out == b.kv_pages_swapped_out &&
+         a.kv_pages_swapped_in == b.kv_pages_swapped_in &&
+         a.kv_swap_refetch_bytes == b.kv_swap_refetch_bytes &&
+         a.kv_swap_preemptions == b.kv_swap_preemptions &&
+         a.peak_kv_reserved_bytes == b.peak_kv_reserved_bytes &&
+         a.peak_decode_batch == b.peak_decode_batch;
 }
 
 bool record_identical(const RequestRecord& a, const RequestRecord& b) {
@@ -151,6 +162,8 @@ bool record_identical(const RequestRecord& a, const RequestRecord& b) {
          a.request.input_tokens == b.request.input_tokens &&
          a.request.output_tokens == b.request.output_tokens &&
          a.request.crops == b.request.crops &&
+         a.request.prefix_id == b.request.prefix_id &&
+         a.request.prefix_tokens == b.request.prefix_tokens &&
          a.request.deadline == b.request.deadline &&
          a.admitted == b.admitted && a.prefill_start == b.prefill_start &&
          a.prefill_end == b.prefill_end && a.first_token == b.first_token &&

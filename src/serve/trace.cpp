@@ -40,6 +40,13 @@ std::vector<Request> poisson_trace(const TraceConfig& config) {
     throw std::invalid_argument(
         "poisson_trace: model_weights must have a positive sum");
   }
+  if (config.prefix_groups > 0 &&
+      (config.prefix_tokens == 0 ||
+       config.prefix_tokens > config.input_tokens)) {
+    throw std::invalid_argument(
+        "poisson_trace: prefix_tokens must be in (0, input_tokens] when "
+        "prefix_groups > 0");
+  }
 
   Rng rng(config.seed);
   const double cycles_per_second = config.clock_hz;
@@ -77,6 +84,14 @@ std::vector<Request> poisson_trace(const TraceConfig& config) {
     }
     r.input_tokens = config.input_tokens;
     r.crops = config.crops;
+    if (config.prefix_groups > 0) {
+      // Conversation-group draw, AFTER the model draw and before the
+      // output draw — prefix_groups == 0 consumes no randomness, so
+      // pre-prefix traces replay byte-identically.
+      r.prefix_id = static_cast<std::size_t>(rng.uniform_int(
+          std::int64_t{1}, static_cast<std::int64_t>(config.prefix_groups)));
+      r.prefix_tokens = config.prefix_tokens;
+    }
     r.output_tokens = static_cast<std::size_t>(
         rng.uniform_int(static_cast<std::int64_t>(config.min_output_tokens),
                         static_cast<std::int64_t>(config.max_output_tokens)));

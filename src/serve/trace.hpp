@@ -38,6 +38,16 @@ struct TraceConfig {
   /// slo_per_token_ms * output_tokens. base <= 0 disables deadlines.
   double slo_base_ms = 0.0;
   double slo_per_token_ms = 0.0;
+  /// Shared-prefix conversation groups (multi-turn serving): when > 0,
+  /// each request draws its Request::prefix_id uniformly from
+  /// [1, prefix_groups] — the turns of one conversation share a
+  /// system/image prompt of prefix_tokens tokens, which the paged KV
+  /// allocator CoW-shares. 0 (default) consumes no randomness and keeps
+  /// old traces byte-identical.
+  std::size_t prefix_groups = 0;
+  /// Shared-prefix length; must be in (0, input_tokens] when
+  /// prefix_groups > 0 (ignored otherwise).
+  std::size_t prefix_tokens = 0;
   std::uint64_t seed = 42;
 };
 

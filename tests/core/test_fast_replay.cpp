@@ -6,8 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/chip.hpp"
 #include "core/phase_scheduler.hpp"
+#include "model/workload.hpp"
+#include "serve/serving_engine.hpp"
+#include "serve/trace.hpp"
 
 namespace edgemm::core {
 namespace {
@@ -156,6 +161,63 @@ TEST(FastReplay, StatsLedgersMatchDetailedExactly) {
     EXPECT_EQ(det_cc[i]->stats().ops_executed, fst_cc[i]->stats().ops_executed);
   }
   EXPECT_GT(fst.fast_model()->streams_completed(), 0u);
+}
+
+TEST(FastReplay, PagedKvSwapTraceWithinOnePercentOfDetailed) {
+  // The paged-KV subsystem (prefix sharing + DRAM swap) changes WHICH
+  // requests decode each step, not how a step is priced — so the fast
+  // tier must track the detailed tier through preempt-and-refill churn
+  // just as tightly as on plain traces. The workload mirrors the bench's
+  // fidelity sections: a coarsened chip and sphinx_tiny, where decode
+  // steps are large enough that the integrator's per-step rounding stays
+  // well inside the 1% gate.
+  namespace sv = edgemm::serve;
+  ChipConfig cfg = default_chip_config();
+  cfg.timing_block_scale = 8.0;
+  cfg.dma.burst_bytes *= 4;
+  cfg.dma.throttle_interval *= 4;
+
+  const edgemm::model::MllmConfig m = edgemm::model::sphinx_tiny();
+  const Bytes page = 16 * edgemm::model::kv_bytes_per_token(m);
+
+  sv::TraceConfig trace_cfg;
+  trace_cfg.requests = 8;
+  trace_cfg.arrival_rate_per_s = 24.0;
+  trace_cfg.input_tokens = 300;
+  trace_cfg.min_output_tokens = 16;
+  trace_cfg.max_output_tokens = 48;
+  trace_cfg.prefix_groups = 2;
+  trace_cfg.prefix_tokens = 256;
+  const auto trace = sv::poisson_trace(trace_cfg);
+
+  auto engine = [&](ReplayMode mode) {
+    // The worst single request needs 22 pages; 30 leaves too little slack
+    // for the concurrent tail, so growers preempt each other to DRAM and
+    // refill — the churn the gate is meant to cover.
+    return sv::EngineConfig()
+        .scheduler(std::make_shared<sv::ConcurrencyPolicy>(
+            sv::AdmissionLimits{8, 16}))
+        .manage_bandwidth(false)
+        .replay_mode(mode)
+        .kv_capacity_bytes(30 * page)
+        .paged_kv(true)
+        .kv_page_bytes(page);
+  };
+  const auto detailed =
+      sv::replay_trace(cfg, {m}, engine(ReplayMode::kDetailed), trace);
+  const auto fast =
+      sv::replay_trace(cfg, {m}, engine(ReplayMode::kFast), trace);
+  ASSERT_GT(detailed.result.makespan, 0u);
+  ASSERT_GT(detailed.result.kv_pages_swapped_out, 0u);  // swap exercised
+  // Scheduling decisions are tier-independent: the fast tier swaps the
+  // SAME pages the detailed tier does, so any drift is pure step pricing.
+  EXPECT_EQ(detailed.result.kv_pages_swapped_out,
+            fast.result.kv_pages_swapped_out);
+  EXPECT_LT(drift(detailed.result.makespan, fast.result.makespan), 0.01);
+  // Both tiers conserve the page ledger exactly, whatever they priced.
+  EXPECT_EQ(detailed.result.kv_pages_allocated,
+            detailed.result.kv_pages_freed);
+  EXPECT_EQ(fast.result.kv_pages_allocated, fast.result.kv_pages_freed);
 }
 
 TEST(FastReplay, IdleTracksOutstandingStreams) {

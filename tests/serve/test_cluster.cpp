@@ -275,6 +275,117 @@ TEST(Cluster, DisaggregatedConservesKvBytesExactly) {
   EXPECT_GT(out.result.link_occupancy, 0.0);
 }
 
+TEST(Cluster, DecodeTierNeverRejectsAMigratedKv) {
+  // Probe run (no deadlines) to learn each request's first-token time,
+  // then replay with deadlines that land just past it: at decode-tier
+  // admission the remaining budget cannot cover the estimated decode, so
+  // an SLO policy would REJECT — stranding KV bytes the prefill chip and
+  // the link already paid for. The hand-off contract forbids that: a
+  // decode tier expresses backpressure by deferring, never rejecting.
+  const auto models = two_models();
+  TraceConfig trace_cfg;
+  trace_cfg.requests = 8;
+  trace_cfg.arrival_rate_per_s = 500.0;  // no prefill-side backlog
+  trace_cfg.input_tokens = 48;
+  trace_cfg.min_output_tokens = 4;
+  trace_cfg.max_output_tokens = 8;
+  trace_cfg.model_weights = {2.0, 1.0};
+  auto trace = poisson_trace(trace_cfg);
+
+  // Lenient slack keeps the prefill tier's bootstrap estimate (which
+  // overshoots the true prefill latency) from rejecting up front; the
+  // deadline is then pinned BEFORE the probed first token, so by the
+  // time the KV lands on the decode chip the budget is provably blown
+  // regardless of what the decode-side estimator says.
+  EngineConfig slo_engine =
+      fast_engine().scheduler(std::make_shared<SloAwarePolicy>(
+          AdmissionLimits{4, 8}, SloAwarePolicy::Options{0.25}));
+  const ClusterOutcome probe = run_cluster(small_cfg(), models, slo_engine,
+                                           disagg_config(3, 1), trace);
+  ASSERT_EQ(probe.result.completed, trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Cycle to_first = probe.records[i].first_token - trace[i].arrival;
+    trace[i].deadline = trace[i].arrival + to_first - to_first / 4;
+  }
+
+  const ClusterOutcome out = run_cluster(small_cfg(), models, slo_engine,
+                                         disagg_config(3, 1), trace);
+  // Prefill admission (deadline comfortably past the prefill estimate)
+  // lets every request through; the decode tier then finds the deadline
+  // hopeless — and must serve it anyway.
+  EXPECT_EQ(out.result.rejected, 0u);
+  EXPECT_EQ(out.result.completed, trace.size());
+  EXPECT_EQ(out.result.kv_transfers, trace.size());
+  for (const RequestRecord& rec : out.records) EXPECT_TRUE(rec.done);
+}
+
+TEST(Cluster, HandoffReservationConservesKvBytesUnderBackpressure) {
+  // Decode-tier KV budget below the concurrent hand-off demand: the
+  // reservation made at admission (the hand-off charge) must defer
+  // later arrivals instead of overcommitting, and every byte must drain
+  // by the end — on the link AND in the decode chips' trackers.
+  const auto models = two_models();
+  const auto trace = zoo_trace(12);
+  Bytes max_footprint = 0;
+  for (const Request& r : trace) {
+    max_footprint =
+        std::max(max_footprint, kv_footprint_bytes(r, models[r.model]));
+  }
+  EngineConfig engine =
+      fast_engine().kv_capacity_bytes(max_footprint + max_footprint / 2);
+  const ClusterOutcome out = run_cluster(small_cfg(), models, engine,
+                                         disagg_config(2, 1), trace);
+  EXPECT_EQ(out.result.completed, trace.size());
+  EXPECT_EQ(out.result.rejected, 0u);
+  // Link conservation: everything sent has landed by the drain probe.
+  EXPECT_EQ(out.result.kv_bytes_in_flight, 0u);
+  EXPECT_EQ(out.result.kv_bytes_sent, out.result.kv_migration_bytes);
+  // Chip 1 is the lone decode chip: its tracker was the contended one.
+  ASSERT_EQ(out.result.per_chip.size(), 2u);
+  EXPECT_GT(out.result.per_chip[1].kv_deferrals, 0u);  // backpressure, not rejects
+  EXPECT_GT(out.result.per_chip[1].peak_kv_reserved_bytes, 0u);
+  EXPECT_LE(out.result.per_chip[1].peak_kv_reserved_bytes,
+            max_footprint + max_footprint / 2);
+  // The prefill tier never touches KV accounting.
+  EXPECT_EQ(out.result.per_chip[0].peak_kv_reserved_bytes, 0u);
+}
+
+TEST(Cluster, DisaggregatedPagedKvConservesPagesExactly) {
+  // Paged mode across the chip link: prefix annotations survive the
+  // hand-off, riders attach on the decode chip, and the decode chip's
+  // page ledger conserves exactly through the replay.
+  const auto models = two_models();
+  TraceConfig trace_cfg;
+  trace_cfg.requests = 10;
+  trace_cfg.arrival_rate_per_s = 2000.0;
+  trace_cfg.input_tokens = 48;
+  trace_cfg.min_output_tokens = 4;
+  trace_cfg.max_output_tokens = 8;
+  trace_cfg.model_weights = {2.0, 1.0};
+  trace_cfg.prefix_groups = 1;  // one conversation group: maximal sharing
+  trace_cfg.prefix_tokens = 48;
+  const auto trace = poisson_trace(trace_cfg);
+
+  const Bytes page = 4 * model::kv_bytes_per_token(models[0]);
+  EngineConfig engine = fast_engine()
+                            .kv_capacity_bytes(64 * page)
+                            .paged_kv(true)
+                            .kv_page_bytes(page);
+  const ClusterOutcome out = run_cluster(small_cfg(), models, engine,
+                                         disagg_config(2, 1), trace);
+  EXPECT_EQ(out.result.completed, trace.size());
+  EXPECT_EQ(out.result.rejected, 0u);
+  EXPECT_EQ(out.result.kv_bytes_in_flight, 0u);
+  ASSERT_EQ(out.result.per_chip.size(), 2u);
+  const ServingResult& decode_chip = out.result.per_chip[1];
+  EXPECT_GT(decode_chip.kv_pages_allocated, 0u);
+  EXPECT_EQ(decode_chip.kv_pages_allocated, decode_chip.kv_pages_freed);
+  EXPECT_GT(decode_chip.kv_shared_attaches, 0u);  // prefix crossed the link
+  EXPECT_GT(decode_chip.kv_shared_pages_saved, 0u);
+  // The prefill tier allocates no pages at all.
+  EXPECT_EQ(out.result.per_chip[0].kv_pages_allocated, 0u);
+}
+
 TEST(Cluster, DisaggregatedRecordsSpliceBothPhases) {
   const auto trace = zoo_trace();
   const ClusterOutcome out = run_cluster(small_cfg(), two_models(),

@@ -1,0 +1,630 @@
+#include "serve/kv_pages.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/workload.hpp"
+#include "serve/serving_engine.hpp"
+#include "serve/sweep.hpp"
+#include "serve/trace.hpp"
+
+namespace edgemm::serve {
+namespace {
+
+core::ChipConfig small_cfg() {
+  core::ChipConfig cfg = core::default_chip_config();
+  cfg.groups = 1;
+  return cfg;
+}
+
+model::MllmConfig tiny_model() {
+  model::MllmConfig m;
+  m.name = "tiny-mllm";
+  m.encoders = {{"enc", 2, 256, 512, 4, 4, 0, false}};
+  m.vision_tokens = 16;
+  m.projector_params = 0;
+  m.llm = {"llm", 2, 256, 512, 4, 4, 1024, true};
+  return m;
+}
+
+// tiny_model(): kv_bytes_per_token = 2 layers * 2 (K+V) * 256 * 2 B = 2048.
+constexpr Bytes kTokenBytes = 2048;
+// 4 tokens per page throughout the engine-level tests.
+constexpr Bytes kPage = 4 * kTokenBytes;
+
+Request req(RequestId id, std::size_t input_tokens, std::size_t output_tokens,
+            std::size_t prefix_id = 0, std::size_t prefix_tokens = 0) {
+  Request r;
+  r.id = id;
+  r.arrival = 0;
+  r.model = 0;
+  r.input_tokens = input_tokens;
+  r.output_tokens = output_tokens;
+  r.crops = 1;
+  r.prefix_id = prefix_id;
+  r.prefix_tokens = prefix_tokens;
+  return r;
+}
+
+EngineConfig fast_config(std::size_t max_batch = 4,
+                         std::size_t max_inflight = 8) {
+  return EngineConfig()
+      .scheduler(std::make_shared<ConcurrencyPolicy>(
+          AdmissionLimits{max_batch, max_inflight}))
+      .manage_bandwidth(false);
+}
+
+EngineConfig paged_config(Bytes budget, std::size_t max_batch = 4) {
+  return fast_config(max_batch)
+      .kv_capacity_bytes(budget)
+      .paged_kv(true)
+      .kv_page_bytes(kPage);
+}
+
+// --- Helper math ------------------------------------------------------------
+
+TEST(KvPageMath, PrefixKeySeparatesModelsAndGroups) {
+  EXPECT_EQ(kv_prefix_key(0, 0), 0u);
+  EXPECT_EQ(kv_prefix_key(3, 0), 0u);  // no group, whatever the model
+  EXPECT_NE(kv_prefix_key(0, 1), 0u);
+  EXPECT_NE(kv_prefix_key(0, 1), kv_prefix_key(1, 1));  // per-model namespaces
+  EXPECT_NE(kv_prefix_key(0, 1), kv_prefix_key(0, 2));
+}
+
+TEST(KvPageMath, TokensPerPageIsAtLeastOne) {
+  const model::MllmConfig m = tiny_model();
+  ASSERT_EQ(model::kv_bytes_per_token(m), kTokenBytes);
+  EXPECT_EQ(kv_tokens_per_page(m, kPage), 4u);
+  // A page smaller than one token still holds one token (never zero).
+  EXPECT_EQ(kv_tokens_per_page(m, 1), 1u);
+  EXPECT_THROW(kv_tokens_per_page(m, 0), std::invalid_argument);
+}
+
+TEST(KvPageMath, SharedPrefixPagesCountsFullPagesOnly) {
+  const model::MllmConfig m = tiny_model();
+  EXPECT_EQ(kv_shared_prefix_pages(req(0, 32, 8), m, kPage), 0u);  // no group
+  // 7 prefix tokens at 4 tokens/page: one full page; the partial page is
+  // the CoW boundary and stays private.
+  EXPECT_EQ(kv_shared_prefix_pages(req(0, 32, 8, 1, 7), m, kPage), 1u);
+  EXPECT_EQ(kv_shared_prefix_pages(req(0, 32, 8, 1, 8), m, kPage), 2u);
+  EXPECT_EQ(kv_shared_prefix_pages(req(0, 32, 8, 1, 3), m, kPage), 0u);
+}
+
+TEST(KvPageMath, PageFootprintRoundsUpPrivateTail) {
+  const model::MllmConfig m = tiny_model();
+  // 32 + 8 = 40 tokens at 4/page: 10 pages, sharing off.
+  EXPECT_EQ(kv_page_footprint(req(0, 32, 8), m, kPage, false), 10u);
+  // 37 tokens round up to 10 pages too.
+  EXPECT_EQ(kv_page_footprint(req(0, 32, 5), m, kPage, false), 10u);
+  // With sharing, the 8 shared prefix pages are counted once plus the
+  // private tail: 8 shared + ceil(8/4) private = 10.
+  EXPECT_EQ(kv_page_footprint(req(0, 32, 8, 1, 32), m, kPage, true), 10u);
+  // Sharing disabled ignores the prefix annotation.
+  EXPECT_EQ(kv_page_footprint(req(0, 32, 8, 1, 32), m, kPage, false), 10u);
+}
+
+// --- SwapPolicy -------------------------------------------------------------
+
+TEST(LruSwapPolicy, OrdersColdestFirstWithIdTiebreak) {
+  LruSwapPolicy lru;
+  EXPECT_STREQ(lru.name(), "lru");
+  std::vector<SwapCandidate> candidates;
+  candidates.push_back({/*id=*/7, 2, /*last_touch=*/900, 10, 5});
+  candidates.push_back({/*id=*/3, 2, /*last_touch=*/100, 10, 5});
+  candidates.push_back({/*id=*/9, 2, /*last_touch=*/100, 10, 5});
+  const auto order = lru.victim_order(candidates);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 3u);  // coldest; id breaks the 100-tie
+  EXPECT_EQ(order[1], 9u);
+  EXPECT_EQ(order[2], 7u);
+}
+
+// --- KvPageAllocator: construction and exact fill ---------------------------
+
+TEST(KvPageAllocator, ValidatesConstruction) {
+  EXPECT_THROW(KvPageAllocator(1024, 0), std::invalid_argument);
+  EXPECT_THROW(KvPageAllocator(1023, 1024), std::invalid_argument);
+  KvPageAllocator pages(4096 + 100, 1024);  // partial page is unusable
+  EXPECT_EQ(pages.total_pages(), 4u);
+  EXPECT_EQ(pages.page_bytes(), 1024u);
+  EXPECT_EQ(pages.free_pages(), 4u);
+  EXPECT_TRUE(pages.conserved());
+}
+
+TEST(KvPageAllocator, ExactFillSucceedsAtPageGranularity) {
+  KvPageAllocator pages(4 * 1024, 1024);
+  EXPECT_TRUE(pages.try_join(1, 4));
+  EXPECT_EQ(pages.free_pages(), 0u);
+  EXPECT_EQ(pages.resident_pages(), 4u);
+  EXPECT_EQ(pages.resident_bytes(), 4096u);
+  EXPECT_EQ(pages.holders(), 1u);
+  EXPECT_EQ(pages.deferrals(), 0u);
+  EXPECT_TRUE(pages.conserved());
+}
+
+TEST(KvPageAllocator, OnePageOverDefersAllOrNothing) {
+  KvPageAllocator pages(4 * 1024, 1024);
+  EXPECT_TRUE(pages.try_join(1, 3));
+  // 2 pages into 1 free: the join takes nothing at all.
+  EXPECT_FALSE(pages.try_join(2, 2));
+  EXPECT_EQ(pages.deferrals(), 1u);
+  EXPECT_EQ(pages.resident_pages(), 3u);
+  EXPECT_EQ(pages.holders(), 1u);
+  EXPECT_FALSE(pages.holds(2));
+  EXPECT_TRUE(pages.conserved());
+}
+
+TEST(KvPageAllocator, AppendGrowsOnePageAndFailsCleanlyWhenFull) {
+  KvPageAllocator pages(3 * 1024, 1024);
+  EXPECT_TRUE(pages.try_join(1, 1));
+  EXPECT_TRUE(pages.try_append(1));
+  EXPECT_TRUE(pages.try_append(1));
+  EXPECT_EQ(pages.resident_pages_of(1), 3u);
+  EXPECT_FALSE(pages.try_append(1));  // full; appends do not count deferrals
+  EXPECT_EQ(pages.deferrals(), 0u);
+  EXPECT_EQ(pages.pages_allocated(), 3u);
+  EXPECT_TRUE(pages.conserved());
+}
+
+TEST(KvPageAllocator, RejectsDuplicateAndUnknownIds) {
+  KvPageAllocator pages(4 * 1024, 1024);
+  EXPECT_TRUE(pages.try_join(1, 1));
+  EXPECT_THROW(pages.try_join(1, 1), std::logic_error);
+  EXPECT_THROW(pages.try_append(2), std::logic_error);
+  EXPECT_THROW(pages.swap_out(2), std::logic_error);
+  EXPECT_THROW(pages.try_swap_in(1), std::logic_error);  // resident, not out
+  EXPECT_THROW(pages.release(2), std::logic_error);
+  pages.release(1);
+  EXPECT_THROW(pages.release(1), std::logic_error);
+}
+
+TEST(KvPageAllocator, PeakResidentTracksHighWater) {
+  KvPageAllocator pages(4 * 1024, 1024);
+  EXPECT_TRUE(pages.try_join(1, 2));
+  EXPECT_TRUE(pages.try_join(2, 2));
+  pages.release(1);
+  pages.release(2);
+  EXPECT_EQ(pages.resident_bytes(), 0u);
+  EXPECT_EQ(pages.peak_resident_bytes(), 4096u);
+  EXPECT_EQ(pages.pages_allocated(), 4u);
+  EXPECT_EQ(pages.pages_freed(), 4u);
+  EXPECT_TRUE(pages.conserved());
+}
+
+// --- KvPageAllocator: copy-on-write prefix sharing --------------------------
+
+TEST(KvPageAllocator, RidersAttachToTheSharedRunWithoutReallocating) {
+  KvPageAllocator pages(8 * 1024, 1024);
+  const KvPrefixKey key = kv_prefix_key(0, 1);
+  EXPECT_TRUE(pages.try_join(1, 1, key, 3));  // first attacher pays 3 + 1
+  EXPECT_EQ(pages.resident_pages(), 4u);
+  EXPECT_TRUE(pages.try_join(2, 1, key, 3));  // rider pays only its page
+  EXPECT_EQ(pages.resident_pages(), 5u);
+  EXPECT_EQ(pages.shared_refcount(key), 2u);
+  EXPECT_EQ(pages.shared_attaches(), 1u);
+  EXPECT_EQ(pages.shared_pages_saved(), 3u);
+  EXPECT_EQ(pages.pages_allocated(), 5u);
+  EXPECT_TRUE(pages.conserved());
+}
+
+TEST(KvPageAllocator, SharedRunPagesAreFreedExactlyOnce) {
+  KvPageAllocator pages(8 * 1024, 1024);
+  const KvPrefixKey key = kv_prefix_key(0, 1);
+  EXPECT_TRUE(pages.try_join(1, 1, key, 3));
+  EXPECT_TRUE(pages.try_join(2, 2, key, 3));
+  pages.release(1);  // run survives: rider 2 still references it
+  EXPECT_EQ(pages.shared_refcount(key), 1u);
+  EXPECT_EQ(pages.pages_freed(), 1u);  // only request 1's private page
+  EXPECT_EQ(pages.resident_pages(), 5u);
+  pages.release(2);  // last holder frees the run exactly once
+  EXPECT_EQ(pages.shared_refcount(key), 0u);
+  EXPECT_EQ(pages.pages_freed(), pages.pages_allocated());
+  EXPECT_EQ(pages.resident_pages(), 0u);
+  EXPECT_EQ(pages.holders(), 0u);
+  EXPECT_TRUE(pages.conserved());
+}
+
+TEST(KvPageAllocator, DistinctPrefixGroupsDoNotShare) {
+  KvPageAllocator pages(8 * 1024, 1024);
+  EXPECT_TRUE(pages.try_join(1, 1, kv_prefix_key(0, 1), 2));
+  EXPECT_TRUE(pages.try_join(2, 1, kv_prefix_key(0, 2), 2));
+  EXPECT_EQ(pages.shared_attaches(), 0u);
+  EXPECT_EQ(pages.resident_pages(), 6u);
+  EXPECT_TRUE(pages.conserved());
+}
+
+TEST(KvPageAllocator, ZeroPrivatePagesJoinRidesTheRunAlone) {
+  // A request whose whole prompt is the shared prefix holds no private
+  // page at join and grows its first one with the first generated token.
+  KvPageAllocator pages(8 * 1024, 1024);
+  const KvPrefixKey key = kv_prefix_key(0, 1);
+  EXPECT_TRUE(pages.try_join(1, 0, key, 4));
+  EXPECT_EQ(pages.resident_pages_of(1), 0u);
+  EXPECT_EQ(pages.resident_pages(), 4u);
+  EXPECT_TRUE(pages.try_append(1));
+  EXPECT_EQ(pages.resident_pages_of(1), 1u);
+  pages.release(1);
+  EXPECT_EQ(pages.pages_freed(), 5u);
+  EXPECT_TRUE(pages.conserved());
+}
+
+// --- KvPageAllocator: DRAM swap ---------------------------------------------
+
+TEST(KvPageAllocator, SwapRoundTripConservesPagesAtEveryProbe) {
+  KvPageAllocator pages(4 * 1024, 1024);
+  EXPECT_TRUE(pages.try_join(1, 3));
+  EXPECT_TRUE(pages.try_join(2, 1));
+  ASSERT_TRUE(pages.conserved());
+
+  EXPECT_EQ(pages.swap_out(1), 3u);
+  EXPECT_EQ(pages.resident_pages(), 1u);
+  EXPECT_EQ(pages.swapped_pages(), 3u);
+  EXPECT_EQ(pages.swapped_pages_of(1), 3u);
+  EXPECT_EQ(pages.pages_swapped_out(), 3u);
+  EXPECT_EQ(pages.preemptions(), 1u);
+  ASSERT_TRUE(pages.conserved());
+
+  // Freed CIM is reusable while request 1 sits in DRAM.
+  EXPECT_TRUE(pages.try_append(2));
+  EXPECT_TRUE(pages.try_append(2));
+  EXPECT_FALSE(pages.try_swap_in(1));  // 3 needed, 1 free
+  ASSERT_TRUE(pages.conserved());
+
+  pages.release(2);
+  EXPECT_TRUE(pages.try_swap_in(1));
+  EXPECT_EQ(pages.swapped_pages(), 0u);
+  EXPECT_EQ(pages.resident_pages_of(1), 3u);
+  EXPECT_EQ(pages.pages_swapped_in(), 3u);
+  EXPECT_EQ(pages.swap_refetch_bytes(), 3u * 1024u);  // re-fetch charged
+  ASSERT_TRUE(pages.conserved());
+
+  pages.release(1);
+  EXPECT_EQ(pages.pages_freed(), pages.pages_allocated());
+  EXPECT_TRUE(pages.conserved());
+}
+
+TEST(KvPageAllocator, ReleaseWhileSwappedFreesWithoutRefetch) {
+  KvPageAllocator pages(4 * 1024, 1024);
+  EXPECT_TRUE(pages.try_join(1, 2));
+  pages.swap_out(1);
+  pages.release(1);  // retired straight out of DRAM
+  EXPECT_EQ(pages.swapped_pages(), 0u);
+  EXPECT_EQ(pages.pages_freed(), 2u);
+  EXPECT_EQ(pages.swap_refetch_bytes(), 0u);
+  EXPECT_EQ(pages.holders(), 0u);
+  EXPECT_TRUE(pages.conserved());
+}
+
+TEST(KvPageAllocator, SharedRunFollowsItsLastResidentHolderToDram) {
+  KvPageAllocator pages(8 * 1024, 1024);
+  const KvPrefixKey key = kv_prefix_key(0, 1);
+  EXPECT_TRUE(pages.try_join(1, 1, key, 3));
+  EXPECT_TRUE(pages.try_join(2, 1, key, 3));
+  pages.swap_out(1);
+  // Request 2 still decodes against the run: it must stay resident.
+  EXPECT_EQ(pages.resident_pages(), 4u);  // run 3 + request 2's page
+  pages.swap_out(2);
+  // Last resident holder left: the run must not squat on the CIM budget.
+  EXPECT_EQ(pages.resident_pages(), 0u);
+  EXPECT_EQ(pages.swapped_pages(), 5u);  // 2 private + 3 run pages
+  EXPECT_TRUE(pages.conserved());
+
+  // Swapping one holder back in refills the run with it (and charges the
+  // re-fetch for both).
+  EXPECT_TRUE(pages.try_swap_in(1));
+  EXPECT_EQ(pages.resident_pages(), 4u);
+  EXPECT_EQ(pages.swap_refetch_bytes(), 4u * 1024u);
+  EXPECT_TRUE(pages.conserved());
+  pages.release(1);
+  pages.release(2);
+  EXPECT_EQ(pages.pages_freed(), pages.pages_allocated());
+  EXPECT_TRUE(pages.conserved());
+}
+
+TEST(KvPageAllocator, SwappedRunIsFreedOnceWhenLastHolderRetires) {
+  KvPageAllocator pages(8 * 1024, 1024);
+  const KvPrefixKey key = kv_prefix_key(0, 1);
+  EXPECT_TRUE(pages.try_join(1, 1, key, 3));
+  pages.swap_out(1);  // run follows to DRAM
+  EXPECT_EQ(pages.swapped_pages(), 4u);
+  pages.release(1);
+  EXPECT_EQ(pages.pages_freed(), 4u);  // run freed from DRAM, exactly once
+  EXPECT_EQ(pages.swapped_pages(), 0u);
+  EXPECT_EQ(pages.shared_refcount(key), 0u);
+  EXPECT_TRUE(pages.conserved());
+}
+
+TEST(KvPageAllocator, RiderJoinRefillsASwappedRunAndChargesRefetch) {
+  KvPageAllocator pages(8 * 1024, 1024);
+  const KvPrefixKey key = kv_prefix_key(0, 1);
+  EXPECT_TRUE(pages.try_join(1, 1, key, 3));
+  pages.swap_out(1);
+  EXPECT_EQ(pages.resident_pages(), 0u);
+  // A new rider needs the run resident: its join refills it from DRAM.
+  EXPECT_TRUE(pages.try_join(2, 1, key, 3));
+  EXPECT_EQ(pages.resident_pages(), 4u);  // run back + rider's page
+  EXPECT_EQ(pages.swapped_pages(), 1u);   // request 1's private page stays
+  EXPECT_EQ(pages.swap_refetch_bytes(), 3u * 1024u);
+  EXPECT_EQ(pages.shared_attaches(), 1u);
+  EXPECT_TRUE(pages.conserved());
+  pages.release(2);
+  pages.release(1);
+  EXPECT_EQ(pages.pages_freed(), pages.pages_allocated());
+  EXPECT_TRUE(pages.conserved());
+}
+
+TEST(KvPageAllocator, AppendGrowsThePrivateTailNeverTheSharedRun) {
+  // Decode tokens land in a holder's PRIVATE tail: appending must leave
+  // the shared run untouched so co-riders see an immutable prefix.
+  KvPageAllocator pages(8 * 1024, 1024);
+  const KvPrefixKey key = kv_prefix_key(0, 1);
+  EXPECT_TRUE(pages.try_join(1, 1, key, 3));
+  EXPECT_TRUE(pages.try_join(2, 1, key, 3));
+  const std::size_t allocated_before = pages.pages_allocated();
+  EXPECT_TRUE(pages.try_append(1));
+  EXPECT_EQ(pages.pages_allocated(), allocated_before + 1);
+  EXPECT_EQ(pages.resident_pages_of(1), 2u);  // private tail grew
+  EXPECT_EQ(pages.resident_pages_of(2), 1u);  // co-rider unaffected
+  EXPECT_EQ(pages.shared_refcount(key), 2u);  // run membership unchanged
+  EXPECT_EQ(pages.shared_pages_saved(), 3u);  // no new saving was minted
+  EXPECT_TRUE(pages.conserved());
+  pages.release(1);
+  // The appended private page frees with its owner; the run survives
+  // for the remaining rider.
+  EXPECT_EQ(pages.pages_freed(), 2u);
+  EXPECT_EQ(pages.shared_refcount(key), 1u);
+  pages.release(2);
+  EXPECT_EQ(pages.pages_freed(), pages.pages_allocated());
+  EXPECT_TRUE(pages.conserved());
+}
+
+// --- ServingEngine: paged mode ----------------------------------------------
+
+TEST(PagedServing, ReplayDrainsEveryPageAndConservesTheLedger) {
+  EngineConfig config = paged_config(40 * kPage);
+  ServingEngine engine(small_cfg(), {tiny_model()}, std::move(config));
+  const ServingResult result = engine.run(
+      {req(0, 32, 8), req(1, 32, 8), req(2, 32, 4), req(3, 16, 12)});
+  EXPECT_EQ(result.completed, 4u);
+  ASSERT_NE(engine.kv_pages(), nullptr);
+  EXPECT_EQ(engine.kv_pages()->holders(), 0u);
+  EXPECT_EQ(engine.kv_pages()->resident_pages(), 0u);
+  EXPECT_GT(result.kv_pages_allocated, 0u);
+  EXPECT_EQ(result.kv_pages_allocated, result.kv_pages_freed);
+  EXPECT_GT(result.peak_kv_reserved_bytes, 0u);
+  EXPECT_TRUE(engine.kv_pages()->conserved());
+  // Legacy tracker is not built in paged mode.
+  EXPECT_EQ(engine.kv_tracker(), nullptr);
+}
+
+TEST(PagedServing, GrowPerTokenPeaksNoHigherThanWholeFootprints) {
+  // Page-aligned shapes (multiples of 4 tokens) so page rounding cannot
+  // mask the comparison: the paged peak counts only pages written so
+  // far, the legacy peak charges every request's full footprint at join.
+  const std::vector<Request> trace = {req(0, 32, 8), req(1, 32, 8),
+                                      req(2, 16, 4)};
+  const Bytes budget = 64 * kPage;  // generous: no deferrals either way
+  const auto legacy = replay_trace(small_cfg(), {tiny_model()},
+                                   fast_config().kv_capacity_bytes(budget),
+                                   trace);
+  const auto paged =
+      replay_trace(small_cfg(), {tiny_model()}, paged_config(budget), trace);
+  EXPECT_EQ(paged.result.completed, 3u);
+  EXPECT_GT(paged.result.peak_kv_reserved_bytes, 0u);
+  EXPECT_LE(paged.result.peak_kv_reserved_bytes,
+            legacy.result.peak_kv_reserved_bytes);
+  EXPECT_EQ(legacy.result.kv_deferrals, 0u);
+  EXPECT_EQ(paged.result.kv_deferrals, 0u);
+}
+
+TEST(PagedServing, PrefixSharingSustainsMoreConcurrencyAtEqualBudget) {
+  // Two conversation turns over one 64-token shared prefix, 8 output
+  // tokens each. Whole footprint: 72 tokens = 18 pages per request; the
+  // 20-page budget fits only ONE whole footprint, so the legacy tracker
+  // serializes. Paged + sharing: 16 shared pages + two 2-page private
+  // tails = 20 pages — both decode together.
+  const std::vector<Request> trace = {req(0, 64, 8, 1, 64),
+                                      req(1, 64, 8, 1, 64)};
+  const Bytes budget = 20 * kPage;
+  const auto legacy = replay_trace(small_cfg(), {tiny_model()},
+                                   fast_config().kv_capacity_bytes(budget),
+                                   trace);
+  const auto paged =
+      replay_trace(small_cfg(), {tiny_model()}, paged_config(budget), trace);
+  EXPECT_EQ(legacy.result.peak_decode_batch, 1u);
+  EXPECT_GT(legacy.result.kv_deferrals, 0u);
+  EXPECT_EQ(paged.result.peak_decode_batch, 2u);
+  EXPECT_EQ(paged.result.kv_deferrals, 0u);
+  EXPECT_EQ(paged.result.kv_shared_attaches, 1u);
+  EXPECT_EQ(paged.result.kv_shared_pages_saved, 16u);
+  EXPECT_EQ(paged.result.kv_pages_swapped_out, 0u);  // exact fit, no swap
+  EXPECT_LT(paged.result.makespan, legacy.result.makespan);
+  EXPECT_EQ(paged.result.kv_pages_allocated, paged.result.kv_pages_freed);
+}
+
+TEST(PagedServing, PartialBoundaryPageIsCowForkedPrivately) {
+  // 62 prefix tokens = 15 full shared pages + a 2-token boundary that
+  // every rider must copy privately before writing its own tokens.
+  const std::vector<Request> trace = {req(0, 64, 8, 1, 62),
+                                      req(1, 64, 8, 1, 62)};
+  const auto paged = replay_trace(small_cfg(), {tiny_model()},
+                                  paged_config(64 * kPage), trace);
+  EXPECT_EQ(paged.result.completed, 2u);
+  EXPECT_EQ(paged.result.kv_cow_forks, 2u);
+  EXPECT_EQ(paged.result.kv_shared_pages_saved, 15u);
+}
+
+TEST(PagedServing, SharingOffIgnoresPrefixAnnotations) {
+  const std::vector<Request> trace = {req(0, 64, 8, 1, 64),
+                                      req(1, 64, 8, 1, 64)};
+  EngineConfig config = paged_config(64 * kPage).kv_prefix_sharing(false);
+  const auto out =
+      replay_trace(small_cfg(), {tiny_model()}, std::move(config), trace);
+  EXPECT_EQ(out.result.completed, 2u);
+  EXPECT_EQ(out.result.kv_shared_attaches, 0u);
+  EXPECT_EQ(out.result.kv_shared_pages_saved, 0u);
+  EXPECT_EQ(out.result.kv_cow_forks, 0u);
+  EXPECT_EQ(out.result.kv_pages_allocated, out.result.kv_pages_freed);
+}
+
+TEST(PagedServing, TightBudgetSwapsToDramAndStillCompletes) {
+  // 18 pages hold exactly one whole footprint; two concurrent growers
+  // must preempt each other's tails to DRAM and refill.
+  const std::vector<Request> trace = {req(0, 64, 8, 1, 64),
+                                      req(1, 64, 8, 1, 64)};
+  const auto out = replay_trace(small_cfg(), {tiny_model()},
+                                paged_config(18 * kPage), trace);
+  EXPECT_EQ(out.result.completed, 2u);
+  EXPECT_GT(out.result.kv_pages_swapped_out, 0u);
+  EXPECT_GT(out.result.kv_pages_swapped_in, 0u);
+  EXPECT_GT(out.result.kv_swap_preemptions, 0u);
+  EXPECT_GT(out.result.kv_swap_refetch_bytes, 0u);
+  // Exact conservation survives the whole preempt-and-refill churn.
+  EXPECT_EQ(out.result.kv_pages_allocated, out.result.kv_pages_freed);
+  for (const RequestRecord& rec : out.records) {
+    EXPECT_TRUE(rec.done);
+    EXPECT_EQ(rec.tokens_generated, rec.request.output_tokens);
+  }
+}
+
+TEST(PagedServing, CustomSwapPolicySelectsItsOwnVictims) {
+  // Evict the request with the MOST resident pages first (anti-LRU on
+  // this workload): the seam must honor it without any engine change.
+  class BiggestFirst : public SwapPolicy {
+   public:
+    const char* name() const override { return "biggest-first"; }
+    std::vector<RequestId> victim_order(
+        const std::vector<SwapCandidate>& candidates) const override {
+      std::vector<SwapCandidate> sorted = candidates;
+      std::sort(sorted.begin(), sorted.end(),
+                [](const SwapCandidate& a, const SwapCandidate& b) {
+                  if (a.resident_pages != b.resident_pages) {
+                    return a.resident_pages > b.resident_pages;
+                  }
+                  return a.id < b.id;
+                });
+      std::vector<RequestId> order;
+      for (const SwapCandidate& c : sorted) order.push_back(c.id);
+      return order;
+    }
+  };
+  const std::vector<Request> trace = {req(0, 64, 8, 1, 64),
+                                      req(1, 64, 8, 1, 64)};
+  EngineConfig config =
+      paged_config(18 * kPage).kv_swap_policy(std::make_shared<BiggestFirst>());
+  const auto out =
+      replay_trace(small_cfg(), {tiny_model()}, std::move(config), trace);
+  EXPECT_EQ(out.result.completed, 2u);
+  EXPECT_GT(out.result.kv_swap_preemptions, 0u);
+  EXPECT_EQ(out.result.kv_pages_allocated, out.result.kv_pages_freed);
+}
+
+TEST(PagedServing, ValidatesOversizedAndMalformedRequestsUpFront) {
+  {
+    // 10-page footprint into an 8-page budget: rejected before replay.
+    ServingEngine engine(small_cfg(), {tiny_model()},
+                         paged_config(8 * kPage));
+    EXPECT_THROW(engine.run({req(0, 32, 8)}), std::invalid_argument);
+  }
+  {
+    // prefix_tokens longer than the prompt is a malformed request.
+    ServingEngine engine(small_cfg(), {tiny_model()},
+                         paged_config(64 * kPage));
+    EXPECT_THROW(engine.run({req(0, 32, 8, 1, 33)}), std::invalid_argument);
+  }
+}
+
+// --- Legacy-mode byte identity ----------------------------------------------
+
+TEST(PagedServing, LegacyModeIsTheDefaultAndStaysByteIdentical) {
+  TraceConfig trace_cfg;
+  trace_cfg.requests = 12;
+  trace_cfg.arrival_rate_per_s = 2000.0;
+  trace_cfg.input_tokens = 32;
+  trace_cfg.min_output_tokens = 2;
+  trace_cfg.max_output_tokens = 12;
+  const auto trace = poisson_trace(trace_cfg);
+  const Bytes budget = kv_footprint_bytes(req(0, 32, 12), tiny_model()) * 2;
+
+  EngineConfig untouched = fast_config().kv_capacity_bytes(budget);
+  EXPECT_FALSE(untouched.paged_kv());  // paging is strictly opt-in
+  const auto baseline = replay_trace(small_cfg(), {tiny_model()},
+                                     std::move(untouched), trace);
+  // Explicit paged_kv(false) routes through the same KvCapacityTracker
+  // and must replay bit-for-bit, whatever the other paged knobs say.
+  EngineConfig legacy = fast_config()
+                            .kv_capacity_bytes(budget)
+                            .paged_kv(false)
+                            .kv_page_bytes(kPage)
+                            .kv_prefix_sharing(false);
+  const auto explicit_off =
+      replay_trace(small_cfg(), {tiny_model()}, std::move(legacy), trace);
+  EXPECT_TRUE(results_identical(baseline.result, explicit_off.result));
+  ASSERT_EQ(baseline.records.size(), explicit_off.records.size());
+  for (std::size_t i = 0; i < baseline.records.size(); ++i) {
+    EXPECT_TRUE(record_identical(baseline.records[i], explicit_off.records[i]));
+  }
+  EXPECT_GT(baseline.result.kv_deferrals + 1, 0u);  // tracker path exercised
+  EXPECT_EQ(baseline.result.kv_pages_allocated, 0u);  // no paging counters
+}
+
+TEST(PagedServing, GenerousBudgetMatchesLegacyScheduleExactly) {
+  // With no deferrals in either mode the decode schedule is untouched:
+  // every per-request timestamp must agree cycle-for-cycle (the result
+  // structs differ only in the paging counters).
+  const std::vector<Request> trace = {req(0, 32, 8), req(1, 32, 8),
+                                      req(2, 16, 4), req(3, 32, 12)};
+  const Bytes budget = 256 * kPage;
+  const auto legacy = replay_trace(small_cfg(), {tiny_model()},
+                                   fast_config().kv_capacity_bytes(budget),
+                                   trace);
+  const auto paged =
+      replay_trace(small_cfg(), {tiny_model()}, paged_config(budget), trace);
+  EXPECT_EQ(legacy.result.makespan, paged.result.makespan);
+  EXPECT_EQ(legacy.result.decode_steps, paged.result.decode_steps);
+  ASSERT_EQ(legacy.records.size(), paged.records.size());
+  for (std::size_t i = 0; i < legacy.records.size(); ++i) {
+    EXPECT_TRUE(record_identical(legacy.records[i], paged.records[i]));
+  }
+}
+
+TEST(PagedServing, SweepOutcomeIsByteIdenticalAtAnyWorkerCount) {
+  TraceConfig trace_cfg;
+  trace_cfg.requests = 10;
+  trace_cfg.arrival_rate_per_s = 4000.0;
+  trace_cfg.input_tokens = 64;
+  trace_cfg.min_output_tokens = 4;
+  trace_cfg.max_output_tokens = 8;
+  trace_cfg.prefix_groups = 2;
+  trace_cfg.prefix_tokens = 64;
+  const auto trace = poisson_trace(trace_cfg);
+
+  auto cases = [&] {
+    std::vector<SweepCase> grid;
+    grid.push_back({"paged", small_cfg(), {tiny_model()},
+                    paged_config(64 * kPage), trace});
+    grid.push_back({"paged-tight", small_cfg(), {tiny_model()},
+                    paged_config(20 * kPage), trace});
+    grid.push_back({"paged-noshare", small_cfg(), {tiny_model()},
+                    paged_config(64 * kPage).kv_prefix_sharing(false), trace});
+    return grid;
+  };
+  SweepOptions sequential;
+  sequential.workers = 1;
+  const auto baseline = run_sweep(cases(), sequential);
+  SweepOptions threaded;
+  threaded.workers = 4;
+  const auto parallel = run_sweep(cases(), threaded);
+  ASSERT_EQ(baseline.size(), parallel.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_TRUE(outcomes_identical(baseline[i], parallel[i]))
+        << "case " << baseline[i].label << " diverged across workers";
+  }
+}
+
+}  // namespace
+}  // namespace edgemm::serve

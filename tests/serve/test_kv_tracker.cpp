@@ -61,6 +61,38 @@ TEST(KvCapacityTracker, RejectsDuplicateAndUnknownIds) {
   EXPECT_THROW(tracker.release(1), std::logic_error);
 }
 
+TEST(KvCapacityTracker, HoldsIsKeyedByIdNotByBytes) {
+  // The hand-off reservation on a decode tier is looked up by id at
+  // join time: holds() must answer for exactly the ids that reserved,
+  // independent of how many bytes each one charged.
+  KvCapacityTracker tracker(1000);
+  EXPECT_FALSE(tracker.holds(1));
+  EXPECT_TRUE(tracker.try_reserve(1, 600));
+  EXPECT_TRUE(tracker.try_reserve(2, 0));  // zero-byte reservation still held
+  EXPECT_TRUE(tracker.holds(1));
+  EXPECT_FALSE(tracker.holds(2));  // held_by(2) == 0 bytes reads as absent
+  EXPECT_FALSE(tracker.holds(3));
+  tracker.release(1);
+  EXPECT_FALSE(tracker.holds(1));
+}
+
+TEST(KvCapacityTracker, PeakReservedIsAHighWaterMark) {
+  KvCapacityTracker tracker(1000);
+  EXPECT_EQ(tracker.peak_reserved(), 0u);
+  EXPECT_TRUE(tracker.try_reserve(1, 300));
+  EXPECT_TRUE(tracker.try_reserve(2, 400));
+  EXPECT_EQ(tracker.peak_reserved(), 700u);
+  tracker.release(1);
+  EXPECT_EQ(tracker.reserved(), 400u);
+  EXPECT_EQ(tracker.peak_reserved(), 700u);  // the mark never recedes
+  // A failed reservation moves nothing, so the peak stays put ...
+  EXPECT_FALSE(tracker.try_reserve(3, 700));
+  EXPECT_EQ(tracker.peak_reserved(), 700u);
+  // ... and a smaller success past the old mark advances it.
+  EXPECT_TRUE(tracker.try_reserve(4, 350));
+  EXPECT_EQ(tracker.peak_reserved(), 750u);
+}
+
 TEST(ChipKvCapacity, ScalesWithMcClustersAndOversubscription) {
   const core::ChipConfig cfg = core::default_chip_config();
   const Bytes base = chip_kv_capacity(cfg);

@@ -120,5 +120,67 @@ TEST(PoissonTrace, ModelWeightsDrawTheZooMixDeterministically) {
   EXPECT_GT(counts[2], 0u);
 }
 
+TEST(PoissonTrace, ValidatesPrefixGroupConfig) {
+  TraceConfig cfg;
+  cfg.prefix_groups = 2;
+  cfg.prefix_tokens = 0;  // a group without a prefix length is malformed
+  EXPECT_THROW(poisson_trace(cfg), std::invalid_argument);
+  cfg = TraceConfig{};
+  cfg.input_tokens = 32;
+  cfg.prefix_groups = 2;
+  cfg.prefix_tokens = 33;  // prefix longer than the prompt
+  EXPECT_THROW(poisson_trace(cfg), std::invalid_argument);
+  cfg.prefix_tokens = 32;  // whole-prompt prefix is legal
+  EXPECT_NO_THROW(poisson_trace(cfg));
+}
+
+TEST(PoissonTrace, ZeroPrefixGroupsConsumeNoRandomness) {
+  // The prefix draw sits between the model and output draws; with the
+  // knob off, arrivals AND outputs reproduce pre-prefix traces exactly.
+  TraceConfig cfg;
+  cfg.requests = 64;
+  const auto plain = poisson_trace(cfg);
+  TraceConfig with_field = cfg;
+  with_field.prefix_groups = 0;
+  with_field.prefix_tokens = 0;
+  const auto again = poisson_trace(with_field);
+  ASSERT_EQ(plain.size(), again.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].arrival, again[i].arrival);
+    EXPECT_EQ(plain[i].output_tokens, again[i].output_tokens);
+    EXPECT_EQ(plain[i].prefix_id, 0u);
+    EXPECT_EQ(plain[i].prefix_tokens, 0u);
+  }
+}
+
+TEST(PoissonTrace, PrefixDrawSitsBetweenModelAndOutputDraws) {
+  // The draw order is arrival -> model -> prefix -> output over ONE RNG
+  // stream: the first arrival (drawn before any prefix draw) must not
+  // move when the knob turns on, and every drawn group is in range.
+  TraceConfig cfg;
+  cfg.requests = 64;
+  const auto without = poisson_trace(cfg);
+  TraceConfig with_prefix = cfg;
+  with_prefix.prefix_groups = 4;
+  with_prefix.prefix_tokens = 16;
+  const auto with = poisson_trace(with_prefix);
+  ASSERT_EQ(without.size(), with.size());
+  EXPECT_EQ(without[0].arrival, with[0].arrival);
+  for (std::size_t i = 0; i < with.size(); ++i) {
+    EXPECT_GE(with[i].prefix_id, 1u);
+    EXPECT_LE(with[i].prefix_id, 4u);
+    EXPECT_EQ(with[i].prefix_tokens, 16u);
+  }
+  // Deterministic per seed, and with 64 draws over 4 groups at least two
+  // distinct groups appear (the draw is not a constant).
+  const auto replay = poisson_trace(with_prefix);
+  bool multiple_groups = false;
+  for (std::size_t i = 0; i < with.size(); ++i) {
+    EXPECT_EQ(with[i].prefix_id, replay[i].prefix_id);
+    if (with[i].prefix_id != with[0].prefix_id) multiple_groups = true;
+  }
+  EXPECT_TRUE(multiple_groups);
+}
+
 }  // namespace
 }  // namespace edgemm::serve

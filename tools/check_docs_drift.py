@@ -15,6 +15,7 @@ appear as an identifier in the corresponding header:
   ClusterResult / ClusterOutcome::<name> -> src/serve/cluster/cluster_engine.hpp
   RouterPolicy::<name>  -> src/serve/cluster/router.hpp
   ChipLink::<name>      -> src/mem/memory_path.hpp
+  KvPageAllocator / SwapPolicy::<name> -> src/serve/kv_pages.hpp
 
 Offline and dependency-free by design, like check_markdown_links.py.
 
@@ -31,7 +32,7 @@ import sys
 REF_RE = re.compile(
     r"\b(EngineConfig|ServingResult|ReplayMode|SweepCase|SweepOptions"
     r"|SweepOutcome|ClusterConfig|ClusterResult|ClusterOutcome"
-    r"|RouterPolicy|ChipLink)(?:::|\.)(\w+)")
+    r"|RouterPolicy|ChipLink|KvPageAllocator|SwapPolicy)(?:::|\.)(\w+)")
 
 HEADERS = {
     "EngineConfig": "src/serve/engine_config.hpp",
@@ -45,6 +46,8 @@ HEADERS = {
     "ClusterOutcome": "src/serve/cluster/cluster_engine.hpp",
     "RouterPolicy": "src/serve/cluster/router.hpp",
     "ChipLink": "src/mem/memory_path.hpp",
+    "KvPageAllocator": "src/serve/kv_pages.hpp",
+    "SwapPolicy": "src/serve/kv_pages.hpp",
 }
 
 
