@@ -46,6 +46,13 @@
 //      exactly conserved, and a tight-budget row that completes the
 //      trace by paying DRAM re-fetches. §1–§8 replay with paged_kv off,
 //      so their numbers are untouched.
+//  10. heterogeneous offload — the §6 long-prefill zoo trace on one
+//      EdgeMM + fat-GPU chip pair (fast tier), sweeping OffloadPolicy
+//      backend mixes: NoOffload with the GPU configured gated
+//      bit-identical to no GPU at all, PrefillToFat gated to improve
+//      makespan or tokens/s at no decode-p99 regression (KV shipped
+//      back over an exactly-conserved return link), and a queue-depth
+//      threshold policy splitting at chunk granularity.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -56,7 +63,10 @@
 #include <thread>
 #include <vector>
 
+#include "baselines/gpu_model.hpp"
 #include "bench/bench_common.hpp"
+#include "common/statistics.hpp"
+#include "common/units.hpp"
 #include "core/config.hpp"
 #include "model/mllm_config.hpp"
 #include "model/workload.hpp"
@@ -1131,6 +1141,164 @@ int main(int argc, char** argv) {
   json.field("swap_ok", paged_swap_ok);
   json.end_object();
 
+  // --- 10. Heterogeneous offload: EdgeMM + fat-GPU backend mixes ----------
+  // The §6 long-prefill zoo trace (900-token prompts, 2 crops) replayed
+  // on one chip that is now an EdgeMM + RTX-3060-class pair (fast tier,
+  // chunked prefill so the threshold policy can split mid-request). The
+  // OffloadPolicy decides WHERE each prefill chunk executes: NoOffload
+  // keeps everything local and must be bit-identical to a config with no
+  // fat backend at all; PrefillToFat ships every long prompt's prefill
+  // (encoder included) to the GPU and the finished KV back over a
+  // ledgered ChipLink-style return link while decode stays on EdgeMM;
+  // the threshold policy offloads chunks only under CC queue pressure.
+  std::printf("\n--- heterogeneous offload: EdgeMM + fat backend mixes "
+              "(zoo trace) ---\n\n");
+  const baselines::GpuSpec fat_spec;  // the Table II RTX 3060 laptop model
+  std::printf("fat backend: %s (%.0f TFLOP/s, %.0f GB/s, launch %.0f us); "
+              "KV returns over the chip link\n",
+              fat_spec.name.c_str(), fat_spec.peak_flops / 1e12,
+              fat_spec.memory_bandwidth / 1e9,
+              fat_spec.kernel_launch_seconds * 1e6);
+  auto hetero_base = [&] {
+    return continuous_config(true)
+        .prefill_planner(std::make_shared<serve::ChunkedPrefill>(256))
+        .replay_mode(core::ReplayMode::kFast);
+  };
+  const std::vector<serve::SweepCase> s10_cases = {
+      {"s10 edgemm-only", chip8, zoo, hetero_base(), zoo_trace},
+      {"s10 no-offload+gpu", chip8, zoo, hetero_base().fat_backend(fat_spec),
+       zoo_trace},
+      {"s10 prefill-to-fat", chip8, zoo,
+       hetero_base().fat_backend(fat_spec).offload_policy(
+           std::make_shared<serve::PrefillToFat>(512)),
+       zoo_trace},
+      {"s10 threshold", chip8, zoo,
+       hetero_base().fat_backend(fat_spec).offload_policy(
+           std::make_shared<serve::ThresholdOffload>(2)),
+       zoo_trace},
+  };
+  const SectionRun s10 = run_section(s10_cases);
+  const auto& het_local = s10.outcomes[0].result;
+  const auto& het_noop = s10.outcomes[1].result;
+  const auto& het_ptf = s10.outcomes[2].result;
+
+  // Decode-phase p99 (last-token retire minus prefill end, which for an
+  // offloaded request includes the KV return shipment): the guardrail
+  // that the prefill win was not bought with decode tail latency.
+  auto decode_p99_ms = [&](const std::vector<serve::RequestRecord>& records) {
+    std::vector<double> decode_ms;
+    for (const serve::RequestRecord& rec : records) {
+      if (!rec.done) continue;
+      decode_ms.push_back(
+          cycles_to_ms(rec.finish - rec.prefill_end, chip8.clock_hz));
+    }
+    return percentile(decode_ms, 99.0);
+  };
+  std::vector<double> s10_decode_p99;
+  for (const serve::SweepOutcome& o : s10.outcomes) {
+    s10_decode_p99.push_back(decode_p99_ms(o.records));
+  }
+  for (std::size_t i = 0; i < s10_cases.size(); ++i) {
+    const serve::ServingResult& r = s10.outcomes[i].result;
+    std::printf("  %-20s %3zu done  makespan %8.1f ms  %6.1f tok/s  "
+                "decode p99 %7.1f ms\n",
+                s10_cases[i].label.c_str(), r.completed, r.makespan_ms,
+                r.tokens_per_second, s10_decode_p99[i]);
+    if (r.offloaded_chunks > 0) {
+      std::printf("  %-20s offloaded %zu req / %zu chunks  GPU busy %4.1f %%  "
+                  "moved %.2f GiB  KV back %.1f MiB (%zu B in flight)\n",
+                  "", r.offloaded_requests, r.offloaded_chunks,
+                  100.0 * r.fat_busy_fraction,
+                  static_cast<double>(r.fat_bytes_moved) /
+                      (1024.0 * 1024.0 * 1024.0),
+                  static_cast<double>(r.kv_return_bytes_landed) /
+                      (1024.0 * 1024.0),
+                  static_cast<std::size_t>(r.kv_return_bytes_in_flight));
+    }
+  }
+
+  // Gate (a): an idle fat backend is free — NoOffload with the GPU
+  // configured replays byte-identically (result AND every record) to
+  // the EdgeMM-only config.
+  bool s10_identity_ok =
+      serve::results_identical(het_local, het_noop) &&
+      s10.outcomes[0].records.size() == s10.outcomes[1].records.size();
+  if (s10_identity_ok) {
+    for (std::size_t i = 0; i < s10.outcomes[0].records.size(); ++i) {
+      s10_identity_ok = s10_identity_ok &&
+                        serve::record_identical(s10.outcomes[0].records[i],
+                                                s10.outcomes[1].records[i]);
+    }
+  }
+  // Gate (b): shipping the long prefills to the fat backend wins on
+  // makespan or sustained tokens/s — and it actually offloaded.
+  const bool s10_offload_win =
+      het_ptf.offloaded_requests > 0 &&
+      (het_ptf.makespan < het_local.makespan ||
+       het_ptf.tokens_per_second > het_local.tokens_per_second);
+  // Gate (c): the win is not bought with decode tail latency (equal
+  // decode p99, up to 5% measurement slack on the zoo trace).
+  const bool s10_decode_p99_ok =
+      s10_decode_p99[2] <= s10_decode_p99[0] * 1.05;
+  // Gate (d): the KV return ledger is exactly conserved on every
+  // offloading row — sent == landed + in-flight, drained to 0 in flight
+  // — and the PrefillToFat row really shipped KV back.
+  bool s10_link_ok = het_ptf.kv_return_transfers > 0;
+  for (const serve::SweepOutcome& o : s10.outcomes) {
+    const serve::ServingResult& r = o.result;
+    s10_link_ok = s10_link_ok && r.kv_return_bytes_in_flight == 0 &&
+                  r.kv_return_bytes_sent ==
+                      r.kv_return_bytes_landed + r.kv_return_bytes_in_flight;
+  }
+  std::printf("\nidle fat backend is free (NoOffload+gpu bit-identical to "
+              "edgemm-only): %s\n",
+              s10_identity_ok ? "yes" : "NO");
+  std::printf("prefill-to-fat wins makespan or tokens/s (%.1f -> %.1f ms, "
+              "%.1f -> %.1f tok/s): %s\n",
+              het_local.makespan_ms, het_ptf.makespan_ms,
+              het_local.tokens_per_second, het_ptf.tokens_per_second,
+              s10_offload_win ? "yes" : "NO");
+  std::printf("decode p99 holds at the offloaded operating point "
+              "(%.1f vs %.1f ms): %s\n",
+              s10_decode_p99[2], s10_decode_p99[0],
+              s10_decode_p99_ok ? "yes" : "NO");
+  std::printf("KV return ledger exactly conserved (sent == landed + "
+              "in-flight == landed): %s\n",
+              s10_link_ok ? "yes" : "NO");
+  print_section_wall(s10);
+
+  json.begin_object("backend_mix");
+  json.field("fat_backend", fat_spec.name);
+  json.begin_array("cases");
+  for (std::size_t i = 0; i < s10_cases.size(); ++i) {
+    const serve::ServingResult& r = s10.outcomes[i].result;
+    json.begin_object();
+    json.field("label", s10_cases[i].label);
+    json.field("completed", r.completed);
+    json.field("makespan_ms", r.makespan_ms);
+    json.field("tokens_per_second", r.tokens_per_second);
+    json.field("decode_p99_ms", s10_decode_p99[i]);
+    json.field("offloaded_requests", r.offloaded_requests);
+    json.field("offloaded_chunks", r.offloaded_chunks);
+    json.field("fat_bytes_moved", static_cast<std::size_t>(r.fat_bytes_moved));
+    json.field("fat_kernel_launches", r.fat_kernel_launches);
+    json.field("fat_busy_fraction", r.fat_busy_fraction);
+    json.field("kv_return_transfers", r.kv_return_transfers);
+    json.field("kv_return_bytes_sent",
+               static_cast<std::size_t>(r.kv_return_bytes_sent));
+    json.field("kv_return_bytes_landed",
+               static_cast<std::size_t>(r.kv_return_bytes_landed));
+    json.field("kv_return_bytes_in_flight",
+               static_cast<std::size_t>(r.kv_return_bytes_in_flight));
+    json.end_object();
+  }
+  json.end_array();
+  json.field("identity_ok", s10_identity_ok);
+  json.field("offload_win", s10_offload_win);
+  json.field("decode_p99_ok", s10_decode_p99_ok);
+  json.field("link_ok", s10_link_ok);
+  json.end_object();
+
   const bool ok = beats && slo_wins && chunk_wins && resident_wins &&
                   chaining_wins && sharing_wins && charged_once &&
                   placement_wins && barrier_honest && eviction_exercised &&
@@ -1138,7 +1306,8 @@ int main(int argc, char** argv) {
                   identity_ok && throughput_ok && cluster_identity_ok &&
                   replica_scaling_ok && kv_conservation_ok &&
                   paged_concurrency_ok && paged_conservation_ok &&
-                  prefix_sharing_ok && paged_swap_ok;
+                  prefix_sharing_ok && paged_swap_ok && s10_identity_ok &&
+                  s10_offload_win && s10_decode_p99_ok && s10_link_ok;
 
   json.begin_object("self_checks");
   json.field("continuous_beats_sequential", beats);
@@ -1162,6 +1331,10 @@ int main(int argc, char** argv) {
   json.field("paged_conservation_ok", paged_conservation_ok);
   json.field("prefix_sharing_ok", prefix_sharing_ok);
   json.field("paged_swap_ok", paged_swap_ok);
+  json.field("offload_identity_ok", s10_identity_ok);
+  json.field("offload_win_ok", s10_offload_win);
+  json.field("offload_decode_p99_ok", s10_decode_p99_ok);
+  json.field("offload_link_ok", s10_link_ok);
   json.field("all_passed", ok);
   json.end_object();
   json.end_object();

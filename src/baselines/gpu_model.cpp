@@ -1,15 +1,98 @@
 #include "baselines/gpu_model.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace edgemm::baselines {
 
+namespace {
+
+double checked_positive(double v, const char* field) {
+  if (!(v > 0.0)) {
+    throw std::invalid_argument(std::string("GpuSpec: ") + field +
+                                " must be positive");
+  }
+  return v;
+}
+
+double checked_efficiency(double v, const char* field) {
+  if (!(v > 0.0) || v > 1.0) {
+    throw std::invalid_argument(std::string("GpuSpec: ") + field +
+                                " must be in (0, 1]");
+  }
+  return v;
+}
+
+}  // namespace
+
+GpuSpec& GpuSpec::with_peak_flops(double v) {
+  peak_flops = checked_positive(v, "peak_flops");
+  return *this;
+}
+
+GpuSpec& GpuSpec::with_memory_bandwidth(double v) {
+  memory_bandwidth = checked_positive(v, "memory_bandwidth");
+  return *this;
+}
+
+GpuSpec& GpuSpec::with_gemm_efficiency(double v) {
+  gemm_efficiency = checked_efficiency(v, "gemm_efficiency");
+  return *this;
+}
+
+GpuSpec& GpuSpec::with_gemv_bandwidth_efficiency(double v) {
+  gemv_bandwidth_efficiency = checked_efficiency(v, "gemv_bandwidth_efficiency");
+  return *this;
+}
+
+GpuSpec& GpuSpec::with_kernel_launch_seconds(double v) {
+  if (v < 0.0) {
+    throw std::invalid_argument(
+        "GpuSpec: kernel_launch_seconds must be non-negative");
+  }
+  kernel_launch_seconds = v;
+  return *this;
+}
+
+GpuSpec& GpuSpec::with_elem_bytes(std::size_t v) {
+  if (v == 0) {
+    throw std::invalid_argument("GpuSpec: elem_bytes must be positive");
+  }
+  elem_bytes = v;
+  return *this;
+}
+
+GpuSpec& GpuSpec::with_board_power_w(double v) {
+  board_power_w = checked_positive(v, "board_power_w");
+  return *this;
+}
+
+void GpuSpec::validate() const {
+  checked_positive(peak_flops, "peak_flops");
+  checked_positive(memory_bandwidth, "memory_bandwidth");
+  checked_efficiency(gemm_efficiency, "gemm_efficiency");
+  checked_efficiency(gemv_bandwidth_efficiency, "gemv_bandwidth_efficiency");
+  if (kernel_launch_seconds < 0.0) {
+    throw std::invalid_argument(
+        "GpuSpec: kernel_launch_seconds must be non-negative");
+  }
+  if (elem_bytes == 0) {
+    throw std::invalid_argument("GpuSpec: elem_bytes must be positive");
+  }
+  checked_positive(board_power_w, "board_power_w");
+}
+
+Bytes gpu_op_bytes(const GpuSpec& spec, const core::GemmWork& work) {
+  // Weights + activations traffic in FP16: k*n weight tile (re-streamed
+  // every launch) plus m*(k+n) activation in/out tiles.
+  return (static_cast<Bytes>(work.k) * work.n + work.m * (work.k + work.n)) *
+         spec.elem_bytes;
+}
+
 double gpu_op_seconds(const GpuSpec& spec, const core::GemmWork& work) {
   const double flops = static_cast<double>(work.flops());
-  // Weights + activations traffic in FP16.
-  const double bytes = static_cast<double>(
-      (static_cast<Bytes>(work.k) * work.n + work.m * (work.k + work.n)) *
-      spec.elem_bytes);
+  const double bytes = static_cast<double>(gpu_op_bytes(spec, work));
   const double compute_s = flops / (spec.peak_flops * spec.gemm_efficiency);
   const double bandwidth = work.m <= 2
                                ? spec.memory_bandwidth * spec.gemv_bandwidth_efficiency

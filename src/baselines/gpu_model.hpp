@@ -18,6 +18,10 @@
 namespace edgemm::baselines {
 
 /// Published + calibration parameters of the GPU baseline.
+///
+/// Fields stay public aggregates for brace-init in benches; the fluent
+/// `with_*` setters reject bad values eagerly (EngineConfig builder
+/// idiom) and validate() re-checks a hand-built spec before use.
 struct GpuSpec {
   std::string name = "RTX 3060 Laptop";
   double peak_flops = 13.0e12;        ///< FP32 (Table II)
@@ -31,7 +35,25 @@ struct GpuSpec {
   double kernel_launch_seconds = 8.0e-6;
   std::size_t elem_bytes = 2;  ///< FP16 weights/activations
   double board_power_w = 80.0; ///< laptop TGP class, for tokens/J
+
+  GpuSpec& with_peak_flops(double v);
+  GpuSpec& with_memory_bandwidth(double v);
+  GpuSpec& with_gemm_efficiency(double v);
+  GpuSpec& with_gemv_bandwidth_efficiency(double v);
+  GpuSpec& with_kernel_launch_seconds(double v);
+  GpuSpec& with_elem_bytes(std::size_t v);
+  GpuSpec& with_board_power_w(double v);
+
+  /// Throws std::invalid_argument on a physically meaningless spec
+  /// (non-positive flops/bandwidth/efficiencies, efficiencies above 1,
+  /// zero element size, negative launch overhead).
+  void validate() const;
 };
+
+/// Weights + activations traffic of one dense op on the GPU: every
+/// launch streams the full weight tile (no TCDM residency) plus the
+/// activation in/out tiles, all in `elem_bytes` precision.
+Bytes gpu_op_bytes(const GpuSpec& spec, const core::GemmWork& work);
 
 /// Wall-clock of one dense op on the GPU: roofline max of compute and
 /// memory time plus the launch overhead.

@@ -52,6 +52,7 @@ class ChipTimingModel {
 
   sim::Simulator& simulator() { return sim_; }
   mem::DramController& dram() { return dram_; }
+  const mem::DramController& dram() const { return dram_; }
 
   /// All clusters of one kind (empty if the composition has none).
   std::vector<ClusterTimingModel*> clusters(ClusterKind kind);

@@ -1,0 +1,31 @@
+#include "core/execution_backend.hpp"
+
+#include <utility>
+
+namespace edgemm::core {
+
+EdgeMmBackend::EdgeMmBackend(const ChipConfig& config,
+                             ChipComposition composition,
+                             ReplayMode replay_mode,
+                             const BandwidthPolicy& bandwidth)
+    : config_(config),
+      chip_(config_, composition, replay_mode),
+      scheduler_(chip_),
+      manager_(config_, bandwidth) {}
+
+void EdgeMmBackend::submit(Lane lane, std::vector<GemmWork> ops,
+                           std::function<void()> done,
+                           std::function<void()> started,
+                           std::uint64_t affinity) {
+  scheduler_.submit(lane, std::move(ops), std::move(done), std::move(started),
+                    affinity);
+}
+
+Bytes EdgeMmBackend::estimated_job_bytes(Lane lane,
+                                         std::span<const GemmWork> ops) const {
+  // The lane's clusters are homogeneous; the front cluster's cost tables
+  // price the whole job (exactly the engine's former cc_job_bytes).
+  return estimated_traffic_bytes(*scheduler_.lane_clusters(lane).front(), ops);
+}
+
+}  // namespace edgemm::core

@@ -1,0 +1,163 @@
+// ExecutionBackend: the schedulable execution substrate behind the
+// serving engine.
+//
+// Extracted from the PhaseScheduler + ChipTimingModel pair so the engine
+// is no longer hard-wired to one EdgeMM chip: a backend is anything that
+// can take lane-tagged GemmWork jobs, dispatch them deterministically on
+// the shared simulation clock, and answer the occupancy/throughput
+// questions the engine's admission estimators and bandwidth rebalancer
+// ask. EdgeMmBackend below wraps the existing chip unchanged (the
+// default composition replays bit-identically to the pre-seam engine);
+// baselines::GpuBackend implements the same interface over the roofline
+// GPU model, which is what makes heterogeneous offload policies
+// (serve::OffloadPolicy) possible.
+#ifndef EDGEMM_CORE_EXECUTION_BACKEND_HPP
+#define EDGEMM_CORE_EXECUTION_BACKEND_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/bandwidth_manager.hpp"
+#include "core/chip.hpp"
+#include "core/fast_replay.hpp"
+#include "core/phase_scheduler.hpp"
+#include "core/timing.hpp"
+
+namespace edgemm::core {
+
+/// A schedulable execution target: per-lane FIFO job streams over a
+/// shared discrete-event simulator.
+///
+/// The contract mirrors what the serving engine needs from a substrate:
+///   - submit() enqueues one job (a GemmWork batch) on a lane; `started`
+///     fires at dispatch, `done` at retirement, both inside the
+///     simulation;
+///   - lane occupancy queries (idle/queued/dispatched/max_queue_wait)
+///     feed admission estimators and offload judgments;
+///   - estimated_job_bytes() prices a job's DMA traffic in THIS
+///     backend's cost model (the engine's throughput EWMAs divide bytes
+///     by cycles, so the bytes must come from the backend that ran the
+///     job);
+///   - the bandwidth hooks let the engine's per-interval rebalancer
+///     repartition a backend's memory fabric where that is meaningful
+///     (the EdgeMM PMC throttles); backends with a private, fixed lane
+///     family (the GPU's GDDR) implement them as no-ops.
+/// Implementations must be deterministic: identical submission sequences
+/// produce identical retirement times.
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  /// @return Stable human-readable backend name (bench/docs labels).
+  virtual const char* name() const = 0;
+
+  /// The simulator this backend schedules its events on. Heterogeneous
+  /// compositions share ONE simulator so lanes of different backends
+  /// overlap on a common clock.
+  virtual sim::Simulator& simulator() = 0;
+
+  /// Cycles of that shared clock per second of wall-time (used to
+  /// convert backend-native seconds into simulation cycles).
+  virtual double clock_hz() const = 0;
+
+  /// Enqueues `ops` as one FIFO job on `lane`. Throws
+  /// std::invalid_argument for an empty op list. `affinity` is an opaque
+  /// non-zero key grouping jobs that share backend-local state; backends
+  /// without affinity-aware dispatch ignore it (strict FIFO).
+  virtual void submit(Lane lane, std::vector<GemmWork> ops,
+                      std::function<void()> done,
+                      std::function<void()> started = {},
+                      std::uint64_t affinity = 0) = 0;
+
+  /// True when no job is running or queued on `lane`.
+  virtual bool idle(Lane lane) const = 0;
+
+  /// Jobs waiting behind the running one on `lane`.
+  virtual std::size_t queued(Lane lane) const = 0;
+
+  /// Jobs dispatched to `lane` so far.
+  virtual std::size_t dispatched(Lane lane) const = 0;
+
+  /// Worst submit-to-dispatch queueing delay any job saw on `lane`.
+  virtual Cycle max_queue_wait(Lane lane) const = 0;
+
+  /// Bytes `ops` would move through this backend's memory system as one
+  /// job on `lane` — the numerator of the engine's throughput EWMAs.
+  virtual Bytes estimated_job_bytes(Lane lane,
+                                    std::span<const GemmWork> ops) const = 0;
+
+  /// Per-interval bandwidth rebalancing hooks: repartition the backend's
+  /// memory fabric between the lane families. Backends whose lanes do
+  /// not share a partitionable fabric implement these as no-ops.
+  virtual void apply_equal_sharing() {}
+  virtual void apply_bandwidth_ratio(std::size_t mc_ratio) {
+    (void)mc_ratio;
+  }
+
+  /// Utilization of the backend's memory system over elapsed simulated
+  /// time, in [0, 1] (observability; definition is backend-specific).
+  virtual double memory_utilization() const = 0;
+};
+
+/// The EdgeMM chip as an ExecutionBackend: owns the ChipTimingModel,
+/// its PhaseScheduler and the §IV-B BandwidthManager, constructed in
+/// exactly that order (the construction order the pre-seam engine used,
+/// preserving bit-identical replays). The interface methods forward to
+/// the scheduler/manager unchanged; EdgeMM-specific capabilities the
+/// generic seam cannot express (lane cluster sets for traffic probes,
+/// affinity chaining setup) stay reachable through the concrete
+/// accessors.
+class EdgeMmBackend final : public ExecutionBackend {
+ public:
+  EdgeMmBackend(const ChipConfig& config, ChipComposition composition,
+                ReplayMode replay_mode, const BandwidthPolicy& bandwidth);
+
+  // --- Concrete accessors (EdgeMM-specific seams) ------------------------
+  ChipTimingModel& chip() { return chip_; }
+  const ChipTimingModel& chip() const { return chip_; }
+  PhaseScheduler& scheduler() { return scheduler_; }
+  const PhaseScheduler& scheduler() const { return scheduler_; }
+  const BandwidthManager& manager() const { return manager_; }
+
+  // --- ExecutionBackend ---------------------------------------------------
+  const char* name() const override { return "edgemm"; }
+  sim::Simulator& simulator() override { return chip_.simulator(); }
+  double clock_hz() const override { return config_.clock_hz; }
+  void submit(Lane lane, std::vector<GemmWork> ops,
+              std::function<void()> done, std::function<void()> started = {},
+              std::uint64_t affinity = 0) override;
+  bool idle(Lane lane) const override { return scheduler_.idle(lane); }
+  std::size_t queued(Lane lane) const override {
+    return scheduler_.queued(lane);
+  }
+  std::size_t dispatched(Lane lane) const override {
+    return scheduler_.dispatched(lane);
+  }
+  Cycle max_queue_wait(Lane lane) const override {
+    return scheduler_.lane_stats(lane).max_queue_wait;
+  }
+  Bytes estimated_job_bytes(Lane lane,
+                            std::span<const GemmWork> ops) const override;
+  void apply_equal_sharing() override {
+    manager_.apply_equal_sharing(chip_);
+  }
+  void apply_bandwidth_ratio(std::size_t mc_ratio) override {
+    manager_.apply_ratio(chip_, mc_ratio);
+  }
+  double memory_utilization() const override {
+    return chip_.dram().utilization();
+  }
+
+ private:
+  ChipConfig config_;
+  ChipTimingModel chip_;
+  PhaseScheduler scheduler_;
+  BandwidthManager manager_;
+};
+
+}  // namespace edgemm::core
+
+#endif  // EDGEMM_CORE_EXECUTION_BACKEND_HPP

@@ -284,6 +284,10 @@ ClusterOutcome run_cluster(const core::ChipConfig& chip,
     out.result.rider_refetch_bytes += r.rider_refetch_bytes;
     out.result.weight_pins += r.weight_pins;
     out.result.placement_denials += r.placement_denials;
+    out.result.offloaded_requests += r.offloaded_requests;
+    out.result.offloaded_chunks += r.offloaded_chunks;
+    out.result.fat_bytes_moved += r.fat_bytes_moved;
+    out.result.kv_return_bytes += r.kv_return_bytes_sent;
   }
   if (link) {
     // Probe the byte ledger at the cluster's drain point (the later of
@@ -323,6 +327,10 @@ bool cluster_results_identical(const ClusterResult& a, const ClusterResult& b) {
         a.rider_refetch_bytes == b.rider_refetch_bytes &&
         a.weight_pins == b.weight_pins &&
         a.placement_denials == b.placement_denials &&
+        a.offloaded_requests == b.offloaded_requests &&
+        a.offloaded_chunks == b.offloaded_chunks &&
+        a.fat_bytes_moved == b.fat_bytes_moved &&
+        a.kv_return_bytes == b.kv_return_bytes &&
         a.kv_transfers == b.kv_transfers &&
         a.kv_bytes_sent == b.kv_bytes_sent &&
         a.kv_migration_bytes == b.kv_migration_bytes &&

@@ -63,6 +63,15 @@ struct ClusterResult {
   Bytes rider_refetch_bytes = 0;
   std::size_t weight_pins = 0;
   std::size_t placement_denials = 0;
+  // --- Heterogeneous offload ledger (sums over the chips; every chip
+  // --- may be an EdgeMM + fat-backend pair, see docs/HETEROGENEOUS.md) ---
+  std::size_t offloaded_requests = 0;  ///< requests with >= 1 fat chunk
+  std::size_t offloaded_chunks = 0;    ///< prefill chunks the fat backend ran
+  Bytes fat_bytes_moved = 0;           ///< fat-backend DRAM traffic priced
+  /// KV bytes shipped fat -> EdgeMM over the per-chip return links
+  /// (sent == landed per chip once each engine drains, so one sum
+  /// suffices for the cluster ledger).
+  Bytes kv_return_bytes = 0;
   // --- KV migration over the chip-to-chip link (disaggregated mode) ------
   std::size_t kv_transfers = 0;    ///< finished prefills shipped to decode
   Bytes kv_bytes_sent = 0;         ///< entered the link (start cycle)

@@ -68,7 +68,8 @@ EngineConfig::EngineConfig()
       planner_(std::make_shared<MonolithicPrefill>()),
       batcher_(std::make_shared<FifoBatch>()),
       placement_(std::make_shared<KeepCurrentPlacement>()),
-      swap_policy_(std::make_shared<LruSwapPolicy>()) {}
+      swap_policy_(std::make_shared<LruSwapPolicy>()),
+      offload_(std::make_shared<NoOffload>()) {}
 
 EngineConfig EngineConfig::from_legacy(const ServingOptions& options) {
   EngineConfig config;
@@ -235,13 +236,24 @@ EngineConfig& EngineConfig::demand_decay_tau_s(double seconds) {
   return *this;
 }
 
-const char* to_string(EnginePhase phase) {
-  switch (phase) {
-    case EnginePhase::kFull: return "full";
-    case EnginePhase::kPrefillOnly: return "prefill-only";
-    case EnginePhase::kDecodeOnly: return "decode-only";
+EngineConfig& EngineConfig::fat_backend(const baselines::GpuSpec& spec) {
+  spec.validate();  // eager, so the error names the bad field here
+  fat_backend_ = spec;
+  return *this;
+}
+
+EngineConfig& EngineConfig::offload_policy(
+    std::shared_ptr<const OffloadPolicy> policy) {
+  if (!policy) {
+    throw std::invalid_argument("EngineConfig: null OffloadPolicy");
   }
-  return "?";
+  offload_ = std::move(policy);
+  return *this;
+}
+
+EngineConfig& EngineConfig::kv_swap_refill_dma(bool enabled) {
+  kv_swap_refill_dma_ = enabled;
+  return *this;
 }
 
 void EngineConfig::validate() const {
@@ -262,6 +274,14 @@ void EngineConfig::validate() const {
     throw std::invalid_argument(
         "EngineConfig: weight_residency_bytes set but the PrefillPlanner "
         "does not chain weight residency (use ResidentChunkedPrefill)");
+  }
+  if (!fat_backend_ && !dynamic_cast<const NoOffload*>(offload_.get())) {
+    throw std::invalid_argument(
+        "EngineConfig: an offloading OffloadPolicy needs a fat_backend to "
+        "route chunks to (set fat_backend or keep NoOffload)");
+  }
+  if (fat_backend_) {
+    fat_backend_->validate();
   }
 }
 

@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 
+#include "baselines/gpu_model.hpp"
 #include "core/bandwidth_manager.hpp"
 #include "core/fast_replay.hpp"
 #include "model/mllm_config.hpp"
@@ -65,20 +66,8 @@ struct ServingOptions {
   Cycle rebalance_interval = 0;
 };
 
-/// Which serving stages this engine executes (disaggregated clusters).
-/// kFull is the single-chip default; the split phases are how a
-/// ClusterEngine turns one chip into a dedicated prefill or decode tier:
-/// a kPrefillOnly engine retires each request when its prefill ends (the
-/// finished KV is the product, streamed to a decode chip), a kDecodeOnly
-/// engine treats each request's arrival as "its KV just landed" and goes
-/// straight to the decode batch.
-enum class EnginePhase : std::uint8_t {
-  kFull,         ///< prefill + decode on this chip (the single-chip engine)
-  kPrefillOnly,  ///< encoder + prefill only; retires at prefill end
-  kDecodeOnly,   ///< decode only; prefill is assumed done elsewhere
-};
-
-const char* to_string(EnginePhase phase);
+// EnginePhase lives in serve/policy.hpp (included above) so
+// OffloadContext can carry it; every EngineConfig user still sees it.
 
 /// Policy composition + engine knobs for one trace replay.
 class EngineConfig {
@@ -212,6 +201,25 @@ class EngineConfig {
   /// zoo-trace burst gap); must be positive. The EWMA is maintained
   /// regardless — this only tunes it; policies opt in by reading it.
   EngineConfig& demand_decay_tau_s(double seconds);
+  /// Pairs a fat backend (a GpuBackend over this spec, sharing the
+  /// EdgeMM chip's simulator) with the engine, so an OffloadPolicy can
+  /// route prefill chunks to it. Validates the spec eagerly (throws
+  /// std::invalid_argument). Without this, no fat backend exists and
+  /// the offload policy is never consulted.
+  EngineConfig& fat_backend(const baselines::GpuSpec& spec);
+  /// WHERE each prefill chunk executes in a heterogeneous EdgeMM+GPU
+  /// pair (the fifth seam; see OffloadPolicy). Default NoOffload —
+  /// byte-identical to a fat-backend-less engine even when one is
+  /// configured. Throws std::invalid_argument on null; validate()
+  /// rejects a non-NoOffload policy without a fat backend to route to.
+  EngineConfig& offload_policy(std::shared_ptr<const OffloadPolicy> policy);
+  /// Inject paged-KV swap-in refill traffic as DMA ops on the MC decode
+  /// lane (default: false — refills are bookkeeping-only, byte-identical
+  /// to PR 8). When on, each refill's re-fetched bytes ride the next
+  /// decode step as a KV-stream op, so a SwapPolicy's thrashing costs
+  /// decode bandwidth in the timing plane instead of being free. No
+  /// effect without paged_kv.
+  EngineConfig& kv_swap_refill_dma(bool enabled);
 
   // --- Getters ------------------------------------------------------------
   const SchedulerPolicy& scheduler() const { return *scheduler_; }
@@ -239,6 +247,15 @@ class EngineConfig {
   EnginePhase phase() const { return phase_; }
   bool per_group_fill_landing() const { return per_group_fill_landing_; }
   double demand_decay_tau_s() const { return demand_decay_tau_s_; }
+  const std::optional<baselines::GpuSpec>& fat_backend() const {
+    return fat_backend_;
+  }
+  const OffloadPolicy& offload_policy() const { return *offload_; }
+  /// The shared_ptr itself (cluster plumbing re-composes configs).
+  const std::shared_ptr<const OffloadPolicy>& offload_policy_ptr() const {
+    return offload_;
+  }
+  bool kv_swap_refill_dma() const { return kv_swap_refill_dma_; }
 
   /// Re-checks the composed whole (policies present, fractions sane).
   /// The engine calls this once at construction; throws
@@ -269,6 +286,9 @@ class EngineConfig {
   EnginePhase phase_ = EnginePhase::kFull;
   bool per_group_fill_landing_ = false;
   double demand_decay_tau_s_ = 1.0;
+  std::optional<baselines::GpuSpec> fat_backend_;
+  std::shared_ptr<const OffloadPolicy> offload_;
+  bool kv_swap_refill_dma_ = false;
 };
 
 }  // namespace edgemm::serve

@@ -5,6 +5,15 @@
 
 namespace edgemm::serve {
 
+const char* to_string(EnginePhase phase) {
+  switch (phase) {
+    case EnginePhase::kFull: return "full";
+    case EnginePhase::kPrefillOnly: return "prefill-only";
+    case EnginePhase::kDecodeOnly: return "decode-only";
+  }
+  return "?";
+}
+
 const char* to_string(AdmissionVerdict verdict) {
   switch (verdict) {
     case AdmissionVerdict::kAdmit: return "admit";
@@ -233,6 +242,50 @@ std::vector<std::size_t> EvictIdleOnPressure::evict_victims(
   // Never evict the asker's own idle pin out from under it — it would
   // ride that pin warm instead of re-pinning.
   return coldest_idle_victims(bytes_needed, ctx, {model});
+}
+
+// --- Offload policies -------------------------------------------------------
+
+const char* to_string(OffloadTarget target) {
+  switch (target) {
+    case OffloadTarget::kLocal: return "local";
+    case OffloadTarget::kFat: return "fat";
+  }
+  return "?";
+}
+
+OffloadTarget NoOffload::place_chunk(const Request&,
+                                     const OffloadContext&) const {
+  return OffloadTarget::kLocal;
+}
+
+PrefillToFat::PrefillToFat(std::size_t min_prompt_tokens)
+    : min_prompt_tokens_(min_prompt_tokens) {}
+
+OffloadTarget PrefillToFat::place_chunk(const Request& r,
+                                        const OffloadContext&) const {
+  // Per-request judgment: every chunk of a long prompt goes fat, so the
+  // whole prefill (encoder included) runs on one backend and only the
+  // finished KV crosses the link.
+  return r.input_tokens >= min_prompt_tokens_ ? OffloadTarget::kFat
+                                              : OffloadTarget::kLocal;
+}
+
+ThresholdOffload::ThresholdOffload(std::size_t local_queue_threshold)
+    : local_queue_threshold_(local_queue_threshold) {
+  if (local_queue_threshold_ == 0) {
+    throw std::invalid_argument(
+        "ThresholdOffload: local_queue_threshold must be > 0");
+  }
+}
+
+OffloadTarget ThresholdOffload::place_chunk(const Request&,
+                                            const OffloadContext& ctx) const {
+  // Spill only under local pressure, and only while spilling actually
+  // shortens the wait (the fat stream is the shorter queue).
+  const bool pressured = ctx.local_queued >= local_queue_threshold_;
+  const bool fat_shorter = ctx.fat_queued < ctx.local_queued;
+  return pressured && fat_shorter ? OffloadTarget::kFat : OffloadTarget::kLocal;
 }
 
 }  // namespace edgemm::serve

@@ -3,11 +3,12 @@
 // The engine is a policy-driven orchestrator: WHAT to admit is decided
 // by a SchedulerPolicy, HOW a request's prefill is cut into CC-lane jobs
 // by a PrefillPlanner, WHICH prefilled requests join the next decode
-// step (and in what order) by a BatchPolicy, and WHICH models' weights
-// deserve the shared residency budget by a PlacementPolicy. Concrete
-// policies live in admission.hpp (scheduler side) and below; new ones
-// only need to implement one of these interfaces and be handed to
-// EngineConfig.
+// step (and in what order) by a BatchPolicy, WHICH models' weights
+// deserve the shared residency budget by a PlacementPolicy, and WHERE
+// each prefill chunk executes in a heterogeneous EdgeMM+GPU pair by an
+// OffloadPolicy. Concrete policies live in admission.hpp (scheduler
+// side) and below; new ones only need to implement one of these
+// interfaces and be handed to EngineConfig.
 #ifndef EDGEMM_SERVE_POLICY_HPP
 #define EDGEMM_SERVE_POLICY_HPP
 
@@ -19,6 +20,22 @@
 #include "serve/request.hpp"
 
 namespace edgemm::serve {
+
+/// Which serving stages this engine executes (disaggregated clusters).
+/// kFull is the single-chip default; the split phases are how a
+/// ClusterEngine turns one chip into a dedicated prefill or decode tier:
+/// a kPrefillOnly engine retires each request when its prefill ends (the
+/// finished KV is the product, streamed to a decode chip), a kDecodeOnly
+/// engine treats each request's arrival as "its KV just landed" and goes
+/// straight to the decode batch. Lives here (not engine_config.hpp) so
+/// OffloadContext can carry the judged chunk's phase.
+enum class EnginePhase : std::uint8_t {
+  kFull,         ///< prefill + decode on this chip (the single-chip engine)
+  kPrefillOnly,  ///< encoder + prefill only; retires at prefill end
+  kDecodeOnly,   ///< decode only; prefill is assumed done elsewhere
+};
+
+const char* to_string(EnginePhase phase);
 
 /// Outcome of one admission judgment.
 enum class AdmissionVerdict : std::uint8_t {
@@ -402,6 +419,108 @@ class EvictIdleOnPressure final : public PlacementPolicy {
   std::vector<std::size_t> evict_victims(
       std::size_t model, Bytes bytes_needed,
       const PlacementContext& ctx) const override;
+};
+
+// --- Offload policies (the fifth seam) --------------------------------------
+
+/// Where one prefill chunk executes in a heterogeneous composition.
+enum class OffloadTarget : std::uint8_t {
+  kLocal,  ///< the EdgeMM chip's CC lane (the default substrate)
+  kFat,    ///< the fat backend (GpuBackend) paired with this engine
+};
+
+const char* to_string(OffloadTarget target);
+
+/// Engine-state snapshot handed to OffloadPolicy::place_chunk. Queue
+/// depths and throughput EWMAs are maintained online by the engine —
+/// deterministic, but estimates, not guarantees.
+struct OffloadContext {
+  EnginePhase phase = EnginePhase::kFull;  ///< the engine's stage split
+  std::size_t input_tokens = 0;  ///< the request's whole prompt length
+  std::size_t crops = 0;         ///< vision crops (chunk 0 runs the encoder)
+  std::size_t chunk = 0;         ///< index of the judged chunk
+  std::size_t chunk_count = 0;   ///< total chunks in the request's plan
+  std::size_t chunk_tokens = 0;  ///< prefill tokens of the judged chunk
+  std::size_t model = 0;         ///< index into the engine's model list
+  std::size_t local_queued = 0;  ///< jobs waiting on the EdgeMM CC lane
+  std::size_t fat_queued = 0;    ///< jobs waiting on the fat backend's stream
+  /// Measured CC-lane throughput EWMA (bytes/cycle, EdgeMM cost model).
+  double local_bytes_per_cycle_est = 0.0;
+  /// Measured fat-backend throughput EWMA (bytes/cycle, its cost model).
+  double fat_bytes_per_cycle_est = 0.0;
+};
+
+/// Decides, per prefill chunk, which backend of a heterogeneous
+/// EdgeMM+GPU pair executes it. Judged at chunk-submission time (the
+/// PrefillPlanner's chunk granularity is the split granularity — a
+/// finer planner gives the policy finer request splits for free);
+/// decode is never judged, it always stays on the EdgeMM MC lane (the
+/// paper's latency-sensitive phase). Implementations must be
+/// deterministic pure functions of their arguments and construction
+/// parameters. Without a fat backend configured the engine never
+/// consults the policy.
+class OffloadPolicy {
+ public:
+  virtual ~OffloadPolicy() = default;
+
+  /// @return Stable human-readable policy name (bench/docs labels).
+  virtual const char* name() const = 0;
+
+  /// Places one prefill chunk.
+  /// @param r    The request the chunk belongs to.
+  /// @param ctx  Engine-state snapshot (see OffloadContext).
+  /// @return kLocal to run on the EdgeMM CC lane, kFat for the paired
+  ///         fat backend (its KV is shipped back over the return link
+  ///         when the prefill finishes).
+  virtual OffloadTarget place_chunk(const Request& r,
+                                    const OffloadContext& ctx) const = 0;
+};
+
+/// Everything local (default): byte-identical to an engine with no fat
+/// backend at all, even when one is configured.
+class NoOffload final : public OffloadPolicy {
+ public:
+  const char* name() const override { return "no-offload"; }
+  OffloadTarget place_chunk(const Request& r,
+                            const OffloadContext& ctx) const override;
+};
+
+/// Long prefills to the fat backend: a request whose prompt reaches
+/// `min_prompt_tokens` runs its WHOLE prefill (vision encoder included —
+/// chunk 0 carries it) on the GPU, decode stays on EdgeMM and the KV is
+/// shipped back over the ledgered return link. 0 routes every prefill.
+/// The EdgeLLM/Hessian-aware split: heavy compute-bound prefill on the
+/// fat backend, latency-sensitive decode on the edge chip.
+class PrefillToFat final : public OffloadPolicy {
+ public:
+  explicit PrefillToFat(std::size_t min_prompt_tokens = 512);
+  std::size_t min_prompt_tokens() const { return min_prompt_tokens_; }
+  const char* name() const override { return "prefill-to-fat"; }
+  OffloadTarget place_chunk(const Request& r,
+                            const OffloadContext& ctx) const override;
+
+ private:
+  std::size_t min_prompt_tokens_;
+};
+
+/// Pressure-relief valve at chunk granularity: a chunk spills to the fat
+/// backend only while the local CC lane has at least
+/// `local_queue_threshold` jobs queued AND the fat stream is shorter
+/// than the local one. One request's prefill can straddle both backends
+/// chunk-by-chunk (the PrefillPlanner seam provides the split points);
+/// any fat chunk makes the request's KV return over the link.
+class ThresholdOffload final : public OffloadPolicy {
+ public:
+  /// Throws std::invalid_argument for a zero threshold (it would spill
+  /// every chunk even from an idle lane — use PrefillToFat(0) for that).
+  explicit ThresholdOffload(std::size_t local_queue_threshold);
+  std::size_t local_queue_threshold() const { return local_queue_threshold_; }
+  const char* name() const override { return "threshold-offload"; }
+  OffloadTarget place_chunk(const Request& r,
+                            const OffloadContext& ctx) const override;
+
+ private:
+  std::size_t local_queue_threshold_;
 };
 
 }  // namespace edgemm::serve

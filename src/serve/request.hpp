@@ -47,6 +47,8 @@ struct RequestRecord {
   Cycle finish = 0;         ///< last output token retired
   std::size_t tokens_generated = 0;
   std::size_t prefill_chunks = 0;  ///< CC-lane jobs the planner cut prefill into
+  /// Prefill chunks the fat backend ran (OffloadPolicy; 0 = all local).
+  std::size_t offloaded_chunks = 0;
   /// LLM layer groups this request held pinned on-chip during its
   /// chunked prefill (0 = no pin: planner without residency, zero
   /// budget, or the pin fell back under contention).

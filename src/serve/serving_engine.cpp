@@ -30,10 +30,8 @@ ServingEngine::ServingEngine(const core::ChipConfig& config,
     : config_(config),
       models_(std::move(models)),
       engine_config_(std::move(engine_config)),
-      chip_(config_, core::ChipComposition::kHeterogeneous,
-            engine_config_.replay_mode()),
-      scheduler_(chip_),
-      manager_(config_, engine_config_.bandwidth_policy()),
+      local_(config_, core::ChipComposition::kHeterogeneous,
+             engine_config_.replay_mode(), engine_config_.bandwidth_policy()),
       queue_(engine_config_.deadline_ordered_queue() ? QueueOrder::kDeadline
                                                      : QueueOrder::kArrival) {
   engine_config_.validate();
@@ -62,8 +60,8 @@ ServingEngine::ServingEngine(const core::ChipConfig& config,
     }
     residency_.emplace(engine_config_.weight_residency());
     if (engine_config_.prefill_planner().prefers_lane_affinity()) {
-      scheduler_.set_affinity_chaining(Lane::kCcStage, true,
-                                       engine_config_.lane_chain_limit());
+      local_.scheduler().set_affinity_chaining(Lane::kCcStage, true,
+                                               engine_config_.lane_chain_limit());
     }
   }
 
@@ -90,7 +88,7 @@ ServingEngine::ServingEngine(const core::ChipConfig& config,
   // grow with the batch). Used by the interval rebalancer to size the
   // MC side of the budget split without rebuilding op lists per tick.
   const core::ClusterTimingModel* probe =
-      scheduler_.lane_clusters(Lane::kMcDecode).front();
+      local_.scheduler().lane_clusters(Lane::kMcDecode).front();
   for (std::size_t i = 0; i < models_.size(); ++i) {
     const model::MllmConfig& m = models_[i];
     auto step_bytes = [&](std::span<const std::size_t> contexts) {
@@ -128,6 +126,20 @@ ServingEngine::ServingEngine(const core::ChipConfig& config,
     decode_step_cycles_est_.push_back(
         std::max(1.0, step_bytes / cc_bytes_per_cycle_est_[i]));
   }
+
+  // Heterogeneous pair: the fat backend schedules on the SAME simulator
+  // as the chip (one clock, overlapping lanes) and its KV return wire is
+  // a ledgered ChipLink priced like the cluster layer's chip-to-chip
+  // links. The throughput EWMA seeds at the spec's peak bandwidth and
+  // converges onto measured fat-chunk throughput.
+  if (engine_config_.fat_backend()) {
+    fat_.emplace(local_.simulator(), *engine_config_.fat_backend(),
+                 config_.clock_hz);
+    kv_return_link_.emplace(config_.chip_link_bytes_per_cycle,
+                            config_.chip_link_latency);
+    fat_bytes_per_cycle_est_ =
+        engine_config_.fat_backend()->memory_bandwidth / config_.clock_hz;
+  }
 }
 
 ServingEngine::ServingEngine(const core::ChipConfig& config,
@@ -141,8 +153,7 @@ void ServingEngine::set_completion_callback(CompletionCallback callback) {
 }
 
 Bytes ServingEngine::cc_job_bytes(const std::vector<GemmWork>& ops) const {
-  return core::estimated_traffic_bytes(
-      *scheduler_.lane_clusters(Lane::kCcStage).front(), ops);
+  return local_.estimated_job_bytes(Lane::kCcStage, ops);
 }
 
 ServingResult ServingEngine::run(std::vector<Request> requests) {
@@ -191,13 +202,13 @@ ServingResult ServingEngine::run(std::vector<Request> requests) {
   if (pages_) kv_paging_.assign(total_, KvPagingState{});
   if (kv_) kv_reserved_.assign(total_, 0);
 
-  sim::Simulator& sim = scheduler_.sim();
+  sim::Simulator& sim = local_.simulator();
   for (std::size_t i = 0; i < records_.size(); ++i) {
     sim.schedule_at(records_[i].request.arrival, [this, i] { on_arrival(i); });
   }
   // PMC throttles are always armed (§IV-B); start from the default equal
   // partition and let the interval rebalancer shift it.
-  manager_.apply_equal_sharing(chip_);
+  local_.apply_equal_sharing();
   if (engine_config_.manage_bandwidth()) {
     const Cycle interval = engine_config_.rebalance_interval() > 0
                                ? engine_config_.rebalance_interval()
@@ -241,7 +252,7 @@ ServingResult ServingEngine::run(std::vector<Request> requests) {
   result.tokens_per_second =
       static_cast<double>(total_tokens) /
       cycles_to_seconds(std::max<Cycle>(result.makespan, 1), config_.clock_hz);
-  result.dram_utilization = chip_.dram().utilization();
+  result.dram_utilization = local_.memory_utilization();
   result.decode_steps = decode_steps_;
   result.mean_decode_batch =
       decode_steps_ > 0 ? static_cast<double>(batch_occupancy_sum_) /
@@ -254,9 +265,9 @@ ServingResult ServingEngine::run(std::vector<Request> requests) {
           ? static_cast<double>(result.slo_attained) /
                 static_cast<double>(result.with_deadline)
           : 1.0;
-  result.prefill_jobs = scheduler_.dispatched(Lane::kCcStage);
+  result.prefill_jobs = local_.dispatched(Lane::kCcStage);
   result.max_cc_queue_delay_ms = cycles_to_ms(
-      scheduler_.lane_stats(Lane::kCcStage).max_queue_wait, config_.clock_hz);
+      local_.max_queue_wait(Lane::kCcStage), config_.clock_hz);
   result.kv_deferrals = kv_ ? kv_->deferrals() : 0;
   result.peak_decode_batch = peak_decode_batch_;
   if (kv_) result.peak_kv_reserved_bytes = kv_->peak_reserved();
@@ -300,14 +311,59 @@ ServingResult ServingEngine::run(std::vector<Request> requests) {
     result.weight_warm_attaches = residency_->warm_attaches();
     result.peak_pinned_bytes = residency_->peak_pinned();
   }
+  result.offloaded_requests = offloaded_requests_;
+  result.offloaded_chunks = offloaded_chunks_;
+  if (fat_) {
+    result.fat_bytes_moved = fat_->bytes_moved();
+    result.fat_kernel_launches = fat_->kernel_launches();
+    result.fat_busy_fraction =
+        result.makespan > 0
+            ? static_cast<double>(fat_->busy_cycles(Lane::kCcStage)) /
+                  static_cast<double>(result.makespan)
+            : 0.0;
+  }
+  if (kv_return_link_) {
+    // Every return transfer schedules its landing event, so the drained
+    // simulator's clock sits at or past the last arrival: in_flight must
+    // probe to zero and sent == landed + in_flight holds exactly.
+    const Cycle probe_at = local_.simulator().now();
+    result.kv_return_transfers = kv_return_link_->transfers().size();
+    result.kv_return_bytes_sent = kv_return_link_->bytes_sent_by(probe_at);
+    result.kv_return_bytes_landed = kv_return_link_->bytes_landed_by(probe_at);
+    result.kv_return_bytes_in_flight =
+        kv_return_link_->bytes_in_flight_at(probe_at);
+    result.kv_return_max_queue_ms =
+        cycles_to_ms(kv_return_link_->max_queue_wait(), config_.clock_hz);
+  }
+  result.kv_swap_dma_bytes = kv_swap_dma_bytes_;
   return result;
+}
+
+OffloadTarget ServingEngine::judge_offload(std::size_t index,
+                                           std::size_t chunk) {
+  if (!fat_) return OffloadTarget::kLocal;  // nowhere to offload to
+  const Request& r = records_[index].request;
+  const PrefillPlan& plan = plans_.at(index);
+  OffloadContext ctx;
+  ctx.phase = engine_config_.phase();
+  ctx.input_tokens = r.input_tokens;
+  ctx.crops = r.crops;
+  ctx.chunk = chunk;
+  ctx.chunk_count = plan.chunk_tokens.size();
+  ctx.chunk_tokens = plan.chunk_tokens[chunk];
+  ctx.model = r.model;
+  ctx.local_queued = local_.queued(Lane::kCcStage);
+  ctx.fat_queued = fat_->queued(Lane::kCcStage);
+  ctx.local_bytes_per_cycle_est = cc_bytes_per_cycle_est_[r.model];
+  ctx.fat_bytes_per_cycle_est = fat_bytes_per_cycle_est_;
+  return engine_config_.offload_policy().place_chunk(r, ctx);
 }
 
 void ServingEngine::refresh_decayed_demand() {
   // Relax every model's EWMA toward its live demand over the elapsed sim
   // time, BEFORE the caller mutates the live counts — the decayed signal
   // remembers what demand looked like across the gap, not after it.
-  const Cycle now = scheduler_.sim().now();
+  const Cycle now = local_.simulator().now();
   if (now == demand_decayed_at_) return;
   const double tau = engine_config_.demand_decay_tau_s() *
                      static_cast<double>(config_.clock_hz);
@@ -528,7 +584,7 @@ AdmissionContext ServingEngine::admission_context(std::size_t index) {
   // estimated_service (the multi-model-zoo SLO fix).
   const double cc_est = cc_bytes_per_cycle_est_[r.model];
   AdmissionContext ctx;
-  ctx.now = scheduler_.sim().now();
+  ctx.now = local_.simulator().now();
   ctx.inflight = inflight_;
   ctx.active_batch = active_.size();
   ctx.queue_depth = queue_.size();
@@ -552,7 +608,7 @@ AdmissionContext ServingEngine::admission_context(std::size_t index) {
 }
 
 void ServingEngine::pump_admission() {
-  sim::Simulator& sim = scheduler_.sim();
+  sim::Simulator& sim = local_.simulator();
   refresh_decayed_demand();
   while (queue_.ready(sim.now())) {
     const std::size_t index = index_.at(queue_.front().id);
@@ -612,11 +668,20 @@ void ServingEngine::pump_admission() {
     }
     PrefillPlan& plan = plan_for(index);
     rec.prefill_chunks = plan.jobs.size();
-    // Weight-resident chunk chaining: attach to the model's shared pin
-    // (its weights are already on chip — every chunk rides), or pin the
-    // layer groups fresh before chunk 0 fetches them so chunks 1.. skip
-    // their weight DMA. A failed pin just re-fetches.
-    maybe_pin_weights(index, /*next_chunk=*/0);
+    // Chunk 0's backend is judged HERE so pinning can be skipped for a
+    // fat start: EdgeMM weight residency means nothing to a backend
+    // that re-streams weights per launch. Without a fat backend the
+    // judgment is kLocal without consulting the policy (byte-identical
+    // to the pre-seam engine).
+    plan.chunk0_target =
+        judge_offload(index, /*chunk=*/0) == OffloadTarget::kFat ? 2 : 1;
+    if (plan.chunk0_target != 2) {
+      // Weight-resident chunk chaining: attach to the model's shared pin
+      // (its weights are already on chip — every chunk rides), or pin the
+      // layer groups fresh before chunk 0 fetches them so chunks 1.. skip
+      // their weight DMA. A failed pin just re-fetches.
+      maybe_pin_weights(index, /*next_chunk=*/0);
+    }
     cc_pending_bytes_ += static_cast<double>(plan.total_bytes);
     submit_next_chunk(index);
   }
@@ -626,13 +691,28 @@ void ServingEngine::submit_next_chunk(std::size_t index) {
   PrefillPlan& plan = plans_.at(index);
   const std::size_t chunk = plan.next++;
   const bool first = chunk == 0;
+  // Backend judgment: chunk 0 consumes its admission-time verdict (made
+  // before pinning), later chunks are judged fresh at submission — the
+  // PrefillPlanner's chunk boundaries are the offload split points. A
+  // pinned request's chunks always stay local: its weights are already
+  // on the EdgeMM chip and the owner's fill fetch must actually land
+  // there, not in the GPU's GDDR.
+  bool to_fat = false;
+  if (fat_) {
+    to_fat = first ? plan.chunk0_target == 2
+                   : judge_offload(index, chunk) == OffloadTarget::kFat;
+    if (plan.pin_attached) to_fat = false;
+  }
   // Late pin: budget freed since admission (a competitor's prefill
   // retired), or a same-model pin appearing, can still cover this
   // request's remaining chunks — a fresh pin is filled by this chunk's
   // fetch and the tail rides it; an attach to an existing pin rides from
   // this chunk on. The admission attempt covers chunk 0, so only re-try
-  // from chunk 1 on.
-  if (chunk > 0 && residency_ && !plan.pin_attached) {
+  // from chunk 1 on. Requests that offloaded any chunk never pin: their
+  // prefill straddles backends, and holding TCDM bytes for a request
+  // that may leave again wastes the budget co-tenants want.
+  if (chunk > 0 && residency_ && !plan.pin_attached && !to_fat &&
+      plan.offloaded_chunks == 0) {
     const Bytes before = plan.total_bytes;
     if (maybe_pin_weights(index, chunk)) {
       cc_pending_bytes_ -= static_cast<double>(before - plan.total_bytes);
@@ -688,6 +768,32 @@ void ServingEngine::submit_next_chunk(std::size_t index) {
       }
     }
   }
+  if (to_fat) {
+    // Offloaded chunk: the job leaves the CC backlog (its bytes will
+    // transit the GPU's GDDR, not the chip's DRAM) and runs on the fat
+    // backend's prefill stream in FIFO order. The fat cost model prices
+    // it fresh — weights re-streamed per launch, no residency flags
+    // honored — and its throughput EWMA folds on retirement against
+    // those fat-model bytes.
+    cc_pending_bytes_ -= static_cast<double>(plan.job_bytes[chunk]);
+    plan.current_fat = true;
+    plan.current_fat_bytes =
+        fat_->estimated_job_bytes(Lane::kCcStage, plan.jobs[chunk]);
+    ++plan.offloaded_chunks;
+    plan.offload_tokens += plan.chunk_tokens[chunk];
+    ++offloaded_chunks_;
+    if (plan.offloaded_chunks == 1) ++offloaded_requests_;
+    records_[index].offloaded_chunks = plan.offloaded_chunks;
+    fat_->submit(
+        Lane::kCcStage, std::move(plan.jobs[chunk]),
+        [this, index] { on_chunk_done(index); },
+        [this, index, first] {
+          const Cycle now = local_.simulator().now();
+          plans_.at(index).chunk_started = now;
+          if (first) records_[index].prefill_start = now;
+        });
+    return;
+  }
   // Weight-traffic ledger (KV-stream ops carry context, not weights,
   // and are excluded): resident ops are the DMA residency avoided.
   for (const GemmWork& op : plan.jobs[chunk]) {
@@ -709,11 +815,11 @@ void ServingEngine::submit_next_chunk(std::size_t index) {
   // from "none".)
   const std::uint64_t affinity =
       plan.pin_attached ? records_[index].request.id + 1 : 0;
-  scheduler_.submit(
+  local_.submit(
       Lane::kCcStage, std::move(plan.jobs[chunk]),
       [this, index] { on_chunk_done(index); },
       [this, index, first] {
-        const Cycle now = scheduler_.sim().now();
+        const Cycle now = local_.simulator().now();
         plans_.at(index).chunk_started = now;
         if (first) records_[index].prefill_start = now;
       },
@@ -723,9 +829,12 @@ void ServingEngine::submit_next_chunk(std::size_t index) {
 void ServingEngine::on_chunk_done(std::size_t index) {
   PrefillPlan& plan = plans_.at(index);
   const std::size_t chunk = plan.next - 1;
-  const Cycle now = scheduler_.sim().now();
+  const Cycle now = local_.simulator().now();
   const Bytes bytes = plan.job_bytes[chunk];
-  cc_pending_bytes_ -= static_cast<double>(bytes);
+  const bool was_fat = plan.current_fat;
+  plan.current_fat = false;
+  // A fat chunk's bytes already left the CC backlog at submission.
+  if (!was_fat) cc_pending_bytes_ -= static_cast<double>(bytes);
   // The owner's fill fetch just retired: the pinned bytes are genuinely
   // on chip now, so riders stop re-fetching (fill barrier lifts).
   if (plan.pin_attached && plan.pin_owner && chunk == plan.fill_chunk) {
@@ -737,9 +846,18 @@ void ServingEngine::on_chunk_done(std::size_t index) {
     residency_->mark_landed(plan.pin_key, plan.lands_to);
     plan.lands_to = 0;
   }
-  // Fold the measured chunk throughput into the chunk's own model's
-  // CC-lane estimator.
-  if (now > plan.chunk_started && bytes > 0) {
+  // Fold the measured chunk throughput into the estimator of whichever
+  // backend ran it — each EWMA divides its OWN cost model's bytes by the
+  // observed cycles, so the two backends' signals never cross-pollute.
+  if (was_fat) {
+    if (now > plan.chunk_started && plan.current_fat_bytes > 0) {
+      const double observed =
+          static_cast<double>(plan.current_fat_bytes) /
+          static_cast<double>(now - plan.chunk_started);
+      fat_bytes_per_cycle_est_ = (1.0 - kEstimatorGain) * fat_bytes_per_cycle_est_ +
+                                 kEstimatorGain * observed;
+    }
+  } else if (now > plan.chunk_started && bytes > 0) {
     const double observed = static_cast<double>(bytes) /
                             static_cast<double>(now - plan.chunk_started);
     double& est = cc_bytes_per_cycle_est_[records_[index].request.model];
@@ -756,13 +874,28 @@ void ServingEngine::on_chunk_done(std::size_t index) {
   // The prefill retired: detach from the pin. Under sharing the bytes
   // stay on chip until the LAST attached request of the model retires
   // (eviction happens at refcount zero inside the tracker).
+  const std::size_t return_tokens = plan.offload_tokens;
   drop_plan(index);
+  if (return_tokens > 0 && kv_return_link_) {
+    // Offloaded prefill: the fat backend holds the KV it computed, and
+    // decode runs on EdgeMM — ship those tokens' KV back over the
+    // ledgered return wire. The prefill only counts as done when the
+    // bytes LAND (prefill_end includes the shipment), which is also what
+    // keeps a prefill-only tier's hand-off timestamps honest.
+    const Bytes kv_bytes =
+        static_cast<Bytes>(return_tokens) *
+        model::kv_bytes_per_token(models_[records_[index].request.model]);
+    const Cycle arrival = kv_return_link_->transfer(kv_bytes, now);
+    local_.simulator().schedule_at(arrival,
+                                   [this, index] { on_prefill_done(index); });
+    return;
+  }
   on_prefill_done(index);
 }
 
 void ServingEngine::on_prefill_done(std::size_t index) {
   RequestRecord& rec = records_[index];
-  rec.prefill_end = scheduler_.sim().now();
+  rec.prefill_end = local_.simulator().now();
   if (engine_config_.phase() == EnginePhase::kPrefillOnly) {
     // Disaggregated prefill tier: this chip's job ends here — the KV
     // cache ships to a decode chip, so the request retires with its
@@ -780,7 +913,7 @@ void ServingEngine::on_prefill_done(std::size_t index) {
   decode_ready_.push_back(index);
   // Continuous batching: if the MC lane is mid-step, this request joins
   // at the next step boundary; only an idle lane needs a kick.
-  if (scheduler_.idle(Lane::kMcDecode)) start_decode_step();
+  if (local_.idle(Lane::kMcDecode)) start_decode_step();
 }
 
 bool ServingEngine::kv_join_reserve(std::size_t index) {
@@ -816,7 +949,7 @@ bool ServingEngine::kv_join_reserve(std::size_t index) {
     }
     st.joined = true;
     st.swapped = false;
-    st.last_touch = scheduler_.sim().now();
+    st.last_touch = local_.simulator().now();
     return true;
   }
   if (kv_) {
@@ -852,7 +985,7 @@ void ServingEngine::refill_swapped() {
     if (!pages_->try_swap_in(records_[index].request.id)) break;
     KvPagingState& st = kv_paging_[index];
     st.swapped = false;
-    st.last_touch = scheduler_.sim().now();
+    st.last_touch = local_.simulator().now();
     active_.push_back(index);
     kv_swapped_.erase(kv_swapped_.begin());
   }
@@ -900,7 +1033,7 @@ bool ServingEngine::preempt_victim(std::size_t& grower_pos) {
 }
 
 void ServingEngine::grow_page_tables() {
-  const Cycle now = scheduler_.sim().now();
+  const Cycle now = local_.simulator().now();
   std::size_t i = 0;
   while (i < active_.size()) {
     const std::size_t index = active_[i];
@@ -936,7 +1069,16 @@ void ServingEngine::grow_page_tables() {
 void ServingEngine::start_decode_step() {
   // Preempt-and-refill: restore swapped-out requests before admitting
   // new joiners — they were already mid-decode when evicted.
-  if (pages_) refill_swapped();
+  Bytes swap_dma = 0;
+  if (pages_) {
+    const Bytes refetch_before = pages_->swap_refetch_bytes();
+    refill_swapped();
+    // kv_swap_refill_dma: the refills' re-fetched bytes ride this step
+    // as a real MC-lane DMA op (injected below) instead of being free.
+    if (engine_config_.kv_swap_refill_dma()) {
+      swap_dma = pages_->swap_refetch_bytes() - refetch_before;
+    }
+  }
   if (!decode_ready_.empty()) {
     engine_config_.batch_policy().order_joiners(decode_ready_, records_);
   }
@@ -980,18 +1122,30 @@ void ServingEngine::start_decode_step() {
         model::build_decode_step(models_[m], contexts), keep_fraction_[m]);
     step.insert(step.end(), ops.begin(), ops.end());
   }
+  if (swap_dma > 0) {
+    // Swap-in refill traffic as one KV-stream-priced DMA op (element
+    // override 2, like the per-request KV streams): weight side k*2 plus
+    // activation side ~2k re-streams ≈ the refilled bytes through the MC
+    // lane, so SwapPolicy thrashing costs decode bandwidth in the timing
+    // plane. A swap-in implies the swapped request rejoined active_, so
+    // the step below always exists to carry the op.
+    step.push_back(GemmWork{
+        1, std::max<std::size_t>(static_cast<std::size_t>(swap_dma / 4), 1), 1,
+        Phase::kDecode, false, 2, false});
+    kv_swap_dma_bytes_ += swap_dma;
+  }
   step = model::aggregate_ops(step);
 
   ++decode_steps_;
   batch_occupancy_sum_ += active_.size();
   peak_decode_batch_ = std::max(peak_decode_batch_, active_.size());
-  step_started_ = scheduler_.sim().now();
-  scheduler_.submit(Lane::kMcDecode, std::move(step),
+  step_started_ = local_.simulator().now();
+  local_.submit(Lane::kMcDecode, std::move(step),
                     [this] { on_decode_step_done(); });
 }
 
 void ServingEngine::on_decode_step_done() {
-  const Cycle now = scheduler_.sim().now();
+  const Cycle now = local_.simulator().now();
   if (now > step_started_) {
     // Fold the measured step duration into every model that took part in
     // the step (active_ still holds the step's batch here). A model that
@@ -1042,7 +1196,7 @@ void ServingEngine::on_decode_step_done() {
 }
 
 void ServingEngine::schedule_rebalance(Cycle interval) {
-  scheduler_.sim().schedule(interval, [this, interval] {
+  local_.simulator().schedule(interval, [this, interval] {
     if (completed_ + rejected_ >= total_) return;  // drained: stop ticking
     rebalance();
     schedule_rebalance(interval);
@@ -1086,7 +1240,7 @@ void ServingEngine::rebalance() {
         static_cast<std::size_t>(mc_bytes / cc_pending_bytes_ + 0.5), 1,
         engine_config_.bandwidth_policy().max_mc_ratio);
   }
-  manager_.apply_ratio(chip_, ratio);
+  local_.apply_bandwidth_ratio(ratio);
   ++rebalances_;
 }
 

@@ -31,10 +31,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "baselines/gpu_backend.hpp"
 #include "core/bandwidth_manager.hpp"
 #include "core/chip.hpp"
 #include "core/config.hpp"
+#include "core/execution_backend.hpp"
 #include "core/phase_scheduler.hpp"
+#include "mem/memory_path.hpp"
 #include "model/mllm_config.hpp"
 #include "serve/engine_config.hpp"
 #include "serve/kv_pages.hpp"
@@ -128,6 +131,27 @@ struct ServingResult {
   /// Largest decode batch any step ran — the sustained-concurrency
   /// headline paged KV raises at equal budget.
   std::size_t peak_decode_batch = 0;
+  // --- Heterogeneous offload (fat_backend; all zero without one) -----------
+  /// Requests that ran at least one prefill chunk on the fat backend.
+  std::size_t offloaded_requests = 0;
+  std::size_t offloaded_chunks = 0;  ///< prefill chunks the fat backend ran
+  /// Bytes the fat backend streamed through its GDDR for those chunks
+  /// (its own cost model: weights re-streamed per launch).
+  Bytes fat_bytes_moved = 0;
+  std::size_t fat_kernel_launches = 0;  ///< GPU kernel launches issued
+  /// Fraction of the makespan the fat backend's prefill stream was busy.
+  double fat_busy_fraction = 0.0;
+  // --- KV return link (offloaded prefills ship KV back to EdgeMM) ----------
+  std::size_t kv_return_transfers = 0;
+  Bytes kv_return_bytes_sent = 0;
+  Bytes kv_return_bytes_landed = 0;
+  /// Probed at makespan end; conservation gate: sent == landed + in_flight.
+  Bytes kv_return_bytes_in_flight = 0;
+  double kv_return_max_queue_ms = 0.0;  ///< worst wait behind the wire
+  // --- Swap-refill DMA (kv_swap_refill_dma; 0 with the knob off) -----------
+  /// Swap-in re-fetch bytes injected as MC-lane DMA ops (== the
+  /// kv_swap_refetch_bytes those refills charged when the knob is on).
+  Bytes kv_swap_dma_bytes = 0;
 };
 
 /// Drives the heterogeneous chip through a request trace.
@@ -165,7 +189,22 @@ class ServingEngine {
   /// Per-request lifecycle records, in the order requests were passed.
   const std::vector<RequestRecord>& records() const { return records_; }
 
-  const core::ChipTimingModel& chip() const { return chip_; }
+  const core::ChipTimingModel& chip() const { return local_.chip(); }
+
+  /// The local (EdgeMM) execution backend behind the seam.
+  const core::EdgeMmBackend& local_backend() const { return local_; }
+
+  /// The paired fat backend; nullptr unless EngineConfig::fat_backend
+  /// was set.
+  const baselines::GpuBackend* fat_backend() const {
+    return fat_ ? &*fat_ : nullptr;
+  }
+
+  /// The KV return link of the heterogeneous pair; nullptr without a
+  /// fat backend.
+  const mem::ChipLink* kv_return_link() const {
+    return kv_return_link_ ? &*kv_return_link_ : nullptr;
+  }
 
   /// KV accounting ledger; nullptr when EngineConfig left it disabled
   /// (or replaced it with the page allocator via paged_kv).
@@ -222,6 +261,14 @@ class ServingEngine {
     /// re-fetched the pin's not-yet-landed groups, its retirement lands
     /// them (mark_landed up to this group count; 0 = nothing to land).
     std::size_t lands_to = 0;
+    // --- Heterogeneous offload -------------------------------------------
+    std::size_t offloaded_chunks = 0;  ///< chunks the fat backend ran
+    std::size_t offload_tokens = 0;    ///< their prefill tokens (KV to ship)
+    bool current_fat = false;          ///< the in-flight chunk is on fat
+    Bytes current_fat_bytes = 0;       ///< its fat-cost-model job bytes
+    /// Chunk 0's judgment, made at admission so pinning can be skipped
+    /// for offloaded starts: 0 = unjudged, 1 = local, 2 = fat.
+    std::uint8_t chunk0_target = 0;
   };
 
   /// build_chunk_ops resident_cap sentinel: no cap, ride the plan's full
@@ -275,6 +322,9 @@ class ServingEngine {
       std::size_t resident_cap = kNoResidentCap) const;
   PlacementContext placement_context() const;
   void refresh_decayed_demand();
+  /// Consults the OffloadPolicy for one chunk of `index`'s plan; always
+  /// kLocal without a fat backend (the policy is never even called).
+  OffloadTarget judge_offload(std::size_t index, std::size_t chunk);
   bool maybe_pin_weights(std::size_t index, std::size_t next_chunk);
   void submit_next_chunk(std::size_t index);
   void on_chunk_done(std::size_t index);
@@ -288,9 +338,15 @@ class ServingEngine {
   core::ChipConfig config_;
   std::vector<model::MllmConfig> models_;
   EngineConfig engine_config_;
-  core::ChipTimingModel chip_;
-  core::PhaseScheduler scheduler_;
-  core::BandwidthManager manager_;
+  /// The EdgeMM chip behind the ExecutionBackend seam (chip + scheduler
+  /// + bandwidth manager, constructed in the pre-seam order).
+  core::EdgeMmBackend local_;
+  /// The paired fat backend (GpuBackend on local_'s simulator); engaged
+  /// only when EngineConfig::fat_backend is set.
+  std::optional<baselines::GpuBackend> fat_;
+  /// Ledgered return wire for offloaded prefills' KV (ChipLink pricing,
+  /// conservation-exact); engaged with fat_.
+  std::optional<mem::ChipLink> kv_return_link_;
   std::optional<KvCapacityTracker> kv_;
   std::optional<KvPageAllocator> pages_;
   std::optional<WeightResidencyTracker> residency_;
@@ -343,6 +399,12 @@ class ServingEngine {
   Bytes cc_weight_fetched_ = 0;  ///< weight DMA issued by submitted CC jobs
   Bytes cc_weight_saved_ = 0;    ///< weight DMA avoided via residency
   Bytes rider_refetch_bytes_ = 0;  ///< barrier re-fetches (subset of fetched)
+  std::size_t offloaded_requests_ = 0;  ///< requests with any fat chunk
+  std::size_t offloaded_chunks_ = 0;    ///< fat-backend prefill chunks
+  Bytes kv_swap_dma_bytes_ = 0;  ///< refill bytes injected as MC DMA ops
+  /// Fat-backend throughput EWMA (its cost-model bytes per cycle),
+  /// seeded from the spec's peak bandwidth; feeds OffloadContext.
+  double fat_bytes_per_cycle_est_ = 0.0;
   std::size_t decode_steps_ = 0;
   std::size_t batch_occupancy_sum_ = 0;
   std::size_t peak_decode_batch_ = 0;

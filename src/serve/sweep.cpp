@@ -153,7 +153,18 @@ bool results_identical(const ServingResult& a, const ServingResult& b) {
          a.kv_swap_refetch_bytes == b.kv_swap_refetch_bytes &&
          a.kv_swap_preemptions == b.kv_swap_preemptions &&
          a.peak_kv_reserved_bytes == b.peak_kv_reserved_bytes &&
-         a.peak_decode_batch == b.peak_decode_batch;
+         a.peak_decode_batch == b.peak_decode_batch &&
+         a.offloaded_requests == b.offloaded_requests &&
+         a.offloaded_chunks == b.offloaded_chunks &&
+         a.fat_bytes_moved == b.fat_bytes_moved &&
+         a.fat_kernel_launches == b.fat_kernel_launches &&
+         a.fat_busy_fraction == b.fat_busy_fraction &&
+         a.kv_return_transfers == b.kv_return_transfers &&
+         a.kv_return_bytes_sent == b.kv_return_bytes_sent &&
+         a.kv_return_bytes_landed == b.kv_return_bytes_landed &&
+         a.kv_return_bytes_in_flight == b.kv_return_bytes_in_flight &&
+         a.kv_return_max_queue_ms == b.kv_return_max_queue_ms &&
+         a.kv_swap_dma_bytes == b.kv_swap_dma_bytes;
 }
 
 bool record_identical(const RequestRecord& a, const RequestRecord& b) {
@@ -169,6 +180,7 @@ bool record_identical(const RequestRecord& a, const RequestRecord& b) {
          a.prefill_end == b.prefill_end && a.first_token == b.first_token &&
          a.finish == b.finish && a.tokens_generated == b.tokens_generated &&
          a.prefill_chunks == b.prefill_chunks &&
+         a.offloaded_chunks == b.offloaded_chunks &&
          a.weight_pinned_layers == b.weight_pinned_layers &&
          a.prune_keep_fraction == b.prune_keep_fraction && a.done == b.done &&
          a.rejected == b.rejected;

@@ -1,5 +1,7 @@
 #include "baselines/gpu_model.hpp"
 
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 #include "model/workload.hpp"
@@ -57,6 +59,63 @@ TEST(GpuModel, RequestTimeScalesWithOutput) {
   EXPECT_GT(l128, l32);
   EXPECT_NEAR(l128 - l32, 96.0 * timing.decode_token_seconds, 1e-9);
   EXPECT_GT(timing.tokens_per_second(128), timing.tokens_per_second(8));
+}
+
+TEST(GpuSpecValidate, DefaultSpecIsValidAndSettersChain) {
+  EXPECT_NO_THROW(GpuSpec{}.validate());
+  GpuSpec spec = GpuSpec{}
+                     .with_peak_flops(10.0e12)
+                     .with_memory_bandwidth(200.0e9)
+                     .with_gemm_efficiency(0.6)
+                     .with_gemv_bandwidth_efficiency(0.5)
+                     .with_kernel_launch_seconds(4.0e-6)
+                     .with_elem_bytes(2)
+                     .with_board_power_w(60.0);
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_DOUBLE_EQ(spec.peak_flops, 10.0e12);
+  EXPECT_DOUBLE_EQ(spec.gemm_efficiency, 0.6);
+}
+
+TEST(GpuSpecValidate, SettersRejectBadValuesEagerly) {
+  // Eager errors (the EngineConfig builder idiom): the bad field is
+  // named at the call site, not at some later validate().
+  EXPECT_THROW(GpuSpec{}.with_peak_flops(0.0), std::invalid_argument);
+  EXPECT_THROW(GpuSpec{}.with_peak_flops(-1.0), std::invalid_argument);
+  EXPECT_THROW(GpuSpec{}.with_memory_bandwidth(0.0), std::invalid_argument);
+  EXPECT_THROW(GpuSpec{}.with_gemm_efficiency(0.0), std::invalid_argument);
+  EXPECT_THROW(GpuSpec{}.with_gemm_efficiency(1.5), std::invalid_argument);
+  EXPECT_THROW(GpuSpec{}.with_gemv_bandwidth_efficiency(-0.1),
+               std::invalid_argument);
+  EXPECT_THROW(GpuSpec{}.with_kernel_launch_seconds(-1e-6),
+               std::invalid_argument);
+  EXPECT_THROW(GpuSpec{}.with_elem_bytes(0), std::invalid_argument);
+  EXPECT_THROW(GpuSpec{}.with_board_power_w(0.0), std::invalid_argument);
+  EXPECT_NO_THROW(GpuSpec{}.with_kernel_launch_seconds(0.0));  // free launch ok
+}
+
+TEST(GpuSpecValidate, ValidateCatchesHandBuiltBadSpecs) {
+  GpuSpec spec;
+  spec.gemv_bandwidth_efficiency = 1.2;  // brace-init bypasses the setters
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = GpuSpec{};
+  spec.memory_bandwidth = -5.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = GpuSpec{};
+  spec.elem_bytes = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(GpuModel, OpBytesPriceWeightsAndActivationsPerLaunch) {
+  // No TCDM residency: every launch streams the full k*n weight tile
+  // plus the m*(k+n) activation tiles, even when weights_resident is
+  // set (the flag is an EdgeMM concept).
+  GpuSpec spec;
+  core::GemmWork op{300, 2048, 5632, Phase::kPrefill, false, 0, false};
+  const Bytes expected =
+      (Bytes{2048} * 5632 + Bytes{300} * (2048 + 5632)) * spec.elem_bytes;
+  EXPECT_EQ(gpu_op_bytes(spec, op), expected);
+  op.weights_resident = true;
+  EXPECT_EQ(gpu_op_bytes(spec, op), expected);
 }
 
 TEST(GpuModel, LatencyBreakdownShiftsTowardDecode) {

@@ -1,0 +1,165 @@
+#include "core/execution_backend.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/gpu_backend.hpp"
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace edgemm::core {
+namespace {
+
+ChipConfig small_cfg() {
+  ChipConfig cfg = default_chip_config();
+  cfg.groups = 1;
+  return cfg;
+}
+
+std::vector<GemmWork> cc_job() {
+  return {{64, 256, 256, Phase::kPrefill, false, 0, false}};
+}
+
+std::vector<GemmWork> mc_job() {
+  return {{1, 256, 512, Phase::kDecode, false, 0, false}};
+}
+
+// --- EdgeMmBackend: the seam must not change the chip -------------------
+
+TEST(EdgeMmBackend, MatchesDirectPhaseSchedulerRetireTimes) {
+  // The same job sequence through the seam and through a hand-built
+  // ChipTimingModel + PhaseScheduler pair retires at identical cycles:
+  // the backend wraps the pre-seam construction order unchanged.
+  EdgeMmBackend backend(small_cfg(), ChipComposition::kHeterogeneous,
+                        ReplayMode::kDetailed, BandwidthPolicy{});
+  ChipTimingModel chip(small_cfg(), ChipComposition::kHeterogeneous,
+                       ReplayMode::kDetailed);
+  PhaseScheduler sched(chip);
+
+  std::vector<Cycle> seam_retire, direct_retire;
+  for (int i = 0; i < 3; ++i) {
+    backend.submit(Lane::kCcStage, cc_job(),
+                   [&] { seam_retire.push_back(backend.simulator().now()); });
+    sched.submit(Lane::kCcStage, cc_job(),
+                 [&] { direct_retire.push_back(sched.sim().now()); });
+  }
+  backend.submit(Lane::kMcDecode, mc_job(),
+                 [&] { seam_retire.push_back(backend.simulator().now()); });
+  sched.submit(Lane::kMcDecode, mc_job(),
+               [&] { direct_retire.push_back(sched.sim().now()); });
+  backend.simulator().run();
+  chip.simulator().run();
+
+  ASSERT_EQ(seam_retire.size(), 4u);
+  EXPECT_EQ(seam_retire, direct_retire);
+  EXPECT_EQ(backend.dispatched(Lane::kCcStage), 3u);
+  EXPECT_TRUE(backend.idle(Lane::kCcStage));
+  EXPECT_TRUE(backend.idle(Lane::kMcDecode));
+}
+
+TEST(EdgeMmBackend, ForwardsOccupancyAndPricing) {
+  EdgeMmBackend backend(small_cfg(), ChipComposition::kHeterogeneous,
+                        ReplayMode::kDetailed, BandwidthPolicy{});
+  backend.submit(Lane::kCcStage, cc_job(), [] {});
+  backend.submit(Lane::kCcStage, cc_job(), [] {});
+  EXPECT_EQ(backend.queued(Lane::kCcStage), 1u);  // one behind the runner
+  EXPECT_FALSE(backend.idle(Lane::kCcStage));
+
+  // Pricing forwards to the CC lane's cluster traffic estimator.
+  const auto ops = cc_job();
+  EXPECT_EQ(backend.estimated_job_bytes(Lane::kCcStage, ops),
+            estimated_traffic_bytes(
+                *backend.scheduler().lane_clusters(Lane::kCcStage).front(),
+                ops));
+
+  backend.simulator().run();
+  EXPECT_TRUE(backend.idle(Lane::kCcStage));
+
+  // The bandwidth hooks are live on EdgeMM (no-throw repartition).
+  backend.apply_bandwidth_ratio(3);
+  backend.apply_equal_sharing();
+  EXPECT_GE(backend.memory_utilization(), 0.0);
+  EXPECT_LE(backend.memory_utilization(), 1.0);
+}
+
+// --- GpuBackend: deterministic FIFO streams over the shared clock -------
+
+TEST(GpuBackend, FifoSerializesALaneAndOverlapsLanes) {
+  sim::Simulator sim;
+  baselines::GpuBackend gpu(sim, baselines::GpuSpec{}, kChipClockHz);
+
+  Cycle first_end = 0, second_start = 0, second_end = 0, mc_end = 0;
+  gpu.submit(core::Lane::kCcStage, cc_job(), [&] { first_end = sim.now(); });
+  gpu.submit(
+      core::Lane::kCcStage, cc_job(), [&] { second_end = sim.now(); },
+      [&] { second_start = sim.now(); });
+  gpu.submit(core::Lane::kMcDecode, mc_job(), [&] { mc_end = sim.now(); });
+  EXPECT_EQ(gpu.queued(core::Lane::kCcStage), 1u);
+  sim.run();
+
+  const Cycle cc_cycles = gpu.job_cycles(cc_job());
+  EXPECT_EQ(first_end, cc_cycles);
+  EXPECT_EQ(second_start, first_end);  // FIFO dispatch, no idle gap
+  EXPECT_EQ(second_end, 2 * cc_cycles);
+  // The MC-lane stream ran concurrently, not behind the CC jobs.
+  EXPECT_EQ(mc_end, gpu.job_cycles(mc_job()));
+  EXPECT_EQ(gpu.dispatched(core::Lane::kCcStage), 2u);
+  EXPECT_TRUE(gpu.idle(core::Lane::kCcStage));
+  EXPECT_TRUE(gpu.idle(core::Lane::kMcDecode));
+}
+
+TEST(GpuBackend, IdenticalSubmissionsRetireIdentically) {
+  std::vector<Cycle> retire_a, retire_b;
+  for (auto* retire : {&retire_a, &retire_b}) {
+    sim::Simulator sim;
+    baselines::GpuBackend gpu(sim, baselines::GpuSpec{}, kChipClockHz);
+    for (int i = 0; i < 4; ++i) {
+      gpu.submit(core::Lane::kCcStage, cc_job(),
+                 [retire, &sim] { retire->push_back(sim.now()); });
+    }
+    sim.run();
+  }
+  EXPECT_EQ(retire_a, retire_b);
+}
+
+TEST(GpuBackend, PricesJobsFromTheRooflineModel) {
+  sim::Simulator sim;
+  const baselines::GpuSpec spec;
+  baselines::GpuBackend gpu(sim, spec, kChipClockHz);
+
+  const auto ops = cc_job();
+  EXPECT_DOUBLE_EQ(gpu.job_seconds(ops),
+                   baselines::gpu_op_seconds(spec, ops.front()));
+  EXPECT_EQ(gpu.job_cycles(ops),
+            static_cast<Cycle>(
+                std::ceil(gpu.job_seconds(ops) * kChipClockHz)));
+  EXPECT_EQ(gpu.estimated_job_bytes(core::Lane::kCcStage, ops),
+            baselines::gpu_op_bytes(spec, ops.front()));
+
+  // The ledger prices dispatched work: bytes via gpu_op_bytes, one
+  // kernel launch per op, busy cycles = the job's duration.
+  gpu.submit(core::Lane::kCcStage, cc_job(), [] {});
+  sim.run();
+  EXPECT_EQ(gpu.bytes_moved(), baselines::gpu_op_bytes(spec, ops.front()));
+  EXPECT_EQ(gpu.kernel_launches(), 1u);
+  EXPECT_EQ(gpu.busy_cycles(core::Lane::kCcStage), gpu.job_cycles(ops));
+}
+
+TEST(GpuBackend, RejectsEmptyJobsAndBadConstruction) {
+  sim::Simulator sim;
+  baselines::GpuBackend gpu(sim, baselines::GpuSpec{}, kChipClockHz);
+  EXPECT_THROW(gpu.submit(core::Lane::kCcStage, {}, [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(baselines::GpuBackend(sim, baselines::GpuSpec{}, 0.0),
+               std::invalid_argument);
+  baselines::GpuSpec bad;
+  bad.peak_flops = -1.0;
+  EXPECT_THROW(baselines::GpuBackend(sim, bad, kChipClockHz),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgemm::core

@@ -16,6 +16,9 @@ appear as an identifier in the corresponding header:
   RouterPolicy::<name>  -> src/serve/cluster/router.hpp
   ChipLink::<name>      -> src/mem/memory_path.hpp
   KvPageAllocator / SwapPolicy::<name> -> src/serve/kv_pages.hpp
+  ExecutionBackend::<name>  -> src/core/execution_backend.hpp
+  GpuBackend / GpuSpec::<name> -> src/baselines/gpu_backend.hpp + gpu_model.hpp
+  OffloadPolicy / OffloadContext::<name> -> src/serve/policy.hpp
 
 Offline and dependency-free by design, like check_markdown_links.py.
 
@@ -32,7 +35,8 @@ import sys
 REF_RE = re.compile(
     r"\b(EngineConfig|ServingResult|ReplayMode|SweepCase|SweepOptions"
     r"|SweepOutcome|ClusterConfig|ClusterResult|ClusterOutcome"
-    r"|RouterPolicy|ChipLink|KvPageAllocator|SwapPolicy)(?:::|\.)(\w+)")
+    r"|RouterPolicy|ChipLink|KvPageAllocator|SwapPolicy|ExecutionBackend"
+    r"|GpuBackend|GpuSpec|OffloadPolicy|OffloadContext)(?:::|\.)(\w+)")
 
 HEADERS = {
     "EngineConfig": "src/serve/engine_config.hpp",
@@ -48,6 +52,11 @@ HEADERS = {
     "ChipLink": "src/mem/memory_path.hpp",
     "KvPageAllocator": "src/serve/kv_pages.hpp",
     "SwapPolicy": "src/serve/kv_pages.hpp",
+    "ExecutionBackend": "src/core/execution_backend.hpp",
+    "GpuBackend": "src/baselines/gpu_backend.hpp",
+    "GpuSpec": "src/baselines/gpu_model.hpp",
+    "OffloadPolicy": "src/serve/policy.hpp",
+    "OffloadContext": "src/serve/policy.hpp",
 }
 
 
