@@ -1,5 +1,7 @@
 #include "model/workload.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace edgemm::model {
@@ -14,10 +16,21 @@ using core::GemmWork;
 /// rows each — one entry for a single request, one entry per batched
 /// request for a continuous-batching decode step (private KV caches
 /// cannot share a fetch the way weights do).
+/// core::pruned_ops' rounding, applied at emission time: the quality
+/// seam must price a directly-emitted pruned prefill op and a
+/// pruned_ops-transformed decode op identically.
+std::size_t pruned_dim(std::size_t k, double keep) {
+  if (keep >= 1.0) return k;
+  const auto kept =
+      static_cast<std::size_t>(std::ceil(static_cast<double>(k) * keep));
+  return std::max<std::size_t>(kept, 1);
+}
+
 void append_layer_ops(std::vector<GemmWork>& ops, const TransformerShape& s,
                       std::size_t m_weights, std::size_t m_attn,
                       std::span<const std::size_t> contexts, Phase phase,
-                      bool mark_ffn_prunable, bool weights_resident = false) {
+                      bool mark_ffn_prunable, bool weights_resident = false,
+                      double ffn_keep = 1.0) {
   const std::size_t d = s.d_model;
   const std::size_t kv = s.kv_dim();
 
@@ -33,27 +46,31 @@ void append_layer_ops(std::vector<GemmWork>& ops, const TransformerShape& s,
   ops.push_back({m_weights, d, d, phase, weights_resident, 0, false});
   // MLP. Gated blocks have up + gate + down (Eq. 1); classic blocks have
   // up + down. Decode-phase FFN rows are what the activation-aware
-  // pruner drops (§IV-A).
+  // pruner drops (§IV-A); ffn_keep applies the same drop to the emitted
+  // shapes directly (the quality seam's pre-pruned prefill).
+  const std::size_t up_k = pruned_dim(d, ffn_keep);
+  const std::size_t down_k = pruned_dim(s.d_ffn, ffn_keep);
   if (s.gated_mlp) {
-    ops.push_back({m_weights, d, s.d_ffn, phase, weights_resident, 0,
+    ops.push_back({m_weights, up_k, s.d_ffn, phase, weights_resident, 0,
                    mark_ffn_prunable});  // up
-    ops.push_back({m_weights, d, s.d_ffn, phase, weights_resident, 0,
+    ops.push_back({m_weights, up_k, s.d_ffn, phase, weights_resident, 0,
                    mark_ffn_prunable});  // gate
   } else {
-    ops.push_back({m_weights, d, s.d_ffn, phase, weights_resident, 0,
+    ops.push_back({m_weights, up_k, s.d_ffn, phase, weights_resident, 0,
                    mark_ffn_prunable});  // up
   }
-  ops.push_back({m_weights, s.d_ffn, d, phase, weights_resident, 0,
+  ops.push_back({m_weights, down_k, d, phase, weights_resident, 0,
                  mark_ffn_prunable});  // down
 }
 
 /// The single-request form: `m` tokens attending `context` positions.
 void append_layer_ops(std::vector<GemmWork>& ops, const TransformerShape& s,
                       std::size_t m, std::size_t context, Phase phase,
-                      bool mark_ffn_prunable, bool weights_resident = false) {
+                      bool mark_ffn_prunable, bool weights_resident = false,
+                      double ffn_keep = 1.0) {
   const std::size_t contexts[] = {context};
   append_layer_ops(ops, s, m, m, contexts, phase, mark_ffn_prunable,
-                   weights_resident);
+                   weights_resident, ffn_keep);
 }
 
 }  // namespace
@@ -84,11 +101,10 @@ std::vector<core::GemmWork> build_encoder_ops(const MllmConfig& model,
   return ops;
 }
 
-std::vector<core::GemmWork> build_prefill_chunk(const MllmConfig& model,
-                                                std::size_t start,
-                                                std::size_t tokens,
-                                                std::size_t prompt_tokens,
-                                                std::size_t resident_layers) {
+std::vector<core::GemmWork> build_prefill_chunk(
+    const MllmConfig& model, std::size_t start, std::size_t tokens,
+    std::size_t prompt_tokens, std::size_t resident_layers, double ffn_keep,
+    std::size_t full_keep_layers) {
   if (tokens == 0) {
     throw std::invalid_argument("build_prefill_chunk: tokens must be > 0");
   }
@@ -100,10 +116,19 @@ std::vector<core::GemmWork> build_prefill_chunk(const MllmConfig& model,
     throw std::invalid_argument(
         "build_prefill_chunk: resident_layers exceeds the LLM layer count");
   }
+  if (full_keep_layers > model.llm.layers) {
+    throw std::invalid_argument(
+        "build_prefill_chunk: full_keep_layers exceeds the LLM layer count");
+  }
+  if (!(ffn_keep > 0.0) || ffn_keep > 1.0) {
+    throw std::invalid_argument(
+        "build_prefill_chunk: ffn_keep must be in (0, 1]");
+  }
   std::vector<GemmWork> ops;
   for (std::size_t layer = 0; layer < model.llm.layers; ++layer) {
     append_layer_ops(ops, model.llm, tokens, prompt_tokens, Phase::kPrefill,
-                     false, /*weights_resident=*/layer < resident_layers);
+                     false, /*weights_resident=*/layer < resident_layers,
+                     /*ffn_keep=*/layer < full_keep_layers ? 1.0 : ffn_keep);
   }
   return ops;
 }
@@ -180,6 +205,12 @@ std::vector<core::GemmWork> build_decode_step(
         {batch, model.llm.d_model, model.llm.vocab, Phase::kDecode, false, 0, false});
   }
   return ops;
+}
+
+std::vector<core::GemmWork> build_decode_step(
+    const MllmConfig& model, std::span<const std::size_t> contexts,
+    double keep_fraction) {
+  return core::pruned_ops(build_decode_step(model, contexts), keep_fraction);
 }
 
 std::vector<core::GemmWork> aggregate_ops(const std::vector<core::GemmWork>& ops) {

@@ -73,13 +73,24 @@ std::vector<core::GemmWork> build_encoder_ops(const MllmConfig& model,
 /// is never pinned. 0 (the default) re-fetches everything, byte-
 /// identical to the PR 2 behavior.
 ///
+/// `ffn_keep` is the serving-quality seam: the FFN projections (up/gate/
+/// down) of layers at or beyond `full_keep_layers` are emitted with
+/// their k dimension shrunk to ceil(k * ffn_keep) (floor 1) — the same
+/// rounding core::pruned_ops applies to prunable decode ops — so a
+/// degraded request's streamed weight bytes actually shrink. The first
+/// `full_keep_layers` layers always keep full shapes: pinned resident
+/// layer groups hold the FULL weights on-chip, so their ledger math
+/// (pin bytes, fill-barrier re-fetch) must stay exact whatever fraction
+/// the request is served at. 1.0 (the default) emits today's ops
+/// bit-identically.
+///
 /// Throws std::invalid_argument for zero tokens, start + tokens >
-/// prompt_tokens, or resident_layers > the model's LLM layer count.
-std::vector<core::GemmWork> build_prefill_chunk(const MllmConfig& model,
-                                                std::size_t start,
-                                                std::size_t tokens,
-                                                std::size_t prompt_tokens,
-                                                std::size_t resident_layers = 0);
+/// prompt_tokens, resident_layers or full_keep_layers > the model's LLM
+/// layer count, or ffn_keep outside (0, 1].
+std::vector<core::GemmWork> build_prefill_chunk(
+    const MllmConfig& model, std::size_t start, std::size_t tokens,
+    std::size_t prompt_tokens, std::size_t resident_layers = 0,
+    double ffn_keep = 1.0, std::size_t full_keep_layers = 0);
 
 /// Weight elements (summed k x n rectangles of the QKV/O/MLP
 /// projections, KV streams excluded) of ONE LLM layer — the layer-group
@@ -101,6 +112,14 @@ std::size_t kv_bytes_per_token(const MllmConfig& model);
 /// weights, KV caches are private and cannot be shared across the batch.
 std::vector<core::GemmWork> build_decode_step(
     const MllmConfig& model, std::span<const std::size_t> contexts);
+
+/// The quality-seam form: the same decode step with the prunable FFN ops
+/// pruned to `keep_fraction` via core::pruned_ops — exactly
+/// pruned_ops(build_decode_step(model, contexts), keep_fraction), kept
+/// as one call so engine and tests share the rounding.
+std::vector<core::GemmWork> build_decode_step(
+    const MllmConfig& model, std::span<const std::size_t> contexts,
+    double keep_fraction);
 
 /// Merges ops that share (k, phase, prunable, element override, residency)
 /// by summing their n dimensions. Total weight bytes, FLOPs, and — thanks

@@ -261,6 +261,11 @@ ClusterOutcome run_cluster(const core::ChipConfig& chip,
         rec.first_token = dec.first_token;
         rec.finish = dec.finish;
         rec.tokens_generated = dec.tokens_generated;
+        // The merged record reports the WORST fraction either tier served
+        // the request at — a prefill-side degradation is not erased by a
+        // decode tier that happened to judge it back up.
+        rec.keep_fraction_served =
+            std::min(rec.keep_fraction_served, dec.keep_fraction_served);
         rec.done = dec.done;
         rec.rejected = dec.rejected;
       }
@@ -278,6 +283,8 @@ ClusterOutcome run_cluster(const core::ChipConfig& chip,
   }
 
   aggregate_records(out.records, chip.clock_hz, out.result);
+  std::size_t acc_completed = 0;
+  double acc_weighted_sum = 0.0;
   for (const ServingResult& r : out.result.per_chip) {
     out.result.cc_weight_fetch_bytes += r.cc_weight_fetch_bytes;
     out.result.cc_weight_bytes_saved += r.cc_weight_bytes_saved;
@@ -288,6 +295,20 @@ ClusterOutcome run_cluster(const core::ChipConfig& chip,
     out.result.offloaded_chunks += r.offloaded_chunks;
     out.result.fat_bytes_moved += r.fat_bytes_moved;
     out.result.kv_return_bytes += r.kv_return_bytes_sent;
+    out.result.quality_downgrades += r.quality_downgrades;
+    out.result.quality_restores += r.quality_restores;
+    out.result.tokens_at_degraded_quality += r.tokens_at_degraded_quality;
+    if (r.completed > 0) {
+      acc_completed += r.completed;
+      acc_weighted_sum +=
+          r.accuracy_proxy_mean * static_cast<double>(r.completed);
+      out.result.accuracy_proxy_min =
+          std::min(out.result.accuracy_proxy_min, r.accuracy_proxy_min);
+    }
+  }
+  if (acc_completed > 0) {
+    out.result.accuracy_proxy_mean =
+        acc_weighted_sum / static_cast<double>(acc_completed);
   }
   if (link) {
     // Probe the byte ledger at the cluster's drain point (the later of
@@ -330,6 +351,11 @@ bool cluster_results_identical(const ClusterResult& a, const ClusterResult& b) {
         a.offloaded_requests == b.offloaded_requests &&
         a.offloaded_chunks == b.offloaded_chunks &&
         a.fat_bytes_moved == b.fat_bytes_moved &&
+        a.quality_downgrades == b.quality_downgrades &&
+        a.quality_restores == b.quality_restores &&
+        a.tokens_at_degraded_quality == b.tokens_at_degraded_quality &&
+        a.accuracy_proxy_mean == b.accuracy_proxy_mean &&
+        a.accuracy_proxy_min == b.accuracy_proxy_min &&
         a.kv_return_bytes == b.kv_return_bytes &&
         a.kv_transfers == b.kv_transfers &&
         a.kv_bytes_sent == b.kv_bytes_sent &&

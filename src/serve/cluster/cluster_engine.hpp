@@ -68,6 +68,16 @@ struct ClusterResult {
   std::size_t offloaded_requests = 0;  ///< requests with >= 1 fat chunk
   std::size_t offloaded_chunks = 0;    ///< prefill chunks the fat backend ran
   Bytes fat_bytes_moved = 0;           ///< fat-backend DRAM traffic priced
+  // --- Quality ledger (QualityPolicy seam; sums over the chips, the
+  // --- accuracy proxies weighted/min'd over chips that completed work) ---
+  std::size_t quality_downgrades = 0;
+  std::size_t quality_restores = 0;
+  std::size_t tokens_at_degraded_quality = 0;
+  /// Completed-weighted mean of the chips' accuracy_proxy_mean (1.0 when
+  /// nothing completed anywhere).
+  double accuracy_proxy_mean = 1.0;
+  /// Min over chips with completed > 0 of accuracy_proxy_min.
+  double accuracy_proxy_min = 1.0;
   /// KV bytes shipped fat -> EdgeMM over the per-chip return links
   /// (sent == landed per chip once each engine drains, so one sum
   /// suffices for the cluster ledger).

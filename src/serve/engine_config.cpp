@@ -63,13 +63,42 @@ double derive_keep_fraction(const model::MllmConfig& model,
   return std::clamp(keep, options.min_keep_fraction, 1.0);
 }
 
+double quality_accuracy_proxy(const model::MllmConfig& model,
+                              double keep_fraction,
+                              const TaskProxyPruningOptions& options) {
+  if (!(keep_fraction > 0.0)) {
+    throw std::invalid_argument(
+        "quality_accuracy_proxy: keep_fraction must be positive");
+  }
+  if (keep_fraction >= 1.0) return 1.0;  // no pruning, agreement exact
+  if (options.max_proxy_channels == 0 || options.max_proxy_layers == 0) {
+    throw std::invalid_argument(
+        "quality_accuracy_proxy: proxy caps must be > 0");
+  }
+
+  // Same capped profile and per-model seed as derive_keep_fraction, so
+  // the static derivation and the quality ledger price the same proxy.
+  model::ActivationProfile profile;
+  profile.channels = std::min(model.llm.d_model, options.max_proxy_channels);
+  profile.layers = std::max<std::size_t>(
+      std::min(model.llm.layers, options.max_proxy_layers), 2);
+  const model::ActivationGenerator gen(
+      profile, options.proxy.seed ^ name_hash(model.name));
+  pruning::TaskProxyConfig proxy = options.proxy;
+  proxy.fixed_ratios = {1.0 - keep_fraction};
+  const pruning::TaskProxyResult result =
+      pruning::evaluate_task_proxy(gen, proxy);
+  return result.agreement_fixed[0];
+}
+
 EngineConfig::EngineConfig()
     : scheduler_(std::make_shared<ConcurrencyPolicy>(AdmissionLimits{})),
       planner_(std::make_shared<MonolithicPrefill>()),
       batcher_(std::make_shared<FifoBatch>()),
       placement_(std::make_shared<KeepCurrentPlacement>()),
       swap_policy_(std::make_shared<LruSwapPolicy>()),
-      offload_(std::make_shared<NoOffload>()) {}
+      offload_(std::make_shared<NoOffload>()),
+      quality_(std::make_shared<StaticQuality>()) {}
 
 EngineConfig EngineConfig::from_legacy(const ServingOptions& options) {
   EngineConfig config;
@@ -256,9 +285,34 @@ EngineConfig& EngineConfig::kv_swap_refill_dma(bool enabled) {
   return *this;
 }
 
+EngineConfig& EngineConfig::quality_policy(
+    std::shared_ptr<const QualityPolicy> policy) {
+  if (!policy) {
+    throw std::invalid_argument("EngineConfig: null QualityPolicy");
+  }
+  quality_ = std::move(policy);
+  return *this;
+}
+
+EngineConfig& EngineConfig::quality_band(double min_keep, double max_keep) {
+  if (!(min_keep > 0.0) || min_keep > max_keep || max_keep > 1.0) {
+    throw std::invalid_argument(
+        "EngineConfig: quality_band needs 0 < min_keep <= max_keep <= 1");
+  }
+  quality_min_keep_ = min_keep;
+  quality_max_keep_ = max_keep;
+  return *this;
+}
+
 void EngineConfig::validate() const {
-  if (!scheduler_ || !planner_ || !batcher_ || !placement_ || !swap_policy_) {
+  if (!scheduler_ || !planner_ || !batcher_ || !placement_ || !swap_policy_ ||
+      !quality_) {
     throw std::invalid_argument("EngineConfig: missing policy");
+  }
+  if (!(quality_min_keep_ > 0.0) || quality_min_keep_ > quality_max_keep_ ||
+      quality_max_keep_ > 1.0) {
+    throw std::invalid_argument(
+        "EngineConfig: quality band needs 0 < min_keep <= max_keep <= 1");
   }
   if (paged_kv_ && kv_capacity_bytes_ > 0 &&
       kv_capacity_bytes_ < kv_page_bytes_) {

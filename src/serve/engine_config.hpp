@@ -51,6 +51,17 @@ struct TaskProxyPruningOptions {
 double derive_keep_fraction(const model::MllmConfig& model,
                             const TaskProxyPruningOptions& options);
 
+/// Prices one keep fraction with the task-proxy accuracy model: the
+/// proxy's answer-agreement when `model`'s FFN is pruned to exactly
+/// `keep_fraction` (fixed ratio 1 - keep_fraction over the same capped
+/// activation profile derive_keep_fraction uses). keep_fraction >= 1 is
+/// exactly 1.0 (no pruning, no proxy run). Deterministic per
+/// (model name, keep_fraction, options); throws std::invalid_argument
+/// for a non-positive or > 1 fraction.
+double quality_accuracy_proxy(const model::MllmConfig& model,
+                              double keep_fraction,
+                              const TaskProxyPruningOptions& options = {});
+
 /// DEPRECATED PR-1 engine knobs, kept so existing call sites compile.
 /// Convert with EngineConfig::from_legacy or pass to the deprecated
 /// ServingEngine constructor.
@@ -220,6 +231,18 @@ class EngineConfig {
   /// decode bandwidth in the timing plane instead of being free. No
   /// effect without paged_kv.
   EngineConfig& kv_swap_refill_dma(bool enabled);
+  /// At WHAT quality (FFN keep fraction) each request is served (the
+  /// sixth seam; see QualityPolicy). Default StaticQuality — every
+  /// request serves at its static per-model fraction, byte-identical to
+  /// an engine with no quality seam. Throws std::invalid_argument on
+  /// null.
+  EngineConfig& quality_policy(std::shared_ptr<const QualityPolicy> policy);
+  /// The validated [min_keep, max_keep] band dynamic quality judgments
+  /// are clamped into (default [0.25, 1.0]); the engine widens the
+  /// effective band to always include the static per-model fraction, so
+  /// StaticQuality passes through whatever the band. Throws
+  /// std::invalid_argument unless 0 < min_keep <= max_keep <= 1.
+  EngineConfig& quality_band(double min_keep, double max_keep);
 
   // --- Getters ------------------------------------------------------------
   const SchedulerPolicy& scheduler() const { return *scheduler_; }
@@ -256,6 +279,13 @@ class EngineConfig {
     return offload_;
   }
   bool kv_swap_refill_dma() const { return kv_swap_refill_dma_; }
+  const QualityPolicy& quality() const { return *quality_; }
+  /// The shared_ptr itself (cluster plumbing re-composes configs).
+  const std::shared_ptr<const QualityPolicy>& quality_policy_ptr() const {
+    return quality_;
+  }
+  double quality_min_keep() const { return quality_min_keep_; }
+  double quality_max_keep() const { return quality_max_keep_; }
 
   /// Re-checks the composed whole (policies present, fractions sane).
   /// The engine calls this once at construction; throws
@@ -289,6 +319,9 @@ class EngineConfig {
   std::optional<baselines::GpuSpec> fat_backend_;
   std::shared_ptr<const OffloadPolicy> offload_;
   bool kv_swap_refill_dma_ = false;
+  std::shared_ptr<const QualityPolicy> quality_;
+  double quality_min_keep_ = 0.25;
+  double quality_max_keep_ = 1.0;
 };
 
 }  // namespace edgemm::serve

@@ -288,4 +288,57 @@ OffloadTarget ThresholdOffload::place_chunk(const Request&,
   return pressured && fat_shorter ? OffloadTarget::kFat : OffloadTarget::kLocal;
 }
 
+double StaticQuality::keep_fraction(const Request&,
+                                    const QualityContext& ctx) const {
+  return ctx.base_keep;
+}
+
+SloPressureQuality::SloPressureQuality(double step, double relax_margin)
+    : step_(step), relax_margin_(relax_margin) {
+  if (!(step_ > 0.0) || step_ > 1.0) {
+    throw std::invalid_argument("SloPressureQuality: step must be in (0, 1]");
+  }
+  if (relax_margin_ < 0.0) {
+    throw std::invalid_argument(
+        "SloPressureQuality: relax_margin must be >= 0");
+  }
+}
+
+double SloPressureQuality::keep_fraction(const Request& r,
+                                         const QualityContext& ctx) const {
+  if (ctx.deadline == 0) return ctx.current_keep;
+  if (ctx.estimated_finish > ctx.deadline) {
+    // Already projected late: shed quality, not the request.
+    return ctx.current_keep - step_;
+  }
+  // Relax only once the projection beats the deadline by a margin of the
+  // request's own SLO window; the dead band in between holds the current
+  // fraction, so a constant load cannot oscillate.
+  const Cycle window = ctx.deadline > r.arrival ? ctx.deadline - r.arrival : 0;
+  const double slack = static_cast<double>(ctx.deadline) -
+                       static_cast<double>(ctx.estimated_finish);
+  if (slack >= relax_margin_ * static_cast<double>(window)) {
+    return ctx.current_keep + step_;
+  }
+  return ctx.current_keep;
+}
+
+QueueDepthQuality::QueueDepthQuality(std::size_t low_depth,
+                                     std::size_t high_depth)
+    : low_depth_(low_depth), high_depth_(high_depth) {
+  if (low_depth_ >= high_depth_) {
+    throw std::invalid_argument(
+        "QueueDepthQuality: low_depth must be < high_depth");
+  }
+}
+
+double QueueDepthQuality::keep_fraction(const Request&,
+                                        const QualityContext& ctx) const {
+  if (ctx.queue_depth <= low_depth_) return ctx.max_keep;
+  if (ctx.queue_depth >= high_depth_) return ctx.min_keep;
+  const double t = static_cast<double>(ctx.queue_depth - low_depth_) /
+                   static_cast<double>(high_depth_ - low_depth_);
+  return ctx.max_keep + t * (ctx.min_keep - ctx.max_keep);
+}
+
 }  // namespace edgemm::serve

@@ -4,11 +4,12 @@
 // by a SchedulerPolicy, HOW a request's prefill is cut into CC-lane jobs
 // by a PrefillPlanner, WHICH prefilled requests join the next decode
 // step (and in what order) by a BatchPolicy, WHICH models' weights
-// deserve the shared residency budget by a PlacementPolicy, and WHERE
+// deserve the shared residency budget by a PlacementPolicy, WHERE
 // each prefill chunk executes in a heterogeneous EdgeMM+GPU pair by an
-// OffloadPolicy. Concrete policies live in admission.hpp (scheduler
-// side) and below; new ones only need to implement one of these
-// interfaces and be handed to EngineConfig.
+// OffloadPolicy, and at WHAT quality (FFN keep fraction) each request
+// is served by a QualityPolicy. Concrete policies live in admission.hpp
+// (scheduler side) and below; new ones only need to implement one of
+// these interfaces and be handed to EngineConfig.
 #ifndef EDGEMM_SERVE_POLICY_HPP
 #define EDGEMM_SERVE_POLICY_HPP
 
@@ -521,6 +522,121 @@ class ThresholdOffload final : public OffloadPolicy {
 
  private:
   std::size_t local_queue_threshold_;
+};
+
+// --- Quality policies (the sixth seam) --------------------------------------
+
+/// Engine-state snapshot handed to QualityPolicy::keep_fraction. The
+/// pressure signals (queue depth, deadline slack against the per-model
+/// service EWMAs, decode batch occupancy, recent SLO misses) are
+/// maintained online by the engine — deterministic, but estimates, not
+/// guarantees. All byte-derived estimates are in full-precision-
+/// equivalent units so a degraded co-tenant cannot skew them.
+struct QualityContext {
+  Cycle now = 0;
+  std::size_t queue_depth = 0;   ///< queued requests waiting for admission
+  std::size_t inflight = 0;      ///< admitted but unfinished requests
+  std::size_t active_batch = 0;  ///< requests in the current decode batch
+  Cycle deadline = 0;            ///< the request's absolute deadline (0 = none)
+  /// Estimated absolute completion: now + CC-lane queue delay + the
+  /// request's remaining prefill + remaining decode, all from the
+  /// engine's full-precision-equivalent throughput EWMAs.
+  Cycle estimated_finish = 0;
+  std::size_t slo_misses = 0;    ///< finished requests that missed deadlines
+  double base_keep = 1.0;        ///< the static per-model keep fraction
+  double current_keep = 1.0;     ///< fraction currently served to the request
+  double min_keep = 0.25;        ///< lower edge of the configured band
+  double max_keep = 1.0;         ///< upper edge of the configured band
+};
+
+/// Decides, per request, what FFN keep fraction it is served at — the
+/// paper's activation-aware pruning knob turned into an online,
+/// load-adaptive control. Judged at admission and re-judged at every
+/// prefill chunk submission; the last judgment sticks for decode. The
+/// engine clamps the returned value into
+/// [min(min_keep, base_keep), max(max_keep, base_keep)] so the static
+/// fraction is always reachable. Serving below base_keep is a
+/// "downgrade" (priced by the task-proxy accuracy model into the
+/// quality ledger); already-pinned resident layers are never pruned —
+/// pinned bytes stay ledger-exact, only streamed bytes shrink.
+/// Implementations must be deterministic pure functions of their
+/// arguments and construction parameters.
+class QualityPolicy {
+ public:
+  virtual ~QualityPolicy() = default;
+
+  /// @return Stable human-readable policy name (bench/docs labels).
+  virtual const char* name() const = 0;
+
+  /// Judges one request's keep fraction.
+  /// @param r    The judged request.
+  /// @param ctx  Engine-state snapshot (see QualityContext).
+  /// @return The raw keep fraction (the engine clamps it into the
+  ///         effective band); must be finite.
+  virtual double keep_fraction(const Request& r,
+                               const QualityContext& ctx) const = 0;
+};
+
+/// Always the static per-model fraction (default): byte-identical to an
+/// engine with no quality seam at all — every request serves at the
+/// keep fraction derived at construction (task proxy or global knob).
+class StaticQuality final : public QualityPolicy {
+ public:
+  const char* name() const override { return "static-quality"; }
+  double keep_fraction(const Request& r,
+                       const QualityContext& ctx) const override;
+};
+
+/// Deadline-pressure controller with recovery hysteresis: tightens the
+/// keep fraction by `step` whenever the estimated finish already misses
+/// the deadline, relaxes by `step` only once the estimated finish beats
+/// the deadline by at least `relax_margin` of the request's SLO window
+/// (deadline − arrival), and holds inside the dead band between the two
+/// thresholds — so a constant load cannot make it oscillate. Requests
+/// without a deadline hold their current fraction. Monotone: at a fixed
+/// current fraction, more pressure (a later estimated finish) never
+/// raises the returned fraction.
+class SloPressureQuality final : public QualityPolicy {
+ public:
+  /// @param step          Fraction removed/restored per judgment;
+  ///                      throws std::invalid_argument outside (0, 1].
+  /// @param relax_margin  Slack (as a fraction of the SLO window)
+  ///                      required before relaxing; throws for a
+  ///                      negative value.
+  explicit SloPressureQuality(double step = 0.125, double relax_margin = 0.25);
+
+  double step() const { return step_; }
+  double relax_margin() const { return relax_margin_; }
+
+  const char* name() const override { return "slo-pressure"; }
+  double keep_fraction(const Request& r,
+                       const QualityContext& ctx) const override;
+
+ private:
+  double step_;
+  double relax_margin_;
+};
+
+/// Load-proportional degradation: serves max_keep at or below
+/// `low_depth` queued requests, min_keep at or above `high_depth`, and
+/// interpolates linearly between. Memoryless (ignores current_keep) and
+/// monotone non-increasing in queue depth.
+class QueueDepthQuality final : public QualityPolicy {
+ public:
+  /// Throws std::invalid_argument unless low_depth < high_depth.
+  explicit QueueDepthQuality(std::size_t low_depth = 2,
+                             std::size_t high_depth = 8);
+
+  std::size_t low_depth() const { return low_depth_; }
+  std::size_t high_depth() const { return high_depth_; }
+
+  const char* name() const override { return "queue-depth-quality"; }
+  double keep_fraction(const Request& r,
+                       const QualityContext& ctx) const override;
+
+ private:
+  std::size_t low_depth_;
+  std::size_t high_depth_;
 };
 
 }  // namespace edgemm::serve

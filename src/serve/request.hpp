@@ -56,6 +56,12 @@ struct RequestRecord {
   /// Fraction of prunable FFN rows kept during this request's decode
   /// (global EngineConfig constant, or per-model from the task proxy).
   double prune_keep_fraction = 1.0;
+  /// Fraction the QualityPolicy actually served this request at — its
+  /// last judgment, clamped into the effective band. Equal to
+  /// prune_keep_fraction under StaticQuality; below it means the
+  /// request was degraded under load (see the ServingResult quality
+  /// ledger). 1.0 for requests never judged (rejected / unadmitted).
+  double keep_fraction_served = 1.0;
   bool done = false;
   bool rejected = false;  ///< dropped by the scheduler policy, never served
 

@@ -336,6 +336,30 @@ ServingResult ServingEngine::run(std::vector<Request> requests) {
         cycles_to_ms(kv_return_link_->max_queue_wait(), config_.clock_hz);
   }
   result.kv_swap_dma_bytes = kv_swap_dma_bytes_;
+  // Quality ledger: what the QualityPolicy cost. The accuracy proxy is
+  // priced per COMPLETED request at the fraction it finished at (memoized
+  // per (model, fraction) — zero proxy evaluations when nothing was ever
+  // degraded, since keep >= the static fraction prices as exact under
+  // keep >= 1 or reuses the decode-side derivation's agreement).
+  result.quality_downgrades = quality_downgrades_;
+  result.quality_restores = quality_restores_;
+  result.tokens_at_degraded_quality = tokens_degraded_;
+  {
+    double acc_sum = 0.0;
+    double acc_min = 1.0;
+    std::size_t done_count = 0;
+    for (const RequestRecord& rec : records_) {
+      if (!rec.done) continue;
+      const double acc =
+          accuracy_for(rec.request.model, rec.keep_fraction_served);
+      acc_sum += acc;
+      acc_min = std::min(acc_min, acc);
+      ++done_count;
+    }
+    result.accuracy_proxy_mean =
+        done_count > 0 ? acc_sum / static_cast<double>(done_count) : 1.0;
+    result.accuracy_proxy_min = done_count > 0 ? acc_min : 1.0;
+  }
   return result;
 }
 
@@ -404,19 +428,142 @@ ServingEngine::PrefillPlan& ServingEngine::plan_for(std::size_t index) {
 
   PrefillPlan plan;
   plan.chunk_tokens = chunk_tokens;
+  plan.built_keep = prefill_keep(index);
   for (std::size_t c = 0; c < chunk_tokens.size(); ++c) {
-    std::vector<GemmWork> ops = build_chunk_ops(r, plan, c);
+    std::vector<GemmWork> ops =
+        build_chunk_ops(r, plan, c, kNoResidentCap, plan.built_keep);
     const Bytes bytes = cc_job_bytes(ops);
+    const Bytes full =
+        plan.built_keep < 1.0
+            ? cc_job_bytes(build_chunk_ops(r, plan, c, kNoResidentCap, 1.0))
+            : bytes;
     plan.jobs.push_back(std::move(ops));
     plan.job_bytes.push_back(bytes);
+    plan.job_full_bytes.push_back(full);
     plan.total_bytes += bytes;
+    plan.total_full_bytes += full;
   }
   return plans_.emplace(index, std::move(plan)).first->second;
 }
 
+void ServingEngine::rebuild_chunk(std::size_t index, PrefillPlan& plan,
+                                  std::size_t chunk) {
+  const Request& r = records_[index].request;
+  std::vector<GemmWork> ops =
+      build_chunk_ops(r, plan, chunk, kNoResidentCap, plan.built_keep);
+  const Bytes bytes = cc_job_bytes(ops);
+  const Bytes full =
+      plan.built_keep < 1.0
+          ? cc_job_bytes(build_chunk_ops(r, plan, chunk, kNoResidentCap, 1.0))
+          : bytes;
+  plan.total_bytes -= plan.job_bytes[chunk];
+  plan.total_bytes += bytes;
+  plan.total_full_bytes -= plan.job_full_bytes[chunk];
+  plan.total_full_bytes += full;
+  plan.jobs[chunk] = std::move(ops);
+  plan.job_bytes[chunk] = bytes;
+  plan.job_full_bytes[chunk] = full;
+}
+
+double ServingEngine::prefill_keep(std::size_t index) const {
+  // The static engine never pruned prefill (only decode), so prefill
+  // shapes only shrink when a request is actively DEGRADED below its
+  // static fraction — a fraction at or above it streams full weights.
+  const RequestRecord& rec = records_[index];
+  const double base = keep_fraction_[rec.request.model];
+  return rec.keep_fraction_served < base ? rec.keep_fraction_served : 1.0;
+}
+
+double ServingEngine::judge_quality(std::size_t index) {
+  const RequestRecord& rec = records_[index];
+  const Request& r = rec.request;
+  const double base = keep_fraction_[r.model];
+  const double cc_est = cc_bytes_per_cycle_est_[r.model];
+  QualityContext ctx;
+  ctx.now = local_.simulator().now();
+  ctx.queue_depth = queue_.size();
+  ctx.inflight = inflight_;
+  ctx.active_batch = active_.size();
+  ctx.deadline = r.deadline;
+  ctx.slo_misses = slo_misses_;
+  ctx.base_keep = base;
+  ctx.current_keep = rec.keep_fraction_served;
+  ctx.min_keep = engine_config_.quality_min_keep();
+  ctx.max_keep = engine_config_.quality_max_keep();
+  // Estimated finish mirrors admission_context, restricted to THIS
+  // request's remaining work — and in full-precision-equivalent bytes,
+  // so the pressure signal is about load, not about how degraded the
+  // backlog already is.
+  double remaining = std::max(cc_pending_full_bytes_, 0.0) / cc_est;
+  if (engine_config_.phase() != EnginePhase::kDecodeOnly) {
+    const auto it = plans_.find(index);
+    if (it != plans_.end()) {
+      const PrefillPlan& plan = it->second;
+      Bytes prefill_left = 0;
+      for (std::size_t c = plan.next; c < plan.job_full_bytes.size(); ++c) {
+        prefill_left += plan.job_full_bytes[c];
+      }
+      remaining += static_cast<double>(prefill_left) / cc_est;
+    }
+  }
+  if (engine_config_.phase() != EnginePhase::kPrefillOnly) {
+    remaining +=
+        static_cast<double>(r.output_tokens - rec.tokens_generated) *
+        decode_step_cycles_est_[r.model];
+  }
+  ctx.estimated_finish = ctx.now + static_cast<Cycle>(remaining);
+  const double raw = engine_config_.quality().keep_fraction(r, ctx);
+  if (!std::isfinite(raw)) {
+    throw std::logic_error(
+        "ServingEngine: QualityPolicy returned a non-finite keep fraction");
+  }
+  // The effective band is the configured one widened to include the
+  // static fraction, so StaticQuality always passes through unclamped.
+  const double lo = std::min(ctx.min_keep, base);
+  const double hi = std::max(ctx.max_keep, base);
+  return std::clamp(raw, lo, hi);
+}
+
+void ServingEngine::apply_quality(std::size_t index, double served) {
+  RequestRecord& rec = records_[index];
+  const double base = keep_fraction_[rec.request.model];
+  const bool was_degraded = rec.keep_fraction_served < base;
+  const bool now_degraded = served < base;
+  if (!was_degraded && now_degraded) ++quality_downgrades_;
+  if (was_degraded && !now_degraded) ++quality_restores_;
+  rec.keep_fraction_served = served;
+  const auto it = plans_.find(index);
+  if (it == plans_.end()) return;  // decode-only tier: no prefill to reshape
+  PrefillPlan& plan = it->second;
+  const double want = prefill_keep(index);
+  if (plan.built_keep == want) return;
+  plan.built_keep = want;
+  // Reshape only the unsubmitted tail; in-flight and retired chunks
+  // already streamed at their judged fraction. Callers own the
+  // cc-pending delta (the plan's bytes may not be pending yet).
+  for (std::size_t c = plan.next; c < plan.jobs.size(); ++c) {
+    rebuild_chunk(index, plan, c);
+  }
+}
+
+double ServingEngine::accuracy_for(std::size_t model, double keep) {
+  if (keep >= 1.0) return 1.0;  // nothing pruned, agreement exact
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(model) << 32) ^
+      static_cast<std::uint64_t>(std::llround(keep * 1048576.0));
+  const auto it = accuracy_memo_.find(key);
+  if (it != accuracy_memo_.end()) return it->second;
+  const TaskProxyPruningOptions options =
+      engine_config_.task_proxy_pruning() ? *engine_config_.task_proxy_pruning()
+                                          : TaskProxyPruningOptions{};
+  const double acc = quality_accuracy_proxy(models_[model], keep, options);
+  accuracy_memo_.emplace(key, acc);
+  return acc;
+}
+
 std::vector<GemmWork> ServingEngine::build_chunk_ops(
     const Request& r, const PrefillPlan& plan, std::size_t chunk,
-    std::size_t resident_cap) const {
+    std::size_t resident_cap, double ffn_keep) const {
   const model::MllmConfig& m = models_[r.model];
   std::size_t start = 0;
   for (std::size_t c = 0; c < chunk; ++c) start += plan.chunk_tokens[c];
@@ -431,8 +578,13 @@ std::vector<GemmWork> ServingEngine::build_chunk_ops(
       plan.resident_layers > 0 && chunk >= plan.first_resident_chunk
           ? std::min(plan.resident_layers, resident_cap)
           : 0;
+  // Pinned layer groups keep full FFN shapes whatever the quality seam
+  // judged (full_keep_layers): the pin holds — and its fill/barrier
+  // byte math assumes — the FULL weights, so a degraded request's
+  // pruning only shrinks the layers it actually streams.
   const auto body = model::build_prefill_chunk(
-      m, start, plan.chunk_tokens[chunk], r.input_tokens, resident);
+      m, start, plan.chunk_tokens[chunk], r.input_tokens, resident, ffn_keep,
+      /*full_keep_layers=*/plan.resident_layers);
   ops.insert(ops.end(), body.begin(), body.end());
   return model::aggregate_ops(ops);
 }
@@ -540,14 +692,14 @@ bool ServingEngine::maybe_pin_weights(std::size_t index,
   plan.first_resident_chunk = first_resident;
   records_[index].weight_pinned_layers = attach.layers;
   // Rebuild the unsubmitted tail: pinned layer groups drop their weight
-  // stream, so the jobs (and the CC backlog accounting) shrink.
-  for (std::size_t c = first_resident; c < plan.jobs.size(); ++c) {
-    std::vector<GemmWork> ops = build_chunk_ops(r, plan, c);
-    const Bytes bytes = cc_job_bytes(ops);
-    plan.total_bytes -= plan.job_bytes[c];
-    plan.total_bytes += bytes;
-    plan.jobs[c] = std::move(ops);
-    plan.job_bytes[c] = bytes;
+  // stream, so the jobs (and the CC backlog accounting) shrink. A
+  // degraded request also rebuilds the not-yet-submitted fill chunk
+  // itself: its pinned layers must stream FULL weights (that is what
+  // lands in the pin), which the pre-pin jobs pruned.
+  const std::size_t rebuild_from =
+      plan.built_keep < 1.0 ? next_chunk : first_resident;
+  for (std::size_t c = rebuild_from; c < plan.jobs.size(); ++c) {
+    rebuild_chunk(index, plan, c);
   }
   return true;
 }
@@ -588,15 +740,19 @@ AdmissionContext ServingEngine::admission_context(std::size_t index) {
   ctx.inflight = inflight_;
   ctx.active_batch = active_.size();
   ctx.queue_depth = queue_.size();
+  // Backlog and service are priced in FULL-precision-equivalent bytes —
+  // the estimator's unit (see the on_chunk_done fold): a degraded
+  // backlog must not look like a faster lane to the admission judgment.
+  // Identical to the actual-bytes ledger when nothing is degraded.
   ctx.estimated_queue_delay =
-      static_cast<Cycle>(std::max(cc_pending_bytes_, 0.0) / cc_est);
+      static_cast<Cycle>(std::max(cc_pending_full_bytes_, 0.0) / cc_est);
   // A phase-split engine only does the work its tier owns, so the SLO
   // judgment only charges that share: a decode chip never plans (or
   // pays for) a prefill, a prefill chip retires at prefill end.
   double prefill_cycles = 0.0;
   if (engine_config_.phase() != EnginePhase::kDecodeOnly) {
     const PrefillPlan& plan = plan_for(index);
-    prefill_cycles = static_cast<double>(plan.total_bytes) / cc_est;
+    prefill_cycles = static_cast<double>(plan.total_full_bytes) / cc_est;
   }
   double decode_cycles = 0.0;
   if (engine_config_.phase() != EnginePhase::kPrefillOnly) {
@@ -658,6 +814,12 @@ void ServingEngine::pump_admission() {
     ++inflight_per_model_[r.model];
     rec.admitted = sim.now();
     rec.prune_keep_fraction = keep_fraction_[r.model];
+    // Admission-time quality judgment: the request enters at its static
+    // fraction and the QualityPolicy may immediately degrade it under
+    // pressure (the plan below is then built at the judged fraction —
+    // apply_quality reshapes it before its bytes go pending).
+    rec.keep_fraction_served = keep_fraction_[r.model];
+    apply_quality(index, judge_quality(index));
     if (engine_config_.phase() == EnginePhase::kDecodeOnly) {
       // Disaggregated decode tier: the KV cache arrived finished from a
       // prefill chip (the request's arrival IS the KV landing), so the
@@ -683,12 +845,28 @@ void ServingEngine::pump_admission() {
       maybe_pin_weights(index, /*next_chunk=*/0);
     }
     cc_pending_bytes_ += static_cast<double>(plan.total_bytes);
+    cc_pending_full_bytes_ += static_cast<double>(plan.total_full_bytes);
     submit_next_chunk(index);
   }
 }
 
 void ServingEngine::submit_next_chunk(std::size_t index) {
   PrefillPlan& plan = plans_.at(index);
+  // Per-chunk quality re-judgment: pressure may have moved since the
+  // last chunk, and the chunk about to be submitted should stream at
+  // the CURRENT fraction. The plan's bytes are already in the CC
+  // backlog, so this call owns the pending-accumulator deltas.
+  {
+    const double served = judge_quality(index);
+    if (served != records_[index].keep_fraction_served) {
+      const double before = static_cast<double>(plan.total_bytes);
+      const double before_full = static_cast<double>(plan.total_full_bytes);
+      apply_quality(index, served);
+      cc_pending_bytes_ += static_cast<double>(plan.total_bytes) - before;
+      cc_pending_full_bytes_ +=
+          static_cast<double>(plan.total_full_bytes) - before_full;
+    }
+  }
   const std::size_t chunk = plan.next++;
   const bool first = chunk == 0;
   // Backend judgment: chunk 0 consumes its admission-time verdict (made
@@ -714,8 +892,11 @@ void ServingEngine::submit_next_chunk(std::size_t index) {
   if (chunk > 0 && residency_ && !plan.pin_attached && !to_fat &&
       plan.offloaded_chunks == 0) {
     const Bytes before = plan.total_bytes;
+    const Bytes before_full = plan.total_full_bytes;
     if (maybe_pin_weights(index, chunk)) {
       cc_pending_bytes_ -= static_cast<double>(before - plan.total_bytes);
+      cc_pending_full_bytes_ -=
+          static_cast<double>(before_full - plan.total_full_bytes);
     }
   }
   // Fill barrier: a rider chunk dispatched before the pin owner's fill
@@ -752,14 +933,25 @@ void ServingEngine::submit_next_chunk(std::size_t index) {
     };
     const Bytes pinned_resident = resident_weight_bytes(plan.jobs[chunk]);
     if (pinned_resident > 0 && landed < plan.resident_layers) {
-      std::vector<GemmWork> ops = build_chunk_ops(
-          records_[index].request, plan, chunk, /*resident_cap=*/landed);
+      std::vector<GemmWork> ops =
+          build_chunk_ops(records_[index].request, plan, chunk,
+                          /*resident_cap=*/landed, plan.built_keep);
       const Bytes refetch = pinned_resident - resident_weight_bytes(ops);
       if (refetch > 0) {
         rider_refetch_bytes_ += refetch;
         const Bytes bytes = cc_job_bytes(ops);
+        const Bytes full =
+            plan.built_keep < 1.0
+                ? cc_job_bytes(build_chunk_ops(records_[index].request, plan,
+                                               chunk, landed, 1.0))
+                : bytes;
         cc_pending_bytes_ += static_cast<double>(bytes - plan.job_bytes[chunk]);
+        cc_pending_full_bytes_ += static_cast<double>(full) -
+                                  static_cast<double>(plan.job_full_bytes[chunk]);
         plan.total_bytes += bytes - plan.job_bytes[chunk];
+        plan.total_full_bytes -= plan.job_full_bytes[chunk];
+        plan.total_full_bytes += full;
+        plan.job_full_bytes[chunk] = full;
         plan.jobs[chunk] = std::move(ops);
         plan.job_bytes[chunk] = bytes;
         if (engine_config_.per_group_fill_landing()) {
@@ -776,6 +968,7 @@ void ServingEngine::submit_next_chunk(std::size_t index) {
     // honored — and its throughput EWMA folds on retirement against
     // those fat-model bytes.
     cc_pending_bytes_ -= static_cast<double>(plan.job_bytes[chunk]);
+    cc_pending_full_bytes_ -= static_cast<double>(plan.job_full_bytes[chunk]);
     plan.current_fat = true;
     plan.current_fat_bytes =
         fat_->estimated_job_bytes(Lane::kCcStage, plan.jobs[chunk]);
@@ -831,10 +1024,14 @@ void ServingEngine::on_chunk_done(std::size_t index) {
   const std::size_t chunk = plan.next - 1;
   const Cycle now = local_.simulator().now();
   const Bytes bytes = plan.job_bytes[chunk];
+  const Bytes full = plan.job_full_bytes[chunk];
   const bool was_fat = plan.current_fat;
   plan.current_fat = false;
   // A fat chunk's bytes already left the CC backlog at submission.
-  if (!was_fat) cc_pending_bytes_ -= static_cast<double>(bytes);
+  if (!was_fat) {
+    cc_pending_bytes_ -= static_cast<double>(bytes);
+    cc_pending_full_bytes_ -= static_cast<double>(full);
+  }
   // The owner's fill fetch just retired: the pinned bytes are genuinely
   // on chip now, so riders stop re-fetching (fill barrier lifts).
   if (plan.pin_attached && plan.pin_owner && chunk == plan.fill_chunk) {
@@ -857,8 +1054,15 @@ void ServingEngine::on_chunk_done(std::size_t index) {
       fat_bytes_per_cycle_est_ = (1.0 - kEstimatorGain) * fat_bytes_per_cycle_est_ +
                                  kEstimatorGain * observed;
     }
-  } else if (now > plan.chunk_started && bytes > 0) {
-    const double observed = static_cast<double>(bytes) /
+  } else if (now > plan.chunk_started && full > 0) {
+    // The estimator is normalized to FULL-precision-equivalent bytes: a
+    // degraded chunk streams fewer actual bytes in fewer cycles, and
+    // folding actual/cycles would teach the estimator that the lane got
+    // permanently faster — inflating every later admission/quality
+    // estimate once the co-tenant recovers. Full-equiv bytes over the
+    // same cycles keeps the signal about the LANE, not the degradation
+    // (all consumers divide full-equiv bytes by it, so units agree).
+    const double observed = static_cast<double>(full) /
                             static_cast<double>(now - plan.chunk_started);
     double& est = cc_bytes_per_cycle_est_[records_[index].request.model];
     est = (1.0 - kEstimatorGain) * est + kEstimatorGain * observed;
@@ -903,6 +1107,9 @@ void ServingEngine::on_prefill_done(std::size_t index) {
     refresh_decayed_demand();
     rec.finish = rec.prefill_end;
     rec.done = true;
+    if (rec.request.deadline > 0 && rec.finish > rec.request.deadline) {
+      ++slo_misses_;
+    }
     ++completed_;
     --inflight_;
     --inflight_per_model_[rec.request.model];
@@ -1111,15 +1318,20 @@ void ServingEngine::start_decode_step() {
   std::vector<std::size_t> contexts;
   for (std::size_t m = 0; m < models_.size(); ++m) {
     contexts.clear();
+    // The batched weight fetch serves the whole per-model batch at once,
+    // so it prunes to the LEAST degraded active request's fraction (the
+    // max): a degraded co-batcher cannot starve an undegraded one of
+    // rows it needs. Equal to keep_fraction_[m] under StaticQuality.
+    double frac = 0.0;
     for (const std::size_t index : active_) {
       const RequestRecord& rec = records_[index];
       if (rec.request.model == m) {
         contexts.push_back(rec.request.input_tokens + rec.tokens_generated);
+        frac = std::max(frac, rec.keep_fraction_served);
       }
     }
     if (contexts.empty()) continue;
-    const auto ops = core::pruned_ops(
-        model::build_decode_step(models_[m], contexts), keep_fraction_[m]);
+    const auto ops = model::build_decode_step(models_[m], contexts, frac);
     step.insert(step.end(), ops.begin(), ops.end());
   }
   if (swap_dma > 0) {
@@ -1177,10 +1389,16 @@ void ServingEngine::on_decode_step_done() {
   for (const std::size_t index : active_) {
     RequestRecord& rec = records_[index];
     ++rec.tokens_generated;
+    if (rec.keep_fraction_served < keep_fraction_[rec.request.model]) {
+      ++tokens_degraded_;
+    }
     if (rec.tokens_generated == 1) rec.first_token = now;
     if (rec.tokens_generated >= rec.request.output_tokens) {
       rec.finish = now;
       rec.done = true;
+      if (rec.request.deadline > 0 && rec.finish > rec.request.deadline) {
+        ++slo_misses_;
+      }
       ++completed_;
       --inflight_;
       --inflight_per_model_[rec.request.model];

@@ -152,6 +152,21 @@ struct ServingResult {
   /// Swap-in re-fetch bytes injected as MC-lane DMA ops (== the
   /// kv_swap_refetch_bytes those refills charged when the knob is on).
   Bytes kv_swap_dma_bytes = 0;
+  // --- Quality ledger (QualityPolicy; static defaults leave it clean) ------
+  /// Judgments that took a request below its static per-model fraction.
+  std::size_t quality_downgrades = 0;
+  /// Judgments that brought a degraded request back to (or above) it.
+  /// Conservation at drain: downgrades == restores + requests that
+  /// finished still degraded.
+  std::size_t quality_restores = 0;
+  /// Tokens generated while their request was degraded (served below
+  /// its static fraction).
+  std::size_t tokens_at_degraded_quality = 0;
+  /// Task-proxy answer-agreement priced at each completed request's
+  /// served fraction (quality_accuracy_proxy): mean and worst case.
+  /// Exactly 1.0 when nothing is pruned.
+  double accuracy_proxy_mean = 1.0;
+  double accuracy_proxy_min = 1.0;
 };
 
 /// Drives the heterogeneous chip through a request trace.
@@ -241,6 +256,17 @@ class ServingEngine {
     std::vector<std::vector<core::GemmWork>> jobs;
     std::vector<Bytes> job_bytes;
     Bytes total_bytes = 0;
+    /// Full-precision-equivalent CC bytes per job: what the chunk would
+    /// stream at keep fraction 1 with the same residency. Feeds the
+    /// per-model throughput estimators so a degraded co-tenant's
+    /// shrunken chunks never skew admission estimates (== job_bytes
+    /// whenever the plan is built undegraded).
+    std::vector<Bytes> job_full_bytes;
+    Bytes total_full_bytes = 0;
+    /// The prefill ffn_keep the jobs were last built at (1.0 = full
+    /// shapes); a quality re-judgment rebuilds unsubmitted jobs when the
+    /// effective prefill keep moves.
+    double built_keep = 1.0;
     std::size_t next = 0;
     Cycle chunk_started = 0;
     std::size_t resident_layers = 0;      ///< layer groups pinned (0 = none)
@@ -317,9 +343,31 @@ class ServingEngine {
   /// them all, 0 re-fetches everything (the pin-granular barrier
   /// refetch), a landed-group count in between re-fetches only the
   /// groups whose fill has not landed yet (per-group fill landing).
+  /// `ffn_keep` < 1 emits the quality seam's pre-pruned FFN shapes for
+  /// the unpinned layers (the plan's resident_layers always keep full
+  /// shapes, so pin and barrier byte math stays exact).
   std::vector<core::GemmWork> build_chunk_ops(
       const Request& r, const PrefillPlan& plan, std::size_t chunk,
-      std::size_t resident_cap = kNoResidentCap) const;
+      std::size_t resident_cap = kNoResidentCap, double ffn_keep = 1.0) const;
+  /// The ffn_keep prefill chunks of `index` stream at: its served
+  /// fraction when degraded (below the static per-model fraction), else
+  /// 1.0 — the static engine never pruned prefill, only decode.
+  double prefill_keep(std::size_t index) const;
+  /// Consults the QualityPolicy for `index` and returns the judged keep
+  /// fraction clamped into the effective band (the configured band
+  /// widened to include the static fraction).
+  double judge_quality(std::size_t index);
+  /// Adopts a judged fraction: ledgers the downgrade/restore transition
+  /// and rebuilds the plan's unsubmitted jobs when the effective prefill
+  /// keep moved. Does NOT touch the cc-pending accumulators — callers
+  /// own that (the plan's bytes may or may not be pending yet).
+  void apply_quality(std::size_t index, double served);
+  /// Rebuilds one unsubmitted job of `index`'s plan at the current
+  /// prefill keep, updating job/full byte arrays and plan totals.
+  void rebuild_chunk(std::size_t index, PrefillPlan& plan, std::size_t chunk);
+  /// Memoized task-proxy agreement at (model, keep) — the quality
+  /// ledger's accuracy pricing.
+  double accuracy_for(std::size_t model, double keep);
   PlacementContext placement_context() const;
   void refresh_decayed_demand();
   /// Consults the OffloadPolicy for one chunk of `index`'s plan; always
@@ -396,6 +444,22 @@ class ServingEngine {
   Cycle demand_decayed_at_ = 0;  ///< sim time of the last EWMA refresh
   std::size_t placement_denials_ = 0;
   double cc_pending_bytes_ = 0.0;
+  /// Full-precision-equivalent twin of cc_pending_bytes_: what the same
+  /// backlog would weigh undegraded. Queue-delay and service estimates
+  /// divide THESE by the (full-equivalent) throughput estimators, so a
+  /// degraded heavy co-tenant cannot skew a full-precision candidate's
+  /// admission math; cc_pending_bytes_ (actual) keeps feeding the
+  /// CC:MC bandwidth rebalance. Identical while nothing is degraded.
+  double cc_pending_full_bytes_ = 0.0;
+  // --- Quality ledger (see ServingResult) ---------------------------------
+  std::size_t quality_downgrades_ = 0;
+  std::size_t quality_restores_ = 0;
+  std::size_t tokens_degraded_ = 0;
+  /// Finished requests that missed their deadline so far (QualityContext
+  /// pressure signal).
+  std::size_t slo_misses_ = 0;
+  /// accuracy_for memo: (model index, quantized keep) -> agreement.
+  std::unordered_map<std::uint64_t, double> accuracy_memo_;
   Bytes cc_weight_fetched_ = 0;  ///< weight DMA issued by submitted CC jobs
   Bytes cc_weight_saved_ = 0;    ///< weight DMA avoided via residency
   Bytes rider_refetch_bytes_ = 0;  ///< barrier re-fetches (subset of fetched)

@@ -164,7 +164,12 @@ bool results_identical(const ServingResult& a, const ServingResult& b) {
          a.kv_return_bytes_landed == b.kv_return_bytes_landed &&
          a.kv_return_bytes_in_flight == b.kv_return_bytes_in_flight &&
          a.kv_return_max_queue_ms == b.kv_return_max_queue_ms &&
-         a.kv_swap_dma_bytes == b.kv_swap_dma_bytes;
+         a.kv_swap_dma_bytes == b.kv_swap_dma_bytes &&
+         a.quality_downgrades == b.quality_downgrades &&
+         a.quality_restores == b.quality_restores &&
+         a.tokens_at_degraded_quality == b.tokens_at_degraded_quality &&
+         a.accuracy_proxy_mean == b.accuracy_proxy_mean &&
+         a.accuracy_proxy_min == b.accuracy_proxy_min;
 }
 
 bool record_identical(const RequestRecord& a, const RequestRecord& b) {
@@ -182,8 +187,9 @@ bool record_identical(const RequestRecord& a, const RequestRecord& b) {
          a.prefill_chunks == b.prefill_chunks &&
          a.offloaded_chunks == b.offloaded_chunks &&
          a.weight_pinned_layers == b.weight_pinned_layers &&
-         a.prune_keep_fraction == b.prune_keep_fraction && a.done == b.done &&
-         a.rejected == b.rejected;
+         a.prune_keep_fraction == b.prune_keep_fraction &&
+         a.keep_fraction_served == b.keep_fraction_served &&
+         a.done == b.done && a.rejected == b.rejected;
 }
 
 bool outcomes_identical(const SweepOutcome& a, const SweepOutcome& b) {

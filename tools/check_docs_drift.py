@@ -19,6 +19,8 @@ appear as an identifier in the corresponding header:
   ExecutionBackend::<name>  -> src/core/execution_backend.hpp
   GpuBackend / GpuSpec::<name> -> src/baselines/gpu_backend.hpp + gpu_model.hpp
   OffloadPolicy / OffloadContext::<name> -> src/serve/policy.hpp
+  QualityPolicy / QualityContext::<name> -> src/serve/policy.hpp
+  RequestRecord::<name> -> src/serve/request.hpp
 
 Offline and dependency-free by design, like check_markdown_links.py.
 
@@ -36,7 +38,8 @@ REF_RE = re.compile(
     r"\b(EngineConfig|ServingResult|ReplayMode|SweepCase|SweepOptions"
     r"|SweepOutcome|ClusterConfig|ClusterResult|ClusterOutcome"
     r"|RouterPolicy|ChipLink|KvPageAllocator|SwapPolicy|ExecutionBackend"
-    r"|GpuBackend|GpuSpec|OffloadPolicy|OffloadContext)(?:::|\.)(\w+)")
+    r"|GpuBackend|GpuSpec|OffloadPolicy|OffloadContext"
+    r"|QualityPolicy|QualityContext|RequestRecord)(?:::|\.)(\w+)")
 
 HEADERS = {
     "EngineConfig": "src/serve/engine_config.hpp",
@@ -57,6 +60,9 @@ HEADERS = {
     "GpuSpec": "src/baselines/gpu_model.hpp",
     "OffloadPolicy": "src/serve/policy.hpp",
     "OffloadContext": "src/serve/policy.hpp",
+    "QualityPolicy": "src/serve/policy.hpp",
+    "QualityContext": "src/serve/policy.hpp",
+    "RequestRecord": "src/serve/request.hpp",
 }
 
 
